@@ -1,0 +1,96 @@
+// Ablation: the timeslice duration (DESIGN.md design-choice; paper §III-C
+// calls it "an important parameter in tuning Grade10's performance
+// characterization process").
+//
+// One PageRank run on the Giraph stand-in is analyzed at several timeslice
+// durations with the monitoring interval held at 8x the timeslice (the
+// paper's recommended upsampling ratio). Reported per setting: the
+// upsampling error against a 10 ms ground truth, the number of slices the
+// analysis manipulates, and the stability of the headline issue impacts.
+#include <iostream>
+
+#include "algorithms/programs.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "support/experiment.hpp"
+#include "support/workloads.hpp"
+
+namespace g10::bench {
+namespace {
+
+constexpr DurationNs kTruthInterval = 10 * kMillisecond;
+
+int run() {
+  std::cout << "Ablation: timeslice duration (PageRank on Giraph-sim, "
+               "monitoring at 8x the timeslice)\n\n";
+  const Dataset dataset = make_rmat_dataset(15);
+  const algorithms::PageRank pagerank(20);
+  const auto cfg = default_pregel_config();
+  const auto artifacts =
+      engine::PregelEngine(cfg).run(dataset.graph, pagerank);
+  const auto truth_samples = monitor::sample_ground_truth(
+      artifacts.ground_truth, kTruthInterval, artifacts.makespan);
+  const auto model = pregel_framework_model(cfg);
+
+  TextTable table({"timeslice", "slices", "upsample err vs 10ms truth",
+                   "GC impact", "imbalance(ComputeThread)"});
+  for (const DurationNs slice :
+       {10 * kMillisecond, 20 * kMillisecond, 50 * kMillisecond,
+        100 * kMillisecond, 200 * kMillisecond}) {
+    const auto samples = monitor::sample_ground_truth(
+        artifacts.ground_truth, 8 * slice, artifacts.makespan);
+    core::CharacterizationInput input;
+    input.model = &model.execution;
+    input.resources = &model.resources;
+    input.rules = &model.tuned_rules;
+    input.phase_events = artifacts.phase_events;
+    input.blocking_events = artifacts.blocking_events;
+    input.samples = samples;
+    input.config.timeslice = slice;
+    input.config.min_issue_impact = 0.0;
+    const auto result = core::characterize(input);
+
+    // Upsampling error vs the fine ground truth, machine 0 CPU.
+    const core::AttributedResource* cpu = result.usage.find(model.cpu, 0);
+    double num = 0.0;
+    double den = 0.0;
+    if (cpu != nullptr) {
+      for (const auto& sample : truth_samples) {
+        if (sample.resource != "cpu" || sample.machine != 0) continue;
+        const auto s = static_cast<std::size_t>((sample.time - 1) / slice);
+        if (s < cpu->upsampled.usage.size()) {
+          num += std::abs(cpu->upsampled.usage[s] - sample.value);
+          den += sample.value;
+        }
+      }
+    }
+    double gc_impact = 0.0;
+    double imbalance = 0.0;
+    for (const auto& issue : result.issues) {
+      if (issue.kind == core::IssueKind::kResourceBottleneck &&
+          issue.resource == model.gc) {
+        gc_impact = issue.impact;
+      }
+      if (issue.kind == core::IssueKind::kImbalance &&
+          model.execution.type(issue.phase_type).name == "ComputeThread") {
+        imbalance = issue.impact;
+      }
+    }
+    table.add_row({std::to_string(slice / kMillisecond) + " ms",
+                   std::to_string(cpu != nullptr ? cpu->slice_count() : 0),
+                   format_percent(den > 0 ? num / den : 0.0),
+                   format_percent(gc_impact), format_percent(imbalance)});
+  }
+  table.render(std::cout);
+  std::cout
+      << "\nExpected: finer timeslices track the ground truth better (the\n"
+         "error vs the 10 ms truth grows with the slice), while the issue\n"
+         "impacts (from logs, not monitoring) stay stable across settings —\n"
+         "which is why coarse, cheap monitoring plus upsampling suffices.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace g10::bench
+
+int main() { return g10::bench::run(); }

@@ -1,0 +1,69 @@
+// Micro-benchmarks of the trace-replay simulator (§III-F): makespan
+// re-simulation throughput, which bounds how many candidate performance
+// issues Grade10 can evaluate per second.
+#include <benchmark/benchmark.h>
+
+#include "algorithms/programs.hpp"
+#include "engine/pregel/pregel_engine.hpp"
+#include "grade10/issues/replay_simulator.hpp"
+#include "grade10/models/pregel_model.hpp"
+#include "graph/generators.hpp"
+
+namespace g10::core {
+namespace {
+
+struct Fixture {
+  trace::RunArtifacts artifacts;
+  FrameworkModel model;
+  std::unique_ptr<ExecutionTrace> trace;
+
+  explicit Fixture(int scale) {
+    graph::RmatParams params;
+    params.scale = scale;
+    params.edge_factor = 8;
+    params.seed = 5;
+    const auto graph = generate_rmat(params);
+    engine::PregelConfig cfg;
+    cfg.cluster.machine_count = 4;
+    cfg.cluster.machine.cores = 8;
+    artifacts =
+        engine::PregelEngine(cfg).run(graph, algorithms::PageRank(10));
+    PregelModelParams model_params;
+    model_params.cores = 8;
+    model_params.threads = 8;
+    model = make_pregel_model(model_params);
+    trace = std::make_unique<ExecutionTrace>(ExecutionTrace::build(
+        model.execution, model.resources, artifacts.phase_events,
+        artifacts.blocking_events));
+  }
+};
+
+void BM_ReplaySimulate(benchmark::State& state) {
+  const Fixture fixture(static_cast<int>(state.range(0)));
+  const ReplaySimulator sim(fixture.model.execution, *fixture.trace);
+  const auto durations = sim.recorded_durations();
+  for (auto _ : state) {
+    auto schedule = sim.simulate(durations);
+    benchmark::DoNotOptimize(schedule);
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<int64_t>(fixture.trace->instances().size()));
+  state.counters["instances"] =
+      static_cast<double>(fixture.trace->instances().size());
+}
+BENCHMARK(BM_ReplaySimulate)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_SimulatorConstruction(benchmark::State& state) {
+  const Fixture fixture(12);
+  for (auto _ : state) {
+    ReplaySimulator sim(fixture.model.execution, *fixture.trace);
+    benchmark::DoNotOptimize(sim);
+  }
+}
+BENCHMARK(BM_SimulatorConstruction);
+
+}  // namespace
+}  // namespace g10::core
+
+BENCHMARK_MAIN();

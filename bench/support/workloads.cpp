@@ -1,0 +1,43 @@
+#include "support/workloads.hpp"
+
+#include "graph/generators.hpp"
+
+namespace g10::bench {
+
+Dataset make_rmat_dataset(int scale, double edge_factor, std::uint64_t seed) {
+  graph::RmatParams params;
+  params.scale = scale;
+  params.edge_factor = edge_factor;
+  params.seed = seed;
+  Dataset d{"rmat-" + std::to_string(scale), generate_rmat(params)};
+  return d;
+}
+
+Dataset make_datagen_dataset(graph::VertexId vertices, double mean_degree,
+                             std::uint64_t seed) {
+  graph::DatagenParams params;
+  params.vertices = vertices;
+  params.mean_degree = mean_degree;
+  params.seed = seed;
+  Dataset d{"datagen-" + std::to_string(vertices),
+            generate_datagen_like(params)};
+  return d;
+}
+
+AlgorithmSuite::AlgorithmSuite(int pagerank_iterations, int cdlp_iterations,
+                               graph::VertexId bfs_source)
+    : pagerank_(pagerank_iterations),
+      bfs_(bfs_source),
+      wcc_(),
+      cdlp_(cdlp_iterations) {}
+
+std::vector<AlgorithmEntry> AlgorithmSuite::entries() const {
+  return {
+      {"BFS", &bfs_, &bfs_},
+      {"PageRank", &pagerank_, &pagerank_},
+      {"WCC", &wcc_, &wcc_},
+      {"CDLP", &cdlp_, &cdlp_},
+  };
+}
+
+}  // namespace g10::bench

@@ -1,0 +1,56 @@
+// Shared workload definitions for the experiment harnesses: the two
+// datasets (R-MAT / graph500-like and Datagen-like, standing in for the
+// paper's Graphalytics datasets) and the four algorithms of §IV-A.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/programs.hpp"
+#include "graph/graph.hpp"
+
+namespace g10::bench {
+
+struct Dataset {
+  std::string name;
+  graph::Graph graph;
+};
+
+/// Directed scale-free dataset (graph500 stand-in).
+Dataset make_rmat_dataset(int scale, double edge_factor = 16.0,
+                          std::uint64_t seed = 900);
+
+/// Undirected clustered dataset (LDBC Datagen stand-in).
+Dataset make_datagen_dataset(graph::VertexId vertices, double mean_degree = 16.0,
+                             std::uint64_t seed = 901);
+
+/// One algorithm usable by both engines (every program implements both
+/// interfaces).
+struct AlgorithmEntry {
+  std::string name;
+  const algorithms::PregelProgram* pregel = nullptr;
+  const algorithms::GasProgram* gas = nullptr;
+};
+
+/// Owns the four §IV-A algorithm instances and exposes them by interface.
+class AlgorithmSuite {
+ public:
+  AlgorithmSuite(int pagerank_iterations, int cdlp_iterations,
+                 graph::VertexId bfs_source);
+
+  std::vector<AlgorithmEntry> entries() const;
+
+  const algorithms::PageRank& pagerank() const { return pagerank_; }
+  const algorithms::Bfs& bfs() const { return bfs_; }
+  const algorithms::Wcc& wcc() const { return wcc_; }
+  const algorithms::Cdlp& cdlp() const { return cdlp_; }
+
+ private:
+  algorithms::PageRank pagerank_;
+  algorithms::Bfs bfs_;
+  algorithms::Wcc wcc_;
+  algorithms::Cdlp cdlp_;
+};
+
+}  // namespace g10::bench

@@ -1,0 +1,55 @@
+// Vertex-program interface for the Pregel-style (Giraph stand-in) engine.
+//
+// Semantics follow Giraph's BSP model: in superstep 0 every vertex is active
+// and receives no messages; in later supersteps a vertex runs compute() iff
+// it is active (did not halt) or received messages. Messages sent in
+// superstep s are delivered in superstep s+1. A program sends the same value
+// to all out-neighbors (sufficient for the paper's four algorithms) and may
+// declare a combiner so the engine aggregates concurrent messages.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace g10::algorithms {
+
+enum class Combiner {
+  kNone,  ///< deliver the full message list (e.g. CDLP needs all labels)
+  kSum,   ///< deliver one message: the sum
+  kMin,   ///< deliver one message: the minimum
+};
+
+/// Out-parameters of one compute() call.
+struct PregelOutbox {
+  bool send_to_all_neighbors = false;
+  double message = 0.0;
+  /// When set, each neighbor receives message + weight(edge to neighbor)
+  /// (distance relaxation for SSSP on weighted graphs).
+  bool add_edge_weight = false;
+  bool vote_to_halt = false;
+};
+
+class PregelProgram {
+ public:
+  virtual ~PregelProgram() = default;
+
+  virtual std::string name() const = 0;
+  virtual Combiner combiner() const = 0;
+
+  /// Hard cap on supersteps (the engine also stops when no vertex is active
+  /// and no messages are in flight).
+  virtual int max_supersteps() const = 0;
+
+  virtual double initial_value(graph::VertexId v,
+                               const graph::Graph& g) const = 0;
+
+  /// One vertex update. `messages` holds the combined value (size <= 1) for
+  /// kSum/kMin combiners, or every received message for kNone.
+  virtual void compute(graph::VertexId v, double& value,
+                       std::span<const double> messages, int superstep,
+                       const graph::Graph& g, PregelOutbox& out) const = 0;
+};
+
+}  // namespace g10::algorithms

@@ -1,0 +1,285 @@
+#include "algorithms/programs.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace g10::algorithms {
+
+using graph::Graph;
+using graph::VertexId;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double mode_smallest_label(std::vector<double> values) {
+  G10_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  double best = values.front();
+  std::size_t best_count = 0;
+  std::size_t i = 0;
+  while (i < values.size()) {
+    std::size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    if (j - i > best_count) {
+      best_count = j - i;
+      best = values[i];
+    }
+    i = j;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------- PageRank
+
+PageRank::PageRank(int iterations, double damping)
+    : iterations_(iterations), damping_(damping) {
+  G10_CHECK(iterations >= 1);
+  G10_CHECK(damping > 0.0 && damping < 1.0);
+}
+
+std::string PageRank::name() const { return "PageRank"; }
+
+double PageRank::initial_value(VertexId, const Graph& g) const {
+  return 1.0 / static_cast<double>(g.vertex_count());
+}
+
+void PageRank::compute(VertexId v, double& value,
+                       std::span<const double> messages, int superstep,
+                       const Graph& g, PregelOutbox& out) const {
+  const double n = static_cast<double>(g.vertex_count());
+  if (superstep > 0) {
+    double sum = 0.0;
+    for (double m : messages) sum += m;
+    value = (1.0 - damping_) / n + damping_ * sum;
+  }
+  if (superstep < iterations_) {
+    const auto degree = g.out_degree(v);
+    if (degree > 0) {
+      out.send_to_all_neighbors = true;
+      out.message = value / static_cast<double>(degree);
+    }
+  } else {
+    out.vote_to_halt = true;
+  }
+}
+
+bool PageRank::initially_active(VertexId, const Graph&) const { return true; }
+
+double PageRank::apply(VertexId, double, std::span<const VertexId> neighbors,
+                       std::span<const double> neighbor_values,
+                       std::span<const double>, int, const Graph& g) const {
+  const double n = static_cast<double>(g.vertex_count());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    sum += neighbor_values[i] / static_cast<double>(g.out_degree(neighbors[i]));
+  }
+  return (1.0 - damping_) / n + damping_ * sum;
+}
+
+bool PageRank::scatter_activates(VertexId, double, double, int iteration) const {
+  return iteration + 1 < iterations_;
+}
+
+// --------------------------------------------------------------------- BFS
+
+Bfs::Bfs(VertexId source) : source_(source) {}
+
+std::string Bfs::name() const { return "BFS"; }
+
+int Bfs::max_supersteps() const {
+  // Diameter-bounded; a generous hard cap keeps runaway traces impossible.
+  return 10'000;
+}
+
+int Bfs::max_iterations() const { return 10'000; }
+
+double Bfs::initial_value(VertexId v, const Graph&) const {
+  return v == source_ ? 0.0 : kInf;
+}
+
+void Bfs::compute(VertexId v, double& value, std::span<const double> messages,
+                  int superstep, const Graph&, PregelOutbox& out) const {
+  if (superstep == 0) {
+    if (v == source_) {
+      out.send_to_all_neighbors = true;
+      out.message = 1.0;
+    }
+    out.vote_to_halt = true;
+    return;
+  }
+  double best = kInf;
+  for (double m : messages) best = std::min(best, m);
+  if (best < value) {
+    value = best;
+    out.send_to_all_neighbors = true;
+    out.message = value + 1.0;
+  }
+  out.vote_to_halt = true;
+}
+
+bool Bfs::initially_active(VertexId v, const Graph&) const {
+  return v == source_;
+}
+
+double Bfs::apply(VertexId, double current, std::span<const VertexId>,
+                  std::span<const double> neighbor_values,
+                  std::span<const double>, int, const Graph&) const {
+  double best = current;
+  for (double d : neighbor_values) best = std::min(best, d + 1.0);
+  return best;
+}
+
+bool Bfs::scatter_activates(VertexId, double old_value, double new_value,
+                            int iteration) const {
+  // The source settles at distance 0 in iteration 0 without "improving";
+  // it must still signal its neighbors to start the traversal.
+  if (iteration == 0 && new_value == 0.0) return true;
+  return new_value < old_value;
+}
+
+// --------------------------------------------------------------------- WCC
+
+std::string Wcc::name() const { return "WCC"; }
+
+int Wcc::max_supersteps() const { return 10'000; }
+int Wcc::max_iterations() const { return 10'000; }
+
+double Wcc::initial_value(VertexId v, const Graph&) const {
+  return static_cast<double>(v);
+}
+
+void Wcc::compute(VertexId, double& value, std::span<const double> messages,
+                  int superstep, const Graph&, PregelOutbox& out) const {
+  if (superstep == 0) {
+    out.send_to_all_neighbors = true;
+    out.message = value;
+    out.vote_to_halt = true;
+    return;
+  }
+  double best = value;
+  for (double m : messages) best = std::min(best, m);
+  if (best < value) {
+    value = best;
+    out.send_to_all_neighbors = true;
+    out.message = value;
+  }
+  out.vote_to_halt = true;
+}
+
+bool Wcc::initially_active(VertexId, const Graph&) const { return true; }
+
+double Wcc::apply(VertexId, double current, std::span<const VertexId>,
+                  std::span<const double> neighbor_values,
+                  std::span<const double>, int, const Graph&) const {
+  double best = current;
+  for (double m : neighbor_values) best = std::min(best, m);
+  return best;
+}
+
+bool Wcc::scatter_activates(VertexId, double old_value, double new_value,
+                            int) const {
+  return new_value < old_value;
+}
+
+// -------------------------------------------------------------------- CDLP
+
+Cdlp::Cdlp(int iterations) : iterations_(iterations) {
+  G10_CHECK(iterations >= 1);
+}
+
+std::string Cdlp::name() const { return "CDLP"; }
+
+double Cdlp::initial_value(VertexId v, const Graph&) const {
+  return static_cast<double>(v);
+}
+
+void Cdlp::compute(VertexId, double& value, std::span<const double> messages,
+                   int superstep, const Graph&, PregelOutbox& out) const {
+  if (superstep > 0 && !messages.empty()) {
+    value = mode_smallest_label(
+        std::vector<double>(messages.begin(), messages.end()));
+  }
+  if (superstep < iterations_) {
+    out.send_to_all_neighbors = true;
+    out.message = value;
+  } else {
+    out.vote_to_halt = true;
+  }
+}
+
+bool Cdlp::initially_active(VertexId, const Graph&) const { return true; }
+
+double Cdlp::apply(VertexId, double current, std::span<const VertexId>,
+                   std::span<const double> neighbor_values,
+                   std::span<const double>, int, const Graph&) const {
+  if (neighbor_values.empty()) return current;
+  return mode_smallest_label(
+      std::vector<double>(neighbor_values.begin(), neighbor_values.end()));
+}
+
+bool Cdlp::scatter_activates(VertexId, double, double, int iteration) const {
+  return iteration + 1 < iterations_;
+}
+
+
+// -------------------------------------------------------------------- SSSP
+
+Sssp::Sssp(VertexId source) : source_(source) {}
+
+std::string Sssp::name() const { return "SSSP"; }
+
+int Sssp::max_supersteps() const { return 100'000; }
+int Sssp::max_iterations() const { return 100'000; }
+
+double Sssp::initial_value(VertexId v, const Graph&) const {
+  return v == source_ ? 0.0 : kInf;
+}
+
+void Sssp::compute(VertexId v, double& value, std::span<const double> messages,
+                   int superstep, const Graph&, PregelOutbox& out) const {
+  if (superstep == 0) {
+    if (v == source_) {
+      out.send_to_all_neighbors = true;
+      out.message = 0.0;
+      out.add_edge_weight = true;
+    }
+    out.vote_to_halt = true;
+    return;
+  }
+  double best = kInf;
+  for (double m : messages) best = std::min(best, m);
+  if (best < value) {
+    value = best;
+    out.send_to_all_neighbors = true;
+    out.message = value;
+    out.add_edge_weight = true;
+  }
+  out.vote_to_halt = true;
+}
+
+bool Sssp::initially_active(VertexId v, const Graph&) const {
+  return v == source_;
+}
+
+double Sssp::apply(VertexId, double current, std::span<const VertexId>,
+                   std::span<const double> neighbor_values,
+                   std::span<const double> neighbor_weights, int,
+                   const Graph&) const {
+  double best = current;
+  for (std::size_t i = 0; i < neighbor_values.size(); ++i) {
+    const double w = neighbor_weights.empty() ? 1.0 : neighbor_weights[i];
+    best = std::min(best, neighbor_values[i] + w);
+  }
+  return best;
+}
+
+bool Sssp::scatter_activates(VertexId, double old_value, double new_value,
+                             int iteration) const {
+  if (iteration == 0 && new_value == 0.0) return true;
+  return new_value < old_value;
+}
+
+}  // namespace g10::algorithms

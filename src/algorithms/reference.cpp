@@ -1,0 +1,162 @@
+#include "algorithms/reference.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace g10::algorithms {
+
+using graph::Graph;
+using graph::VertexId;
+
+std::vector<double> pagerank_reference(const Graph& g, int iterations,
+                                       double damping) {
+  G10_CHECK(iterations >= 0);
+  const VertexId n = g.vertex_count();
+  G10_CHECK(n > 0);
+  const double base = (1.0 - damping) / static_cast<double>(n);
+  std::vector<double> current(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int step = 0; step < iterations; ++step) {
+    for (VertexId v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for (VertexId u : g.in_neighbors(v)) {
+        sum += current[u] / static_cast<double>(g.out_degree(u));
+      }
+      next[v] = base + damping * sum;
+    }
+    current.swap(next);
+  }
+  return current;
+}
+
+std::vector<double> bfs_reference(const Graph& g, VertexId source) {
+  const VertexId n = g.vertex_count();
+  G10_CHECK(source < n);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  dist[source] = 0.0;
+  std::deque<VertexId> frontier{source};
+  while (!frontier.empty()) {
+    const VertexId u = frontier.front();
+    frontier.pop_front();
+    for (VertexId v : g.out_neighbors(u)) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1.0;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> sssp_reference(const Graph& g, VertexId source) {
+  const VertexId n = g.vertex_count();
+  G10_CHECK(source < n);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  dist[source] = 0.0;
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;  // stale entry
+    const auto nbrs = g.out_neighbors(u);
+    for (graph::EdgeIndex i = 0; i < nbrs.size(); ++i) {
+      const double w = g.edge_weight(g.edge_id(u, i));
+      G10_CHECK_MSG(w >= 0.0, "Dijkstra requires non-negative weights");
+      if (d + w < dist[nbrs[i]]) {
+        dist[nbrs[i]] = d + w;
+        queue.push({dist[nbrs[i]], nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> wcc_reference(const Graph& g) {
+  const VertexId n = g.vertex_count();
+  std::vector<double> label(n);
+  std::vector<bool> visited(n, false);
+  std::deque<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (visited[start]) continue;
+    visited[start] = true;
+    label[start] = static_cast<double>(start);
+    queue.push_back(start);
+    while (!queue.empty()) {
+      const VertexId u = queue.front();
+      queue.pop_front();
+      // Follow both directions so the result is well-defined even if the
+      // caller passes a non-symmetrized graph.
+      for (VertexId v : g.out_neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          label[v] = static_cast<double>(start);
+          queue.push_back(v);
+        }
+      }
+      for (VertexId v : g.in_neighbors(u)) {
+        if (!visited[v]) {
+          visited[v] = true;
+          label[v] = static_cast<double>(start);
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return label;
+}
+
+namespace {
+
+/// Most frequent value; ties broken toward the smallest. `values` is
+/// modified (sorted). Empty input is the caller's responsibility.
+double mode_smallest(std::vector<double>& values) {
+  std::sort(values.begin(), values.end());
+  double best = values.front();
+  std::size_t best_count = 0;
+  std::size_t i = 0;
+  while (i < values.size()) {
+    std::size_t j = i;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    if (j - i > best_count) {
+      best_count = j - i;
+      best = values[i];
+    }
+    i = j;
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<double> cdlp_reference(const Graph& g, int iterations) {
+  G10_CHECK(iterations >= 0);
+  const VertexId n = g.vertex_count();
+  std::vector<double> current(n);
+  for (VertexId v = 0; v < n; ++v) current[v] = static_cast<double>(v);
+  std::vector<double> next(n);
+  std::vector<double> scratch;
+  for (int step = 0; step < iterations; ++step) {
+    for (VertexId v = 0; v < n; ++v) {
+      const auto nbrs = g.in_neighbors(v);
+      if (nbrs.empty()) {
+        next[v] = current[v];
+        continue;
+      }
+      scratch.clear();
+      for (VertexId u : nbrs) scratch.push_back(current[u]);
+      next[v] = mode_smallest(scratch);
+    }
+    current.swap(next);
+  }
+  return current;
+}
+
+}  // namespace g10::algorithms

@@ -1,0 +1,37 @@
+// Single-threaded reference implementations of the four Graphalytics
+// algorithms used in the paper's evaluation. Engine outputs are validated
+// against these in the test suite.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace g10::algorithms {
+
+/// Synchronous PageRank, `iterations` full updates, no dangling-mass
+/// redistribution (matches the engine programs):
+///   x^0 = 1/N;  x^s_v = (1-d)/N + d * sum_{u->v} x^{s-1}_u / outdeg(u).
+std::vector<double> pagerank_reference(const graph::Graph& g, int iterations,
+                                       double damping = 0.85);
+
+/// BFS hop distance from `source` along out-edges; unreached = +infinity.
+std::vector<double> bfs_reference(const graph::Graph& g,
+                                  graph::VertexId source);
+
+/// Weakly connected components as min-vertex-id labels. Expects a
+/// symmetrized graph (Graphalytics runs WCC on undirected datasets).
+std::vector<double> wcc_reference(const graph::Graph& g);
+
+/// Dijkstra shortest paths from `source` along out-edges with the graph's
+/// edge weights (1 when unweighted); unreached = +infinity. Weights must be
+/// non-negative.
+std::vector<double> sssp_reference(const graph::Graph& g,
+                                   graph::VertexId source);
+
+/// Synchronous community detection by label propagation (CDLP),
+/// `iterations` rounds; label = most frequent in-neighbor label, ties to the
+/// smallest label, vertices without in-neighbors keep their own.
+std::vector<double> cdlp_reference(const graph::Graph& g, int iterations);
+
+}  // namespace g10::algorithms

@@ -1,0 +1,45 @@
+// Lightweight precondition / invariant checking.
+//
+// G10_CHECK is always on (the cost is negligible relative to the analysis
+// pipeline) and throws g10::CheckError so tests can assert on violations
+// instead of aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace g10 {
+
+/// Thrown when a G10_CHECK condition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace g10
+
+#define G10_CHECK(cond)                                              \
+  do {                                                               \
+    if (!(cond)) ::g10::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define G10_CHECK_MSG(cond, msg)                                     \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::ostringstream g10_os_;                                    \
+      g10_os_ << msg;                                                \
+      ::g10::detail::check_failed(#cond, __FILE__, __LINE__, g10_os_.str()); \
+    }                                                                \
+  } while (0)

@@ -1,0 +1,29 @@
+// Minimal CSV writer — bench binaries export per-figure data series so the
+// plots can be regenerated outside this repository.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace g10 {
+
+/// Writes rows of string cells to a CSV file. Cells containing commas,
+/// quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience: numeric row with fixed formatting.
+  void write_row(const std::vector<double>& cells, int decimals = 6);
+
+ private:
+  std::ofstream out_;
+
+  static std::string escape(const std::string& cell);
+};
+
+}  // namespace g10

@@ -1,0 +1,67 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace g10 {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  G10_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double median(std::vector<double> values) {
+  return percentile(std::move(values), 0.5);
+}
+
+double coefficient_of_variation(const std::vector<double>& values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  if (s.count() == 0 || s.mean() == 0.0) return 0.0;
+  return s.stddev() / s.mean();
+}
+
+double relative_l1_error(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  G10_CHECK_MSG(a.size() == b.size(), "series must have equal length");
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::fabs(a[i] - b[i]);
+    den += std::fabs(b[i]);
+  }
+  if (den == 0.0) return num == 0.0 ? 0.0 : num;
+  return num / den;
+}
+
+}  // namespace g10

@@ -1,0 +1,49 @@
+// Summary statistics helpers used by engines (imbalance diagnostics),
+// the analysis pipeline, and the experiment harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace g10 {
+
+/// Streaming mean/variance via Welford's algorithm, plus min/max.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation (q in [0, 1]); copies and sorts.
+/// Returns 0 for an empty input.
+double percentile(std::vector<double> values, double q);
+
+/// Median convenience wrapper.
+double median(std::vector<double> values);
+
+/// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+double coefficient_of_variation(const std::vector<double>& values);
+
+/// Relative L1 error between two equal-length series:
+/// sum |a_i - b_i| / sum |b_i| (b is the reference). Returns 0 when the
+/// reference is all-zero and a matches, otherwise the absolute L1 of a.
+double relative_l1_error(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace g10

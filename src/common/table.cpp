@@ -1,0 +1,53 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace g10 {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  G10_CHECK(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  G10_CHECK_MSG(row.size() == header_.size(),
+                "row width " << row.size() << " != header width "
+                             << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::render(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << "  ";
+      os << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace g10

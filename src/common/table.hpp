@@ -1,0 +1,30 @@
+// Plain-text table rendering for the experiment harnesses: every bench binary
+// prints the rows of its paper table/figure through this.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace g10 {
+
+/// Column-aligned text table. Cells are strings; the renderer pads columns to
+/// the widest cell and draws a header separator.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  std::size_t row_count() const { return rows_.size(); }
+
+  void render(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace g10

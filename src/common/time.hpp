@@ -1,0 +1,97 @@
+// Time representation shared by the simulator, the trace formats, and the
+// Grade10 analysis pipeline.
+//
+// All timestamps are integer nanoseconds on a single simulated clock that
+// starts at 0. Grade10 discretizes time into fixed-length timeslices
+// (§III-C of the paper); TimesliceGrid maps between the two views.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace g10 {
+
+/// Absolute simulated time in nanoseconds since workload start.
+using TimeNs = std::int64_t;
+
+/// A span of simulated time in nanoseconds.
+using DurationNs = std::int64_t;
+
+/// Index of a timeslice on a TimesliceGrid (0-based).
+using TimesliceIndex = std::int64_t;
+
+inline constexpr DurationNs kMicrosecond = 1'000;
+inline constexpr DurationNs kMillisecond = 1'000'000;
+inline constexpr DurationNs kSecond = 1'000'000'000;
+
+/// Converts nanoseconds to (double) seconds, for reporting.
+constexpr double to_seconds(DurationNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kSecond);
+}
+
+/// Converts nanoseconds to (double) milliseconds, for reporting.
+constexpr double to_millis(DurationNs ns) {
+  return static_cast<double>(ns) / static_cast<double>(kMillisecond);
+}
+
+/// A fixed-duration discretization of the timeline (paper §III-C).
+///
+/// Timeslice i covers [i * duration, (i + 1) * duration). Grade10 assumes the
+/// SUT is in steady state inside one timeslice; the duration is the main
+/// knob for analysis granularity (tens of milliseconds in practice).
+class TimesliceGrid {
+ public:
+  explicit TimesliceGrid(DurationNs slice_duration)
+      : slice_duration_(slice_duration) {
+    G10_CHECK_MSG(slice_duration > 0, "timeslice duration must be positive");
+  }
+
+  DurationNs slice_duration() const { return slice_duration_; }
+
+  /// Timeslice containing time t (floor).
+  TimesliceIndex slice_of(TimeNs t) const {
+    G10_CHECK(t >= 0);
+    return t / slice_duration_;
+  }
+
+  /// First timeslice whose start is >= t (ceil). Used for snapping phase
+  /// starts, so a phase is counted only in slices it (mostly) covers.
+  TimesliceIndex slice_ceil(TimeNs t) const {
+    G10_CHECK(t >= 0);
+    return (t + slice_duration_ - 1) / slice_duration_;
+  }
+
+  TimeNs start_of(TimesliceIndex s) const { return s * slice_duration_; }
+  TimeNs end_of(TimesliceIndex s) const { return (s + 1) * slice_duration_; }
+
+  /// Number of slices needed to cover [0, end): ceil(end / duration).
+  TimesliceIndex slice_count(TimeNs end) const {
+    G10_CHECK(end >= 0);
+    return (end + slice_duration_ - 1) / slice_duration_;
+  }
+
+ private:
+  DurationNs slice_duration_;
+};
+
+/// Half-open time interval [begin, end).
+struct Interval {
+  TimeNs begin = 0;
+  TimeNs end = 0;
+
+  DurationNs length() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  bool contains(TimeNs t) const { return t >= begin && t < end; }
+
+  /// Length of the overlap with [a, b).
+  DurationNs overlap(TimeNs a, TimeNs b) const {
+    const TimeNs lo = begin > a ? begin : a;
+    const TimeNs hi = end < b ? end : b;
+    return hi > lo ? hi - lo : 0;
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+}  // namespace g10

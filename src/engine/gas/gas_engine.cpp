@@ -1,0 +1,567 @@
+#include "engine/gas/gas_engine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "engine/phase_logger.hpp"
+#include "graph/partition.hpp"
+#include "sim/fluid_queue.hpp"
+#include "sim/simulation.hpp"
+#include "sim/usage_recorder.hpp"
+
+namespace g10::engine {
+
+namespace {
+
+using algorithms::GasProgram;
+using algorithms::GatherEdges;
+using graph::EdgeIndex;
+using graph::Graph;
+using graph::VertexId;
+using trace::PhasePath;
+
+class GasRun {
+ public:
+  GasRun(const GasConfig& cfg, const Graph& g, const GasProgram& prog)
+      : cfg_(cfg),
+        g_(g),
+        prog_(prog),
+        rng_(cfg.seed),
+        workers_(cfg.cluster.machine_count),
+        threads_(cfg.effective_threads()) {
+    cfg_.cluster.validate();
+    G10_CHECK(g_.vertex_count() > 0);
+    G10_CHECK_MSG(threads_ <= cfg_.cluster.machine.cores,
+                  "threads per worker must not exceed cores");
+  }
+
+  trace::RunArtifacts execute();
+
+ private:
+  struct WorkerState {
+    std::unique_ptr<sim::FluidQueue> nic;
+    std::unique_ptr<sim::UsageRecorder> cpu;
+    StepFunction noise;  ///< unmodeled background CPU
+    double noise_level = 0.0;
+    std::vector<VertexId> masters;
+  };
+
+  /// One barriered compute step (gather/apply/scatter) in flight.
+  struct StepRuntime {
+    PhasePath step_path;
+    std::string worker_type;
+    std::string thread_type;
+    std::vector<std::vector<DurationNs>> chunks;  ///< per-worker queues
+    std::vector<std::size_t> next_chunk;
+    std::vector<int> threads_left;
+    std::vector<TimeNs> worker_begin;
+    std::vector<double> bug_extra;  ///< 0 = this worker has no injected bug
+    std::vector<TimeNs> worker_end;
+    int workers_left = 0;
+    std::function<void(TimeNs)> on_done;
+  };
+
+  double speed() const { return cfg_.cluster.machine.core_work_per_sec; }
+  DurationNs ns_for_work(double work) const {
+    return static_cast<DurationNs>(work / speed() *
+                                   static_cast<double>(kSecond));
+  }
+  static DurationNs ns_from_seconds(double s) {
+    return static_cast<DurationNs>(s * static_cast<double>(kSecond));
+  }
+  double jitter(double magnitude) {
+    return 1.0 + magnitude * (2.0 * rng_.next_double() - 1.0);
+  }
+
+  /// Splits `total_work` units into chunk durations of roughly
+  /// chunk_edges-equivalent work, with multiplicative jitter per chunk.
+  std::vector<DurationNs> make_chunks(double total_work, double chunk_work);
+
+  void noise_tick(int w);
+  void load_graph();
+  void start_iteration(TimeNs t);
+  void compute_iteration_effects();  ///< correctness: apply + activation
+  void run_compute_step(TimeNs t, const char* step_type,
+                        const char* worker_type, const char* thread_type,
+                        std::vector<double> per_worker_work, bool allow_bug,
+                        std::function<void(TimeNs)> on_done);
+  void step_thread_continue(int w, int th);
+  void step_worker_finished(int w, TimeNs t);
+  void run_exchange(TimeNs t, std::function<void(TimeNs)> on_done);
+  void finish_iteration(TimeNs t);
+  void finish_execute(TimeNs t);
+
+  PhasePath iteration_path() const {
+    return PhasePath{}
+        .child("Job", 0)
+        .child("Execute", 0)
+        .child("Iteration", iteration_);
+  }
+
+  GasConfig cfg_;
+  const Graph& g_;
+  const GasProgram& prog_;
+  Rng rng_;
+  int workers_;
+  int threads_;
+
+  sim::Simulation sim_;
+  PhaseLogger log_;
+  graph::VertexCutPartition cut_;
+  std::vector<WorkerState> ws_;
+
+  std::vector<double> value_;
+  std::vector<double> new_value_;
+  std::vector<char> active_;
+  std::vector<char> next_active_;
+  std::vector<char> changed_;
+
+  // Per-iteration work aggregates (recomputed each iteration).
+  std::vector<double> gather_work_;
+  std::vector<double> apply_work_;
+  std::vector<double> scatter_work_;
+  std::vector<double> exchange_bytes_;
+  std::vector<double> exchange_values_;
+
+  StepRuntime step_;
+  int iteration_ = 0;
+  bool execute_finished_ = false;
+  TimeNs makespan_ = 0;
+};
+
+std::vector<DurationNs> GasRun::make_chunks(double total_work,
+                                            double chunk_work) {
+  std::vector<DurationNs> chunks;
+  double remaining = total_work;
+  while (remaining > 0.0) {
+    const double piece = std::min(remaining, chunk_work);
+    remaining -= piece;
+    chunks.push_back(std::max<DurationNs>(
+        1, ns_for_work(piece * jitter(cfg_.costs.work_jitter))));
+  }
+  return chunks;
+}
+
+void GasRun::noise_tick(int w) {
+  if (execute_finished_) return;
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  state.noise_level = std::clamp(
+      state.noise_level + rng_.next_normal(0.0, cfg_.noise.sigma), 0.0,
+      cfg_.noise.max_cores);
+  state.noise.set(sim_.now(), state.noise_level);
+  sim_.schedule_after(cfg_.noise.interval, [this, w] { noise_tick(w); });
+}
+
+void GasRun::load_graph() {
+  switch (cfg_.partitioning) {
+    case VertexCutStrategy::kHashSource:
+      cut_ = graph::partition_vertex_cut_hash_source(
+          g_, static_cast<std::uint32_t>(workers_));
+      break;
+    case VertexCutStrategy::kRangeSource:
+      cut_ = graph::partition_vertex_cut_range_source(
+          g_, static_cast<std::uint32_t>(workers_));
+      break;
+    case VertexCutStrategy::kGreedy:
+      cut_ = graph::partition_vertex_cut_greedy(
+          g_, static_cast<std::uint32_t>(workers_));
+      break;
+    case VertexCutStrategy::kRandom:
+      cut_ = graph::partition_vertex_cut_random(
+          g_, static_cast<std::uint32_t>(workers_), cfg_.seed ^ 0x9E37);
+      break;
+  }
+
+  const VertexId n = g_.vertex_count();
+  ws_.resize(static_cast<std::size_t>(workers_));
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    state.nic = std::make_unique<sim::FluidQueue>(
+        cfg_.cluster.machine.nic_bytes_per_sec());
+    state.cpu = std::make_unique<sim::UsageRecorder>(
+        gas_names::kCpu, static_cast<double>(cfg_.cluster.machine.cores));
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (!cut_.replicas[v].empty()) {
+      ws_[cut_.master[v]].masters.push_back(v);
+    } else {
+      // Isolated vertices are mastered on a hash-chosen worker.
+      ws_[v % static_cast<VertexId>(workers_)].masters.push_back(v);
+      cut_.master[v] = v % static_cast<VertexId>(workers_);
+    }
+  }
+
+  value_.resize(n);
+  for (VertexId v = 0; v < n; ++v) value_[v] = prog_.initial_value(v, g_);
+  new_value_ = value_;
+  active_.assign(n, 0);
+  next_active_.assign(n, 0);
+  changed_.assign(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    active_[v] = prog_.initially_active(v, g_) ? 1 : 0;
+  }
+
+  const PhasePath job = PhasePath{}.child("Job", 0);
+  const PhasePath load = job.child("LoadGraph", 0);
+  log_.begin(job, 0, trace::kGlobalMachine);
+  log_.begin(load, 0, trace::kGlobalMachine);
+  const auto per_worker_edges = cut_.edge_counts();
+  TimeNs load_end = 0;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const auto edges =
+        static_cast<double>(per_worker_edges[static_cast<std::size_t>(w)]);
+    const double cores = static_cast<double>(cfg_.cluster.machine.cores);
+    const DurationNs duration = ns_for_work(
+        edges * cfg_.costs.work_per_load_edge / cores * jitter(0.05));
+    state.nic->enqueue(0, edges * cfg_.costs.bytes_per_load_edge);
+    state.cpu->add(0, cores);
+    state.cpu->add(duration, -cores);
+    const PhasePath worker_load = load.child("LoadWorker", w);
+    log_.begin(worker_load, 0, w);
+    const TimeNs done = std::max(duration, state.nic->time_empty(duration));
+    log_.end(worker_load, done, w);
+    load_end = std::max(load_end, done);
+  }
+  log_.end(load, load_end, trace::kGlobalMachine);
+  log_.begin(job.child("Execute", 0), load_end, trace::kGlobalMachine);
+  if (cfg_.noise.enabled) {
+    for (int w = 0; w < workers_; ++w) {
+      sim_.schedule_at(0, [this, w] { noise_tick(w); });
+    }
+  }
+  sim_.schedule_at(load_end, [this] { start_iteration(sim_.now()); });
+}
+
+void GasRun::compute_iteration_effects() {
+  const VertexId n = g_.vertex_count();
+  std::fill(changed_.begin(), changed_.end(), 0);
+  std::fill(next_active_.begin(), next_active_.end(), 0);
+  std::vector<VertexId> nbr_ids;
+  std::vector<double> nbr_values;
+  std::vector<double> nbr_weights;
+  for (VertexId v = 0; v < n; ++v) {
+    if (!active_[v]) {
+      new_value_[v] = value_[v];
+      continue;
+    }
+    nbr_ids.clear();
+    nbr_values.clear();
+    nbr_weights.clear();
+    const auto push_in = [&] {
+      const auto nbrs = g_.in_neighbors(v);
+      for (EdgeIndex i = 0; i < nbrs.size(); ++i) {
+        nbr_ids.push_back(nbrs[i]);
+        nbr_values.push_back(value_[nbrs[i]]);
+        nbr_weights.push_back(g_.in_weight(v, i));
+      }
+    };
+    const auto push_out = [&] {
+      const auto nbrs = g_.out_neighbors(v);
+      for (EdgeIndex i = 0; i < nbrs.size(); ++i) {
+        nbr_ids.push_back(nbrs[i]);
+        nbr_values.push_back(value_[nbrs[i]]);
+        nbr_weights.push_back(g_.edge_weight(g_.edge_id(v, i)));
+      }
+    };
+    switch (prog_.gather_edges()) {
+      case GatherEdges::kIn:
+        push_in();
+        break;
+      case GatherEdges::kOut:
+        push_out();
+        break;
+      case GatherEdges::kBoth:
+        push_in();
+        push_out();
+        break;
+    }
+    new_value_[v] = prog_.apply(v, value_[v], nbr_ids, nbr_values,
+                                nbr_weights, iteration_, g_);
+    if (prog_.scatter_activates(v, value_[v], new_value_[v], iteration_)) {
+      changed_[v] = 1;
+      for (VertexId u : g_.out_neighbors(v)) next_active_[u] = 1;
+    }
+  }
+
+  // Per-worker work aggregates for the timed steps.
+  gather_work_.assign(static_cast<std::size_t>(workers_), 0.0);
+  apply_work_.assign(static_cast<std::size_t>(workers_), 0.0);
+  scatter_work_.assign(static_cast<std::size_t>(workers_), 0.0);
+  exchange_bytes_.assign(static_cast<std::size_t>(workers_), 0.0);
+  exchange_values_.assign(static_cast<std::size_t>(workers_), 0.0);
+
+  const bool gather_in = prog_.gather_edges() != GatherEdges::kOut;
+  const bool gather_out = prog_.gather_edges() != GatherEdges::kIn;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto nbrs = g_.out_neighbors(u);
+    for (EdgeIndex i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      const auto owner = cut_.edge_owner[g_.edge_id(u, i)];
+      if (gather_in && active_[v]) {
+        gather_work_[owner] += cfg_.costs.work_per_gather_edge;
+      }
+      if (gather_out && active_[u]) {
+        gather_work_[owner] += cfg_.costs.work_per_gather_edge;
+      }
+      if (changed_[u]) {
+        scatter_work_[owner] += cfg_.costs.work_per_scatter_edge;
+      }
+    }
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (active_[v]) {
+      apply_work_[cut_.master[v]] += cfg_.costs.work_per_apply;
+      // Mirrors push partial gather accumulators to the master.
+      for (const auto r : cut_.replicas[v]) {
+        if (r != cut_.master[v]) {
+          exchange_bytes_[r] += cfg_.costs.bytes_per_value;
+          exchange_values_[r] += 1.0;
+        }
+      }
+    }
+    if (changed_[v] && !cut_.replicas[v].empty()) {
+      // Master broadcasts the new value to every mirror.
+      const double mirrors =
+          static_cast<double>(cut_.replicas[v].size()) - 1.0;
+      exchange_bytes_[cut_.master[v]] += mirrors * cfg_.costs.bytes_per_value;
+      exchange_values_[cut_.master[v]] += mirrors;
+    }
+  }
+}
+
+void GasRun::start_iteration(TimeNs t) {
+  bool any_active = false;
+  for (char a : active_) {
+    if (a) {
+      any_active = true;
+      break;
+    }
+  }
+  if (!any_active || iteration_ >= prog_.max_iterations()) {
+    finish_execute(t);
+    return;
+  }
+  compute_iteration_effects();
+  log_.begin(iteration_path(), t, trace::kGlobalMachine);
+  run_compute_step(
+      t, "GatherStep", "WorkerGather", "GatherThread", gather_work_,
+      cfg_.sync_bug.enabled, [this](TimeNs t1) {
+        run_compute_step(
+            t1, "ApplyStep", "WorkerApply", "ApplyThread", apply_work_, false,
+            [this](TimeNs t2) {
+              run_compute_step(t2, "ScatterStep", "WorkerScatter",
+                               "ScatterThread", scatter_work_, false,
+                               [this](TimeNs t3) {
+                                 run_exchange(t3, [this](TimeNs t4) {
+                                   finish_iteration(t4);
+                                 });
+                               });
+            });
+      });
+}
+
+void GasRun::run_compute_step(TimeNs t, const char* step_type,
+                              const char* worker_type, const char* thread_type,
+                              std::vector<double> per_worker_work,
+                              bool allow_bug,
+                              std::function<void(TimeNs)> on_done) {
+  step_ = StepRuntime{};
+  step_.step_path = iteration_path().child(step_type, 0);
+  step_.worker_type = worker_type;
+  step_.thread_type = thread_type;
+  step_.on_done = std::move(on_done);
+  step_.workers_left = workers_;
+  step_.chunks.resize(static_cast<std::size_t>(workers_));
+  step_.next_chunk.assign(static_cast<std::size_t>(workers_), 0);
+  step_.threads_left.assign(static_cast<std::size_t>(workers_), threads_);
+  step_.worker_begin.assign(static_cast<std::size_t>(workers_), t);
+  step_.worker_end.assign(static_cast<std::size_t>(workers_), t);
+  step_.bug_extra.assign(static_cast<std::size_t>(workers_), 0.0);
+
+  log_.begin(step_.step_path, t, trace::kGlobalMachine);
+  const double chunk_work = static_cast<double>(cfg_.chunk_edges) *
+                            cfg_.costs.work_per_gather_edge;
+  for (int w = 0; w < workers_; ++w) {
+    step_.chunks[static_cast<std::size_t>(w)] =
+        make_chunks(per_worker_work[static_cast<std::size_t>(w)], chunk_work);
+    if (allow_bug && rng_.next_bool(cfg_.sync_bug.probability)) {
+      step_.bug_extra[static_cast<std::size_t>(w)] = rng_.next_double(
+          cfg_.sync_bug.min_extra, cfg_.sync_bug.max_extra);
+    }
+    log_.begin(step_.step_path.child(step_.worker_type, w), t, w);
+    for (int th = 0; th < threads_; ++th) {
+      log_.begin(
+          step_.step_path.child(step_.worker_type, w).child(thread_type, th),
+          t, w);
+      sim_.schedule_at(t, [this, w, th] { step_thread_continue(w, th); });
+    }
+  }
+}
+
+void GasRun::step_thread_continue(int w, int th) {
+  const TimeNs now = sim_.now();
+  auto& chunks = step_.chunks[static_cast<std::size_t>(w)];
+  auto& cursor = step_.next_chunk[static_cast<std::size_t>(w)];
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  if (cursor < chunks.size()) {
+    const double intensity =
+        rng_.next_double(cfg_.costs.cpu_intensity_min, 1.0);
+    const DurationNs duration = std::max<DurationNs>(
+        1, static_cast<DurationNs>(
+               static_cast<double>(chunks[cursor++]) / intensity));
+    state.cpu->add(now, intensity);
+    sim_.schedule_after(duration, [this, w, th, intensity] {
+      ws_[static_cast<std::size_t>(w)].cpu->add(sim_.now(), -intensity);
+      step_thread_continue(w, th);
+    });
+    return;
+  }
+  // No work left for this thread.
+  auto& left = step_.threads_left[static_cast<std::size_t>(w)];
+  const PhasePath thread_path =
+      step_.step_path.child(step_.worker_type, w).child(step_.thread_type, th);
+  const double bug = step_.bug_extra[static_cast<std::size_t>(w)];
+  if (left == 1 && bug > 0.0) {
+    // §IV-D bug: the last thread to reach the barrier finds a late message
+    // stream and keeps processing while its siblings idle.
+    step_.bug_extra[static_cast<std::size_t>(w)] = 0.0;
+    const auto extra = static_cast<DurationNs>(
+        bug * static_cast<double>(
+                  now - step_.worker_begin[static_cast<std::size_t>(w)]));
+    if (extra > 0) {
+      state.cpu->add(now, 1.0);
+      sim_.schedule_after(extra, [this, w, th] {
+        ws_[static_cast<std::size_t>(w)].cpu->add(sim_.now(), -1.0);
+        step_thread_continue(w, th);
+      });
+      return;
+    }
+  }
+  log_.end(thread_path, now, w);
+  if (--left == 0) step_worker_finished(w, now);
+}
+
+void GasRun::step_worker_finished(int w, TimeNs t) {
+  log_.end(step_.step_path.child(step_.worker_type, w), t, w);
+  step_.worker_end[static_cast<std::size_t>(w)] = t;
+  if (--step_.workers_left == 0) {
+    TimeNs barrier = 0;
+    for (const TimeNs end : step_.worker_end) barrier = std::max(barrier, end);
+    barrier += ns_from_seconds(cfg_.costs.step_barrier_seconds);
+    log_.end(step_.step_path, barrier, trace::kGlobalMachine);
+    sim_.schedule_at(barrier, [this, cb = std::move(step_.on_done)]() mutable {
+      cb(sim_.now());
+    });
+  }
+}
+
+void GasRun::run_exchange(TimeNs t, std::function<void(TimeNs)> on_done) {
+  const PhasePath step = iteration_path().child("ExchangeStep", 0);
+  log_.begin(step, t, trace::kGlobalMachine);
+  TimeNs latest = t;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const auto bytes = exchange_bytes_[static_cast<std::size_t>(w)];
+    const auto values = exchange_values_[static_cast<std::size_t>(w)];
+    const DurationNs serialize = ns_for_work(
+        values * cfg_.costs.work_per_exchange_value * jitter(0.05));
+    state.cpu->add(t, 1.0);
+    state.cpu->add(t + serialize, -1.0);
+    state.nic->enqueue(t, bytes);
+    const TimeNs end =
+        std::max(t + serialize, state.nic->time_empty(t + serialize));
+    const PhasePath worker = step.child("WorkerExchange", w);
+    log_.begin(worker, t, w);
+    log_.end(worker, end, w);
+    latest = std::max(latest, end);
+  }
+  latest += ns_from_seconds(cfg_.costs.step_barrier_seconds);
+  log_.end(step, latest, trace::kGlobalMachine);
+  sim_.schedule_at(latest,
+                   [cb = std::move(on_done), this]() mutable { cb(sim_.now()); });
+}
+
+void GasRun::finish_iteration(TimeNs t) {
+  log_.end(iteration_path(), t, trace::kGlobalMachine);
+  value_ = new_value_;
+  active_.swap(next_active_);
+  ++iteration_;
+  start_iteration(t);
+}
+
+void GasRun::finish_execute(TimeNs t) {
+  const PhasePath job = PhasePath{}.child("Job", 0);
+  log_.end(job.child("Execute", 0), t, trace::kGlobalMachine);
+  const PhasePath store = job.child("StoreResults", 0);
+  log_.begin(store, t, trace::kGlobalMachine);
+  TimeNs store_end = t;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const auto vertices =
+        static_cast<double>(state.masters.size());
+    const double cores = static_cast<double>(cfg_.cluster.machine.cores);
+    const DurationNs duration = ns_for_work(
+        vertices * cfg_.costs.work_per_store_vertex / cores * jitter(0.05));
+    state.cpu->add(t, cores);
+    state.cpu->add(t + duration, -cores);
+    const PhasePath worker_store = store.child("StoreWorker", w);
+    log_.begin(worker_store, t, w);
+    log_.end(worker_store, t + duration, w);
+    store_end = std::max(store_end, t + duration);
+  }
+  log_.end(store, store_end, trace::kGlobalMachine);
+  log_.end(job, store_end, trace::kGlobalMachine);
+  makespan_ = store_end;
+  execute_finished_ = true;
+}
+
+trace::RunArtifacts GasRun::execute() {
+  load_graph();
+  sim_.run();
+  G10_CHECK_MSG(execute_finished_, "simulation ended before the job finished");
+
+  trace::RunArtifacts artifacts;
+  artifacts.makespan = makespan_;
+  artifacts.vertex_values = value_;
+  artifacts.phase_events = log_.take_phase_events();
+  artifacts.blocking_events = log_.take_blocking_events();
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    trace::GroundTruthSeries cpu;
+    cpu.resource = gas_names::kCpu;
+    cpu.machine = w;
+    cpu.capacity = static_cast<double>(cfg_.cluster.machine.cores);
+    cpu.series = StepFunction::clamped_sum(state.cpu->series(), state.noise,
+                                           cpu.capacity);
+    artifacts.ground_truth.push_back(std::move(cpu));
+
+    trace::GroundTruthSeries net;
+    net.resource = gas_names::kNetwork;
+    net.machine = w;
+    net.capacity = cfg_.cluster.machine.nic_bytes_per_sec();
+    net.series = state.nic->finalize_rate_series(makespan_);
+    artifacts.ground_truth.push_back(std::move(net));
+  }
+  return artifacts;
+}
+
+}  // namespace
+
+GasEngine::GasEngine(GasConfig config) : config_(std::move(config)) {
+  config_.cluster.validate();
+  G10_CHECK(config_.chunk_edges > 0);
+}
+
+trace::RunArtifacts GasEngine::run(const graph::Graph& graph,
+                                   const algorithms::GasProgram& program) const {
+  GasRun run(config_, graph, program);
+  return run.execute();
+}
+
+}  // namespace g10::engine

@@ -1,0 +1,47 @@
+#include "engine/phase_logger.hpp"
+
+#include "common/check.hpp"
+
+namespace g10::engine {
+
+using trace::PhaseEventRecord;
+
+void PhaseLogger::begin(const trace::PhasePath& path, TimeNs time,
+                        trace::MachineId machine) {
+  const std::string key = path.to_string();
+  G10_CHECK_MSG(!open_.contains(key), "phase already open: " << key);
+  open_.emplace(key, time);
+  phase_events_.push_back(
+      PhaseEventRecord{PhaseEventRecord::Kind::Begin, path, time, machine});
+}
+
+void PhaseLogger::end(const trace::PhasePath& path, TimeNs time,
+                      trace::MachineId machine) {
+  const std::string key = path.to_string();
+  const auto it = open_.find(key);
+  G10_CHECK_MSG(it != open_.end(), "ending phase that is not open: " << key);
+  G10_CHECK_MSG(it->second <= time, "phase " << key << " ends before it begins");
+  open_.erase(it);
+  phase_events_.push_back(
+      PhaseEventRecord{PhaseEventRecord::Kind::End, path, time, machine});
+}
+
+void PhaseLogger::block(const std::string& resource,
+                        const trace::PhasePath& path, TimeNs begin, TimeNs end,
+                        trace::MachineId machine) {
+  G10_CHECK(end >= begin);
+  if (end == begin) return;
+  blocking_events_.push_back(
+      trace::BlockingEventRecord{resource, path, begin, end, machine});
+}
+
+std::vector<trace::PhaseEventRecord> PhaseLogger::take_phase_events() {
+  G10_CHECK_MSG(open_.empty(), "phases still open at end of run");
+  return std::move(phase_events_);
+}
+
+std::vector<trace::BlockingEventRecord> PhaseLogger::take_blocking_events() {
+  return std::move(blocking_events_);
+}
+
+}  // namespace g10::engine

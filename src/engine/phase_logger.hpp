@@ -1,0 +1,39 @@
+// Phase/blocking log emission shared by both simulated engines.
+//
+// Tracks open phases so unbalanced begin/end pairs are caught at the source
+// (inside the engine) instead of during later analysis.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/records.hpp"
+
+namespace g10::engine {
+
+class PhaseLogger {
+ public:
+  void begin(const trace::PhasePath& path, TimeNs time,
+             trace::MachineId machine);
+  void end(const trace::PhasePath& path, TimeNs time,
+           trace::MachineId machine);
+
+  /// Records that `path` was blocked on `resource` over [begin, end).
+  void block(const std::string& resource, const trace::PhasePath& path,
+             TimeNs begin, TimeNs end, trace::MachineId machine);
+
+  std::size_t open_phase_count() const { return open_.size(); }
+
+  /// Moves the accumulated records out; the logger must have no open phases.
+  std::vector<trace::PhaseEventRecord> take_phase_events();
+  std::vector<trace::BlockingEventRecord> take_blocking_events();
+
+ private:
+  std::vector<trace::PhaseEventRecord> phase_events_;
+  std::vector<trace::BlockingEventRecord> blocking_events_;
+  std::unordered_map<std::string, TimeNs> open_;  // path -> begin time
+};
+
+}  // namespace g10::engine

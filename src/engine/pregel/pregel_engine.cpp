@@ -1,0 +1,572 @@
+#include "engine/pregel/pregel_engine.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "engine/phase_logger.hpp"
+#include "graph/partition.hpp"
+#include "sim/fluid_queue.hpp"
+#include "sim/simulation.hpp"
+#include "sim/usage_recorder.hpp"
+
+namespace g10::engine {
+
+namespace {
+
+using algorithms::Combiner;
+using algorithms::PregelOutbox;
+using algorithms::PregelProgram;
+using graph::Graph;
+using graph::VertexId;
+using trace::PhasePath;
+
+/// Whole-run mutable state. One instance per PregelEngine::run call; the
+/// event callbacks all close over `this`.
+class PregelRun {
+ public:
+  PregelRun(const PregelConfig& cfg, const Graph& g, const PregelProgram& prog)
+      : cfg_(cfg),
+        g_(g),
+        prog_(prog),
+        rng_(cfg.seed),
+        workers_(cfg.cluster.machine_count),
+        threads_(cfg.effective_threads()),
+        combiner_(prog.combiner()) {
+    cfg_.cluster.validate();
+    G10_CHECK(g_.vertex_count() > 0);
+    G10_CHECK_MSG(threads_ <= cfg_.cluster.machine.cores,
+                  "threads per worker must not exceed cores");
+  }
+
+  trace::RunArtifacts execute();
+
+ private:
+  // ---- static per-run structures -----------------------------------------
+  struct ThreadState {
+    int partition = -1;    ///< index into worker partitions, -1 = none held
+    std::size_t pos = 0;   ///< cursor into the partition's active list
+    bool done = false;
+    bool waiting_gc = false;
+    bool phase_open = false;
+    PhasePath phase;  ///< ComputeThread path for the current superstep
+  };
+
+  struct WorkerState {
+    std::vector<std::vector<VertexId>> partitions;   ///< static vertex split
+    std::vector<std::vector<VertexId>> active_lists; ///< per partition, per superstep
+    std::size_t next_partition = 0;
+    int threads_done = 0;
+    int running_chunks = 0;
+
+    double alloc_bytes = 0.0;
+    bool gc_active = false;
+    TimeNs gc_end = 0;
+    double gc_cores_taken = 0.0;
+    PhasePath gc_phase;
+
+    std::unique_ptr<sim::FluidQueue> nic;
+    std::unique_ptr<sim::UsageRecorder> cpu;
+    StepFunction noise;        ///< unmodeled background CPU
+    double noise_level = 0.0;
+    TimeNs compute_end = 0;
+    TimeNs ready = 0;  ///< compute + communication + GC all finished
+    std::vector<ThreadState> threads;
+  };
+
+  // ---- helpers ------------------------------------------------------------
+  double seconds_for_work(double work) const {
+    return work / cfg_.cluster.machine.core_work_per_sec;
+  }
+  DurationNs ns_for_work(double work) const {
+    return static_cast<DurationNs>(seconds_for_work(work) *
+                                   static_cast<double>(kSecond));
+  }
+  static DurationNs ns_from_seconds(double s) {
+    return static_cast<DurationNs>(s * static_cast<double>(kSecond));
+  }
+  double jitter(double magnitude) {
+    return 1.0 + magnitude * (2.0 * rng_.next_double() - 1.0);
+  }
+
+  std::uint32_t message_count(VertexId v) const {
+    return combiner_ == Combiner::kNone
+               ? static_cast<std::uint32_t>(msg_list_cur_[v].size())
+               : msg_count_cur_[v];
+  }
+
+  void deliver(VertexId target, double message) {
+    switch (combiner_) {
+      case Combiner::kSum:
+        msg_combined_next_[target] += message;
+        ++msg_count_next_[target];
+        break;
+      case Combiner::kMin:
+        if (msg_count_next_[target] == 0 ||
+            message < msg_combined_next_[target]) {
+          msg_combined_next_[target] = message;
+        }
+        ++msg_count_next_[target];
+        break;
+      case Combiner::kNone:
+        msg_list_next_[target].push_back(message);
+        break;
+    }
+  }
+
+  // ---- phases of the run ----------------------------------------------------
+  void noise_tick(int w);
+  void load_graph();
+  void start_superstep(TimeNs t);
+  void thread_continue(int w, int th);
+  void finish_chunk(int w, int th, double remote_bytes, double alloc_bytes,
+                    double intensity);
+  void thread_done(int w, int th);
+  void start_gc(int w);
+  void end_gc(int w);
+  void worker_compute_done(int w);
+  void finish_superstep(TimeNs barrier_time);
+  void finish_execute(TimeNs t);
+
+  PhasePath superstep_path() const {
+    return PhasePath{}
+        .child("Job", 0)
+        .child("Execute", 0)
+        .child("Superstep", superstep_);
+  }
+
+  // ---- members --------------------------------------------------------------
+  PregelConfig cfg_;
+  const Graph& g_;
+  const PregelProgram& prog_;
+  Rng rng_;
+  int workers_;
+  int threads_;
+  Combiner combiner_;
+
+  sim::Simulation sim_;
+  PhaseLogger log_;
+  graph::EdgeCutPartition owner_;
+  std::vector<WorkerState> ws_;
+
+  std::vector<double> value_;
+  std::vector<char> halted_;
+  std::vector<double> msg_combined_cur_, msg_combined_next_;
+  std::vector<std::uint32_t> msg_count_cur_, msg_count_next_;
+  std::vector<std::vector<double>> msg_list_cur_, msg_list_next_;
+
+  int superstep_ = 0;
+  int workers_done_ = 0;
+  int gc_seq_ = 0;  ///< GcPause instance index within the current superstep
+  bool execute_finished_ = false;
+  TimeNs makespan_ = 0;
+};
+
+void PregelRun::noise_tick(int w) {
+  if (execute_finished_) return;
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  state.noise_level = std::clamp(
+      state.noise_level + rng_.next_normal(0.0, cfg_.noise.sigma), 0.0,
+      cfg_.noise.max_cores);
+  state.noise.set(sim_.now(), state.noise_level);
+  sim_.schedule_after(cfg_.noise.interval, [this, w] { noise_tick(w); });
+}
+
+void PregelRun::load_graph() {
+  const VertexId n = g_.vertex_count();
+  owner_ = graph::partition_by_hash(g_, static_cast<std::uint32_t>(workers_));
+
+  ws_.resize(static_cast<std::size_t>(workers_));
+  std::vector<std::vector<VertexId>> worker_vertices(workers_);
+  for (VertexId v = 0; v < n; ++v) worker_vertices[owner_.owner[v]].push_back(v);
+
+  const int partitions = threads_ * cfg_.partitions_per_thread;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    state.nic = std::make_unique<sim::FluidQueue>(
+        cfg_.cluster.machine.nic_bytes_per_sec());
+    state.cpu = std::make_unique<sim::UsageRecorder>(
+        pregel_names::kCpu, static_cast<double>(cfg_.cluster.machine.cores));
+    state.threads.resize(static_cast<std::size_t>(threads_));
+    // Contiguous split of the worker's vertices into partitions.
+    const auto& mine = worker_vertices[static_cast<std::size_t>(w)];
+    state.partitions.resize(static_cast<std::size_t>(partitions));
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      state.partitions[i * partitions / std::max<std::size_t>(mine.size(), 1)]
+          .push_back(mine[i]);
+    }
+    state.active_lists.resize(state.partitions.size());
+  }
+
+  value_.resize(n);
+  for (VertexId v = 0; v < n; ++v) value_[v] = prog_.initial_value(v, g_);
+  halted_.assign(n, 0);
+  if (combiner_ == Combiner::kNone) {
+    msg_list_cur_.resize(n);
+    msg_list_next_.resize(n);
+  } else {
+    msg_combined_cur_.assign(n, 0.0);
+    msg_combined_next_.assign(n, 0.0);
+    msg_count_cur_.assign(n, 0);
+    msg_count_next_.assign(n, 0);
+  }
+
+  // --- emit the load phase ---------------------------------------------------
+  const PhasePath job = PhasePath{}.child("Job", 0);
+  const PhasePath load = job.child("LoadGraph", 0);
+  log_.begin(job, 0, trace::kGlobalMachine);
+  log_.begin(load, 0, trace::kGlobalMachine);
+  TimeNs load_end = 0;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    double edges = 0.0;
+    for (const auto& part : state.partitions) {
+      for (VertexId v : part) edges += static_cast<double>(g_.out_degree(v));
+    }
+    const double cores = static_cast<double>(cfg_.cluster.machine.cores);
+    const DurationNs duration = ns_for_work(
+        edges * cfg_.costs.work_per_load_edge / cores * jitter(0.05));
+    state.nic->enqueue(0, edges * cfg_.costs.bytes_per_load_edge);
+    state.cpu->add(0, cores);
+    state.cpu->add(duration, -cores);
+    const PhasePath worker_load = load.child("LoadWorker", w);
+    log_.begin(worker_load, 0, w);
+    const TimeNs done = std::max(duration, state.nic->time_empty(duration));
+    log_.end(worker_load, done, w);
+    load_end = std::max(load_end, done);
+  }
+  log_.end(load, load_end, trace::kGlobalMachine);
+  log_.begin(job.child("Execute", 0), load_end, trace::kGlobalMachine);
+  if (cfg_.noise.enabled) {
+    for (int w = 0; w < workers_; ++w) {
+      sim_.schedule_at(0, [this, w] { noise_tick(w); });
+    }
+  }
+  sim_.schedule_at(load_end, [this] { start_superstep(sim_.now()); });
+}
+
+void PregelRun::start_superstep(TimeNs t) {
+  // Determine the active set; stop when nothing is runnable.
+  std::size_t total_active = 0;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    state.next_partition = 0;
+    state.threads_done = 0;
+    for (std::size_t p = 0; p < state.partitions.size(); ++p) {
+      auto& active = state.active_lists[p];
+      active.clear();
+      for (VertexId v : state.partitions[p]) {
+        if (!halted_[v] || message_count(v) > 0) active.push_back(v);
+      }
+      total_active += active.size();
+    }
+  }
+  if (total_active == 0 || superstep_ >= prog_.max_supersteps()) {
+    finish_execute(t);
+    return;
+  }
+
+  gc_seq_ = 0;
+  workers_done_ = 0;
+  const PhasePath step = superstep_path();
+  log_.begin(step, t, trace::kGlobalMachine);
+  const DurationNs prep = ns_from_seconds(cfg_.costs.prepare_seconds);
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const PhasePath prepare = step.child("WorkerPrepare", w);
+    log_.begin(prepare, t, w);
+    log_.end(prepare, t + prep, w);
+    // Prepare burns one core per worker (bookkeeping is single-threaded).
+    state.cpu->add(t, 1.0);
+    state.cpu->add(t + prep, -1.0);
+    log_.begin(step.child("WorkerCompute", w), t + prep, w);
+    log_.begin(step.child("WorkerCommunicate", w), t + prep, w);
+    for (int th = 0; th < threads_; ++th) {
+      auto& thread = state.threads[static_cast<std::size_t>(th)];
+      thread = ThreadState{};
+      thread.phase = step.child("WorkerCompute", w).child("ComputeThread", th);
+      sim_.schedule_at(t + prep, [this, w, th] { thread_continue(w, th); });
+    }
+  }
+}
+
+void PregelRun::thread_continue(int w, int th) {
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  auto& thread = state.threads[static_cast<std::size_t>(th)];
+  const TimeNs now = sim_.now();
+  if (thread.done) return;
+  if (!thread.phase_open) {
+    log_.begin(thread.phase, now, w);
+    thread.phase_open = true;
+  }
+  // 1. Stop-the-world GC on this worker: wait until it completes.
+  if (state.gc_active) {
+    if (!thread.waiting_gc) {
+      thread.waiting_gc = true;
+      log_.block(pregel_names::kGc, thread.phase, now, state.gc_end, w);
+    }
+    return;  // end_gc() resumes us
+  }
+  // 2. Outgoing message buffer over capacity: backpressure stall.
+  if (state.nic->level(now) > cfg_.queue.capacity_bytes) {
+    const TimeNs resume = state.nic->time_until_level(
+        now, cfg_.queue.capacity_bytes * cfg_.queue.resume_fraction);
+    log_.block(pregel_names::kMessageQueue, thread.phase, now, resume, w);
+    sim_.schedule_at(resume, [this, w, th] { thread_continue(w, th); });
+    return;
+  }
+  // 3. Acquire a partition if we do not hold one.
+  while (thread.partition < 0 ||
+         thread.pos >=
+             state.active_lists[static_cast<std::size_t>(thread.partition)]
+                 .size()) {
+    if (state.next_partition >= state.partitions.size()) {
+      thread_done(w, th);
+      return;
+    }
+    thread.partition = static_cast<int>(state.next_partition++);
+    thread.pos = 0;
+  }
+  // 4. Process one chunk of active vertices.
+  const auto& active =
+      state.active_lists[static_cast<std::size_t>(thread.partition)];
+  const std::size_t begin = thread.pos;
+  const std::size_t end = std::min(
+      active.size(), begin + static_cast<std::size_t>(cfg_.chunk_vertices));
+  thread.pos = end;
+
+  double work = 0.0;
+  double remote_bytes = 0.0;
+  double alloc = 0.0;
+  PregelOutbox out;
+  std::span<const double> empty;
+  for (std::size_t i = begin; i < end; ++i) {
+    const VertexId v = active[i];
+    const std::uint32_t msgs = message_count(v);
+    std::span<const double> messages = empty;
+    if (combiner_ == Combiner::kNone) {
+      messages = msg_list_cur_[v];
+    } else if (msgs > 0) {
+      messages = std::span<const double>(&msg_combined_cur_[v], 1);
+    }
+    out = PregelOutbox{};
+    prog_.compute(v, value_[v], messages, superstep_, g_, out);
+    halted_[v] = out.vote_to_halt ? 1 : 0;
+    work += cfg_.costs.work_per_vertex +
+            cfg_.costs.work_per_message * static_cast<double>(msgs);
+    alloc += cfg_.gc.bytes_per_vertex_update;
+    if (out.send_to_all_neighbors) {
+      const auto nbrs = g_.out_neighbors(v);
+      work += cfg_.costs.work_per_edge * static_cast<double>(nbrs.size());
+      for (graph::EdgeIndex e = 0; e < nbrs.size(); ++e) {
+        const VertexId u = nbrs[e];
+        const double payload =
+            out.add_edge_weight
+                ? out.message + g_.edge_weight(g_.edge_id(v, e))
+                : out.message;
+        deliver(u, payload);
+        alloc += cfg_.gc.bytes_per_message;
+        if (owner_.owner[u] != static_cast<std::uint32_t>(w)) {
+          remote_bytes += cfg_.costs.bytes_per_message;
+        }
+      }
+    } else {
+      // Giraph still scans the edge list of a computed vertex.
+      work += 0.25 * cfg_.costs.work_per_edge *
+              static_cast<double>(g_.out_degree(v));
+    }
+  }
+  // A JVM thread's effective CPU intensity fluctuates below one core;
+  // the same work then takes proportionally longer.
+  const double intensity =
+      rng_.next_double(cfg_.costs.cpu_intensity_min, 1.0);
+  const DurationNs duration = std::max<DurationNs>(
+      1,
+      ns_for_work(work * jitter(cfg_.costs.work_jitter) / intensity));
+  state.cpu->add(now, intensity);
+  ++state.running_chunks;
+  sim_.schedule_after(duration, [this, w, th, remote_bytes, alloc, intensity] {
+    finish_chunk(w, th, remote_bytes, alloc, intensity);
+  });
+}
+
+void PregelRun::finish_chunk(int w, int th, double remote_bytes,
+                             double alloc_bytes, double intensity) {
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  const TimeNs now = sim_.now();
+  state.cpu->add(now, -intensity);
+  --state.running_chunks;
+  state.nic->enqueue(now, remote_bytes);
+  state.alloc_bytes += alloc_bytes;
+  if (state.gc_active) {
+    // GC is running: this core is immediately taken over by the collector.
+    state.cpu->add(now, 1.0);
+    state.gc_cores_taken += 1.0;
+  } else if (cfg_.gc.enabled && state.alloc_bytes > cfg_.gc.young_gen_bytes) {
+    start_gc(w);
+  }
+  thread_continue(w, th);
+}
+
+void PregelRun::start_gc(int w) {
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  const TimeNs now = sim_.now();
+  const double pause_seconds =
+      (cfg_.gc.pause_base_seconds + cfg_.gc.pause_per_byte * state.alloc_bytes) *
+      jitter(cfg_.gc.pause_jitter);
+  state.alloc_bytes = 0.0;
+  state.gc_active = true;
+  state.gc_end = now + ns_from_seconds(pause_seconds);
+  state.gc_phase = superstep_path().child("GcPause", gc_seq_++);
+  log_.begin(state.gc_phase, now, w);
+  // The collector takes every core not currently finishing a compute chunk;
+  // the remaining cores are absorbed one by one as chunks complete.
+  state.gc_cores_taken = static_cast<double>(cfg_.cluster.machine.cores) -
+                         static_cast<double>(state.running_chunks);
+  state.cpu->add(now, state.gc_cores_taken);
+  sim_.schedule_at(state.gc_end, [this, w] { end_gc(w); });
+}
+
+void PregelRun::end_gc(int w) {
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  const TimeNs now = sim_.now();
+  state.cpu->add(now, -state.gc_cores_taken);
+  state.gc_cores_taken = 0.0;
+  state.gc_active = false;
+  log_.end(state.gc_phase, now, w);
+  for (int th = 0; th < threads_; ++th) {
+    auto& thread = state.threads[static_cast<std::size_t>(th)];
+    if (thread.waiting_gc) {
+      thread.waiting_gc = false;
+      thread_continue(w, th);
+    }
+  }
+}
+
+void PregelRun::thread_done(int w, int th) {
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  auto& thread = state.threads[static_cast<std::size_t>(th)];
+  thread.done = true;
+  if (thread.phase_open) {
+    log_.end(thread.phase, sim_.now(), w);
+    thread.phase_open = false;
+  }
+  if (++state.threads_done == threads_) worker_compute_done(w);
+}
+
+void PregelRun::worker_compute_done(int w) {
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  const TimeNs now = sim_.now();
+  state.compute_end = now;
+  const PhasePath step = superstep_path();
+  log_.end(step.child("WorkerCompute", w), now, w);
+  const TimeNs drained = state.nic->time_empty(now);
+  log_.end(step.child("WorkerCommunicate", w), drained, w);
+  log_.begin(step.child("WorkerBarrier", w), now, w);
+  state.ready = std::max(drained, state.gc_active ? state.gc_end : now);
+  if (++workers_done_ == workers_) {
+    TimeNs barrier = 0;
+    for (const auto& other : ws_) barrier = std::max(barrier, other.ready);
+    barrier += ns_from_seconds(cfg_.costs.barrier_sync_seconds);
+    sim_.schedule_at(barrier, [this] { finish_superstep(sim_.now()); });
+  }
+}
+
+void PregelRun::finish_superstep(TimeNs barrier_time) {
+  const PhasePath step = superstep_path();
+  for (int w = 0; w < workers_; ++w) {
+    log_.end(step.child("WorkerBarrier", w), barrier_time, w);
+  }
+  log_.end(step, barrier_time, trace::kGlobalMachine);
+
+  // Retire this superstep's messages and promote the next batch.
+  if (combiner_ == Combiner::kNone) {
+    for (auto& list : msg_list_cur_) list.clear();
+    msg_list_cur_.swap(msg_list_next_);
+  } else {
+    std::fill(msg_combined_cur_.begin(), msg_combined_cur_.end(), 0.0);
+    std::fill(msg_count_cur_.begin(), msg_count_cur_.end(), 0u);
+    msg_combined_cur_.swap(msg_combined_next_);
+    msg_count_cur_.swap(msg_count_next_);
+  }
+  ++superstep_;
+  start_superstep(barrier_time);
+}
+
+void PregelRun::finish_execute(TimeNs t) {
+  const PhasePath job = PhasePath{}.child("Job", 0);
+  log_.end(job.child("Execute", 0), t, trace::kGlobalMachine);
+  const PhasePath store = job.child("StoreResults", 0);
+  log_.begin(store, t, trace::kGlobalMachine);
+  TimeNs store_end = t;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    double vertices = 0.0;
+    for (const auto& part : state.partitions) {
+      vertices += static_cast<double>(part.size());
+    }
+    const double cores = static_cast<double>(cfg_.cluster.machine.cores);
+    const DurationNs duration = ns_for_work(
+        vertices * cfg_.costs.work_per_store_vertex / cores * jitter(0.05));
+    state.cpu->add(t, cores);
+    state.cpu->add(t + duration, -cores);
+    const PhasePath worker_store = store.child("StoreWorker", w);
+    log_.begin(worker_store, t, w);
+    log_.end(worker_store, t + duration, w);
+    store_end = std::max(store_end, t + duration);
+  }
+  log_.end(store, store_end, trace::kGlobalMachine);
+  log_.end(job, store_end, trace::kGlobalMachine);
+  makespan_ = store_end;
+  execute_finished_ = true;
+}
+
+trace::RunArtifacts PregelRun::execute() {
+  load_graph();
+  sim_.run();
+  G10_CHECK_MSG(execute_finished_, "simulation ended before the job finished");
+
+  trace::RunArtifacts artifacts;
+  artifacts.makespan = makespan_;
+  artifacts.vertex_values = value_;
+  artifacts.phase_events = log_.take_phase_events();
+  artifacts.blocking_events = log_.take_blocking_events();
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    trace::GroundTruthSeries cpu;
+    cpu.resource = pregel_names::kCpu;
+    cpu.machine = w;
+    cpu.capacity = static_cast<double>(cfg_.cluster.machine.cores);
+    cpu.series = StepFunction::clamped_sum(state.cpu->series(), state.noise,
+                                           cpu.capacity);
+    artifacts.ground_truth.push_back(std::move(cpu));
+
+    trace::GroundTruthSeries net;
+    net.resource = pregel_names::kNetwork;
+    net.machine = w;
+    net.capacity = cfg_.cluster.machine.nic_bytes_per_sec();
+    net.series = state.nic->finalize_rate_series(makespan_);
+    artifacts.ground_truth.push_back(std::move(net));
+  }
+  return artifacts;
+}
+
+}  // namespace
+
+PregelEngine::PregelEngine(PregelConfig config) : config_(std::move(config)) {
+  config_.cluster.validate();
+  G10_CHECK(config_.chunk_vertices > 0);
+  G10_CHECK(config_.partitions_per_thread > 0);
+}
+
+trace::RunArtifacts PregelEngine::run(
+    const graph::Graph& graph, const algorithms::PregelProgram& program) const {
+  PregelRun run(config_, graph, program);
+  return run.execute();
+}
+
+}  // namespace g10::engine

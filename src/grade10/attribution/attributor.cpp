@@ -1,0 +1,157 @@
+#include "grade10/attribution/attributor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace g10::core {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+bool in_subtree(const ExecutionTrace& trace, InstanceId node,
+                InstanceId subtree_root) {
+  while (node != kNoInstance) {
+    if (node == subtree_root) return true;
+    node = trace.instance(node).parent;
+  }
+  return false;
+}
+
+}  // namespace
+
+const AttributedResource* AttributedUsage::find(
+    ResourceId resource, trace::MachineId machine) const {
+  for (const auto& r : resources) {
+    if (r.resource == resource && r.machine == machine) return &r;
+  }
+  return nullptr;
+}
+
+AttributedUsage attribute_usage(const std::vector<DemandMatrix>& demand,
+                                const ResourceTrace& monitored,
+                                const TimesliceGrid& grid,
+                                bool constant_strawman) {
+  AttributedUsage result;
+  for (const DemandMatrix& matrix : demand) {
+    const ResourceSeries* series =
+        monitored.find(matrix.resource, matrix.machine);
+    if (series == nullptr) continue;
+
+    AttributedResource out;
+    out.resource = matrix.resource;
+    out.machine = matrix.machine;
+    out.capacity = matrix.capacity;
+    out.upsampled = constant_strawman
+                        ? upsample_constant(matrix, *series, grid)
+                        : upsample(matrix, *series, grid);
+    const auto slices = static_cast<std::size_t>(matrix.slice_count);
+    out.unattributed.assign(slices, 0.0);
+    out.slice_offsets.assign(slices + 1, 0);
+
+    // Bucket leaf demands by slice (sparse: few active leaves per slice).
+    std::vector<std::vector<const LeafDemand*>> per_slice(slices);
+    for (const LeafDemand& leaf : matrix.leaves) {
+      for (std::size_t i = 0; i < leaf.active_fraction.size(); ++i) {
+        if (leaf.active_fraction[i] <= 0.0) continue;
+        const auto slice = static_cast<std::size_t>(leaf.first_slice) + i;
+        if (slice < slices) per_slice[slice].push_back(&leaf);
+      }
+    }
+
+    for (std::size_t s = 0; s < slices; ++s) {
+      out.slice_offsets[s] = static_cast<std::uint32_t>(out.entries.size());
+      const double consumption = out.upsampled.usage[s];
+      const auto& leaves = per_slice[s];
+      if (leaves.empty()) {
+        out.unattributed[s] = consumption;
+        continue;
+      }
+      // Exact phases first, proportionally, capped at their demand.
+      double sum_exact = 0.0;
+      double sum_weight = 0.0;
+      for (const LeafDemand* leaf : leaves) {
+        const double frac = leaf->fraction(static_cast<TimesliceIndex>(s));
+        if (leaf->rule.is_exact()) {
+          sum_exact += leaf->rule.amount * frac;
+        } else {
+          sum_weight += leaf->rule.amount * frac;
+        }
+      }
+      const double exact_scale =
+          sum_exact > kEps ? std::min(1.0, consumption / sum_exact) : 0.0;
+      double remaining = consumption - sum_exact * exact_scale;
+      for (const LeafDemand* leaf : leaves) {
+        const double frac = leaf->fraction(static_cast<TimesliceIndex>(s));
+        AttributionEntry entry;
+        entry.instance = leaf->instance;
+        entry.fraction = frac;
+        entry.exact = leaf->rule.is_exact();
+        if (entry.exact) {
+          entry.demand = leaf->rule.amount * frac;
+          entry.usage = entry.demand * exact_scale;
+        } else {
+          entry.demand = leaf->rule.amount * frac;
+          entry.usage = sum_weight > kEps
+                            ? remaining * entry.demand / sum_weight
+                            : 0.0;
+        }
+        out.entries.push_back(entry);
+      }
+      if (sum_weight <= kEps && remaining > kEps) {
+        out.unattributed[s] = remaining;
+      }
+    }
+    out.slice_offsets[slices] = static_cast<std::uint32_t>(out.entries.size());
+    result.resources.push_back(std::move(out));
+  }
+  return result;
+}
+
+double subtree_usage(const AttributedResource& resource,
+                     const ExecutionTrace& trace, InstanceId subtree_root,
+                     const TimesliceGrid& grid) {
+  double unit_slices = 0.0;
+  for (const AttributionEntry& entry : resource.entries) {
+    if (in_subtree(trace, entry.instance, subtree_root)) {
+      unit_slices += entry.usage;
+    }
+  }
+  return unit_slices * to_seconds(grid.slice_duration());
+}
+
+std::vector<double> subtree_usage_series(const AttributedResource& resource,
+                                         const ExecutionTrace& trace,
+                                         InstanceId subtree_root) {
+  std::vector<double> series(
+      static_cast<std::size_t>(resource.slice_count()), 0.0);
+  for (TimesliceIndex s = 0; s < resource.slice_count(); ++s) {
+    for (const AttributionEntry& entry : resource.slice_entries(s)) {
+      if (in_subtree(trace, entry.instance, subtree_root)) {
+        series[static_cast<std::size_t>(s)] += entry.usage;
+      }
+    }
+  }
+  return series;
+}
+
+std::vector<double> subtree_demand_series(const DemandMatrix& demand,
+                                          const ExecutionTrace& trace,
+                                          InstanceId subtree_root) {
+  std::vector<double> series(static_cast<std::size_t>(demand.slice_count),
+                             0.0);
+  for (const LeafDemand& leaf : demand.leaves) {
+    if (!in_subtree(trace, leaf.instance, subtree_root)) continue;
+    for (std::size_t i = 0; i < leaf.active_fraction.size(); ++i) {
+      const auto slice = static_cast<std::size_t>(leaf.first_slice) + i;
+      if (slice < series.size()) {
+        series[slice] += leaf.rule.amount * leaf.active_fraction[i];
+      }
+    }
+  }
+  return series;
+}
+
+}  // namespace g10::core

@@ -1,0 +1,84 @@
+// Attribution of upsampled consumption to phases (paper §III-D3).
+//
+// For each resource instance and timeslice: active phases with Exact rules
+// receive the consumption first, proportionally to and capped at their
+// demand; the remainder is distributed over active Variable phases
+// proportionally to their weights. The result is the paper's 3-D array
+// (resource × timeslice × phase), stored slice-sparse.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "grade10/attribution/demand.hpp"
+#include "grade10/attribution/upsample.hpp"
+
+namespace g10::core {
+
+struct AttributionEntry {
+  InstanceId instance = kNoInstance;
+  double usage = 0.0;     ///< units attributed in this slice
+  double demand = 0.0;    ///< Exact demand (units) or Variable weight
+  double fraction = 0.0;  ///< active fraction of the slice
+  bool exact = false;
+};
+
+/// Full attribution result for one (resource, machine) instance.
+struct AttributedResource {
+  ResourceId resource = kNoResource;
+  trace::MachineId machine = trace::kGlobalMachine;
+  double capacity = 0.0;
+  UpsampledSeries upsampled;
+  /// entries for slice s live in entries[slice_offsets[s] ..
+  /// slice_offsets[s+1]).
+  std::vector<std::uint32_t> slice_offsets;
+  std::vector<AttributionEntry> entries;
+  /// Consumption not attributable to any active phase, per slice.
+  std::vector<double> unattributed;
+
+  std::span<const AttributionEntry> slice_entries(TimesliceIndex s) const {
+    return {entries.data() + slice_offsets[static_cast<std::size_t>(s)],
+            entries.data() + slice_offsets[static_cast<std::size_t>(s) + 1]};
+  }
+  TimesliceIndex slice_count() const {
+    return static_cast<TimesliceIndex>(slice_offsets.empty()
+                                           ? 0
+                                           : slice_offsets.size() - 1);
+  }
+};
+
+struct AttributedUsage {
+  std::vector<AttributedResource> resources;
+
+  const AttributedResource* find(ResourceId resource,
+                                 trace::MachineId machine) const;
+};
+
+/// Runs upsampling + per-slice attribution for every demand matrix with a
+/// matching monitored series. Matrices without monitoring data are skipped.
+/// `constant_strawman` replaces Grade10's upsampler with the constant-rate
+/// baseline (Table II).
+AttributedUsage attribute_usage(const std::vector<DemandMatrix>& demand,
+                                const ResourceTrace& monitored,
+                                const TimesliceGrid& grid,
+                                bool constant_strawman = false);
+
+/// Total usage (unit·seconds) attributed to the subtree rooted at
+/// `subtree_root`, for one attributed resource.
+double subtree_usage(const AttributedResource& resource,
+                     const ExecutionTrace& trace, InstanceId subtree_root,
+                     const TimesliceGrid& grid);
+
+/// Per-slice usage series summed over the subtree's leaves (units).
+std::vector<double> subtree_usage_series(const AttributedResource& resource,
+                                         const ExecutionTrace& trace,
+                                         InstanceId subtree_root);
+
+/// Per-slice estimated demand series summed over the subtree's leaves:
+/// Exact amounts plus Variable weights, each scaled by active fraction
+/// (the "estimated CPU demand" curve of Fig. 3).
+std::vector<double> subtree_demand_series(const DemandMatrix& demand,
+                                          const ExecutionTrace& trace,
+                                          InstanceId subtree_root);
+
+}  // namespace g10::core

@@ -1,0 +1,147 @@
+#include "grade10/attribution/upsample.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace g10::core {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+struct SliceSpan {
+  TimesliceIndex first = 0;
+  std::vector<double> weight;  ///< coverage fraction of each slice
+};
+
+/// Slices covered by [begin, end) with their coverage fractions.
+SliceSpan covered_slices(TimeNs begin, TimeNs end, const TimesliceGrid& grid) {
+  SliceSpan span;
+  span.first = grid.slice_of(begin);
+  const TimesliceIndex last = grid.slice_count(end) - 1;
+  span.weight.assign(static_cast<std::size_t>(last - span.first + 1), 0.0);
+  const Interval window{begin, end};
+  const double slice_len = static_cast<double>(grid.slice_duration());
+  for (TimesliceIndex s = span.first; s <= last; ++s) {
+    span.weight[static_cast<std::size_t>(s - span.first)] =
+        static_cast<double>(window.overlap(grid.start_of(s), grid.end_of(s))) /
+        slice_len;
+  }
+  return span;
+}
+
+UpsampledSeries make_series(const DemandMatrix& demand) {
+  UpsampledSeries out;
+  out.resource = demand.resource;
+  out.machine = demand.machine;
+  out.capacity = demand.capacity;
+  out.usage.assign(static_cast<std::size_t>(demand.slice_count), 0.0);
+  return out;
+}
+
+}  // namespace
+
+UpsampledSeries upsample(const DemandMatrix& demand,
+                         const ResourceSeries& series,
+                         const TimesliceGrid& grid) {
+  UpsampledSeries out = make_series(demand);
+  const double slice_len = static_cast<double>(grid.slice_duration());
+
+  for (const Measurement& m : series.measurements) {
+    if (m.end <= m.begin) continue;
+    const SliceSpan span = covered_slices(m.begin, m.end, grid);
+    const std::size_t count = span.weight.size();
+    // Total measured mass in unit·slices.
+    double remaining =
+        m.value * static_cast<double>(m.end - m.begin) / slice_len;
+    if (remaining <= kEps) continue;
+
+    std::vector<double> alloc(count, 0.0);
+    std::vector<double> cap(count);
+    std::vector<double> known(count);
+    std::vector<double> weight(count);
+    double sum_known = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto slice = static_cast<std::size_t>(span.first) + i;
+      const double w = span.weight[i];
+      cap[i] = demand.capacity * w;
+      known[i] =
+          slice < demand.exact.size() ? demand.exact[slice] * w : 0.0;
+      known[i] = std::min(known[i], cap[i]);
+      weight[i] =
+          slice < demand.variable.size() ? demand.variable[slice] * w : 0.0;
+      sum_known += known[i];
+    }
+
+    // Step 1: satisfy known (Exact) demand proportionally, capped at it.
+    if (sum_known > kEps) {
+      const double scale = std::min(1.0, remaining / sum_known);
+      for (std::size_t i = 0; i < count; ++i) {
+        alloc[i] = known[i] * scale;
+      }
+      remaining -= sum_known * scale;
+    }
+
+    // Step 2: water-fill the remainder proportionally to Variable demand,
+    // clipped at capacity; if no variable demand has headroom left, fall
+    // back to headroom-proportional placement (unmodeled system usage).
+    for (int round = 0; round < 64 && remaining > kEps; ++round) {
+      double total_weight = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (cap[i] - alloc[i] > kEps && weight[i] > 0.0) {
+          total_weight += weight[i];
+        }
+      }
+      bool by_headroom = false;
+      if (total_weight <= kEps) {
+        // Fall back: weight by remaining headroom.
+        for (std::size_t i = 0; i < count; ++i) {
+          total_weight += std::max(0.0, cap[i] - alloc[i]);
+        }
+        by_headroom = true;
+        if (total_weight <= kEps) break;  // everything saturated
+      }
+      double placed = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        const double headroom = cap[i] - alloc[i];
+        if (headroom <= kEps) continue;
+        const double w = by_headroom ? headroom : weight[i];
+        if (w <= 0.0) continue;
+        const double share =
+            std::min(headroom, remaining * w / total_weight);
+        alloc[i] += share;
+        placed += share;
+      }
+      remaining -= placed;
+      if (placed <= kEps) break;
+    }
+    out.unallocated += std::max(0.0, remaining);
+
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto slice = static_cast<std::size_t>(span.first) + i;
+      if (slice < out.usage.size()) out.usage[slice] += alloc[i];
+    }
+  }
+  return out;
+}
+
+UpsampledSeries upsample_constant(const DemandMatrix& demand,
+                                  const ResourceSeries& series,
+                                  const TimesliceGrid& grid) {
+  UpsampledSeries out = make_series(demand);
+  for (const Measurement& m : series.measurements) {
+    if (m.end <= m.begin) continue;
+    const SliceSpan span = covered_slices(m.begin, m.end, grid);
+    for (std::size_t i = 0; i < span.weight.size(); ++i) {
+      const auto slice = static_cast<std::size_t>(span.first) + i;
+      if (slice < out.usage.size()) {
+        out.usage[slice] += m.value * span.weight[i];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace g10::core

@@ -1,0 +1,41 @@
+// Resource-trace upsampling (paper §III-D2).
+//
+// Converts each coarse measurement (average rate over multiple timeslices)
+// into per-timeslice consumption by superimposing it on the demand matrix:
+// the measured mass is first given to slices with known (Exact) demand,
+// proportionally and without exceeding it; the remainder is water-filled
+// proportionally to the Variable demand, never exceeding capacity. A
+// constant-rate strawman is provided for the Table II comparison.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "grade10/attribution/demand.hpp"
+#include "grade10/trace/resource_trace.hpp"
+
+namespace g10::core {
+
+struct UpsampledSeries {
+  ResourceId resource = kNoResource;
+  trace::MachineId machine = trace::kGlobalMachine;
+  double capacity = 0.0;
+  /// Average consumption rate per slice, in resource units.
+  std::vector<double> usage;
+  /// Measured mass (unit·slices) that could not be placed because every
+  /// covered slice was at capacity. Nonzero values indicate a mis-modeled
+  /// resource (or capacity) and are surfaced in reports.
+  double unallocated = 0.0;
+};
+
+/// Grade10's demand-guided upsampling.
+UpsampledSeries upsample(const DemandMatrix& demand,
+                         const ResourceSeries& series,
+                         const TimesliceGrid& grid);
+
+/// Strawman: assume the rate was constant over each measurement window.
+UpsampledSeries upsample_constant(const DemandMatrix& demand,
+                                  const ResourceSeries& series,
+                                  const TimesliceGrid& grid);
+
+}  // namespace g10::core

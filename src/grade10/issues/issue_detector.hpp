@@ -1,0 +1,79 @@
+// Performance-issue detection (paper §III-F).
+//
+// For each candidate issue the detector derives adjusted leaf durations
+// ("what if this issue were fixed?"), replays the trace, and reports the
+// optimistic makespan reduction. Two issue classes are implemented, matching
+// the paper:
+//
+//  - Resource bottlenecks: remove every bottleneck on one resource. For a
+//    blocking resource, phases lose their blocked time. For a consumable
+//    resource, each bottlenecked slice shrinks to the utilization of the
+//    next-most-utilized resource on that machine (the next binding
+//    constraint), with a configurable floor.
+//
+//  - Imbalanced execution: concurrent same-type sibling phases are set to
+//    their mean duration (total work preserved; work is interchangeable
+//    only within a group, per the paper's locality assumption). Non-leaf
+//    groups scale their leaf descendants proportionally.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grade10/attribution/attributor.hpp"
+#include "grade10/bottleneck/bottleneck.hpp"
+#include "grade10/config.hpp"
+#include "grade10/issues/replay_simulator.hpp"
+
+namespace g10::core {
+
+enum class IssueKind { kResourceBottleneck, kImbalance };
+
+struct PerformanceIssue {
+  IssueKind kind = IssueKind::kResourceBottleneck;
+  ResourceId resource = kNoResource;    ///< bottleneck issues
+  PhaseTypeId phase_type = kNoPhaseType;///< imbalance issues
+  std::string description;
+  TimeNs baseline_makespan = 0;
+  TimeNs optimistic_makespan = 0;
+  /// Upper bound on the makespan reduction: (baseline - optimistic) / baseline.
+  double impact = 0.0;
+};
+
+class IssueDetector {
+ public:
+  IssueDetector(const ExecutionModel& model, const ResourceModel& resources,
+                const ExecutionTrace& trace, const TimesliceGrid& grid,
+                const AnalysisConfig& config);
+
+  /// All issues whose impact clears config.min_issue_impact, sorted by
+  /// descending impact.
+  std::vector<PerformanceIssue> detect(const AttributedUsage& usage,
+                                       const BottleneckReport& bottlenecks);
+
+  /// The imbalance issue for one phase type (used by the Fig. 5/6 benches
+  /// regardless of the reporting threshold).
+  PerformanceIssue imbalance_issue(PhaseTypeId type);
+
+  /// The bottleneck-removal issue for one resource.
+  PerformanceIssue bottleneck_issue(ResourceId resource,
+                                    const AttributedUsage& usage,
+                                    const BottleneckReport& bottlenecks);
+
+  TimeNs baseline_makespan() const { return baseline_; }
+  const ReplaySimulator& simulator() const { return simulator_; }
+
+ private:
+  std::vector<DurationNs> balanced_durations(PhaseTypeId type) const;
+
+  const ExecutionModel& model_;
+  const ResourceModel& resources_;
+  const ExecutionTrace& trace_;
+  TimesliceGrid grid_;
+  AnalysisConfig config_;
+  ReplaySimulator simulator_;
+  std::vector<DurationNs> recorded_;
+  TimeNs baseline_ = 0;
+};
+
+}  // namespace g10::core

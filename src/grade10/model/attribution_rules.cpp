@@ -1,0 +1,24 @@
+#include "grade10/model/attribution_rules.hpp"
+
+#include "common/check.hpp"
+
+namespace g10::core {
+
+void AttributionRuleSet::set(PhaseTypeId phase, ResourceId resource,
+                             AttributionRule rule) {
+  G10_CHECK(phase >= 0);
+  G10_CHECK(resource >= 0);
+  if (rule.is_exact()) G10_CHECK_MSG(rule.amount > 0.0, "Exact demand must be positive");
+  if (rule.is_variable()) {
+    G10_CHECK_MSG(rule.amount > 0.0, "Variable weight must be positive");
+  }
+  rules_[{phase, resource}] = rule;
+}
+
+AttributionRule AttributionRuleSet::get(PhaseTypeId phase,
+                                        ResourceId resource) const {
+  const auto it = rules_.find({phase, resource});
+  return it == rules_.end() ? default_rule_ : it->second;
+}
+
+}  // namespace g10::core

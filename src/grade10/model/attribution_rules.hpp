@@ -1,0 +1,68 @@
+// Resource attribution rules (paper §III-D1).
+//
+// A rule links the demand of one phase type for one resource:
+//  - None:        the phase does not use the resource;
+//  - Exact(a):    the phase demands exactly `a` units while active
+//                 (e.g. one CPU core per active compute thread);
+//  - Variable(w): the phase uses as much as it can get, with relative
+//                 weight `w` against other variable phases.
+//
+// Per the paper, when no rule is given for a (phase, resource) pair the
+// default is an implicit Variable(1) rule; an expert-tuned model overrides
+// pairs with Exact / None / weighted Variable rules.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "grade10/model/execution_model.hpp"
+#include "grade10/model/resource_model.hpp"
+
+namespace g10::core {
+
+struct AttributionRule {
+  enum class Kind : std::uint8_t { kNone, kExact, kVariable };
+  Kind kind = Kind::kVariable;
+  /// Exact: demand in resource units. Variable: relative weight.
+  double amount = 1.0;
+
+  static AttributionRule none() { return {Kind::kNone, 0.0}; }
+  static AttributionRule exact(double units) { return {Kind::kExact, units}; }
+  static AttributionRule variable(double weight = 1.0) {
+    return {Kind::kVariable, weight};
+  }
+
+  bool is_none() const { return kind == Kind::kNone; }
+  bool is_exact() const { return kind == Kind::kExact; }
+  bool is_variable() const { return kind == Kind::kVariable; }
+
+  friend bool operator==(const AttributionRule&,
+                         const AttributionRule&) = default;
+};
+
+class AttributionRuleSet {
+ public:
+  /// `default_rule` applies to every pair without an explicit entry.
+  explicit AttributionRuleSet(
+      AttributionRule default_rule = AttributionRule::variable(1.0))
+      : default_rule_(default_rule) {}
+
+  void set(PhaseTypeId phase, ResourceId resource, AttributionRule rule);
+  AttributionRule get(PhaseTypeId phase, ResourceId resource) const;
+
+  const AttributionRule& default_rule() const { return default_rule_; }
+  std::size_t explicit_rule_count() const { return rules_.size(); }
+
+  /// All explicit entries, keyed (phase, resource); for serialization.
+  const std::map<std::pair<PhaseTypeId, ResourceId>, AttributionRule>&
+  explicit_rules() const {
+    return rules_;
+  }
+
+ private:
+  AttributionRule default_rule_;
+  std::map<std::pair<PhaseTypeId, ResourceId>, AttributionRule> rules_;
+};
+
+}  // namespace g10::core

@@ -1,0 +1,264 @@
+#include "grade10/model/model_io.hpp"
+
+#include <map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace g10::core {
+
+void write_model(std::ostream& os, const ExecutionModel& execution,
+                 const ResourceModel& resources,
+                 const AttributionRuleSet& rules) {
+  os << "# grade10 model v1\n";
+  for (PhaseTypeId id = 0; id < static_cast<PhaseTypeId>(execution.type_count());
+       ++id) {
+    const PhaseType& type = execution.type(id);
+    os << "PHASE " << type.name;
+    if (type.parent != kNoPhaseType) {
+      os << " PARENT=" << execution.type(type.parent).name;
+    }
+    if (type.repeated) os << " REPEATED";
+    if (type.wait) os << " WAIT";
+    if (type.concurrency_limit > 0) os << " LIMIT=" << type.concurrency_limit;
+    os << '\n';
+  }
+  for (PhaseTypeId id = 0; id < static_cast<PhaseTypeId>(execution.type_count());
+       ++id) {
+    for (const PhaseTypeId succ : execution.type(id).successors) {
+      os << "ORDER " << execution.type(id).name << ' '
+         << execution.type(succ).name << '\n';
+    }
+  }
+  for (ResourceId id = 0;
+       id < static_cast<ResourceId>(resources.resource_count()); ++id) {
+    const Resource& resource = resources.resource(id);
+    os << "RESOURCE " << resource.name << ' ';
+    if (resource.kind == ResourceKind::kConsumable) {
+      os << "CONSUMABLE CAPACITY=" << format_fixed(resource.capacity, 6);
+    } else {
+      os << "BLOCKING";
+    }
+    if (resource.scope == ResourceScope::kGlobal) os << " GLOBAL";
+    os << '\n';
+  }
+  const AttributionRule& dflt = rules.default_rule();
+  if (dflt.is_none()) {
+    os << "DEFAULT NONE\n";
+  } else if (dflt.is_variable()) {
+    os << "DEFAULT VARIABLE " << format_fixed(dflt.amount, 6) << '\n';
+  }
+  for (const auto& [key, rule] : rules.explicit_rules()) {
+    os << "RULE " << execution.type(key.first).name << ' '
+       << resources.resource(key.second).name << ' ';
+    if (rule.is_none()) {
+      os << "NONE";
+    } else if (rule.is_exact()) {
+      os << "EXACT " << format_fixed(rule.amount, 6);
+    } else {
+      os << "VARIABLE " << format_fixed(rule.amount, 6);
+    }
+    os << '\n';
+  }
+}
+
+namespace {
+
+struct Parser {
+  ModelDescription model;
+  std::optional<std::string> error;
+
+  std::optional<std::string> phase(const std::vector<std::string_view>& f) {
+    if (f.size() < 2) return "PHASE needs a name";
+    const std::string name(f[1]);
+    PhaseTypeId parent = kNoPhaseType;
+    bool repeated = false;
+    bool wait = false;
+    int limit = 0;
+    for (std::size_t i = 2; i < f.size(); ++i) {
+      const std::string_view arg = f[i];
+      if (arg == "REPEATED") {
+        repeated = true;
+      } else if (arg == "WAIT") {
+        wait = true;
+      } else if (starts_with(arg, "PARENT=")) {
+        parent = model.execution.find(arg.substr(7));
+        if (parent == kNoPhaseType) {
+          return "unknown parent phase: " + std::string(arg.substr(7));
+        }
+      } else if (starts_with(arg, "LIMIT=")) {
+        const auto value = parse_int(arg.substr(6));
+        if (!value || *value <= 0) return "bad LIMIT value";
+        limit = static_cast<int>(*value);
+      } else {
+        return "unknown PHASE attribute: " + std::string(arg);
+      }
+    }
+    if (model.execution.type_count() == 0) {
+      if (parent != kNoPhaseType) return "the first PHASE must be the root";
+      model.execution.add_root(name);
+      return std::nullopt;
+    }
+    if (parent == kNoPhaseType) return "non-root PHASE needs PARENT=";
+    if (model.execution.find(name) != kNoPhaseType) {
+      return "duplicate phase name: " + name;
+    }
+    const PhaseTypeId id = model.execution.add_child(parent, name, repeated);
+    if (wait) model.execution.set_wait(id);
+    if (limit > 0) model.execution.set_concurrency_limit(id, limit);
+    return std::nullopt;
+  }
+
+  std::optional<std::string> order(const std::vector<std::string_view>& f) {
+    if (f.size() != 3) return "ORDER needs two phase names";
+    const PhaseTypeId before = model.execution.find(f[1]);
+    const PhaseTypeId after = model.execution.find(f[2]);
+    if (before == kNoPhaseType || after == kNoPhaseType) {
+      return "ORDER references unknown phase";
+    }
+    if (model.execution.type(before).parent !=
+        model.execution.type(after).parent) {
+      return "ORDER phases must be siblings";
+    }
+    model.execution.add_order(before, after);
+    return std::nullopt;
+  }
+
+  std::optional<std::string> resource(const std::vector<std::string_view>& f) {
+    if (f.size() < 3) return "RESOURCE needs a name and a kind";
+    const std::string name(f[1]);
+    if (model.resources.find(name) != kNoResource) {
+      return "duplicate resource name: " + name;
+    }
+    ResourceScope scope = ResourceScope::kPerMachine;
+    for (std::size_t i = 3; i < f.size(); ++i) {
+      if (f[i] == "GLOBAL") {
+        scope = ResourceScope::kGlobal;
+      } else if (f[2] == "CONSUMABLE" && starts_with(f[i], "CAPACITY=")) {
+        // handled below
+      } else {
+        return "unknown RESOURCE attribute: " + std::string(f[i]);
+      }
+    }
+    if (f[2] == "BLOCKING") {
+      model.resources.add_blocking(name, scope);
+      return std::nullopt;
+    }
+    if (f[2] != "CONSUMABLE") return "RESOURCE kind must be CONSUMABLE or BLOCKING";
+    std::optional<double> capacity;
+    for (std::size_t i = 3; i < f.size(); ++i) {
+      if (starts_with(f[i], "CAPACITY=")) capacity = parse_double(f[i].substr(9));
+    }
+    if (!capacity || *capacity <= 0.0) {
+      return "CONSUMABLE resource needs CAPACITY=<positive>";
+    }
+    model.resources.add_consumable(name, *capacity, scope);
+    return std::nullopt;
+  }
+
+  std::optional<std::string> parse_rule_spec(
+      const std::vector<std::string_view>& f, std::size_t at,
+      AttributionRule& out) {
+    if (f[at] == "NONE") {
+      if (f.size() != at + 1) return "NONE takes no argument";
+      out = AttributionRule::none();
+      return std::nullopt;
+    }
+    if (f.size() != at + 2) return "rule needs exactly one numeric argument";
+    const auto amount = parse_double(f[at + 1]);
+    if (!amount || *amount <= 0.0) return "rule amount must be positive";
+    if (f[at] == "EXACT") {
+      out = AttributionRule::exact(*amount);
+    } else if (f[at] == "VARIABLE") {
+      out = AttributionRule::variable(*amount);
+    } else {
+      return "rule kind must be NONE, EXACT or VARIABLE";
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> rule(const std::vector<std::string_view>& f) {
+    if (f.size() < 4) return "RULE needs <phase> <resource> <spec>";
+    const PhaseTypeId phase = model.execution.find(f[1]);
+    if (phase == kNoPhaseType) {
+      return "RULE references unknown phase: " + std::string(f[1]);
+    }
+    const ResourceId resource = model.resources.find(f[2]);
+    if (resource == kNoResource) {
+      return "RULE references unknown resource: " + std::string(f[2]);
+    }
+    AttributionRule spec;
+    if (auto err = parse_rule_spec(f, 3, spec)) return err;
+    model.rules.set(phase, resource, spec);
+    return std::nullopt;
+  }
+
+  std::optional<std::string> default_rule(
+      const std::vector<std::string_view>& f) {
+    AttributionRule spec;
+    if (f.size() < 2) return "DEFAULT needs a rule spec";
+    if (auto err = parse_rule_spec(f, 1, spec)) return err;
+    if (spec.is_exact()) return "DEFAULT cannot be EXACT";
+    // Re-seat the rule set, keeping explicit entries (none exist yet if
+    // DEFAULT comes first, which the writer guarantees; otherwise copy).
+    AttributionRuleSet replacement(spec);
+    for (const auto& [key, value] : model.rules.explicit_rules()) {
+      replacement.set(key.first, key.second, value);
+    }
+    model.rules = std::move(replacement);
+    return std::nullopt;
+  }
+};
+
+}  // namespace
+
+ModelParseResult parse_model(std::istream& is) {
+  ModelParseResult result;
+  Parser parser;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    // Statements are whitespace-separated tokens.
+    std::vector<std::string_view> fields;
+    for (const auto part : split(trimmed, ' ')) {
+      const auto token = trim(part);
+      if (!token.empty()) fields.push_back(token);
+    }
+    std::optional<std::string> error;
+    if (fields[0] == "PHASE") {
+      error = parser.phase(fields);
+    } else if (fields[0] == "ORDER") {
+      error = parser.order(fields);
+    } else if (fields[0] == "RESOURCE") {
+      error = parser.resource(fields);
+    } else if (fields[0] == "RULE") {
+      error = parser.rule(fields);
+    } else if (fields[0] == "DEFAULT") {
+      error = parser.default_rule(fields);
+    } else {
+      error = "unknown statement: " + std::string(fields[0]);
+    }
+    if (error) {
+      result.error = ModelParseError{line_number, *error};
+      return result;
+    }
+  }
+  if (parser.model.execution.type_count() == 0) {
+    result.error = ModelParseError{line_number, "model has no phases"};
+    return result;
+  }
+  try {
+    parser.model.execution.validate();
+  } catch (const CheckError& e) {
+    result.error = ModelParseError{line_number, e.what()};
+    return result;
+  }
+  result.model = std::move(parser.model);
+  return result;
+}
+
+}  // namespace g10::core

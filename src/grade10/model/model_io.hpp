@@ -1,0 +1,58 @@
+// Text serialization of the expert input (paper §III-B): execution model,
+// resource model, and attribution rules in one declarative file, so a model
+// can be written once per framework and shipped/reused without recompiling
+// (the original Grade10 uses declarative per-framework configuration the
+// same way).
+//
+// Format — one statement per line, '#' comments:
+//   PHASE <name>                                  (first PHASE is the root)
+//   PHASE <name> PARENT=<name> [REPEATED] [WAIT] [LIMIT=<n>]
+//   ORDER <before> <after>
+//   RESOURCE <name> CONSUMABLE CAPACITY=<x> [GLOBAL]
+//   RESOURCE <name> BLOCKING [GLOBAL]
+//   DEFAULT NONE | DEFAULT VARIABLE <w>
+//   RULE <phase> <resource> NONE
+//   RULE <phase> <resource> EXACT <units>
+//   RULE <phase> <resource> VARIABLE <weight>
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "grade10/model/attribution_rules.hpp"
+#include "grade10/model/execution_model.hpp"
+#include "grade10/model/resource_model.hpp"
+
+namespace g10::core {
+
+/// The complete expert input for one framework.
+struct ModelDescription {
+  ExecutionModel execution;
+  ResourceModel resources;
+  AttributionRuleSet rules;
+};
+
+/// Serializes a model description; parse_model() reads it back.
+/// Note: the rule set's explicit entries are written via a callback over
+/// all (phase, resource) pairs, so the output is complete by construction.
+void write_model(std::ostream& os, const ExecutionModel& execution,
+                 const ResourceModel& resources,
+                 const AttributionRuleSet& rules);
+
+struct ModelParseError {
+  std::size_t line_number = 0;
+  std::string message;
+};
+
+struct ModelParseResult {
+  ModelDescription model;
+  std::optional<ModelParseError> error;
+
+  bool ok() const { return !error.has_value(); }
+};
+
+ModelParseResult parse_model(std::istream& is);
+
+}  // namespace g10::core

@@ -1,0 +1,32 @@
+#include "grade10/models/dataflow_model.hpp"
+
+namespace g10::core {
+
+FrameworkModel make_dataflow_model(const DataflowModelParams& params) {
+  FrameworkModel m;
+  auto& x = m.execution;
+  const PhaseTypeId job = x.add_root("Job");
+  const PhaseTypeId stage = x.add_child(job, "Stage", /*repeated=*/true);
+  const PhaseTypeId task = x.add_child(stage, "Task");
+  const PhaseTypeId shuffle = x.add_child(stage, "ShuffleWrite");
+  // The replay simulator models the executor pool as a concurrency limit
+  // over the whole cluster's slots (tasks are machine-pinned in the trace,
+  // but Spark-style scheduling is work-stealing across the pool).
+  x.set_concurrency_limit(task, params.machines * params.slots);
+  // Shuffle output overlaps the stage's compute and tracks it; its span is
+  // derivative (same reasoning as Giraph's WorkerCommunicate).
+  x.set_wait(shuffle);
+  x.validate();
+
+  m.cpu = m.resources.add_consumable("cpu", static_cast<double>(params.cores));
+  m.network = m.resources.add_consumable("network", params.network_capacity);
+
+  auto& rules = m.tuned_rules;
+  rules.set(task, m.cpu, AttributionRule::exact(1.0));
+  rules.set(task, m.network, AttributionRule::none());
+  rules.set(shuffle, m.cpu, AttributionRule::none());
+  rules.set(shuffle, m.network, AttributionRule::variable(1.0));
+  return m;
+}
+
+}  // namespace g10::core

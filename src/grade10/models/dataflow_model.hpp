@@ -1,0 +1,20 @@
+// Expert model for the Spark-like dataflow engine — the §V demonstration
+// that Grade10's machinery generalizes beyond graph processing: the same
+// model/attribution/issue pipeline characterizes a stage/task dataflow.
+#pragma once
+
+#include "grade10/models/pregel_model.hpp"  // FrameworkModel
+
+namespace g10::core {
+
+struct DataflowModelParams {
+  int cores = 8;
+  int machines = 4;
+  int slots = 8;  ///< executor slots per machine
+  double network_capacity = 1.25e8;
+};
+
+/// Phase-type names match engine/dataflow's log output.
+FrameworkModel make_dataflow_model(const DataflowModelParams& params);
+
+}  // namespace g10::core

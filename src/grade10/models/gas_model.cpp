@@ -1,0 +1,60 @@
+#include "grade10/models/gas_model.hpp"
+
+namespace g10::core {
+
+FrameworkModel make_gas_model(const GasModelParams& params) {
+  FrameworkModel m;
+
+  auto& x = m.execution;
+  const PhaseTypeId job = x.add_root("Job");
+  const PhaseTypeId load = x.add_child(job, "LoadGraph");
+  const PhaseTypeId load_worker = x.add_child(load, "LoadWorker");
+  const PhaseTypeId execute = x.add_child(job, "Execute");
+  const PhaseTypeId iteration =
+      x.add_child(execute, "Iteration", /*repeated=*/true);
+  const PhaseTypeId gather_step = x.add_child(iteration, "GatherStep");
+  const PhaseTypeId worker_gather = x.add_child(gather_step, "WorkerGather");
+  const PhaseTypeId gather_thread =
+      x.add_child(worker_gather, "GatherThread");
+  const PhaseTypeId apply_step = x.add_child(iteration, "ApplyStep");
+  const PhaseTypeId worker_apply = x.add_child(apply_step, "WorkerApply");
+  const PhaseTypeId apply_thread = x.add_child(worker_apply, "ApplyThread");
+  const PhaseTypeId scatter_step = x.add_child(iteration, "ScatterStep");
+  const PhaseTypeId worker_scatter =
+      x.add_child(scatter_step, "WorkerScatter");
+  const PhaseTypeId scatter_thread =
+      x.add_child(worker_scatter, "ScatterThread");
+  const PhaseTypeId exchange_step = x.add_child(iteration, "ExchangeStep");
+  const PhaseTypeId worker_exchange =
+      x.add_child(exchange_step, "WorkerExchange");
+  const PhaseTypeId store = x.add_child(job, "StoreResults");
+  const PhaseTypeId store_worker = x.add_child(store, "StoreWorker");
+  x.add_order(load, execute);
+  x.add_order(execute, store);
+  x.add_order(gather_step, apply_step);
+  x.add_order(apply_step, scatter_step);
+  x.add_order(scatter_step, exchange_step);
+  x.set_concurrency_limit(gather_thread, params.threads);
+  x.set_concurrency_limit(apply_thread, params.threads);
+  x.set_concurrency_limit(scatter_thread, params.threads);
+  x.validate();
+
+  m.cpu = m.resources.add_consumable("cpu", static_cast<double>(params.cores));
+  m.network = m.resources.add_consumable("network", params.network_capacity);
+
+  auto& rules = m.tuned_rules;
+  const auto cores = static_cast<double>(params.cores);
+  for (const PhaseTypeId t : {gather_thread, apply_thread, scatter_thread}) {
+    rules.set(t, m.cpu, AttributionRule::exact(1.0));
+    rules.set(t, m.network, AttributionRule::none());
+  }
+  rules.set(worker_exchange, m.cpu, AttributionRule::exact(1.0));
+  rules.set(worker_exchange, m.network, AttributionRule::variable(1.0));
+  rules.set(load_worker, m.cpu, AttributionRule::exact(cores));
+  rules.set(load_worker, m.network, AttributionRule::variable(1.0));
+  rules.set(store_worker, m.cpu, AttributionRule::exact(cores));
+  rules.set(store_worker, m.network, AttributionRule::none());
+  return m;
+}
+
+}  // namespace g10::core

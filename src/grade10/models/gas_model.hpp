@@ -1,0 +1,21 @@
+// Expert models for the GAS-style (PowerGraph stand-in) engine. The paper
+// describes its PowerGraph model as "comprehensive and tuned" (§IV-B),
+// which is why its upsampling accuracy is the best of the three variants.
+// PowerGraph, being native C++, has no GC and no explicit queue stalls, so
+// its resource model has no blocking resources.
+#pragma once
+
+#include "grade10/models/pregel_model.hpp"  // FrameworkModel
+
+namespace g10::core {
+
+struct GasModelParams {
+  int cores = 8;
+  int threads = 8;
+  double network_capacity = 1.25e8;  ///< NIC bytes/s
+};
+
+/// Phase-type names match engine/gas's log output.
+FrameworkModel make_gas_model(const GasModelParams& params);
+
+}  // namespace g10::core

@@ -1,0 +1,36 @@
+// Expert models for the Pregel-style (Giraph stand-in) engine: the
+// execution model, resource model, and attribution rule sets that the paper
+// says a domain expert writes once per framework (§III-B, §V). Two rule
+// variants are provided — `tuned` (Exact rules for compute threads and GC,
+// the §IV-B "comprehensive attribution rules") and `untuned` (the implicit
+// Variable(1x) default only).
+#pragma once
+
+#include "grade10/model/attribution_rules.hpp"
+#include "grade10/model/execution_model.hpp"
+#include "grade10/model/resource_model.hpp"
+
+namespace g10::core {
+
+struct FrameworkModel {
+  ExecutionModel execution;
+  ResourceModel resources;
+  AttributionRuleSet tuned_rules;
+  AttributionRuleSet untuned_rules;
+
+  ResourceId cpu = kNoResource;
+  ResourceId network = kNoResource;
+  ResourceId gc = kNoResource;             ///< Pregel only
+  ResourceId message_queue = kNoResource;  ///< Pregel only
+};
+
+struct PregelModelParams {
+  int cores = 8;
+  int threads = 8;                 ///< compute threads per worker
+  double network_capacity = 1.25e8;  ///< NIC bytes/s
+};
+
+/// Phase-type names match engine/pregel's log output.
+FrameworkModel make_pregel_model(const PregelModelParams& params);
+
+}  // namespace g10::core

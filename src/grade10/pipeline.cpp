@@ -1,0 +1,35 @@
+#include "grade10/pipeline.hpp"
+
+#include "common/check.hpp"
+
+namespace g10::core {
+
+CharacterizationResult characterize(const CharacterizationInput& input) {
+  G10_CHECK(input.model != nullptr);
+  G10_CHECK(input.resources != nullptr);
+  G10_CHECK(input.rules != nullptr);
+
+  const TimesliceGrid grid(input.config.timeslice);
+  CharacterizationResult result;
+  result.grid = grid;
+  result.trace =
+      ExecutionTrace::build(*input.model, *input.resources, input.phase_events,
+                            input.blocking_events, input.trace_options);
+  ResourceTrace::Options monitor_options;
+  monitor_options.ignore_unknown_resources =
+      input.trace_options.ignore_unknown_blocking;
+  result.monitored =
+      ResourceTrace::build(*input.resources, input.samples, monitor_options);
+  result.demand =
+      estimate_demand(*input.resources, *input.rules, result.trace, grid);
+  result.usage = attribute_usage(result.demand, result.monitored, grid);
+  result.bottlenecks =
+      detect_bottlenecks(result.usage, result.trace, grid, input.config);
+  IssueDetector detector(*input.model, *input.resources, result.trace, grid,
+                         input.config);
+  result.issues = detector.detect(result.usage, result.bottlenecks);
+  result.baseline_makespan = detector.baseline_makespan();
+  return result;
+}
+
+}  // namespace g10::core

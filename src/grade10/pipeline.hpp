@@ -1,0 +1,47 @@
+// High-level facade: one call from raw logs + models to the full
+// characterization result (paper Fig. 1, components 6-9).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "grade10/attribution/attributor.hpp"
+#include "grade10/attribution/demand.hpp"
+#include "grade10/bottleneck/bottleneck.hpp"
+#include "grade10/config.hpp"
+#include "grade10/issues/issue_detector.hpp"
+#include "grade10/model/attribution_rules.hpp"
+#include "grade10/trace/execution_trace.hpp"
+#include "grade10/trace/resource_trace.hpp"
+#include "trace/records.hpp"
+
+namespace g10::core {
+
+struct CharacterizationInput {
+  const ExecutionModel* model = nullptr;
+  const ResourceModel* resources = nullptr;
+  const AttributionRuleSet* rules = nullptr;
+  std::span<const trace::PhaseEventRecord> phase_events;
+  std::span<const trace::BlockingEventRecord> blocking_events;
+  std::span<const trace::MonitoringSampleRecord> samples;
+  AnalysisConfig config;
+  ExecutionTrace::Options trace_options;
+};
+
+struct CharacterizationResult {
+  ExecutionTrace trace;
+  ResourceTrace monitored;
+  std::vector<DemandMatrix> demand;
+  AttributedUsage usage;
+  BottleneckReport bottlenecks;
+  std::vector<PerformanceIssue> issues;
+  TimeNs baseline_makespan = 0;
+
+  TimesliceGrid grid{1};
+};
+
+/// Runs the full pipeline: trace building, demand estimation, upsampling +
+/// attribution, bottleneck identification, and issue detection.
+CharacterizationResult characterize(const CharacterizationInput& input);
+
+}  // namespace g10::core

@@ -1,0 +1,102 @@
+#include "grade10/report/diagnostics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace g10::core {
+
+std::vector<ResourceDiagnostics> compute_resource_diagnostics(
+    const AttributedUsage& usage) {
+  std::vector<ResourceDiagnostics> out;
+  for (const AttributedResource& r : usage.resources) {
+    ResourceDiagnostics d;
+    d.resource = r.resource;
+    d.machine = r.machine;
+    const auto& series = r.upsampled.usage;
+    if (series.empty()) {
+      out.push_back(d);
+      continue;
+    }
+    const double total =
+        std::accumulate(series.begin(), series.end(), 0.0);
+    d.mean_utilization =
+        total / (static_cast<double>(series.size()) * r.capacity);
+    std::size_t idle = 0;
+    for (const double u : series) {
+      if (u < 0.05 * r.capacity) ++idle;
+    }
+    d.idle_fraction =
+        static_cast<double>(idle) / static_cast<double>(series.size());
+    if (total > 0.0) {
+      std::vector<double> sorted(series.begin(), series.end());
+      std::sort(sorted.begin(), sorted.end(), std::greater<>());
+      const auto decile = std::max<std::size_t>(1, sorted.size() / 10);
+      const double top =
+          std::accumulate(sorted.begin(),
+                          sorted.begin() + static_cast<std::ptrdiff_t>(decile),
+                          0.0);
+      const double decile_fraction =
+          static_cast<double>(decile) / static_cast<double>(sorted.size());
+      d.burstiness = (top / total) / decile_fraction;
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<SkewDiagnostics> compute_machine_skew(
+    const AttributedUsage& usage) {
+  std::map<ResourceId, std::vector<double>> totals;
+  for (const AttributedResource& r : usage.resources) {
+    if (r.machine == trace::kGlobalMachine) continue;
+    totals[r.resource].push_back(std::accumulate(
+        r.upsampled.usage.begin(), r.upsampled.usage.end(), 0.0));
+  }
+  std::vector<SkewDiagnostics> out;
+  for (const auto& [resource, values] : totals) {
+    if (values.size() < 2) continue;
+    SkewDiagnostics d;
+    d.resource = resource;
+    RunningStats stats;
+    for (const double v : values) stats.add(v);
+    if (stats.mean() > 0.0) {
+      d.max_over_mean = stats.max() / stats.mean();
+      d.cov = stats.stddev() / stats.mean();
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+void render_diagnostics(std::ostream& os, const ResourceModel& resources,
+                        const std::vector<ResourceDiagnostics>& per_resource,
+                        const std::vector<SkewDiagnostics>& skew) {
+  os << "== Resource diagnostics ==\n";
+  TextTable table({"resource", "machine", "mean util", "burstiness",
+                   "idle slices"});
+  for (const ResourceDiagnostics& d : per_resource) {
+    table.add_row(
+        {resources.resource(d.resource).name,
+         d.machine == trace::kGlobalMachine ? "-" : std::to_string(d.machine),
+         format_percent(d.mean_utilization), format_fixed(d.burstiness, 2),
+         format_percent(d.idle_fraction)});
+  }
+  table.render(os);
+  if (!skew.empty()) {
+    os << "\n== Cross-machine skew ==\n";
+    TextTable skew_table({"resource", "max/mean", "CoV"});
+    for (const SkewDiagnostics& d : skew) {
+      skew_table.add_row({resources.resource(d.resource).name,
+                          format_fixed(d.max_over_mean, 2),
+                          format_fixed(d.cov, 3)});
+    }
+    skew_table.render(os);
+  }
+}
+
+}  // namespace g10::core

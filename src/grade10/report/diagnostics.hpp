@@ -1,0 +1,46 @@
+// Resource-usage diagnostics beyond bottlenecks: burstiness and cross-
+// machine skew. The paper positions Grade10's fine-grained attribution as
+// capturing exactly the phenomena coarse monitoring averages away (§VI,
+// comparison with Tian et al.: "burstiness, imbalance"); these summaries
+// quantify them from the upsampled profile.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "grade10/attribution/attributor.hpp"
+
+namespace g10::core {
+
+struct ResourceDiagnostics {
+  ResourceId resource = kNoResource;
+  trace::MachineId machine = trace::kGlobalMachine;
+  double mean_utilization = 0.0;
+  /// Share of total consumption concentrated in the busiest 10% of slices,
+  /// normalized by 0.10: 1.0 = perfectly smooth, 10 = everything in bursts.
+  double burstiness = 0.0;
+  /// Fraction of slices with utilization below 5%.
+  double idle_fraction = 0.0;
+};
+
+std::vector<ResourceDiagnostics> compute_resource_diagnostics(
+    const AttributedUsage& usage);
+
+struct SkewDiagnostics {
+  ResourceId resource = kNoResource;
+  /// max over machines of (machine total / mean machine total); 1 = even.
+  double max_over_mean = 1.0;
+  /// Coefficient of variation of per-machine totals.
+  double cov = 0.0;
+};
+
+/// Per-machine totals of each per-machine resource, compared across the
+/// cluster (the Ganglia-style "skewed load across machines" view).
+std::vector<SkewDiagnostics> compute_machine_skew(
+    const AttributedUsage& usage);
+
+void render_diagnostics(std::ostream& os, const ResourceModel& resources,
+                        const std::vector<ResourceDiagnostics>& per_resource,
+                        const std::vector<SkewDiagnostics>& skew);
+
+}  // namespace g10::core

@@ -1,0 +1,21 @@
+// Timeline export in the Chrome tracing ("catapult") JSON format, loadable
+// in chrome://tracing or Perfetto — the interactive half of the paper's
+// result-visualization component.
+//
+// Machines become processes; within a machine, leaf phases are packed onto
+// lanes (threads) greedily so concurrent phases render side by side.
+// Blocking intervals are emitted as separate events on the same lane under
+// the "blocked" category.
+#pragma once
+
+#include <ostream>
+
+#include "grade10/model/execution_model.hpp"
+#include "grade10/trace/execution_trace.hpp"
+
+namespace g10::core {
+
+void write_chrome_trace(std::ostream& os, const ExecutionModel& model,
+                        const ExecutionTrace& trace);
+
+}  // namespace g10::core

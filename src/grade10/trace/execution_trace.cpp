@@ -1,0 +1,182 @@
+#include "grade10/trace/execution_trace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace g10::core {
+
+DurationNs PhaseInstance::blocked_time() const {
+  DurationNs total = 0;
+  for (const auto& interval : blocked) total += interval.length();
+  return total;
+}
+
+std::vector<Interval> active_intervals(TimeNs begin, TimeNs end,
+                                       std::vector<Interval> blocked) {
+  std::vector<Interval> active;
+  if (end <= begin) return active;
+  std::sort(blocked.begin(), blocked.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.begin < b.begin;
+            });
+  TimeNs cursor = begin;
+  for (const auto& b : blocked) {
+    const TimeNs b_begin = std::max(b.begin, begin);
+    const TimeNs b_end = std::min(b.end, end);
+    if (b_end <= b_begin) continue;
+    if (b_begin > cursor) active.push_back({cursor, b_begin});
+    cursor = std::max(cursor, b_end);
+  }
+  if (cursor < end) active.push_back({cursor, end});
+  return active;
+}
+
+ExecutionTrace ExecutionTrace::build(
+    const ExecutionModel& model, const ResourceModel& resources,
+    std::span<const trace::PhaseEventRecord> phase_events,
+    std::span<const trace::BlockingEventRecord> blocking_events,
+    const Options& options) {
+  model.validate();
+  ExecutionTrace trace;
+
+  struct Pending {
+    InstanceId id = kNoInstance;
+    bool ended = false;
+  };
+  std::unordered_map<std::string, Pending> pending;
+
+  for (const auto& event : phase_events) {
+    const std::string key = event.path.to_string();
+    if (event.kind == trace::PhaseEventRecord::Kind::Begin) {
+      const PhaseTypeId type = model.find(event.path.leaf().type);
+      if (type == kNoPhaseType) {
+        G10_CHECK_MSG(options.ignore_unknown_phases,
+                      "unknown phase type in log: " << event.path.leaf().type);
+        continue;
+      }
+      G10_CHECK_MSG(!pending.contains(key), "duplicate phase begin: " << key);
+      PhaseInstance instance;
+      instance.id = static_cast<InstanceId>(trace.instances_.size());
+      instance.type = type;
+      instance.index = event.path.leaf().index;
+      instance.begin = event.time;
+      instance.end = -1;
+      instance.machine = event.machine;
+      instance.path = key;
+      pending.emplace(key, Pending{instance.id, false});
+      trace.by_path_.emplace(key, instance.id);
+      trace.instances_.push_back(std::move(instance));
+    } else {
+      const auto it = pending.find(key);
+      if (it == pending.end()) {
+        G10_CHECK_MSG(options.ignore_unknown_phases,
+                      "phase end without begin: " << key);
+        continue;
+      }
+      G10_CHECK_MSG(!it->second.ended, "duplicate phase end: " << key);
+      it->second.ended = true;
+      auto& instance = trace.instances_[static_cast<std::size_t>(it->second.id)];
+      G10_CHECK_MSG(event.time >= instance.begin,
+                    "phase " << key << " ends before it begins");
+      instance.end = event.time;
+      trace.end_time_ = std::max(trace.end_time_, event.time);
+    }
+  }
+
+  // Every instance must have ended.
+  for (const auto& [key, state] : pending) {
+    G10_CHECK_MSG(state.ended, "phase never ended: " << key);
+  }
+
+  // Resolve parents and verify model linkage + temporal containment.
+  for (auto& instance : trace.instances_) {
+    const PhaseType& type = model.type(instance.type);
+    const auto slash = instance.path.rfind('/');
+    if (slash == std::string::npos) {
+      G10_CHECK_MSG(instance.type == model.root(),
+                    "non-root type at top level: " << instance.path);
+      instance.parent = kNoInstance;
+      continue;
+    }
+    const std::string parent_path = instance.path.substr(0, slash);
+    const auto it = trace.by_path_.find(parent_path);
+    G10_CHECK_MSG(it != trace.by_path_.end(),
+                  "parent instance missing for " << instance.path);
+    instance.parent = it->second;
+    auto& parent = trace.instances_[static_cast<std::size_t>(it->second)];
+    G10_CHECK_MSG(type.parent == parent.type,
+                  "instance " << instance.path
+                              << " violates the model hierarchy");
+    G10_CHECK_MSG(instance.begin >= parent.begin && instance.end <= parent.end,
+                  "instance " << instance.path
+                              << " escapes its parent's interval");
+    parent.children.push_back(instance.id);
+  }
+
+  for (const auto& instance : trace.instances_) {
+    if (instance.is_leaf()) trace.leaves_.push_back(instance.id);
+    if (instance.machine != trace::kGlobalMachine &&
+        std::find(trace.machines_.begin(), trace.machines_.end(),
+                  instance.machine) == trace.machines_.end()) {
+      trace.machines_.push_back(instance.machine);
+    }
+  }
+  std::sort(trace.machines_.begin(), trace.machines_.end());
+
+  // Attach blocking events.
+  for (const auto& event : blocking_events) {
+    const ResourceId resource = resources.find(event.resource);
+    if (resource == kNoResource) {
+      G10_CHECK_MSG(options.ignore_unknown_blocking,
+                    "unknown blocking resource: " << event.resource);
+      continue;
+    }
+    G10_CHECK_MSG(
+        resources.resource(resource).kind == ResourceKind::kBlocking,
+        "blocking event on consumable resource: " << event.resource);
+    const std::string key = event.path.to_string();
+    const auto it = trace.by_path_.find(key);
+    if (it == trace.by_path_.end()) {
+      G10_CHECK_MSG(options.ignore_unknown_phases,
+                    "blocking event for unknown phase: " << key);
+      continue;
+    }
+    auto& instance = trace.instances_[static_cast<std::size_t>(it->second)];
+    G10_CHECK_MSG(event.begin >= instance.begin && event.end <= instance.end,
+                  "blocking event escapes phase interval: " << key);
+    instance.blocked.push_back({event.begin, event.end});
+    trace.blocking_.push_back(
+        BlockingSpan{resource, it->second, {event.begin, event.end}});
+  }
+  // Normalize blocked interval lists (sorted, merged).
+  for (auto& instance : trace.instances_) {
+    if (instance.blocked.empty()) continue;
+    std::sort(instance.blocked.begin(), instance.blocked.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin < b.begin;
+              });
+    std::vector<Interval> merged;
+    for (const auto& interval : instance.blocked) {
+      if (!merged.empty() && interval.begin <= merged.back().end) {
+        merged.back().end = std::max(merged.back().end, interval.end);
+      } else {
+        merged.push_back(interval);
+      }
+    }
+    instance.blocked = std::move(merged);
+  }
+  return trace;
+}
+
+const PhaseInstance& ExecutionTrace::instance(InstanceId id) const {
+  G10_CHECK(id >= 0 && static_cast<std::size_t>(id) < instances_.size());
+  return instances_[static_cast<std::size_t>(id)];
+}
+
+InstanceId ExecutionTrace::find(const std::string& path) const {
+  const auto it = by_path_.find(path);
+  return it == by_path_.end() ? kNoInstance : it->second;
+}
+
+}  // namespace g10::core

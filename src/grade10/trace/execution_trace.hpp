@@ -1,0 +1,104 @@
+// Execution trace (paper §III-C): the tree of phase *instances* of one
+// workload run, assembled from the SUT's phase-event log and validated
+// against the execution model, with blocking events attached.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.hpp"
+#include "grade10/model/execution_model.hpp"
+#include "grade10/model/resource_model.hpp"
+#include "trace/records.hpp"
+
+namespace g10::core {
+
+using InstanceId = std::int32_t;
+inline constexpr InstanceId kNoInstance = -1;
+
+struct PhaseInstance {
+  InstanceId id = kNoInstance;
+  PhaseTypeId type = kNoPhaseType;
+  InstanceId parent = kNoInstance;
+  std::int64_t index = 0;  ///< instance index among same-type siblings
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  trace::MachineId machine = trace::kGlobalMachine;
+  std::string path;  ///< canonical path string
+  std::vector<InstanceId> children;
+  /// Merged intervals during which the phase was blocked (any resource).
+  std::vector<Interval> blocked;
+
+  bool is_leaf() const { return children.empty(); }
+  DurationNs duration() const { return end - begin; }
+  DurationNs blocked_time() const;
+};
+
+/// One blocking event resolved against the model and the instance tree.
+struct BlockingSpan {
+  ResourceId resource = kNoResource;
+  InstanceId instance = kNoInstance;
+  Interval interval;
+};
+
+class ExecutionTrace {
+ public:
+  struct Options {
+    /// Drop blocking events whose resource is not in the resource model
+    /// (used to analyze a run against an untuned model, Table II).
+    bool ignore_unknown_blocking = false;
+    /// Drop phase instances whose type is not in the execution model
+    /// (an untuned model may not describe e.g. GcPause phases).
+    bool ignore_unknown_phases = false;
+  };
+
+  /// Builds and validates the instance tree. Throws CheckError on
+  /// structural problems (unbalanced events, unknown types, child escaping
+  /// its parent's interval).
+  static ExecutionTrace build(
+      const ExecutionModel& model, const ResourceModel& resources,
+      std::span<const trace::PhaseEventRecord> phase_events,
+      std::span<const trace::BlockingEventRecord> blocking_events,
+      const Options& options);
+
+  /// Convenience overload with default options.
+  static ExecutionTrace build(
+      const ExecutionModel& model, const ResourceModel& resources,
+      std::span<const trace::PhaseEventRecord> phase_events,
+      std::span<const trace::BlockingEventRecord> blocking_events) {
+    return build(model, resources, phase_events, blocking_events, Options{});
+  }
+
+  const std::vector<PhaseInstance>& instances() const { return instances_; }
+  const PhaseInstance& instance(InstanceId id) const;
+  const std::vector<InstanceId>& leaves() const { return leaves_; }
+  const std::vector<BlockingSpan>& blocking() const { return blocking_; }
+
+  InstanceId root() const { return instances_.empty() ? kNoInstance : 0; }
+  InstanceId find(const std::string& path) const;
+
+  /// Latest phase end in the trace.
+  TimeNs end_time() const { return end_time_; }
+
+  /// All machine ids that appear on instances (excluding global).
+  const std::vector<trace::MachineId>& machines() const { return machines_; }
+
+ private:
+  std::vector<PhaseInstance> instances_;
+  std::vector<InstanceId> leaves_;
+  std::vector<BlockingSpan> blocking_;
+  std::unordered_map<std::string, InstanceId> by_path_;
+  std::vector<trace::MachineId> machines_;
+  TimeNs end_time_ = 0;
+};
+
+/// Subtracts `blocked` intervals from [begin, end), returning the active
+/// sub-intervals in order. Blocked intervals must be within [begin, end)
+/// (clipped otherwise) but may touch; overlapping ones are merged.
+std::vector<Interval> active_intervals(TimeNs begin, TimeNs end,
+                                       std::vector<Interval> blocked);
+
+}  // namespace g10::core

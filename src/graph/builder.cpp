@@ -1,0 +1,72 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace g10::graph {
+
+GraphBuilder::GraphBuilder(VertexId vertex_count) : n_(vertex_count) {}
+
+void GraphBuilder::add_edge(VertexId src, VertexId dst) {
+  G10_CHECK_MSG(src < n_ && dst < n_,
+                "edge (" << src << "," << dst << ") out of range, n=" << n_);
+  edges_.push_back(Edge{src, dst, 1.0});
+}
+
+void GraphBuilder::add_edge(VertexId src, VertexId dst, double weight) {
+  G10_CHECK_MSG(src < n_ && dst < n_,
+                "edge (" << src << "," << dst << ") out of range, n=" << n_);
+  edges_.push_back(Edge{src, dst, weight});
+  weighted_ = true;
+}
+
+void GraphBuilder::reserve(std::size_t edges) { edges_.reserve(edges); }
+
+Graph GraphBuilder::build(const Options& options) {
+  auto edges = std::move(edges_);
+  const bool weighted = weighted_;
+  edges_.clear();
+  weighted_ = false;
+
+  if (options.symmetrize) {
+    const std::size_t original = edges.size();
+    edges.reserve(original * 2);
+    for (std::size_t i = 0; i < original; ++i) {
+      edges.push_back(Edge{edges[i].dst, edges[i].src, edges[i].weight});
+    }
+  }
+  if (options.remove_self_loops) {
+    std::erase_if(edges, [](const Edge& e) { return e.src == e.dst; });
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    if (a.dst != b.dst) return a.dst < b.dst;
+    return a.weight < b.weight;  // dedup keeps the lightest parallel edge
+  });
+  if (options.deduplicate) {
+    edges.erase(std::unique(edges.begin(), edges.end(),
+                            [](const Edge& a, const Edge& b) {
+                              return a.src == b.src && a.dst == b.dst;
+                            }),
+                edges.end());
+  }
+
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n_) + 1, 0);
+  for (const Edge& e : edges) ++offsets[e.src + 1];
+  for (VertexId v = 0; v < n_; ++v) offsets[v + 1] += offsets[v];
+  std::vector<VertexId> targets;
+  targets.reserve(edges.size());
+  std::vector<double> weights;
+  if (weighted) weights.reserve(edges.size());
+  for (const Edge& e : edges) {
+    targets.push_back(e.dst);
+    if (weighted) weights.push_back(e.weight);
+  }
+  Graph graph(std::move(offsets), std::move(targets), options.symmetrize,
+              options.name);
+  if (weighted) graph.set_weights(std::move(weights));
+  return graph;
+}
+
+}  // namespace g10::graph

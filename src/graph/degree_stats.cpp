@@ -1,0 +1,44 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace g10::graph {
+
+DegreeStats compute_degree_stats(const Graph& graph) {
+  DegreeStats stats;
+  const VertexId n = graph.vertex_count();
+  if (n == 0) return stats;
+
+  std::vector<double> degrees(n);
+  stats.min_out = graph.out_degree(0);
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeIndex d = graph.out_degree(v);
+    degrees[v] = static_cast<double>(d);
+    stats.min_out = std::min(stats.min_out, d);
+    stats.max_out = std::max(stats.max_out, d);
+    if (d == 0) ++stats.isolated_vertices;
+  }
+  stats.mean_out =
+      static_cast<double>(graph.edge_count()) / static_cast<double>(n);
+  stats.p50_out = percentile(degrees, 0.5);
+  stats.p99_out = percentile(degrees, 0.99);
+
+  // Gini via the sorted-rank formula: G = (2*sum(i*x_i)/(n*sum x)) - (n+1)/n.
+  std::sort(degrees.begin(), degrees.end());
+  double weighted = 0.0;
+  double total = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    weighted += static_cast<double>(i + 1) * degrees[i];
+    total += degrees[i];
+  }
+  if (total > 0.0) {
+    const double nd = static_cast<double>(n);
+    stats.gini = (2.0 * weighted) / (nd * total) - (nd + 1.0) / nd;
+  }
+  return stats;
+}
+
+}  // namespace g10::graph

@@ -1,0 +1,23 @@
+// Degree-distribution diagnostics, used by tests (generator sanity) and by
+// the experiment harnesses to report dataset properties.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace g10::graph {
+
+struct DegreeStats {
+  EdgeIndex min_out = 0;
+  EdgeIndex max_out = 0;
+  double mean_out = 0.0;
+  double p50_out = 0.0;
+  double p99_out = 0.0;
+  /// Gini coefficient of the out-degree distribution in [0, 1];
+  /// 0 = perfectly uniform, ->1 = extremely skewed.
+  double gini = 0.0;
+  VertexId isolated_vertices = 0;
+};
+
+DegreeStats compute_degree_stats(const Graph& graph);
+
+}  // namespace g10::graph

@@ -1,0 +1,166 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "graph/builder.hpp"
+
+namespace g10::graph {
+
+Graph generate_rmat(const RmatParams& params) {
+  G10_CHECK(params.scale > 0 && params.scale < 31);
+  G10_CHECK(params.a > 0 && params.b >= 0 && params.c >= 0);
+  const double d = 1.0 - params.a - params.b - params.c;
+  G10_CHECK_MSG(d >= 0.0, "RMAT quadrant probabilities must sum to <= 1");
+
+  const auto n = static_cast<VertexId>(1u << params.scale);
+  const auto m = static_cast<EdgeIndex>(
+      params.edge_factor * static_cast<double>(n));
+  Rng rng(params.seed);
+  GraphBuilder builder(n);
+  builder.reserve(m);
+  for (EdgeIndex e = 0; e < m; ++e) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (int bit = params.scale - 1; bit >= 0; --bit) {
+      // Noise on the quadrant probabilities avoids exact self-similarity
+      // artifacts (standard "smoothing" used by graph500 generators).
+      const double noise = 0.9 + 0.2 * rng.next_double();
+      const double ab = (params.a + params.b) * noise;
+      const double a_frac = params.a / (params.a + params.b);
+      const double c_frac =
+          (params.c + d) > 0 ? params.c / (params.c + d) : 0.0;
+      const double r1 = rng.next_double();
+      const double r2 = rng.next_double();
+      if (r1 < ab) {
+        if (r2 >= a_frac) dst |= (1u << bit);
+      } else {
+        src |= (1u << bit);
+        if (r2 >= c_frac) dst |= (1u << bit);
+      }
+    }
+    builder.add_edge(src, dst);
+  }
+  GraphBuilder::Options options;
+  options.symmetrize = params.undirected;
+  options.name = "rmat-s" + std::to_string(params.scale);
+  return builder.build(options);
+}
+
+Graph generate_erdos_renyi(const ErdosRenyiParams& params) {
+  G10_CHECK(params.vertices > 1);
+  const auto n64 = static_cast<std::uint64_t>(params.vertices);
+  G10_CHECK_MSG(params.edges < n64 * (n64 - 1) / 2,
+                "too many edges requested for G(n, m)");
+  Rng rng(params.seed);
+  GraphBuilder builder(params.vertices);
+  builder.reserve(params.edges);
+  // Draw with replacement, deduplicate at build; top up until m distinct.
+  EdgeIndex produced = 0;
+  while (produced < params.edges) {
+    const auto src = static_cast<VertexId>(rng.next_below(n64));
+    const auto dst = static_cast<VertexId>(rng.next_below(n64));
+    if (src == dst) continue;
+    builder.add_edge(src, dst);
+    ++produced;
+  }
+  GraphBuilder::Options options;
+  options.symmetrize = params.undirected;
+  options.name = "er-n" + std::to_string(params.vertices);
+  return builder.build(options);
+}
+
+Graph generate_grid(VertexId width, VertexId height) {
+  G10_CHECK(width > 0 && height > 0);
+  const auto n = static_cast<std::uint64_t>(width) * height;
+  G10_CHECK_MSG(n <= 0xFFFFFFFFull, "grid too large for 32-bit vertex ids");
+  GraphBuilder builder(static_cast<VertexId>(n));
+  const auto id = [width](VertexId x, VertexId y) {
+    return y * width + x;
+  };
+  for (VertexId y = 0; y < height; ++y) {
+    for (VertexId x = 0; x < width; ++x) {
+      if (x + 1 < width) builder.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) builder.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  GraphBuilder::Options options;
+  options.symmetrize = true;
+  options.name =
+      "grid-" + std::to_string(width) + "x" + std::to_string(height);
+  return builder.build(options);
+}
+
+void assign_random_weights(Graph& graph, double lo, double hi,
+                           std::uint64_t seed) {
+  G10_CHECK(lo <= hi);
+  std::vector<double> weights(graph.edge_count());
+  for (VertexId u = 0; u < graph.vertex_count(); ++u) {
+    const auto nbrs = graph.out_neighbors(u);
+    for (EdgeIndex i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      // Derive the weight from the (unordered) endpoint pair so both
+      // directions of a symmetrized edge agree, independent of iteration
+      // order.
+      const VertexId a = std::min(u, v);
+      const VertexId b = std::max(u, v);
+      std::uint64_t mix = seed ^ (static_cast<std::uint64_t>(a) << 32) ^
+                          static_cast<std::uint64_t>(b);
+      const std::uint64_t bits = splitmix64_next(mix);
+      const double unit =
+          static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+      weights[graph.edge_id(u, i)] = lo + (hi - lo) * unit;
+    }
+  }
+  graph.set_weights(std::move(weights));
+}
+
+Graph generate_datagen_like(const DatagenParams& params) {
+  G10_CHECK(params.vertices > 1);
+  G10_CHECK(params.communities > 0);
+  G10_CHECK(params.intra_community_fraction >= 0.0 &&
+            params.intra_community_fraction <= 1.0);
+  Rng rng(params.seed);
+
+  // Assign every vertex to a community with Zipf-skewed popularity.
+  std::vector<std::uint32_t> community(params.vertices);
+  for (auto& c : community) {
+    c = static_cast<std::uint32_t>(
+        rng.next_zipf(params.communities, params.community_zipf_s));
+  }
+  // Bucket members per community for fast intra-community sampling.
+  std::vector<std::vector<VertexId>> members(params.communities);
+  for (VertexId v = 0; v < params.vertices; ++v) {
+    members[community[v]].push_back(v);
+  }
+
+  const auto target_edges = static_cast<EdgeIndex>(
+      params.mean_degree * static_cast<double>(params.vertices) /
+      (params.undirected ? 2.0 : 1.0));
+  GraphBuilder builder(params.vertices);
+  builder.reserve(target_edges);
+  const auto n64 = static_cast<std::uint64_t>(params.vertices);
+  for (EdgeIndex e = 0; e < target_edges; ++e) {
+    const auto src = static_cast<VertexId>(rng.next_below(n64));
+    VertexId dst = src;
+    if (rng.next_bool(params.intra_community_fraction) &&
+        members[community[src]].size() > 1) {
+      const auto& bucket = members[community[src]];
+      dst = bucket[rng.next_below(bucket.size())];
+    } else {
+      // Preferential cross-community edge: sample a Zipf-skewed vertex so a
+      // few vertices become global hubs (degree skew drives imbalance).
+      dst = static_cast<VertexId>(rng.next_zipf(n64, 0.8));
+    }
+    if (dst == src) continue;
+    builder.add_edge(src, dst);
+  }
+  GraphBuilder::Options options;
+  options.symmetrize = params.undirected;
+  options.name = "datagen-n" + std::to_string(params.vertices);
+  return builder.build(options);
+}
+
+}  // namespace g10::graph

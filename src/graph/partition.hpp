@@ -1,0 +1,86 @@
+// Graph partitioning.
+//
+// The Pregel-style engine (Giraph stand-in) uses *edge-cut* partitioning:
+// each vertex — with all its out-edges — is owned by exactly one partition,
+// and messages crossing partitions traverse the network.
+//
+// The GAS engine (PowerGraph stand-in) uses *vertex-cut* partitioning: edges
+// are distributed across partitions and high-degree vertices are replicated
+// (one master plus mirrors), with gather/apply/scatter exchanges between
+// them. The greedy heuristic mirrors PowerGraph's default edge placement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace g10::graph {
+
+using PartitionId = std::uint32_t;
+
+/// Vertex → partition assignment (edge-cut).
+struct EdgeCutPartition {
+  PartitionId partition_count = 0;
+  std::vector<PartitionId> owner;  ///< indexed by VertexId
+
+  /// Number of vertices per partition.
+  std::vector<VertexId> vertex_counts() const;
+  /// Number of out-edges whose source lives in each partition.
+  std::vector<EdgeIndex> edge_counts(const Graph& graph) const;
+  /// Fraction of edges whose endpoints live in different partitions.
+  double cut_fraction(const Graph& graph) const;
+};
+
+/// Modulo-hash of the vertex id (Giraph's default partitioner).
+EdgeCutPartition partition_by_hash(const Graph& graph, PartitionId parts);
+
+/// Contiguous ranges with (approximately) equal vertex counts.
+EdgeCutPartition partition_by_range(const Graph& graph, PartitionId parts);
+
+/// Contiguous ranges chosen so each partition holds ~equal out-edge counts.
+EdgeCutPartition partition_by_edge_balance(const Graph& graph,
+                                           PartitionId parts);
+
+/// Edge → partition assignment with vertex replication (vertex-cut).
+struct VertexCutPartition {
+  PartitionId partition_count = 0;
+  /// Owning partition of each edge, indexed by global edge id (CSR order).
+  std::vector<PartitionId> edge_owner;
+  /// Master partition of each vertex.
+  std::vector<PartitionId> master;
+  /// All partitions where each vertex has a replica (sorted, includes master).
+  std::vector<std::vector<PartitionId>> replicas;
+
+  std::vector<EdgeIndex> edge_counts() const;
+  /// Mean number of replicas per vertex (PowerGraph's replication factor λ).
+  double replication_factor() const;
+};
+
+/// PowerGraph-style greedy vertex-cut: place each edge in a partition that
+/// already holds both endpoints, else one endpoint (least loaded among
+/// candidates), else the least-loaded partition overall.
+VertexCutPartition partition_vertex_cut_greedy(const Graph& graph,
+                                               PartitionId parts);
+
+/// Random vertex-cut baseline: uniform edge placement.
+VertexCutPartition partition_vertex_cut_random(const Graph& graph,
+                                               PartitionId parts,
+                                               std::uint64_t seed);
+
+/// Hash-by-source vertex-cut: every out-edge of u lands on hash(u)'s
+/// partition. Cheap and common in practice, but a high-degree hub drags its
+/// whole edge list onto one partition — the "poor workload distribution,
+/// typical for graph applications" the paper observes in §IV-D.
+VertexCutPartition partition_vertex_cut_hash_source(const Graph& graph,
+                                                    PartitionId parts);
+
+/// Range-by-source vertex-cut: contiguous source-id ranges with equal
+/// vertex counts, the placement that input-file splits produce in practice.
+/// Degree skew concentrated in an id range (e.g. R-MAT hubs at low ids)
+/// then lands wholesale on one partition — the strongest realistic source
+/// of the inter-worker imbalance of §IV-D.
+VertexCutPartition partition_vertex_cut_range_source(const Graph& graph,
+                                                     PartitionId parts);
+
+}  // namespace g10::graph

@@ -1,0 +1,31 @@
+// Monitoring substrate (Ganglia stand-in, paper §III-C).
+//
+// Samples the simulator's perfect usage signals into the periodic
+// average-rate records a real cluster monitor produces. Each sample at time
+// t is the average consumption rate over (t - interval, t]. Downsampling
+// merges consecutive fine samples — the methodology of the Table II
+// upsampling-accuracy experiment (ground truth at 50 ms, coarse traces at
+// 2x..64x).
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/records.hpp"
+
+namespace g10::monitor {
+
+/// Samples every ground-truth series at a fixed interval, covering [0, end)
+/// (the last window is clipped at `end`). Sample times are interval-aligned.
+std::vector<trace::MonitoringSampleRecord> sample_ground_truth(
+    const std::vector<trace::GroundTruthSeries>& series, DurationNs interval,
+    TimeNs end);
+
+/// Merges every `factor` consecutive samples of each (resource, machine)
+/// stream into one, preserving the average-rate semantics. Sample times must
+/// be evenly spaced per stream; a trailing partial group is averaged over
+/// the samples it has.
+std::vector<trace::MonitoringSampleRecord> downsample(
+    const std::vector<trace::MonitoringSampleRecord>& samples, int factor);
+
+}  // namespace g10::monitor

@@ -1,0 +1,34 @@
+// Cluster hardware description for the simulated engines.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace g10::sim {
+
+/// Per-machine hardware. Core speed is expressed in abstract "work units"
+/// per second; the engines' cost models translate graph work (vertex visits,
+/// edge traversals, message handling) into work units.
+struct MachineSpec {
+  int cores = 8;
+  double core_work_per_sec = 1.0e8;      ///< work units per core-second
+  double nic_bandwidth_bps = 1.0e9;      ///< bits per second
+  double memory_bytes = 16.0 * (1 << 30);
+
+  double nic_bytes_per_sec() const { return nic_bandwidth_bps / 8.0; }
+};
+
+struct ClusterSpec {
+  int machine_count = 4;
+  MachineSpec machine;
+
+  void validate() const {
+    G10_CHECK(machine_count > 0);
+    G10_CHECK(machine.cores > 0);
+    G10_CHECK(machine.core_work_per_sec > 0);
+    G10_CHECK(machine.nic_bandwidth_bps > 0);
+  }
+};
+
+}  // namespace g10::sim

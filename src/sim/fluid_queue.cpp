@@ -1,0 +1,73 @@
+#include "sim/fluid_queue.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace g10::sim {
+
+FluidQueue::FluidQueue(double drain_rate) : drain_rate_(drain_rate) {
+  G10_CHECK_MSG(drain_rate > 0.0, "drain rate must be positive");
+}
+
+void FluidQueue::advance(TimeNs now) {
+  G10_CHECK_MSG(now >= last_update_, "fluid queue time went backwards");
+  if (now == last_update_) return;
+  const double drained =
+      drain_rate_ * to_seconds(now - last_update_);
+  if (busy_ && level_ <= drained) {
+    // Queue emptied somewhere in (last_update_, now]; close the busy span.
+    const auto empty_at = static_cast<TimeNs>(
+        static_cast<double>(last_update_) +
+        level_ / drain_rate_ * static_cast<double>(kSecond));
+    rate_series_.set(busy_start_, drain_rate_);
+    rate_series_.set(empty_at, 0.0);
+    busy_ = false;
+  }
+  level_ = std::fmax(0.0, level_ - drained);
+  last_update_ = now;
+}
+
+void FluidQueue::enqueue(TimeNs now, double amount) {
+  G10_CHECK(!finalized_);
+  G10_CHECK(amount >= 0.0);
+  advance(now);
+  if (amount == 0.0) return;
+  if (!busy_ && level_ == 0.0) {
+    busy_ = true;
+    busy_start_ = now;
+  }
+  level_ += amount;
+  total_enqueued_ += amount;
+}
+
+double FluidQueue::level(TimeNs now) const {
+  if (now <= last_update_) return level_;
+  const double drained = drain_rate_ * to_seconds(now - last_update_);
+  return std::fmax(0.0, level_ - drained);
+}
+
+TimeNs FluidQueue::time_until_level(TimeNs now, double target) const {
+  const double current = level(now);
+  if (current <= target) return now;
+  const double excess = current - target;
+  const double seconds = excess / drain_rate_;
+  return now + static_cast<TimeNs>(
+                   std::ceil(seconds * static_cast<double>(kSecond)));
+}
+
+StepFunction FluidQueue::finalize_rate_series(TimeNs end) {
+  G10_CHECK(!finalized_);
+  advance(end);
+  if (busy_) {
+    // Still draining at `end`: record busy up to the projected empty time
+    // (clipped to end — consumers integrate only up to end anyway).
+    rate_series_.set(busy_start_, drain_rate_);
+    rate_series_.set(time_empty(end), 0.0);
+    busy_ = false;
+  }
+  finalized_ = true;
+  return rate_series_;
+}
+
+}  // namespace g10::sim

@@ -1,0 +1,61 @@
+// Fluid queue with constant drain rate.
+//
+// Models a NIC transmit queue (drained at link bandwidth) and the Pregel
+// engine's bounded message buffers: producers enqueue bytes instantaneously,
+// the queue drains continuously, and producers that find the queue above its
+// bound must wait until it sinks back — which is exactly the blocking-event
+// phenomenon Grade10 observes in Giraph.
+//
+// Because the drain is linear, occupancy between events is closed-form; no
+// polling events are needed.
+#pragma once
+
+#include "common/step_function.hpp"
+#include "common/time.hpp"
+
+namespace g10::sim {
+
+class FluidQueue {
+ public:
+  /// drain_rate: units drained per second (> 0).
+  explicit FluidQueue(double drain_rate);
+
+  /// Adds `amount` at time `now` (now must be >= the last event time).
+  void enqueue(TimeNs now, double amount);
+
+  /// Occupancy at time `now`.
+  double level(TimeNs now) const;
+
+  /// Earliest time >= now at which occupancy drops to <= target.
+  /// Assumes no further enqueues; returns now if already below.
+  TimeNs time_until_level(TimeNs now, double target) const;
+
+  /// Earliest time >= now at which the queue is empty.
+  TimeNs time_empty(TimeNs now) const { return time_until_level(now, 0.0); }
+
+  double drain_rate() const { return drain_rate_; }
+
+  /// Total amount ever enqueued (for conservation checks in tests).
+  double total_enqueued() const { return total_enqueued_; }
+
+  /// Finishes recording and returns the drain-rate step function: value is
+  /// drain_rate while the queue was non-empty, 0 while idle. `end` must be
+  /// at or after the last activity.
+  StepFunction finalize_rate_series(TimeNs end);
+
+ private:
+  void advance(TimeNs now);
+
+  double drain_rate_;
+  double level_ = 0.0;
+  TimeNs last_update_ = 0;
+  double total_enqueued_ = 0.0;
+
+  // Busy-interval tracking for the rate series.
+  bool busy_ = false;
+  TimeNs busy_start_ = 0;
+  StepFunction rate_series_;
+  bool finalized_ = false;
+};
+
+}  // namespace g10::sim

@@ -1,0 +1,58 @@
+#include "sim/simulation.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace g10::sim {
+
+EventId Simulation::schedule_at(TimeNs t, std::function<void()> fn) {
+  G10_CHECK_MSG(t >= now_, "cannot schedule in the past: t=" << t
+                                                             << " now=" << now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulation::schedule_after(DurationNs delay, std::function<void()> fn) {
+  G10_CHECK(delay >= 0);
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulation::cancel(EventId id) {
+  cancelled_.push_back(id);
+  ++cancelled_pending_;
+}
+
+bool Simulation::is_cancelled(EventId id) {
+  if (cancelled_.empty()) return false;
+  const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  --cancelled_pending_;
+  return true;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled(ev.id)) continue;
+    now_ = ev.time;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+TimeNs Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+std::size_t Simulation::pending_events() const {
+  return queue_.size() - cancelled_pending_;
+}
+
+}  // namespace g10::sim

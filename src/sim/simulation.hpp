@@ -1,0 +1,65 @@
+// Discrete-event simulation kernel.
+//
+// Both simulated graph engines run on this: engine logic schedules callbacks
+// at absolute simulated times; the kernel executes them in (time, insertion)
+// order, so runs are fully deterministic. There is no real concurrency —
+// "threads" and "machines" are modeled entities.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace g10::sim {
+
+using EventId = std::uint64_t;
+
+/// Event-driven simulated clock.
+class Simulation {
+ public:
+  TimeNs now() const { return now_; }
+
+  /// Schedules fn at absolute time t (must be >= now).
+  EventId schedule_at(TimeNs t, std::function<void()> fn);
+
+  /// Schedules fn `delay` after now.
+  EventId schedule_after(DurationNs delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is
+  /// a no-op (lazy deletion).
+  void cancel(EventId id);
+
+  /// Runs events until the queue is empty. Returns the final clock value.
+  TimeNs run();
+
+  /// Executes the single next event; false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const;
+
+ private:
+  struct Event {
+    TimeNs time;
+    EventId id;  // also the tiebreaker: earlier-scheduled runs first
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  TimeNs now_ = 0;
+  EventId next_id_ = 1;
+  std::size_t cancelled_pending_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<EventId> cancelled_;  // sorted lazily on lookup
+
+  bool is_cancelled(EventId id);
+};
+
+}  // namespace g10::sim

@@ -1,0 +1,20 @@
+#include "sim/usage_recorder.hpp"
+
+#include "common/check.hpp"
+
+namespace g10::sim {
+
+UsageRecorder::UsageRecorder(std::string name, double capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  G10_CHECK_MSG(capacity > 0.0, "resource capacity must be positive");
+}
+
+void UsageRecorder::add(TimeNs t, double delta) { series_.add(t, delta); }
+
+void UsageRecorder::set(TimeNs t, double value) { series_.set(t, value); }
+
+double UsageRecorder::utilization(TimeNs a, TimeNs b) const {
+  return series_.average(a, b) / capacity_;
+}
+
+}  // namespace g10::sim

@@ -1,0 +1,42 @@
+// Ground-truth resource usage recording.
+//
+// Every simulated machine owns one recorder per consumable resource (CPU
+// cores in use, NIC transmit rate). The recorder is the *perfect* usage
+// signal: the monitoring substrate samples it to produce the coarse traces
+// Grade10 consumes, and Table II's accuracy experiment compares Grade10's
+// upsampled output back against windowed averages of it.
+#pragma once
+
+#include <string>
+
+#include "common/step_function.hpp"
+#include "common/time.hpp"
+
+namespace g10::sim {
+
+class UsageRecorder {
+ public:
+  UsageRecorder(std::string name, double capacity);
+
+  /// Adds delta to current usage at time t (e.g. +1 when a core starts).
+  void add(TimeNs t, double delta);
+
+  /// Sets the absolute usage level at time t (non-decreasing t).
+  void set(TimeNs t, double value);
+
+  double current() const { return series_.empty() ? 0.0 : series_.values().back(); }
+  double capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+  const StepFunction& series() const { return series_; }
+
+  /// Average usage over [a, b) as a fraction of capacity.
+  double utilization(TimeNs a, TimeNs b) const;
+
+ private:
+  std::string name_;
+  double capacity_;
+  StepFunction series_;
+};
+
+}  // namespace g10::sim

@@ -1,0 +1,144 @@
+#include "trace/log_io.hpp"
+
+#include <sstream>
+
+#include "common/strings.hpp"
+
+namespace g10::trace {
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+void write_phase_event(std::ostream& os, const PhaseEventRecord& rec) {
+  os << "PHASE\t" << (rec.kind == PhaseEventRecord::Kind::Begin ? 'B' : 'E')
+     << '\t' << rec.path.to_string() << '\t' << rec.time << '\t' << rec.machine
+     << '\n';
+}
+
+void write_blocking_event(std::ostream& os, const BlockingEventRecord& rec) {
+  os << "BLOCK\t" << rec.resource << '\t' << rec.path.to_string() << '\t'
+     << rec.begin << '\t' << rec.end << '\t' << rec.machine << '\n';
+}
+
+void write_monitoring_sample(std::ostream& os,
+                             const MonitoringSampleRecord& rec) {
+  os << "SAMPLE\t" << rec.resource << '\t' << rec.machine << '\t' << rec.time
+     << '\t' << format_double(rec.value) << '\n';
+}
+
+void write_log(std::ostream& os,
+               const std::vector<PhaseEventRecord>& phase_events,
+               const std::vector<BlockingEventRecord>& blocking_events,
+               const std::vector<MonitoringSampleRecord>& samples) {
+  os << "# grade10 trace log v1\n";
+  for (const auto& rec : phase_events) write_phase_event(os, rec);
+  for (const auto& rec : blocking_events) write_blocking_event(os, rec);
+  for (const auto& rec : samples) write_monitoring_sample(os, rec);
+}
+
+namespace {
+
+std::optional<std::string> parse_phase_line(
+    const std::vector<std::string_view>& fields, ParsedLog& out) {
+  if (fields.size() != 5) return "PHASE record needs 5 fields";
+  PhaseEventRecord rec;
+  if (fields[1] == "B") {
+    rec.kind = PhaseEventRecord::Kind::Begin;
+  } else if (fields[1] == "E") {
+    rec.kind = PhaseEventRecord::Kind::End;
+  } else {
+    return "PHASE kind must be B or E";
+  }
+  auto path = parse_phase_path(fields[2]);
+  if (!path) return "malformed phase path";
+  rec.path = std::move(*path);
+  const auto time = parse_int(fields[3]);
+  if (!time || *time < 0) return "malformed PHASE time";
+  rec.time = *time;
+  const auto machine = parse_int(fields[4]);
+  if (!machine) return "malformed PHASE machine";
+  rec.machine = static_cast<MachineId>(*machine);
+  out.phase_events.push_back(std::move(rec));
+  return std::nullopt;
+}
+
+std::optional<std::string> parse_block_line(
+    const std::vector<std::string_view>& fields, ParsedLog& out) {
+  if (fields.size() != 6) return "BLOCK record needs 6 fields";
+  BlockingEventRecord rec;
+  rec.resource = std::string(fields[1]);
+  if (rec.resource.empty()) return "empty BLOCK resource";
+  auto path = parse_phase_path(fields[2]);
+  if (!path) return "malformed phase path";
+  rec.path = std::move(*path);
+  const auto begin = parse_int(fields[3]);
+  const auto end = parse_int(fields[4]);
+  if (!begin || !end || *begin < 0 || *end < *begin) {
+    return "malformed BLOCK interval";
+  }
+  rec.begin = *begin;
+  rec.end = *end;
+  const auto machine = parse_int(fields[5]);
+  if (!machine) return "malformed BLOCK machine";
+  rec.machine = static_cast<MachineId>(*machine);
+  out.blocking_events.push_back(std::move(rec));
+  return std::nullopt;
+}
+
+std::optional<std::string> parse_sample_line(
+    const std::vector<std::string_view>& fields, ParsedLog& out) {
+  if (fields.size() != 5) return "SAMPLE record needs 5 fields";
+  MonitoringSampleRecord rec;
+  rec.resource = std::string(fields[1]);
+  if (rec.resource.empty()) return "empty SAMPLE resource";
+  const auto machine = parse_int(fields[2]);
+  if (!machine) return "malformed SAMPLE machine";
+  rec.machine = static_cast<MachineId>(*machine);
+  const auto time = parse_int(fields[3]);
+  if (!time || *time < 0) return "malformed SAMPLE time";
+  rec.time = *time;
+  const auto value = parse_double(fields[4]);
+  if (!value) return "malformed SAMPLE value";
+  rec.value = *value;
+  out.samples.push_back(std::move(rec));
+  return std::nullopt;
+}
+
+}  // namespace
+
+ParseResult parse_log(std::istream& is) {
+  ParseResult result;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(is, line)) {
+    ++line_number;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = split(trimmed, '\t');
+    std::optional<std::string> error;
+    if (fields[0] == "PHASE") {
+      error = parse_phase_line(fields, result.log);
+    } else if (fields[0] == "BLOCK") {
+      error = parse_block_line(fields, result.log);
+    } else if (fields[0] == "SAMPLE") {
+      error = parse_sample_line(fields, result.log);
+    } else {
+      error = "unknown record type: " + std::string(fields[0]);
+    }
+    if (error) {
+      result.error = ParseError{line_number, *error};
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace g10::trace

@@ -1,0 +1,55 @@
+// Text serialization of the trace record types.
+//
+// Format: one record per line, tab-separated, leading record-type token:
+//   PHASE  <B|E>  <path>      <time_ns>  <machine>
+//   BLOCK  <resource>  <path>  <begin_ns>  <end_ns>  <machine>
+//   SAMPLE <resource>  <machine>  <time_ns>  <value>
+// Lines starting with '#' and blank lines are ignored. The parser reports
+// the first malformed line with its line number.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/records.hpp"
+
+namespace g10::trace {
+
+void write_phase_event(std::ostream& os, const PhaseEventRecord& rec);
+void write_blocking_event(std::ostream& os, const BlockingEventRecord& rec);
+void write_monitoring_sample(std::ostream& os,
+                             const MonitoringSampleRecord& rec);
+
+/// Writes all loggable records of a run (phase events, blocking events) plus
+/// the given monitoring samples, in a stable order.
+void write_log(std::ostream& os,
+               const std::vector<PhaseEventRecord>& phase_events,
+               const std::vector<BlockingEventRecord>& blocking_events,
+               const std::vector<MonitoringSampleRecord>& samples);
+
+struct ParsedLog {
+  std::vector<PhaseEventRecord> phase_events;
+  std::vector<BlockingEventRecord> blocking_events;
+  std::vector<MonitoringSampleRecord> samples;
+};
+
+struct ParseError {
+  std::size_t line_number = 0;
+  std::string message;
+};
+
+/// Parses a log stream; returns the records or the first error.
+/// (A tiny expected<>-style result to stay dependency-free.)
+struct ParseResult {
+  ParsedLog log;
+  std::optional<ParseError> error;
+
+  bool ok() const { return !error.has_value(); }
+};
+
+ParseResult parse_log(std::istream& is);
+
+}  // namespace g10::trace

@@ -1,0 +1,49 @@
+#include "trace/phase_path.hpp"
+
+#include "common/strings.hpp"
+
+namespace g10::trace {
+
+PhasePath PhasePath::parent() const {
+  PhasePath p;
+  if (elements.size() > 1) {
+    p.elements.assign(elements.begin(), elements.end() - 1);
+  }
+  return p;
+}
+
+PhasePath PhasePath::child(std::string type, std::int64_t index) const {
+  PhasePath p = *this;
+  p.elements.push_back(PathElement{std::move(type), index});
+  return p;
+}
+
+std::string PhasePath::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < elements.size(); ++i) {
+    if (i != 0) out += '/';
+    out += elements[i].type;
+    out += '.';
+    out += std::to_string(elements[i].index);
+  }
+  return out;
+}
+
+std::optional<PhasePath> parse_phase_path(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  PhasePath path;
+  for (std::string_view part : split(text, '/')) {
+    const std::size_t dot = part.rfind('.');
+    if (dot == std::string_view::npos || dot == 0) return std::nullopt;
+    const auto index = parse_int(part.substr(dot + 1));
+    if (!index || *index < 0) return std::nullopt;
+    PathElement element;
+    element.type = std::string(part.substr(0, dot));
+    element.index = *index;
+    if (element.type.empty()) return std::nullopt;
+    path.elements.push_back(std::move(element));
+  }
+  return path;
+}
+
+}  // namespace g10::trace

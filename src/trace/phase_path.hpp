@@ -1,0 +1,46 @@
+// Hierarchical phase-instance paths.
+//
+// A running workload is a tree of phase instances; each instance is named by
+// the path of (phase-type, instance-index) pairs from the root, e.g.
+//   Job.0/Execute.0/Superstep.3/WorkerCompute.2/ComputeThread.5
+// Engines emit these paths in their logs; Grade10 parses them and matches
+// the types against the user-supplied execution model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g10::trace {
+
+struct PathElement {
+  std::string type;       ///< phase-type name, e.g. "Superstep"
+  std::int64_t index = 0; ///< instance index among siblings of this type
+
+  friend bool operator==(const PathElement&, const PathElement&) = default;
+};
+
+struct PhasePath {
+  std::vector<PathElement> elements;
+
+  bool empty() const { return elements.empty(); }
+  std::size_t depth() const { return elements.size(); }
+  const PathElement& leaf() const { return elements.back(); }
+
+  /// Parent path (all but the last element).
+  PhasePath parent() const;
+
+  /// Child path with one more element.
+  PhasePath child(std::string type, std::int64_t index) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const PhasePath&, const PhasePath&) = default;
+};
+
+/// Parses "Type.idx/Type.idx/..."; nullopt on malformed input.
+std::optional<PhasePath> parse_phase_path(std::string_view text);
+
+}  // namespace g10::trace

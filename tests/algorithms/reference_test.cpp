@@ -1,0 +1,170 @@
+#include "algorithms/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "graph/builder.hpp"
+
+namespace g10::algorithms {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Graph chain4() {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  return b.build({});
+}
+
+Graph two_triangles() {
+  // {0,1,2} and {3,4,5}, undirected.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  b.add_edge(5, 3);
+  GraphBuilder::Options options;
+  options.symmetrize = true;
+  return b.build(options);
+}
+
+TEST(BfsReferenceTest, ChainDistances) {
+  const auto dist = bfs_reference(chain4(), 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 2.0);
+  EXPECT_DOUBLE_EQ(dist[3], 3.0);
+}
+
+TEST(BfsReferenceTest, UnreachableIsInfinite) {
+  const auto dist = bfs_reference(chain4(), 2);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+  EXPECT_DOUBLE_EQ(dist[3], 1.0);
+  EXPECT_EQ(dist[0], kInf);
+  EXPECT_EQ(dist[1], kInf);
+}
+
+TEST(WccReferenceTest, TwoComponents) {
+  const auto labels = wcc_reference(two_triangles());
+  EXPECT_DOUBLE_EQ(labels[0], 0.0);
+  EXPECT_DOUBLE_EQ(labels[1], 0.0);
+  EXPECT_DOUBLE_EQ(labels[2], 0.0);
+  EXPECT_DOUBLE_EQ(labels[3], 3.0);
+  EXPECT_DOUBLE_EQ(labels[4], 3.0);
+  EXPECT_DOUBLE_EQ(labels[5], 3.0);
+}
+
+TEST(WccReferenceTest, DirectedEdgesStillConnect) {
+  // WCC treats edges as undirected even in a directed chain.
+  const auto labels = wcc_reference(chain4());
+  for (const double l : labels) EXPECT_DOUBLE_EQ(l, 0.0);
+}
+
+TEST(PageRankReferenceTest, UniformOnRing) {
+  GraphBuilder b(4);
+  for (VertexId v = 0; v < 4; ++v) b.add_edge(v, (v + 1) % 4);
+  const auto pr = pagerank_reference(b.build({}), 20);
+  for (const double x : pr) EXPECT_NEAR(x, 0.25, 1e-9);
+}
+
+TEST(PageRankReferenceTest, SinkAccumulatesMass) {
+  // 0 -> 2, 1 -> 2: vertex 2 gets more rank than 0 and 1.
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const auto pr = pagerank_reference(b.build({}), 10);
+  EXPECT_GT(pr[2], pr[0]);
+  EXPECT_NEAR(pr[0], pr[1], 1e-12);
+}
+
+TEST(PageRankReferenceTest, MassIsBoundedByOne) {
+  const auto pr = pagerank_reference(two_triangles(), 15);
+  double sum = 0.0;
+  for (const double x : pr) sum += x;
+  // No dangling vertices in this graph: mass conserved.
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(PageRankReferenceTest, ZeroIterationsIsInitialValue) {
+  const auto pr = pagerank_reference(chain4(), 0);
+  for (const double x : pr) EXPECT_DOUBLE_EQ(x, 0.25);
+}
+
+TEST(SsspReferenceTest, WeightedShortcutBeatsDirectEdge) {
+  // 0 -> 2 costs 10 directly, but 0 -> 1 -> 2 costs 3.
+  GraphBuilder b(3);
+  b.add_edge(0, 2, 10.0);
+  b.add_edge(0, 1, 1.0);
+  b.add_edge(1, 2, 2.0);
+  const auto dist = sssp_reference(b.build({}), 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 3.0);
+}
+
+TEST(SsspReferenceTest, UnweightedEqualsBfs) {
+  const auto g = two_triangles();
+  const auto bfs = bfs_reference(g, 0);
+  const auto sssp = sssp_reference(g, 0);
+  for (std::size_t v = 0; v < bfs.size(); ++v) {
+    if (std::isinf(bfs[v])) {
+      EXPECT_TRUE(std::isinf(sssp[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(sssp[v], bfs[v]);
+    }
+  }
+}
+
+TEST(SsspReferenceTest, UnreachableIsInfinite) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1, 1.0);
+  const auto dist = sssp_reference(b.build({}), 0);
+  EXPECT_EQ(dist[2], kInf);
+}
+
+TEST(SsspReferenceTest, RejectsNegativeWeights) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1, -1.0);
+  EXPECT_THROW(sssp_reference(b.build({}), 0), CheckError);
+}
+
+TEST(CdlpReferenceTest, CliquesConvergeToMinLabel) {
+  const auto labels = cdlp_reference(two_triangles(), 5);
+  EXPECT_DOUBLE_EQ(labels[0], 0.0);
+  EXPECT_DOUBLE_EQ(labels[1], 0.0);
+  EXPECT_DOUBLE_EQ(labels[2], 0.0);
+  EXPECT_DOUBLE_EQ(labels[3], 3.0);
+  EXPECT_DOUBLE_EQ(labels[4], 3.0);
+  EXPECT_DOUBLE_EQ(labels[5], 3.0);
+}
+
+TEST(CdlpReferenceTest, IsolatedVertexKeepsOwnLabel) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const auto labels = cdlp_reference(b.build({}), 3);
+  EXPECT_DOUBLE_EQ(labels[2], 2.0);
+}
+
+TEST(CdlpReferenceTest, OneIterationTakesNeighborMode) {
+  // 2 has in-neighbors {0, 1}; mode ties to the smallest label (0).
+  GraphBuilder b(3);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const auto labels = cdlp_reference(b.build({}), 1);
+  EXPECT_DOUBLE_EQ(labels[2], 0.0);
+}
+
+}  // namespace
+}  // namespace g10::algorithms

@@ -1,0 +1,88 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace g10 {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  RunningStats s;
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : values) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  // Sample variance with n-1: sum of squared deviations = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStatsTest, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(PercentileTest, EmptyIsZero) { EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0); }
+
+TEST(PercentileTest, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(PercentileTest, MedianInterpolatesEvenCount) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(PercentileTest, LinearInterpolation) {
+  // p25 of {0, 10, 20, 30}: position 0.75 -> 7.5.
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0, 20.0, 30.0}, 0.25), 7.5);
+}
+
+TEST(CoefficientOfVariationTest, UniformIsZero) {
+  EXPECT_DOUBLE_EQ(coefficient_of_variation({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(CoefficientOfVariationTest, KnownValue) {
+  // mean 2, sample stddev sqrt(2) for {1,3} -> cv = sqrt(2)/2.
+  EXPECT_NEAR(coefficient_of_variation({1.0, 3.0}), std::sqrt(2.0) / 2.0,
+              1e-12);
+}
+
+TEST(RelativeL1ErrorTest, IdenticalSeriesIsZero) {
+  EXPECT_DOUBLE_EQ(relative_l1_error({1.0, 2.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(RelativeL1ErrorTest, KnownValue) {
+  // |1-2| + |2-2| = 1, reference mass 4 -> 0.25.
+  EXPECT_DOUBLE_EQ(relative_l1_error({1.0, 2.0}, {2.0, 2.0}), 0.25);
+}
+
+TEST(RelativeL1ErrorTest, ZeroReference) {
+  EXPECT_DOUBLE_EQ(relative_l1_error({0.0, 0.0}, {0.0, 0.0}), 0.0);
+  EXPECT_GT(relative_l1_error({1.0, 0.0}, {0.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace g10

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+
+namespace g10 {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+TEST(TextTableTest, RejectsMismatchedRowWidth) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), CheckError);
+}
+
+TEST(TextTableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), CheckError);
+}
+
+TEST(CsvWriterTest, WritesAndEscapes) {
+  const std::string path = ::testing::TempDir() + "/g10_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row(std::vector<std::string>{"plain", "with,comma", "with\"quote"});
+    csv.write_row(std::vector<double>{1.5, 2.0}, 1);
+  }
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "plain,\"with,comma\",\"with\"\"quote\"");
+  EXPECT_EQ(line2, "1.5,2.0");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace g10

@@ -1,0 +1,73 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace g10 {
+namespace {
+
+TEST(TimesliceGridTest, SliceOfFloors) {
+  TimesliceGrid grid(10);
+  EXPECT_EQ(grid.slice_of(0), 0);
+  EXPECT_EQ(grid.slice_of(9), 0);
+  EXPECT_EQ(grid.slice_of(10), 1);
+  EXPECT_EQ(grid.slice_of(25), 2);
+}
+
+TEST(TimesliceGridTest, SliceCeil) {
+  TimesliceGrid grid(10);
+  EXPECT_EQ(grid.slice_ceil(0), 0);
+  EXPECT_EQ(grid.slice_ceil(1), 1);
+  EXPECT_EQ(grid.slice_ceil(10), 1);
+  EXPECT_EQ(grid.slice_ceil(11), 2);
+}
+
+TEST(TimesliceGridTest, StartEndRoundTrip) {
+  TimesliceGrid grid(10 * kMillisecond);
+  EXPECT_EQ(grid.start_of(3), 30 * kMillisecond);
+  EXPECT_EQ(grid.end_of(3), 40 * kMillisecond);
+  EXPECT_EQ(grid.slice_of(grid.start_of(7)), 7);
+}
+
+TEST(TimesliceGridTest, SliceCount) {
+  TimesliceGrid grid(10);
+  EXPECT_EQ(grid.slice_count(0), 0);
+  EXPECT_EQ(grid.slice_count(1), 1);
+  EXPECT_EQ(grid.slice_count(10), 1);
+  EXPECT_EQ(grid.slice_count(11), 2);
+}
+
+TEST(TimesliceGridTest, RejectsNonPositiveDuration) {
+  EXPECT_THROW(TimesliceGrid(0), CheckError);
+  EXPECT_THROW(TimesliceGrid(-5), CheckError);
+}
+
+TEST(IntervalTest, OverlapAndContains) {
+  const Interval i{10, 20};
+  EXPECT_EQ(i.length(), 10);
+  EXPECT_FALSE(i.empty());
+  EXPECT_TRUE(i.contains(10));
+  EXPECT_FALSE(i.contains(20));
+  EXPECT_EQ(i.overlap(0, 15), 5);
+  EXPECT_EQ(i.overlap(15, 30), 5);
+  EXPECT_EQ(i.overlap(12, 18), 6);
+  EXPECT_EQ(i.overlap(20, 30), 0);
+  EXPECT_EQ(i.overlap(0, 10), 0);
+}
+
+TEST(IntervalTest, EmptyInterval) {
+  const Interval i{5, 5};
+  EXPECT_TRUE(i.empty());
+  EXPECT_EQ(i.overlap(0, 100), 0);
+}
+
+TEST(TimeConversionTest, SecondsAndMillis) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMillisecond), 0.001);
+  EXPECT_DOUBLE_EQ(to_millis(kSecond), 1000.0);
+  EXPECT_DOUBLE_EQ(to_millis(kMicrosecond), 0.001);
+}
+
+}  // namespace
+}  // namespace g10

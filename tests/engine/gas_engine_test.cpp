@@ -1,0 +1,229 @@
+#include "engine/gas/gas_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "algorithms/programs.hpp"
+#include "algorithms/reference.hpp"
+#include "graph/generators.hpp"
+
+namespace g10::engine {
+namespace {
+
+using algorithms::Bfs;
+using algorithms::Cdlp;
+using algorithms::PageRank;
+using algorithms::Wcc;
+
+graph::Graph small_graph() {
+  graph::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 8;
+  params.seed = 17;
+  return generate_rmat(params);
+}
+
+graph::Graph small_undirected() {
+  graph::DatagenParams params;
+  params.vertices = 512;
+  params.mean_degree = 8;
+  params.seed = 21;
+  return generate_datagen_like(params);
+}
+
+GasConfig small_config() {
+  GasConfig cfg;
+  cfg.cluster.machine_count = 3;
+  cfg.cluster.machine.cores = 4;
+  cfg.seed = 55;
+  return cfg;
+}
+
+void expect_values_near(const std::vector<double>& actual,
+                        const std::vector<double>& expected, double tol) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::isinf(expected[i])) {
+      EXPECT_TRUE(std::isinf(actual[i])) << "vertex " << i;
+    } else {
+      EXPECT_NEAR(actual[i], expected[i], tol) << "vertex " << i;
+    }
+  }
+}
+
+TEST(GasEngineTest, PageRankMatchesReference) {
+  const auto g = small_graph();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, PageRank(8));
+  expect_values_near(result.vertex_values,
+                     algorithms::pagerank_reference(g, 8), 1e-9);
+}
+
+TEST(GasEngineTest, BfsMatchesReference) {
+  const auto g = small_graph();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, Bfs(1));
+  expect_values_near(result.vertex_values, algorithms::bfs_reference(g, 1),
+                     1e-12);
+}
+
+TEST(GasEngineTest, WccMatchesReference) {
+  const auto g = small_undirected();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, Wcc());
+  expect_values_near(result.vertex_values, algorithms::wcc_reference(g),
+                     1e-12);
+}
+
+TEST(GasEngineTest, CdlpMatchesReference) {
+  const auto g = small_undirected();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, Cdlp(4));
+  expect_values_near(result.vertex_values, algorithms::cdlp_reference(g, 4),
+                     1e-12);
+}
+
+TEST(GasEngineTest, SsspMatchesDijkstraOnWeightedGraph) {
+  auto g = small_graph();
+  graph::assign_random_weights(g, 1.0, 10.0, 99);
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, algorithms::Sssp(1));
+  expect_values_near(result.vertex_values,
+                     algorithms::sssp_reference(g, 1), 1e-9);
+}
+
+TEST(GasEngineTest, SsspOnUnweightedGraphEqualsBfs) {
+  const auto g = small_graph();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, algorithms::Sssp(1));
+  expect_values_near(result.vertex_values, algorithms::bfs_reference(g, 1),
+                     1e-12);
+}
+
+TEST(GasEngineTest, DeterministicForSameSeed) {
+  const auto g = small_graph();
+  const GasEngine engine(small_config());
+  const auto a = engine.run(g, PageRank(5));
+  const auto b = engine.run(g, PageRank(5));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.phase_events.size(), b.phase_events.size());
+}
+
+TEST(GasEngineTest, PhaseEventsAreBalanced) {
+  const auto g = small_graph();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, PageRank(4));
+  std::map<std::string, int> open;
+  for (const auto& event : result.phase_events) {
+    open[event.path.to_string()] +=
+        event.kind == trace::PhaseEventRecord::Kind::Begin ? 1 : -1;
+  }
+  for (const auto& [key, count] : open) EXPECT_EQ(count, 0) << key;
+}
+
+TEST(GasEngineTest, NoBlockingEventsEver) {
+  // PowerGraph has no GC and no explicit queue stalls (paper §IV-C).
+  const auto g = small_undirected();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, Cdlp(4));
+  EXPECT_TRUE(result.blocking_events.empty());
+}
+
+TEST(GasEngineTest, CpuWithinCapacity) {
+  const auto g = small_graph();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, PageRank(5));
+  for (const auto& gt : result.ground_truth) {
+    if (gt.resource != gas_names::kCpu) continue;
+    EXPECT_LE(gt.series.max_over(0, result.makespan), gt.capacity + 1e-9);
+  }
+}
+
+TEST(GasEngineTest, IterationStepsPresentAndOrdered) {
+  const auto g = small_graph();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, PageRank(3));
+  // Gather of iteration 0 must end before Apply of iteration 0 begins.
+  std::map<std::string, std::pair<TimeNs, TimeNs>> spans;
+  for (const auto& event : result.phase_events) {
+    auto& span = spans[event.path.to_string()];
+    (event.kind == trace::PhaseEventRecord::Kind::Begin ? span.first
+                                                        : span.second) =
+        event.time;
+  }
+  const std::string prefix = "Job.0/Execute.0/Iteration.0/";
+  ASSERT_TRUE(spans.contains(prefix + "GatherStep.0"));
+  ASSERT_TRUE(spans.contains(prefix + "ApplyStep.0"));
+  ASSERT_TRUE(spans.contains(prefix + "ScatterStep.0"));
+  ASSERT_TRUE(spans.contains(prefix + "ExchangeStep.0"));
+  EXPECT_LE(spans[prefix + "GatherStep.0"].second,
+            spans[prefix + "ApplyStep.0"].first);
+  EXPECT_LE(spans[prefix + "ApplyStep.0"].second,
+            spans[prefix + "ScatterStep.0"].first);
+  EXPECT_LE(spans[prefix + "ScatterStep.0"].second,
+            spans[prefix + "ExchangeStep.0"].first);
+}
+
+TEST(GasEngineTest, SyncBugInflatesGatherSteps) {
+  const auto g = small_undirected();
+  auto cfg = small_config();
+  cfg.seed = 7;
+
+  auto cfg_bug = cfg;
+  cfg_bug.sync_bug.enabled = true;
+  cfg_bug.sync_bug.probability = 1.0;  // every gather step on every worker
+  cfg_bug.sync_bug.min_extra = 0.5;
+  cfg_bug.sync_bug.max_extra = 0.5;
+
+  const auto clean = GasEngine(cfg).run(g, Cdlp(4));
+  const auto buggy = GasEngine(cfg_bug).run(g, Cdlp(4));
+  EXPECT_GT(buggy.makespan, clean.makespan);
+}
+
+TEST(GasEngineTest, SyncBugDisabledByDefault) {
+  const GasConfig cfg;
+  EXPECT_FALSE(cfg.sync_bug.enabled);
+}
+
+class GasPartitioningTest : public ::testing::TestWithParam<VertexCutStrategy> {
+};
+
+TEST_P(GasPartitioningTest, CorrectUnderAllStrategies) {
+  const auto g = small_undirected();
+  auto cfg = small_config();
+  cfg.partitioning = GetParam();
+  const GasEngine engine(cfg);
+  const auto result = engine.run(g, Wcc());
+  const auto expected = algorithms::wcc_reference(g);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_DOUBLE_EQ(result.vertex_values[i], expected[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, GasPartitioningTest,
+                         ::testing::Values(VertexCutStrategy::kHashSource,
+                                           VertexCutStrategy::kGreedy,
+                                           VertexCutStrategy::kRandom));
+
+TEST(GasEngineTest, BfsTerminatesEarlyOnConvergence) {
+  // BFS on a small graph should need far fewer iterations than the cap.
+  const auto g = small_graph();
+  const GasEngine engine(small_config());
+  const auto result = engine.run(g, Bfs(1));
+  std::int64_t max_iteration = -1;
+  for (const auto& event : result.phase_events) {
+    for (const auto& element : event.path.elements) {
+      if (element.type == "Iteration") {
+        max_iteration = std::max(max_iteration, element.index);
+      }
+    }
+  }
+  EXPECT_GE(max_iteration, 1);
+  EXPECT_LT(max_iteration, 100);
+}
+
+}  // namespace
+}  // namespace g10::engine

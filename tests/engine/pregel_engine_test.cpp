@@ -1,0 +1,284 @@
+#include "engine/pregel/pregel_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "algorithms/programs.hpp"
+#include "algorithms/reference.hpp"
+#include "graph/generators.hpp"
+
+namespace g10::engine {
+namespace {
+
+using algorithms::Bfs;
+using algorithms::Cdlp;
+using algorithms::PageRank;
+using algorithms::Wcc;
+
+graph::Graph small_graph() {
+  graph::RmatParams params;
+  params.scale = 9;
+  params.edge_factor = 8;
+  params.seed = 17;
+  return generate_rmat(params);
+}
+
+graph::Graph small_undirected() {
+  graph::DatagenParams params;
+  params.vertices = 512;
+  params.mean_degree = 8;
+  params.seed = 21;
+  return generate_datagen_like(params);
+}
+
+PregelConfig small_config() {
+  PregelConfig cfg;
+  cfg.cluster.machine_count = 3;
+  cfg.cluster.machine.cores = 4;
+  cfg.seed = 123;
+  return cfg;
+}
+
+void expect_values_near(const std::vector<double>& actual,
+                        const std::vector<double>& expected, double tol) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    if (std::isinf(expected[i])) {
+      EXPECT_TRUE(std::isinf(actual[i])) << "vertex " << i;
+    } else {
+      EXPECT_NEAR(actual[i], expected[i], tol) << "vertex " << i;
+    }
+  }
+}
+
+TEST(PregelEngineTest, PageRankMatchesReference) {
+  const auto g = small_graph();
+  const PregelEngine engine(small_config());
+  const auto result = engine.run(g, PageRank(8));
+  expect_values_near(result.vertex_values,
+                     algorithms::pagerank_reference(g, 8), 1e-9);
+}
+
+TEST(PregelEngineTest, BfsMatchesReference) {
+  const auto g = small_graph();
+  const PregelEngine engine(small_config());
+  const auto result = engine.run(g, Bfs(1));
+  expect_values_near(result.vertex_values, algorithms::bfs_reference(g, 1),
+                     1e-12);
+}
+
+TEST(PregelEngineTest, WccMatchesReference) {
+  const auto g = small_undirected();
+  const PregelEngine engine(small_config());
+  const auto result = engine.run(g, Wcc());
+  expect_values_near(result.vertex_values, algorithms::wcc_reference(g),
+                     1e-12);
+}
+
+TEST(PregelEngineTest, CdlpMatchesReference) {
+  const auto g = small_undirected();
+  const PregelEngine engine(small_config());
+  const auto result = engine.run(g, Cdlp(4));
+  expect_values_near(result.vertex_values, algorithms::cdlp_reference(g, 4),
+                     1e-12);
+}
+
+TEST(PregelEngineTest, SsspMatchesDijkstraOnWeightedGraph) {
+  auto g = small_graph();
+  graph::assign_random_weights(g, 1.0, 10.0, 99);
+  const PregelEngine engine(small_config());
+  const auto result = engine.run(g, algorithms::Sssp(1));
+  expect_values_near(result.vertex_values,
+                     algorithms::sssp_reference(g, 1), 1e-9);
+}
+
+TEST(PregelEngineTest, SsspOnUnweightedGraphEqualsBfs) {
+  const auto g = small_graph();
+  const PregelEngine engine(small_config());
+  const auto result = engine.run(g, algorithms::Sssp(1));
+  expect_values_near(result.vertex_values, algorithms::bfs_reference(g, 1),
+                     1e-12);
+}
+
+TEST(PregelEngineTest, DeterministicForSameSeed) {
+  const auto g = small_graph();
+  const PregelEngine engine(small_config());
+  const auto a = engine.run(g, PageRank(5));
+  const auto b = engine.run(g, PageRank(5));
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.phase_events.size(), b.phase_events.size());
+  EXPECT_EQ(a.blocking_events.size(), b.blocking_events.size());
+}
+
+TEST(PregelEngineTest, PhaseEventsAreBalanced) {
+  const auto g = small_graph();
+  const PregelEngine engine(small_config());
+  const auto result = engine.run(g, PageRank(4));
+  std::map<std::string, int> open;
+  for (const auto& event : result.phase_events) {
+    const std::string key = event.path.to_string();
+    if (event.kind == trace::PhaseEventRecord::Kind::Begin) {
+      ++open[key];
+    } else {
+      --open[key];
+    }
+  }
+  for (const auto& [key, count] : open) EXPECT_EQ(count, 0) << key;
+}
+
+TEST(PregelEngineTest, GroundTruthCpuWithinCapacity) {
+  const auto g = small_graph();
+  const auto cfg = small_config();
+  const PregelEngine engine(cfg);
+  const auto result = engine.run(g, PageRank(5));
+  for (const auto& gt : result.ground_truth) {
+    if (gt.resource != pregel_names::kCpu) continue;
+    EXPECT_LE(gt.series.max_over(0, result.makespan), gt.capacity + 1e-9);
+    // Usage never negative.
+    for (const double v : gt.series.values()) EXPECT_GE(v, -1e-9);
+  }
+}
+
+TEST(PregelEngineTest, EmitsGcPausesWhenEnabled) {
+  const auto g = small_undirected();
+  auto cfg = small_config();
+  cfg.gc.young_gen_bytes = 2e5;  // aggressive: force collections
+  const PregelEngine engine(cfg);
+  const auto result = engine.run(g, Cdlp(4));
+  bool has_gc_block = false;
+  for (const auto& block : result.blocking_events) {
+    if (block.resource == pregel_names::kGc) has_gc_block = true;
+  }
+  EXPECT_TRUE(has_gc_block);
+  bool has_gc_phase = false;
+  for (const auto& event : result.phase_events) {
+    if (event.path.leaf().type == "GcPause") has_gc_phase = true;
+  }
+  EXPECT_TRUE(has_gc_phase);
+}
+
+TEST(PregelEngineTest, NoGcWhenDisabled) {
+  const auto g = small_undirected();
+  auto cfg = small_config();
+  cfg.gc.enabled = false;
+  const PregelEngine engine(cfg);
+  const auto result = engine.run(g, Cdlp(4));
+  for (const auto& block : result.blocking_events) {
+    EXPECT_NE(block.resource, pregel_names::kGc);
+  }
+}
+
+TEST(PregelEngineTest, SmallQueueCausesMessageQueueStalls) {
+  const auto g = small_undirected();
+  auto cfg = small_config();
+  cfg.queue.capacity_bytes = 2000;  // tiny buffer: must stall
+  const PregelEngine engine(cfg);
+  const auto result = engine.run(g, Cdlp(3));
+  bool stalled = false;
+  for (const auto& block : result.blocking_events) {
+    if (block.resource == pregel_names::kMessageQueue) stalled = true;
+  }
+  EXPECT_TRUE(stalled);
+}
+
+TEST(PregelEngineTest, BlockingEventsLieWithinTheirPhase) {
+  const auto g = small_undirected();
+  auto cfg = small_config();
+  cfg.gc.young_gen_bytes = 2e6;
+  cfg.queue.capacity_bytes = 50000;
+  const PregelEngine engine(cfg);
+  const auto result = engine.run(g, Cdlp(3));
+  std::map<std::string, std::pair<TimeNs, TimeNs>> spans;
+  for (const auto& event : result.phase_events) {
+    auto& span = spans[event.path.to_string()];
+    if (event.kind == trace::PhaseEventRecord::Kind::Begin) {
+      span.first = event.time;
+    } else {
+      span.second = event.time;
+    }
+  }
+  for (const auto& block : result.blocking_events) {
+    const auto it = spans.find(block.path.to_string());
+    ASSERT_NE(it, spans.end());
+    EXPECT_GE(block.begin, it->second.first);
+    EXPECT_LE(block.end, it->second.second);
+  }
+}
+
+TEST(PregelEngineTest, SuperstepCountMatchesAlgorithm) {
+  const auto g = small_graph();
+  const PregelEngine engine(small_config());
+  const auto result = engine.run(g, PageRank(6));
+  std::int64_t max_superstep = -1;
+  for (const auto& event : result.phase_events) {
+    for (const auto& element : event.path.elements) {
+      if (element.type == "Superstep") {
+        max_superstep = std::max(max_superstep, element.index);
+      }
+    }
+  }
+  // PageRank(6) runs supersteps 0..6.
+  EXPECT_EQ(max_superstep, 6);
+}
+
+TEST(PregelEngineTest, MakespanCoversAllEvents) {
+  const auto g = small_graph();
+  const PregelEngine engine(small_config());
+  const auto result = engine.run(g, Bfs(0));
+  for (const auto& event : result.phase_events) {
+    EXPECT_LE(event.time, result.makespan);
+  }
+  EXPECT_GT(result.makespan, 0);
+}
+
+class PregelChunkingTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PregelChunkingTest, CorrectnessIndependentOfScheduling) {
+  // Chunk size and partition granularity change the DES interleaving but
+  // must never change the algorithm's output.
+  const auto [chunk, partitions] = GetParam();
+  const auto g = small_undirected();
+  auto cfg = small_config();
+  cfg.chunk_vertices = chunk;
+  cfg.partitions_per_thread = partitions;
+  const PregelEngine engine(cfg);
+  const auto result = engine.run(g, Cdlp(4));
+  const auto expected = algorithms::cdlp_reference(g, 4);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_DOUBLE_EQ(result.vertex_values[i], expected[i]) << i;
+  }
+  EXPECT_GT(result.makespan, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, PregelChunkingTest,
+                         ::testing::Values(std::make_pair(16, 1),
+                                           std::make_pair(64, 2),
+                                           std::make_pair(256, 4),
+                                           std::make_pair(4096, 8)));
+
+class PregelWorkerCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PregelWorkerCountTest, CorrectAcrossClusterSizes) {
+  const auto g = small_graph();
+  auto cfg = small_config();
+  cfg.cluster.machine_count = GetParam();
+  const PregelEngine engine(cfg);
+  const auto result = engine.run(g, PageRank(4));
+  const auto expected = algorithms::pagerank_reference(g, 4);
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_NEAR(result.vertex_values[i], expected[i], 1e-9);
+  }
+  // One CPU + one network ground-truth series per machine.
+  EXPECT_EQ(result.ground_truth.size(),
+            static_cast<std::size_t>(2 * GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PregelWorkerCountTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace g10::engine

@@ -1,0 +1,58 @@
+#include "grade10/model/attribution_rules.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace g10::core {
+namespace {
+
+TEST(AttributionRuleTest, Factories) {
+  EXPECT_TRUE(AttributionRule::none().is_none());
+  EXPECT_TRUE(AttributionRule::exact(2.0).is_exact());
+  EXPECT_DOUBLE_EQ(AttributionRule::exact(2.0).amount, 2.0);
+  EXPECT_TRUE(AttributionRule::variable(3.0).is_variable());
+  EXPECT_DOUBLE_EQ(AttributionRule::variable().amount, 1.0);
+}
+
+TEST(AttributionRuleSetTest, DefaultIsImplicitVariableOne) {
+  // Paper §IV-B: without rules, Grade10 assumes Variable(1x) everywhere.
+  AttributionRuleSet rules;
+  const AttributionRule rule = rules.get(3, 5);
+  EXPECT_TRUE(rule.is_variable());
+  EXPECT_DOUBLE_EQ(rule.amount, 1.0);
+  EXPECT_EQ(rules.explicit_rule_count(), 0u);
+}
+
+TEST(AttributionRuleSetTest, ExplicitOverridesDefault) {
+  AttributionRuleSet rules;
+  rules.set(1, 0, AttributionRule::exact(1.0));
+  rules.set(1, 1, AttributionRule::none());
+  EXPECT_TRUE(rules.get(1, 0).is_exact());
+  EXPECT_TRUE(rules.get(1, 1).is_none());
+  EXPECT_TRUE(rules.get(2, 0).is_variable());
+  EXPECT_EQ(rules.explicit_rule_count(), 2u);
+}
+
+TEST(AttributionRuleSetTest, CustomDefault) {
+  AttributionRuleSet rules(AttributionRule::none());
+  EXPECT_TRUE(rules.get(0, 0).is_none());
+}
+
+TEST(AttributionRuleSetTest, RejectsInvalidRules) {
+  AttributionRuleSet rules;
+  EXPECT_THROW(rules.set(-1, 0, AttributionRule::exact(1.0)), CheckError);
+  EXPECT_THROW(rules.set(0, 0, AttributionRule::exact(0.0)), CheckError);
+  EXPECT_THROW(rules.set(0, 0, AttributionRule::variable(-1.0)), CheckError);
+}
+
+TEST(AttributionRuleSetTest, LastSetWins) {
+  AttributionRuleSet rules;
+  rules.set(0, 0, AttributionRule::exact(1.0));
+  rules.set(0, 0, AttributionRule::variable(2.0));
+  EXPECT_TRUE(rules.get(0, 0).is_variable());
+  EXPECT_DOUBLE_EQ(rules.get(0, 0).amount, 2.0);
+}
+
+}  // namespace
+}  // namespace g10::core

@@ -1,0 +1,150 @@
+#include "grade10/attribution/demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace g10::core {
+namespace {
+
+using testing::add_phase;
+using testing::make_block;
+
+struct Fixture {
+  ExecutionModel execution;
+  ResourceModel resources;
+  AttributionRuleSet rules;
+  PhaseTypeId a = kNoPhaseType;
+  PhaseTypeId b = kNoPhaseType;
+  ResourceId cpu = kNoResource;
+
+  Fixture() {
+    const PhaseTypeId job = execution.add_root("Job");
+    a = execution.add_child(job, "A");
+    b = execution.add_child(job, "B");
+    cpu = resources.add_consumable("cpu", 4.0);
+    rules.set(a, cpu, AttributionRule::exact(2.0));
+    rules.set(b, cpu, AttributionRule::variable(1.0));
+  }
+};
+
+TEST(DemandTest, SumsExactAndVariablePerSlice) {
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 60);
+  add_phase(events, "Job.0/A.0", 0, 40, 0);
+  add_phase(events, "Job.0/B.0", 20, 60, 0);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  const auto matrices =
+      estimate_demand(f.resources, f.rules, trace, grid);
+
+  ASSERT_EQ(matrices.size(), 1u);  // cpu on machine 0
+  const DemandMatrix& m = matrices[0];
+  EXPECT_EQ(m.machine, 0);
+  EXPECT_EQ(m.slice_count, 6);
+  // A (Exact 2) active slices 0-3; B (Variable 1) active slices 2-5.
+  EXPECT_DOUBLE_EQ(m.exact[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.exact[1], 2.0);
+  EXPECT_DOUBLE_EQ(m.exact[3], 2.0);
+  EXPECT_DOUBLE_EQ(m.exact[4], 0.0);
+  EXPECT_DOUBLE_EQ(m.variable[0], 0.0);
+  EXPECT_DOUBLE_EQ(m.variable[2], 1.0);
+  EXPECT_DOUBLE_EQ(m.variable[5], 1.0);
+  EXPECT_EQ(m.leaves.size(), 2u);
+}
+
+TEST(DemandTest, BlockedIntervalsRemoveDemand) {
+  Fixture f;
+  f.resources.add_blocking("GC");
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 40);
+  add_phase(events, "Job.0/A.0", 0, 40, 0);
+  std::vector<trace::BlockingEventRecord> blocks{
+      make_block("GC", "Job.0/A.0", 10, 20, 0)};
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, blocks);
+  const TimesliceGrid grid(10);
+  const auto matrices = estimate_demand(f.resources, f.rules, trace, grid);
+  const DemandMatrix& m = matrices[0];
+  EXPECT_DOUBLE_EQ(m.exact[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.exact[1], 0.0);  // blocked: no demand (paper §III-D1)
+  EXPECT_DOUBLE_EQ(m.exact[2], 2.0);
+}
+
+TEST(DemandTest, FractionalSliceCoverage) {
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 20);
+  add_phase(events, "Job.0/A.0", 5, 20, 0);  // half of slice 0
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  const auto matrices = estimate_demand(f.resources, f.rules, trace, grid);
+  EXPECT_DOUBLE_EQ(matrices[0].exact[0], 1.0);  // 2.0 * 0.5
+  EXPECT_DOUBLE_EQ(matrices[0].exact[1], 2.0);
+}
+
+TEST(DemandTest, OneMatrixPerMachine) {
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 20);
+  add_phase(events, "Job.0/A.0", 0, 20, 0);
+  add_phase(events, "Job.0/B.0", 0, 20, 1);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  const auto matrices = estimate_demand(f.resources, f.rules, trace, grid);
+  ASSERT_EQ(matrices.size(), 2u);
+  // Machine 0 sees only A's exact demand; machine 1 only B's variable.
+  for (const auto& m : matrices) {
+    if (m.machine == 0) {
+      EXPECT_DOUBLE_EQ(m.exact[0], 2.0);
+      EXPECT_DOUBLE_EQ(m.variable[0], 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(m.exact[0], 0.0);
+      EXPECT_DOUBLE_EQ(m.variable[0], 1.0);
+    }
+  }
+}
+
+TEST(DemandTest, GlobalResourceCoversAllMachines) {
+  Fixture f;
+  const ResourceId lock =
+      f.resources.add_consumable("lock", 1.0, ResourceScope::kGlobal);
+  f.rules.set(f.a, lock, AttributionRule::variable(1.0));
+  f.rules.set(f.b, lock, AttributionRule::variable(1.0));
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 20);
+  add_phase(events, "Job.0/A.0", 0, 20, 0);
+  add_phase(events, "Job.0/B.0", 0, 20, 1);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  const auto matrices = estimate_demand(f.resources, f.rules, trace, grid);
+  const DemandMatrix* global = nullptr;
+  for (const auto& m : matrices) {
+    if (m.resource == lock) global = &m;
+  }
+  ASSERT_NE(global, nullptr);
+  EXPECT_EQ(global->machine, trace::kGlobalMachine);
+  EXPECT_DOUBLE_EQ(global->variable[0], 2.0);  // both leaves contribute
+}
+
+TEST(DemandTest, NoneRuleExcludesPhase) {
+  Fixture f;
+  f.rules.set(f.b, f.cpu, AttributionRule::none());
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 20);
+  add_phase(events, "Job.0/B.0", 0, 20, 0);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  const auto matrices = estimate_demand(f.resources, f.rules, trace, grid);
+  EXPECT_DOUBLE_EQ(matrices[0].variable[0], 0.0);
+  EXPECT_TRUE(matrices[0].leaves.empty());
+}
+
+}  // namespace
+}  // namespace g10::core

@@ -1,0 +1,171 @@
+#include "grade10/trace/execution_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "test_util.hpp"
+
+namespace g10::core {
+namespace {
+
+using testing::add_phase;
+using testing::make_block;
+
+struct Models {
+  ExecutionModel execution;
+  ResourceModel resources;
+};
+
+Models simple_models() {
+  Models m;
+  const PhaseTypeId job = m.execution.add_root("Job");
+  const PhaseTypeId step = m.execution.add_child(job, "Step", true);
+  m.execution.add_child(step, "Work");
+  m.resources.add_consumable("cpu", 4.0);
+  m.resources.add_blocking("GC");
+  return m;
+}
+
+TEST(ExecutionTraceTest, BuildsInstanceTree) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 50);
+  add_phase(events, "Job.0/Step.0/Work.0", 0, 40, 1);
+  add_phase(events, "Job.0/Step.1", 50, 100);
+  const auto trace =
+      ExecutionTrace::build(m.execution, m.resources, events, {});
+
+  EXPECT_EQ(trace.instances().size(), 4u);
+  EXPECT_EQ(trace.leaves().size(), 2u);  // Work.0 and Step.1 (childless)
+  const InstanceId work = trace.find("Job.0/Step.0/Work.0");
+  ASSERT_NE(work, kNoInstance);
+  const PhaseInstance& instance = trace.instance(work);
+  EXPECT_EQ(instance.begin, 0);
+  EXPECT_EQ(instance.end, 40);
+  EXPECT_EQ(instance.machine, 1);
+  EXPECT_EQ(instance.index, 0);
+  EXPECT_EQ(trace.instance(instance.parent).path, "Job.0/Step.0");
+  EXPECT_EQ(trace.end_time(), 100);
+  ASSERT_EQ(trace.machines().size(), 1u);
+  EXPECT_EQ(trace.machines()[0], 1);
+}
+
+TEST(ExecutionTraceTest, RejectsUnknownType) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 10);
+  add_phase(events, "Job.0/Bogus.0", 0, 5);
+  EXPECT_THROW(ExecutionTrace::build(m.execution, m.resources, events, {}),
+               CheckError);
+  // ...unless unknown phases are explicitly ignored (untuned models).
+  ExecutionTrace::Options options;
+  options.ignore_unknown_phases = true;
+  const auto trace =
+      ExecutionTrace::build(m.execution, m.resources, events, {}, options);
+  EXPECT_EQ(trace.instances().size(), 1u);
+}
+
+TEST(ExecutionTraceTest, RejectsUnbalancedEvents) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  events.push_back({trace::PhaseEventRecord::Kind::Begin,
+                    testing::make_path("Job.0"), 0, -1});
+  EXPECT_THROW(ExecutionTrace::build(m.execution, m.resources, events, {}),
+               CheckError);
+}
+
+TEST(ExecutionTraceTest, RejectsChildEscapingParent) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 120);  // ends after parent
+  EXPECT_THROW(ExecutionTrace::build(m.execution, m.resources, events, {}),
+               CheckError);
+}
+
+TEST(ExecutionTraceTest, RejectsHierarchyViolation) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  // Work directly under Job violates the model (Work's parent is Step).
+  add_phase(events, "Job.0/Work.0", 0, 10);
+  EXPECT_THROW(ExecutionTrace::build(m.execution, m.resources, events, {}),
+               CheckError);
+}
+
+TEST(ExecutionTraceTest, MissingParentInstanceRejected) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0/Work.0", 0, 10);  // Step.0 never logged
+  EXPECT_THROW(ExecutionTrace::build(m.execution, m.resources, events, {}),
+               CheckError);
+}
+
+TEST(ExecutionTraceTest, AttachesAndMergesBlockingEvents) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 100);
+  add_phase(events, "Job.0/Step.0/Work.0", 0, 90, 0);
+  std::vector<trace::BlockingEventRecord> blocks;
+  blocks.push_back(make_block("GC", "Job.0/Step.0/Work.0", 10, 20, 0));
+  blocks.push_back(make_block("GC", "Job.0/Step.0/Work.0", 15, 30, 0));
+  blocks.push_back(make_block("GC", "Job.0/Step.0/Work.0", 50, 60, 0));
+  const auto trace =
+      ExecutionTrace::build(m.execution, m.resources, events, blocks);
+  const PhaseInstance& work =
+      trace.instance(trace.find("Job.0/Step.0/Work.0"));
+  ASSERT_EQ(work.blocked.size(), 2u);  // [10,30) merged, [50,60)
+  EXPECT_EQ(work.blocked[0].begin, 10);
+  EXPECT_EQ(work.blocked[0].end, 30);
+  EXPECT_EQ(work.blocked_time(), 30);
+  EXPECT_EQ(trace.blocking().size(), 3u);
+}
+
+TEST(ExecutionTraceTest, RejectsBlockingOnConsumableResource) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  std::vector<trace::BlockingEventRecord> blocks;
+  blocks.push_back(make_block("cpu", "Job.0", 10, 20));
+  EXPECT_THROW(ExecutionTrace::build(m.execution, m.resources, events, blocks),
+               CheckError);
+}
+
+TEST(ExecutionTraceTest, UnknownBlockingResourceOptionallyIgnored) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  std::vector<trace::BlockingEventRecord> blocks;
+  blocks.push_back(make_block("Mystery", "Job.0", 10, 20));
+  EXPECT_THROW(ExecutionTrace::build(m.execution, m.resources, events, blocks),
+               CheckError);
+  ExecutionTrace::Options options;
+  options.ignore_unknown_blocking = true;
+  const auto trace = ExecutionTrace::build(m.execution, m.resources, events,
+                                           blocks, options);
+  EXPECT_TRUE(trace.blocking().empty());
+}
+
+TEST(ActiveIntervalsTest, SubtractsAndMerges) {
+  const auto active = active_intervals(0, 100, {{20, 40}, {30, 50}, {80, 90}});
+  ASSERT_EQ(active.size(), 3u);
+  EXPECT_EQ(active[0], (Interval{0, 20}));
+  EXPECT_EQ(active[1], (Interval{50, 80}));
+  EXPECT_EQ(active[2], (Interval{90, 100}));
+}
+
+TEST(ActiveIntervalsTest, FullyBlockedIsEmpty) {
+  EXPECT_TRUE(active_intervals(10, 20, {{0, 30}}).empty());
+}
+
+TEST(ActiveIntervalsTest, NoBlocksIsWholeInterval) {
+  const auto active = active_intervals(5, 15, {});
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(active[0], (Interval{5, 15}));
+}
+
+}  // namespace
+}  // namespace g10::core

@@ -1,0 +1,210 @@
+#include "grade10/issues/issue_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace g10::core {
+namespace {
+
+using testing::add_phase;
+using testing::make_block;
+using testing::make_sample;
+
+struct Fixture {
+  ExecutionModel execution;
+  ResourceModel resources;
+  AttributionRuleSet rules;
+  PhaseTypeId worker = kNoPhaseType;
+  ResourceId cpu = kNoResource;
+  ResourceId gc = kNoResource;
+
+  Fixture() {
+    const PhaseTypeId job = execution.add_root("Job");
+    const PhaseTypeId step = execution.add_child(job, "Step", true);
+    worker = execution.add_child(step, "Worker");
+    cpu = resources.add_consumable("cpu", 4.0);
+    gc = resources.add_blocking("GC");
+    rules.set(worker, cpu, AttributionRule::variable(1.0));
+  }
+};
+
+TEST(IssueDetectorTest, ImbalanceImpactMatchesHandComputation) {
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 100);
+  add_phase(events, "Job.0/Step.0/Worker.0", 0, 100, 0);
+  add_phase(events, "Job.0/Step.0/Worker.1", 0, 20, 1);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  AnalysisConfig config;
+  config.timeslice = 10;
+  IssueDetector detector(f.execution, f.resources, trace, grid, config);
+
+  EXPECT_EQ(detector.baseline_makespan(), 100);
+  const PerformanceIssue issue = detector.imbalance_issue(f.worker);
+  // Balanced: both workers 60 -> makespan 60, impact 40%.
+  EXPECT_EQ(issue.optimistic_makespan, 60);
+  EXPECT_NEAR(issue.impact, 0.4, 1e-9);
+  EXPECT_EQ(issue.kind, IssueKind::kImbalance);
+  EXPECT_EQ(issue.phase_type, f.worker);
+}
+
+TEST(IssueDetectorTest, ImbalanceGroupsArePerParent) {
+  // Work is interchangeable within a step, not across steps.
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 200);
+  add_phase(events, "Job.0/Step.0", 0, 100);
+  add_phase(events, "Job.0/Step.0/Worker.0", 0, 100, 0);
+  add_phase(events, "Job.0/Step.0/Worker.1", 0, 20, 1);
+  add_phase(events, "Job.0/Step.1", 100, 200);
+  add_phase(events, "Job.0/Step.1/Worker.0", 100, 140, 0);
+  add_phase(events, "Job.0/Step.1/Worker.1", 100, 200, 1);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  AnalysisConfig config;
+  config.timeslice = 10;
+  IssueDetector detector(f.execution, f.resources, trace, grid, config);
+  const PerformanceIssue issue = detector.imbalance_issue(f.worker);
+  // Step.0 balances to 60, Step.1 balances to 70: makespan 130.
+  EXPECT_EQ(issue.optimistic_makespan, 130);
+}
+
+TEST(IssueDetectorTest, BlockingBottleneckRemovalShrinksPhases) {
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 100);
+  add_phase(events, "Job.0/Step.0/Worker.0", 0, 100, 0);
+  std::vector<trace::BlockingEventRecord> blocks{
+      make_block("GC", "Job.0/Step.0/Worker.0", 10, 40, 0)};
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, blocks);
+  const TimesliceGrid grid(10);
+  AnalysisConfig config;
+  config.timeslice = 10;
+  IssueDetector detector(f.execution, f.resources, trace, grid, config);
+  const auto usage = attribute_usage({}, ResourceTrace(), grid);
+  const auto bottlenecks = detect_bottlenecks(usage, trace, grid, config);
+  const PerformanceIssue issue =
+      detector.bottleneck_issue(f.gc, usage, bottlenecks);
+  // 30 ns of GC removed from a 100 ns phase.
+  EXPECT_EQ(issue.optimistic_makespan, 70);
+  EXPECT_NEAR(issue.impact, 0.3, 1e-9);
+}
+
+TEST(IssueDetectorTest, ConsumableBottleneckShrinksToNextBinding) {
+  Fixture f;
+  const ResourceId net = f.resources.add_consumable("network", 100.0);
+  f.rules.set(f.worker, net, AttributionRule::variable(1.0));
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 100);
+  add_phase(events, "Job.0/Step.0/Worker.0", 0, 100, 0);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  AnalysisConfig config;
+  config.timeslice = 10;
+  // CPU saturated the whole time; network at 50%.
+  std::vector<trace::MonitoringSampleRecord> samples;
+  for (TimeNs t = 10; t <= 100; t += 10) {
+    samples.push_back(make_sample("cpu", 0, t, 4.0));
+    samples.push_back(make_sample("network", 0, t, 50.0));
+  }
+  const auto demand = estimate_demand(f.resources, f.rules, trace, grid);
+  const auto monitored = ResourceTrace::build(f.resources, samples);
+  const auto usage = attribute_usage(demand, monitored, grid);
+  const auto bottlenecks = detect_bottlenecks(usage, trace, grid, config);
+  IssueDetector detector(f.execution, f.resources, trace, grid, config);
+  const PerformanceIssue issue =
+      detector.bottleneck_issue(f.cpu, usage, bottlenecks);
+  // Every slice saturated on cpu; next binding = network at 50% ->
+  // phase halves.
+  EXPECT_EQ(issue.optimistic_makespan, 50);
+  EXPECT_NEAR(issue.impact, 0.5, 1e-9);
+}
+
+TEST(IssueDetectorTest, SelfLimitedShrinkBoundedByHeadroom) {
+  // A phase pinned at its Exact 1-core cap on a 4-core machine can at best
+  // absorb the idle 3 cores: optimistic duration = 1/(1+3) of the original,
+  // not the unbounded next-binding floor.
+  Fixture f;
+  f.rules.set(f.worker, f.cpu, AttributionRule::exact(1.0));
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 100);
+  add_phase(events, "Job.0/Step.0/Worker.0", 0, 100, 0);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  AnalysisConfig config;
+  config.timeslice = 10;
+  std::vector<trace::MonitoringSampleRecord> samples;
+  for (TimeNs t = 10; t <= 100; t += 10) {
+    samples.push_back(make_sample("cpu", 0, t, 1.0));  // exactly at the cap
+  }
+  const auto demand = estimate_demand(f.resources, f.rules, trace, grid);
+  const auto monitored = ResourceTrace::build(f.resources, samples);
+  const auto usage = attribute_usage(demand, monitored, grid);
+  const auto bottlenecks = detect_bottlenecks(usage, trace, grid, config);
+  IssueDetector detector(f.execution, f.resources, trace, grid, config);
+  const PerformanceIssue issue =
+      detector.bottleneck_issue(f.cpu, usage, bottlenecks);
+  // factor = 1 / (1 + 3) = 0.25 -> 100 ns shrinks to ~25 ns.
+  EXPECT_NEAR(static_cast<double>(issue.optimistic_makespan), 25.0, 1.0);
+  EXPECT_NEAR(issue.impact, 0.75, 0.02);
+}
+
+TEST(IssueDetectorTest, DetectFiltersAndSorts) {
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 100);
+  add_phase(events, "Job.0/Step.0/Worker.0", 0, 100, 0);
+  add_phase(events, "Job.0/Step.0/Worker.1", 0, 50, 1);
+  std::vector<trace::BlockingEventRecord> blocks{
+      make_block("GC", "Job.0/Step.0/Worker.0", 0, 10, 0)};
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, blocks);
+  const TimesliceGrid grid(10);
+  AnalysisConfig config;
+  config.timeslice = 10;
+  config.min_issue_impact = 0.05;
+  IssueDetector detector(f.execution, f.resources, trace, grid, config);
+  const auto usage = attribute_usage({}, ResourceTrace(), grid);
+  const auto bottlenecks = detect_bottlenecks(usage, trace, grid, config);
+  const auto issues = detector.detect(usage, bottlenecks);
+  ASSERT_FALSE(issues.empty());
+  for (std::size_t i = 1; i < issues.size(); ++i) {
+    EXPECT_GE(issues[i - 1].impact, issues[i].impact);
+  }
+  for (const auto& issue : issues) {
+    EXPECT_GE(issue.impact, config.min_issue_impact);
+    EXPECT_FALSE(issue.description.empty());
+  }
+}
+
+TEST(IssueDetectorTest, BalancedGroupsHaveNoImpact) {
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 100);
+  add_phase(events, "Job.0/Step.0/Worker.0", 0, 100, 0);
+  add_phase(events, "Job.0/Step.0/Worker.1", 0, 100, 1);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const TimesliceGrid grid(10);
+  AnalysisConfig config;
+  config.timeslice = 10;
+  IssueDetector detector(f.execution, f.resources, trace, grid, config);
+  const PerformanceIssue issue = detector.imbalance_issue(f.worker);
+  EXPECT_NEAR(issue.impact, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace g10::core

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "grade10/models/gas_model.hpp"
+#include "grade10/models/pregel_model.hpp"
+
+namespace g10::core {
+namespace {
+
+TEST(PregelModelTest, StructureIsValidAndComplete) {
+  const FrameworkModel m = make_pregel_model({});
+  m.execution.validate();
+  for (const char* name :
+       {"Job", "LoadGraph", "LoadWorker", "Execute", "Superstep",
+        "WorkerPrepare", "WorkerCompute", "ComputeThread", "WorkerCommunicate",
+        "WorkerBarrier", "GcPause", "StoreResults", "StoreWorker"}) {
+    EXPECT_NE(m.execution.find(name), kNoPhaseType) << name;
+  }
+  EXPECT_TRUE(m.execution.type(m.execution.find("Superstep")).repeated);
+  EXPECT_TRUE(m.execution.type(m.execution.find("WorkerBarrier")).wait);
+  EXPECT_GT(
+      m.execution.type(m.execution.find("ComputeThread")).concurrency_limit,
+      0);
+}
+
+TEST(PregelModelTest, ResourcesMatchEngineNames) {
+  const FrameworkModel m = make_pregel_model({});
+  EXPECT_NE(m.cpu, kNoResource);
+  EXPECT_NE(m.network, kNoResource);
+  EXPECT_NE(m.gc, kNoResource);
+  EXPECT_NE(m.message_queue, kNoResource);
+  EXPECT_EQ(m.resources.resource(m.cpu).kind, ResourceKind::kConsumable);
+  EXPECT_EQ(m.resources.resource(m.gc).kind, ResourceKind::kBlocking);
+  EXPECT_EQ(m.resources.resource(m.message_queue).kind,
+            ResourceKind::kBlocking);
+}
+
+TEST(PregelModelTest, TunedRulesPinComputeThreadsToOneCore) {
+  const FrameworkModel m = make_pregel_model({});
+  const PhaseTypeId thread = m.execution.find("ComputeThread");
+  const AttributionRule rule = m.tuned_rules.get(thread, m.cpu);
+  EXPECT_TRUE(rule.is_exact());
+  EXPECT_DOUBLE_EQ(rule.amount, 1.0);
+  EXPECT_TRUE(m.tuned_rules.get(thread, m.network).is_none());
+  // Untuned: everything is the implicit Variable(1).
+  EXPECT_TRUE(m.untuned_rules.get(thread, m.cpu).is_variable());
+  EXPECT_EQ(m.untuned_rules.explicit_rule_count(), 0u);
+}
+
+TEST(PregelModelTest, GcPauseBurnsAllCores) {
+  PregelModelParams params;
+  params.cores = 6;
+  const FrameworkModel m = make_pregel_model(params);
+  const AttributionRule rule =
+      m.tuned_rules.get(m.execution.find("GcPause"), m.cpu);
+  EXPECT_TRUE(rule.is_exact());
+  EXPECT_DOUBLE_EQ(rule.amount, 6.0);
+  EXPECT_DOUBLE_EQ(m.resources.resource(m.cpu).capacity, 6.0);
+}
+
+TEST(GasModelTest, StructureIsValidAndComplete) {
+  const FrameworkModel m = make_gas_model({});
+  m.execution.validate();
+  for (const char* name :
+       {"Job", "LoadGraph", "Execute", "Iteration", "GatherStep",
+        "WorkerGather", "GatherThread", "ApplyStep", "WorkerApply",
+        "ApplyThread", "ScatterStep", "WorkerScatter", "ScatterThread",
+        "ExchangeStep", "WorkerExchange", "StoreResults", "StoreWorker"}) {
+    EXPECT_NE(m.execution.find(name), kNoPhaseType) << name;
+  }
+  EXPECT_TRUE(m.execution.type(m.execution.find("Iteration")).repeated);
+}
+
+TEST(GasModelTest, NoBlockingResources) {
+  // PowerGraph is native C++: no GC, no queue stalls (paper §IV-C).
+  const FrameworkModel m = make_gas_model({});
+  EXPECT_TRUE(m.resources.blockings().empty());
+  EXPECT_EQ(m.gc, kNoResource);
+  EXPECT_EQ(m.message_queue, kNoResource);
+}
+
+TEST(GasModelTest, StepsAreOrdered) {
+  const FrameworkModel m = make_gas_model({});
+  const PhaseTypeId gather = m.execution.find("GatherStep");
+  const PhaseTypeId apply = m.execution.find("ApplyStep");
+  const auto& succ = m.execution.type(gather).successors;
+  EXPECT_TRUE(std::find(succ.begin(), succ.end(), apply) != succ.end());
+}
+
+TEST(GasModelTest, TunedRulesPinThreads) {
+  const FrameworkModel m = make_gas_model({});
+  for (const char* name : {"GatherThread", "ApplyThread", "ScatterThread"}) {
+    const AttributionRule rule =
+        m.tuned_rules.get(m.execution.find(name), m.cpu);
+    EXPECT_TRUE(rule.is_exact()) << name;
+    EXPECT_DOUBLE_EQ(rule.amount, 1.0);
+  }
+  EXPECT_TRUE(
+      m.tuned_rules.get(m.execution.find("WorkerExchange"), m.network)
+          .is_variable());
+}
+
+}  // namespace
+}  // namespace g10::core

@@ -1,0 +1,99 @@
+#include "grade10/report/phase_profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_util.hpp"
+
+namespace g10::core {
+namespace {
+
+using testing::add_phase;
+using testing::make_block;
+using testing::make_sample;
+
+struct Fixture {
+  ExecutionModel execution;
+  ResourceModel resources;
+  AttributionRuleSet rules;
+  PhaseTypeId job = kNoPhaseType;
+  PhaseTypeId work = kNoPhaseType;
+  ResourceId cpu = kNoResource;
+  ResourceId gc = kNoResource;
+
+  Fixture() {
+    job = execution.add_root("Job");
+    work = execution.add_child(job, "Work");
+    cpu = resources.add_consumable("cpu", 4.0);
+    gc = resources.add_blocking("GC");
+    rules.set(work, cpu, AttributionRule::exact(1.0));
+  }
+};
+
+TEST(PhaseProfileTest, AggregatesByType) {
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Work.0", 0, 60, 0);
+  add_phase(events, "Job.0/Work.1", 0, 40, 0);
+  std::vector<trace::BlockingEventRecord> blocks{
+      make_block("GC", "Job.0/Work.0", 10, 20, 0)};
+  const TimesliceGrid grid(10);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, blocks);
+  const auto demand = estimate_demand(f.resources, f.rules, trace, grid);
+  std::vector<trace::MonitoringSampleRecord> samples;
+  for (TimeNs t = 20; t <= 100; t += 20) {
+    samples.push_back(make_sample("cpu", 0, t, 2.0));
+  }
+  const auto monitored = ResourceTrace::build(f.resources, samples);
+  const auto usage = attribute_usage(demand, monitored, grid);
+  AnalysisConfig config;
+  config.timeslice = 10;
+  const auto bottlenecks = detect_bottlenecks(usage, trace, grid, config);
+
+  const auto profile = build_phase_profile(trace, usage, bottlenecks, grid);
+  const PhaseTypeStats* work_stats = nullptr;
+  const PhaseTypeStats* job_stats = nullptr;
+  for (const auto& stats : profile) {
+    if (stats.type == f.work) work_stats = &stats;
+    if (stats.type == f.job) job_stats = &stats;
+  }
+  ASSERT_NE(work_stats, nullptr);
+  ASSERT_NE(job_stats, nullptr);
+  EXPECT_EQ(work_stats->instances, 2u);
+  EXPECT_EQ(work_stats->total_duration, 100);
+  EXPECT_EQ(work_stats->max_duration, 60);
+  EXPECT_EQ(work_stats->total_blocked, 10);
+  EXPECT_EQ(job_stats->instances, 1u);
+  // Profile is sorted by total duration, descending.
+  for (std::size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_GE(profile[i - 1].total_duration, profile[i].total_duration);
+  }
+  // Attributed CPU usage accrues only to the leaf type.
+  EXPECT_GT(work_stats->usage.at(f.cpu), 0.0);
+  EXPECT_TRUE(job_stats->usage.empty());
+}
+
+TEST(PhaseProfileTest, RendersTable) {
+  Fixture f;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 50);
+  add_phase(events, "Job.0/Work.0", 0, 50, 0);
+  const TimesliceGrid grid(10);
+  const auto trace =
+      ExecutionTrace::build(f.execution, f.resources, events, {});
+  const auto usage = attribute_usage({}, ResourceTrace(), grid);
+  AnalysisConfig config;
+  config.timeslice = 10;
+  const auto bottlenecks = detect_bottlenecks(usage, trace, grid, config);
+  const auto profile = build_phase_profile(trace, usage, bottlenecks, grid);
+  std::ostringstream os;
+  render_phase_profile(os, f.execution, f.resources, profile);
+  EXPECT_NE(os.str().find("Work"), std::string::npos);
+  EXPECT_NE(os.str().find("cpu"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace g10::core

@@ -1,0 +1,169 @@
+// End-to-end: run the simulated engines, sample monitoring data, and push
+// everything through the full Grade10 pipeline.
+#include "grade10/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <sstream>
+
+#include "algorithms/programs.hpp"
+#include "engine/gas/gas_engine.hpp"
+#include "engine/pregel/pregel_engine.hpp"
+#include "grade10/models/gas_model.hpp"
+#include "grade10/models/pregel_model.hpp"
+#include "grade10/report/report.hpp"
+#include "graph/generators.hpp"
+#include "monitor/sampler.hpp"
+
+namespace g10::core {
+namespace {
+
+graph::Graph workload_graph() {
+  graph::DatagenParams params;
+  params.vertices = 1024;
+  params.mean_degree = 10;
+  params.seed = 33;
+  return generate_datagen_like(params);
+}
+
+struct PregelRunResult {
+  trace::RunArtifacts artifacts;
+  std::vector<trace::MonitoringSampleRecord> samples;
+  FrameworkModel model;
+};
+
+PregelRunResult run_pregel() {
+  engine::PregelConfig cfg;
+  cfg.cluster.machine_count = 2;
+  cfg.cluster.machine.cores = 4;
+  cfg.gc.young_gen_bytes = 4e5;
+  cfg.queue.capacity_bytes = 5e4;
+  const engine::PregelEngine engine(cfg);
+  PregelRunResult out;
+  out.artifacts = engine.run(workload_graph(), algorithms::Cdlp(4));
+  out.samples = monitor::sample_ground_truth(out.artifacts.ground_truth,
+                                             50 * kMillisecond,
+                                             out.artifacts.makespan);
+  PregelModelParams params;
+  params.cores = cfg.cluster.machine.cores;
+  params.threads = cfg.effective_threads();
+  params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
+  out.model = make_pregel_model(params);
+  return out;
+}
+
+TEST(PipelineTest, PregelEndToEnd) {
+  const PregelRunResult run = run_pregel();
+  CharacterizationInput input;
+  input.model = &run.model.execution;
+  input.resources = &run.model.resources;
+  input.rules = &run.model.tuned_rules;
+  input.phase_events = run.artifacts.phase_events;
+  input.blocking_events = run.artifacts.blocking_events;
+  input.samples = run.samples;
+  input.config.timeslice = 10 * kMillisecond;
+  input.config.min_issue_impact = 0.0;
+  const CharacterizationResult result = characterize(input);
+
+  // Trace covers the run.
+  EXPECT_GT(result.trace.instances().size(), 10u);
+  EXPECT_EQ(result.trace.end_time(), run.artifacts.makespan);
+
+  // Every attributed resource respects capacity and non-negativity.
+  ASSERT_FALSE(result.usage.resources.empty());
+  for (const auto& r : result.usage.resources) {
+    for (const double u : r.upsampled.usage) {
+      EXPECT_GE(u, -1e-9);
+      EXPECT_LE(u, r.capacity + 1e-6);
+    }
+  }
+
+  // The Giraph stand-in must show GC and/or queue blocking bottlenecks.
+  const auto blocked =
+      BottleneckReport::totals_by_resource(result.bottlenecks.blocked);
+  DurationNs total_blocked = 0;
+  for (const auto& [r, t] : blocked) total_blocked += t;
+  EXPECT_GT(total_blocked, 0);
+
+  // Baseline replay makespan is positive and at most the recorded one.
+  EXPECT_GT(result.baseline_makespan, 0);
+  EXPECT_LE(result.baseline_makespan, run.artifacts.makespan);
+
+  // Issues list is sorted by impact.
+  for (std::size_t i = 1; i < result.issues.size(); ++i) {
+    EXPECT_GE(result.issues[i - 1].impact, result.issues[i].impact);
+  }
+
+  // Report rendering produces non-empty output.
+  std::ostringstream os;
+  render_profile(os, result.trace, run.model.resources, result.usage,
+                 result.grid);
+  render_bottlenecks(os, run.model.resources, result.bottlenecks);
+  render_issues(os, result.issues);
+  EXPECT_GT(os.str().size(), 100u);
+}
+
+TEST(PipelineTest, PregelUntunedStillRuns) {
+  const PregelRunResult run = run_pregel();
+  CharacterizationInput input;
+  input.model = &run.model.execution;
+  input.resources = &run.model.resources;
+  input.rules = &run.model.untuned_rules;
+  input.phase_events = run.artifacts.phase_events;
+  input.blocking_events = run.artifacts.blocking_events;
+  input.samples = run.samples;
+  input.config.timeslice = 10 * kMillisecond;
+  const CharacterizationResult result = characterize(input);
+  EXPECT_FALSE(result.usage.resources.empty());
+}
+
+TEST(PipelineTest, GasEndToEndFindsImbalance) {
+  engine::GasConfig cfg;
+  cfg.cluster.machine_count = 4;
+  cfg.cluster.machine.cores = 4;
+  cfg.sync_bug.enabled = true;
+  cfg.sync_bug.probability = 0.5;
+  cfg.seed = 11;
+  const engine::GasEngine engine(cfg);
+  const auto artifacts = engine.run(workload_graph(), algorithms::Cdlp(5));
+  const auto samples = monitor::sample_ground_truth(
+      artifacts.ground_truth, 50 * kMillisecond, artifacts.makespan);
+
+  GasModelParams params;
+  params.cores = cfg.cluster.machine.cores;
+  params.threads = cfg.effective_threads();
+  params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
+  const FrameworkModel model = make_gas_model(params);
+
+  CharacterizationInput input;
+  input.model = &model.execution;
+  input.resources = &model.resources;
+  input.rules = &model.tuned_rules;
+  input.phase_events = artifacts.phase_events;
+  input.blocking_events = artifacts.blocking_events;
+  input.samples = samples;
+  input.config.timeslice = 10 * kMillisecond;
+  input.config.min_issue_impact = 0.0;
+  const CharacterizationResult result = characterize(input);
+
+  // No blocking resources exist in the GAS model.
+  EXPECT_TRUE(result.bottlenecks.blocked.empty());
+
+  // Imbalance issues must be reported (hash-source cut + sync bug).
+  bool found_imbalance = false;
+  for (const auto& issue : result.issues) {
+    if (issue.kind == IssueKind::kImbalance && issue.impact > 0.0) {
+      found_imbalance = true;
+    }
+  }
+  EXPECT_TRUE(found_imbalance);
+}
+
+TEST(PipelineTest, RequiresModels) {
+  CharacterizationInput input;
+  EXPECT_THROW(characterize(input), CheckError);
+}
+
+}  // namespace
+}  // namespace g10::core

@@ -1,0 +1,321 @@
+#include "grade10/issues/replay_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace g10::core {
+namespace {
+
+using testing::add_phase;
+
+TEST(ReplaySimulatorTest, SequentialChainSumsDurations) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  const PhaseTypeId a = m.add_child(job, "A");
+  const PhaseTypeId b = m.add_child(job, "B");
+  m.add_order(a, b);
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/A.0", 0, 30);
+  add_phase(events, "Job.0/B.0", 40, 100);  // recorded gap of 10
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  // No delays between phases: 30 + 60 = 90 (the gap disappears).
+  EXPECT_EQ(sim.baseline_makespan(), 90);
+}
+
+TEST(ReplaySimulatorTest, ConcurrentSiblingsTakeMax) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  m.add_child(job, "A");
+  m.add_child(job, "B");
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 70);
+  add_phase(events, "Job.0/A.0", 0, 30);
+  add_phase(events, "Job.0/B.0", 0, 70);
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  EXPECT_EQ(sim.baseline_makespan(), 70);
+}
+
+TEST(ReplaySimulatorTest, ParentTailPreserved) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  m.add_child(job, "A");
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);     // 20 of own work after A ends
+  add_phase(events, "Job.0/A.0", 0, 80);
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  EXPECT_EQ(sim.baseline_makespan(), 100);
+}
+
+TEST(ReplaySimulatorTest, RepeatedTypeRunsSequentially) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  m.add_child(job, "Step", /*repeated=*/true);
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 30);
+  add_phase(events, "Job.0/Step.1", 30, 70);
+  add_phase(events, "Job.0/Step.2", 70, 100);
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  EXPECT_EQ(sim.baseline_makespan(), 100);
+
+  // Shrinking step 1 shrinks the chain.
+  auto durations = sim.recorded_durations();
+  durations[static_cast<std::size_t>(trace.find("Job.0/Step.1"))] = 10;
+  EXPECT_EQ(sim.simulate(durations).makespan, 70);
+}
+
+TEST(ReplaySimulatorTest, IndexMatchedPrecedence) {
+  // Prepare.w precedes Compute.w per worker, not across workers.
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  const PhaseTypeId prep = m.add_child(job, "Prepare");
+  const PhaseTypeId compute = m.add_child(job, "Compute");
+  m.add_order(prep, compute);
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 150);
+  add_phase(events, "Job.0/Prepare.0", 0, 10, 0);
+  add_phase(events, "Job.0/Prepare.1", 0, 50, 1);
+  add_phase(events, "Job.0/Compute.0", 10, 110, 0);
+  add_phase(events, "Job.0/Compute.1", 50, 150, 1);
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  const auto schedule = sim.simulate(sim.recorded_durations());
+  // Compute.0 starts right after Prepare.0 (10), not after Prepare.1 (50).
+  EXPECT_EQ(schedule.start[static_cast<std::size_t>(
+                trace.find("Job.0/Compute.0"))],
+            10);
+  EXPECT_EQ(schedule.start[static_cast<std::size_t>(
+                trace.find("Job.0/Compute.1"))],
+            50);
+  EXPECT_EQ(schedule.makespan, 150);
+}
+
+TEST(ReplaySimulatorTest, WaitTypeHasZeroDuration) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  const PhaseTypeId work = m.add_child(job, "Work");
+  const PhaseTypeId barrier = m.add_child(job, "Barrier");
+  m.add_order(work, barrier);
+  m.set_wait(barrier);
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Work.0", 0, 40);
+  add_phase(events, "Job.0/Barrier.0", 40, 100);  // 60 of recorded waiting
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  // The wait is slack: replay collapses it.
+  EXPECT_EQ(sim.baseline_makespan(), 40);
+}
+
+TEST(ReplaySimulatorTest, ConcurrencyLimitQueuesInstances) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  const PhaseTypeId task = m.add_child(job, "Task");
+  m.set_concurrency_limit(task, 2);
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  for (int i = 0; i < 4; ++i) {
+    add_phase(events, "Job.0/Task." + std::to_string(i), 0, 100);
+  }
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  std::vector<DurationNs> durations(trace.instances().size(), 0);
+  for (const InstanceId leaf : trace.leaves()) {
+    durations[static_cast<std::size_t>(leaf)] = 10;
+  }
+  // Four 10-unit tasks on two slots: 20.
+  EXPECT_EQ(sim.simulate(durations).makespan, 20);
+}
+
+TEST(ReplaySimulatorTest, FallbackDependsOnAllPredecessorInstances) {
+  // A has indices {0,1}; B has index 7 with no matching A.7: B waits for
+  // every A.
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  const PhaseTypeId a = m.add_child(job, "A");
+  const PhaseTypeId b = m.add_child(job, "B");
+  m.add_order(a, b);
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/A.0", 0, 30);
+  add_phase(events, "Job.0/A.1", 0, 50);
+  add_phase(events, "Job.0/B.7", 50, 80);
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  const auto schedule = sim.simulate(sim.recorded_durations());
+  EXPECT_EQ(
+      schedule.start[static_cast<std::size_t>(trace.find("Job.0/B.7"))], 50);
+}
+
+TEST(ReplaySimulatorTest, CriticalPathFollowsChain) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  const PhaseTypeId a = m.add_child(job, "A");
+  const PhaseTypeId b = m.add_child(job, "B");
+  m.add_order(a, b);
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 90);
+  add_phase(events, "Job.0/A.0", 0, 30);
+  add_phase(events, "Job.0/B.0", 30, 90);
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  const auto schedule = sim.simulate(sim.recorded_durations());
+  const auto path = sim.critical_leaves(schedule);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(trace.instance(path[0]).path, "Job.0/A.0");
+  EXPECT_EQ(trace.instance(path[1]).path, "Job.0/B.0");
+}
+
+TEST(ReplaySimulatorTest, CriticalPathPicksLongestParallelBranch) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  m.add_child(job, "A");
+  m.add_child(job, "B");
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 70);
+  add_phase(events, "Job.0/A.0", 0, 30);
+  add_phase(events, "Job.0/B.0", 0, 70);
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  const auto schedule = sim.simulate(sim.recorded_durations());
+  const auto path = sim.critical_leaves(schedule);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(trace.instance(path[0]).path, "Job.0/B.0");
+}
+
+TEST(ReplaySimulatorTest, CriticalPathThroughRepeatedSteps) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  const PhaseTypeId step = m.add_child(job, "Step", true);
+  m.add_child(step, "Work");
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 60);
+  add_phase(events, "Job.0/Step.0", 0, 20);
+  add_phase(events, "Job.0/Step.0/Work.0", 0, 10, 0);
+  add_phase(events, "Job.0/Step.0/Work.1", 0, 20, 1);
+  add_phase(events, "Job.0/Step.1", 20, 60);
+  add_phase(events, "Job.0/Step.1/Work.0", 20, 60, 0);
+  add_phase(events, "Job.0/Step.1/Work.1", 20, 30, 1);
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  const auto schedule = sim.simulate(sim.recorded_durations());
+  const auto path = sim.critical_leaves(schedule);
+  // Longest worker of each step: Work.1 of Step.0, then Work.0 of Step.1.
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(trace.instance(path[0]).path, "Job.0/Step.0/Work.1");
+  EXPECT_EQ(trace.instance(path[1]).path, "Job.0/Step.1/Work.0");
+  // Path lengths sum to the makespan (no tails in this model).
+  DurationNs total = 0;
+  for (const InstanceId leaf : path) {
+    total += schedule.end[static_cast<std::size_t>(leaf)] -
+             schedule.start[static_cast<std::size_t>(leaf)];
+  }
+  EXPECT_EQ(total, schedule.makespan);
+}
+
+TEST(ReplaySimulatorTest, NestedHierarchy) {
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  const PhaseTypeId phase = m.add_child(job, "Phase", true);
+  m.add_child(phase, "Worker");
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 110);
+  add_phase(events, "Job.0/Phase.0", 0, 50);
+  add_phase(events, "Job.0/Phase.0/Worker.0", 0, 30, 0);
+  add_phase(events, "Job.0/Phase.0/Worker.1", 0, 50, 1);
+  add_phase(events, "Job.0/Phase.1", 50, 110);
+  add_phase(events, "Job.0/Phase.1/Worker.0", 50, 110, 0);
+  const auto trace = ExecutionTrace::build(m, resources, events, {});
+  const ReplaySimulator sim(m, trace);
+  // Phase.0 = max(30, 50); Phase.1 = 60; sequential = 110.
+  EXPECT_EQ(sim.baseline_makespan(), 110);
+
+  // Balance Phase.0's workers to 40 each: makespan 100.
+  auto durations = sim.recorded_durations();
+  durations[static_cast<std::size_t>(
+      trace.find("Job.0/Phase.0/Worker.0"))] = 40;
+  durations[static_cast<std::size_t>(
+      trace.find("Job.0/Phase.0/Worker.1"))] = 40;
+  EXPECT_EQ(sim.simulate(durations).makespan, 100);
+}
+
+// Property: reducing any leaf duration can never increase the replayed
+// makespan (the schedule is a monotone function of the durations).
+class ReplayMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplayMonotonicityTest, ShrinkingLeavesNeverGrowsMakespan) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131);
+  // Random two-level workload: sequential steps of concurrent workers.
+  ExecutionModel m;
+  const PhaseTypeId job = m.add_root("Job");
+  const PhaseTypeId step = m.add_child(job, "Step", /*repeated=*/true);
+  const PhaseTypeId work = m.add_child(step, "Work");
+  m.set_concurrency_limit(work, 3);
+  ResourceModel resources;
+  std::vector<trace::PhaseEventRecord> events;
+  const int steps = static_cast<int>(rng.next_int(2, 5));
+  TimeNs t = 0;
+  std::vector<TimeNs> step_ends;
+  for (int s = 0; s < steps; ++s) {
+    const int workers = static_cast<int>(rng.next_int(1, 6));
+    TimeNs latest = t;
+    std::vector<std::pair<std::string, TimeNs>> children;
+    for (int w = 0; w < workers; ++w) {
+      const TimeNs end = t + rng.next_int(5, 60);
+      children.emplace_back("Job.0/Step." + std::to_string(s) + "/Work." +
+                                std::to_string(w),
+                            end);
+      latest = std::max(latest, end);
+    }
+    add_phase(events, "Job.0/Step." + std::to_string(s), t, latest);
+    for (const auto& [path, end] : children) {
+      add_phase(events, path, t, end, 0);
+    }
+    t = latest;
+  }
+  // Root must be added before children chronologically? Build() is order-
+  // agnostic for ends but parents must exist; prepend Job.
+  std::vector<trace::PhaseEventRecord> all;
+  add_phase(all, "Job.0", 0, t);
+  all.insert(all.end(), events.begin(), events.end());
+  const auto trace = ExecutionTrace::build(m, resources, all, {});
+  const ReplaySimulator sim(m, trace);
+  auto durations = sim.recorded_durations();
+  TimeNs previous = sim.simulate(durations).makespan;
+  for (int round = 0; round < 20; ++round) {
+    // Shrink one random leaf.
+    const auto& leaves = trace.leaves();
+    const InstanceId leaf = leaves[rng.next_below(leaves.size())];
+    auto& d = durations[static_cast<std::size_t>(leaf)];
+    d = static_cast<DurationNs>(static_cast<double>(d) *
+                                rng.next_double(0.3, 1.0));
+    const TimeNs makespan = sim.simulate(durations).makespan;
+    ASSERT_LE(makespan, previous) << "round " << round;
+    previous = makespan;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayMonotonicityTest,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace g10::core

@@ -1,0 +1,162 @@
+#include "grade10/attribution/upsample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace g10::core {
+namespace {
+
+DemandMatrix make_matrix(std::vector<double> exact, std::vector<double> var,
+                         double capacity) {
+  DemandMatrix m;
+  m.resource = 0;
+  m.machine = 0;
+  m.capacity = capacity;
+  m.slice_count = static_cast<TimesliceIndex>(exact.size());
+  m.exact = std::move(exact);
+  m.variable = std::move(var);
+  return m;
+}
+
+ResourceSeries make_series(std::vector<Measurement> measurements) {
+  ResourceSeries s;
+  s.resource = 0;
+  s.machine = 0;
+  s.measurements = std::move(measurements);
+  return s;
+}
+
+TEST(UpsampleTest, ExactDemandGuidesPlacement) {
+  // Two slices, exact demand only in slice 1; measured average 30 over both
+  // -> mass 60 goes to slice 1 up to its demand, remainder by headroom.
+  const auto m = make_matrix({0.0, 50.0}, {0.0, 0.0}, 100.0);
+  const auto s = make_series({{0, 20, 30.0}});
+  const TimesliceGrid grid(10);
+  const auto up = upsample(m, s, grid);
+  ASSERT_EQ(up.usage.size(), 2u);
+  // 50 to the demanding slice, the remaining 10 by headroom: slice0 has
+  // headroom 100, slice1 has 50 -> 10*100/150 and 10*50/150.
+  EXPECT_NEAR(up.usage[1], 50.0 + 10.0 * 50.0 / 150.0, 1e-9);
+  EXPECT_NEAR(up.usage[0], 10.0 * 100.0 / 150.0, 1e-9);
+  EXPECT_NEAR(up.usage[0] + up.usage[1], 60.0, 1e-9);
+}
+
+TEST(UpsampleTest, PaperR2Example) {
+  // The §III-D2 numbers: demand 1y in slice 0, 50% + 1y in slice 1;
+  // measured 40% average over two slices -> 15% and 65%.
+  const auto m = make_matrix({0.0, 50.0}, {1.0, 1.0}, 100.0);
+  const auto s = make_series({{0, 20, 40.0}});
+  const TimesliceGrid grid(10);
+  const auto up = upsample(m, s, grid);
+  EXPECT_NEAR(up.usage[0], 15.0, 1e-9);
+  EXPECT_NEAR(up.usage[1], 65.0, 1e-9);
+}
+
+TEST(UpsampleTest, VariableSplitRespectsWeights) {
+  const auto m = make_matrix({0.0, 0.0}, {1.0, 3.0}, 100.0);
+  const auto s = make_series({{0, 20, 20.0}});
+  const TimesliceGrid grid(10);
+  const auto up = upsample(m, s, grid);
+  EXPECT_NEAR(up.usage[0], 10.0, 1e-9);
+  EXPECT_NEAR(up.usage[1], 30.0, 1e-9);
+}
+
+TEST(UpsampleTest, CapacityCapsWaterFill) {
+  // Heavy weight on slice 0 but capacity clips it; the rest overflows to
+  // slice 1.
+  const auto m = make_matrix({0.0, 0.0}, {10.0, 1.0}, 100.0);
+  const auto s = make_series({{0, 20, 75.0}});  // mass 150
+  const TimesliceGrid grid(10);
+  const auto up = upsample(m, s, grid);
+  EXPECT_NEAR(up.usage[0], 100.0, 1e-9);
+  EXPECT_NEAR(up.usage[1], 50.0, 1e-9);
+  EXPECT_NEAR(up.unallocated, 0.0, 1e-9);
+}
+
+TEST(UpsampleTest, OverCapacityMassIsReported) {
+  const auto m = make_matrix({0.0}, {1.0}, 100.0);
+  const auto s = make_series({{0, 10, 120.0}});  // impossible: above capacity
+  const TimesliceGrid grid(10);
+  const auto up = upsample(m, s, grid);
+  EXPECT_NEAR(up.usage[0], 100.0, 1e-9);
+  EXPECT_NEAR(up.unallocated, 20.0, 1e-9);
+}
+
+TEST(UpsampleTest, ZeroDemandFallsBackToHeadroom) {
+  const auto m = make_matrix({0.0, 0.0}, {0.0, 0.0}, 100.0);
+  const auto s = make_series({{0, 20, 10.0}});
+  const TimesliceGrid grid(10);
+  const auto up = upsample(m, s, grid);
+  EXPECT_NEAR(up.usage[0], 10.0, 1e-9);
+  EXPECT_NEAR(up.usage[1], 10.0, 1e-9);
+}
+
+TEST(UpsampleConstantTest, SpreadsUniformly) {
+  const auto m = make_matrix({0.0, 50.0}, {1.0, 1.0}, 100.0);
+  const auto s = make_series({{0, 20, 40.0}});
+  const TimesliceGrid grid(10);
+  const auto up = upsample_constant(m, s, grid);
+  EXPECT_NEAR(up.usage[0], 40.0, 1e-9);
+  EXPECT_NEAR(up.usage[1], 40.0, 1e-9);
+}
+
+TEST(UpsampleTest, PartialSliceCoverageWeighted) {
+  // Measurement covers [5, 15): half of slice 0, half of slice 1.
+  const auto m = make_matrix({0.0, 0.0}, {1.0, 1.0}, 100.0);
+  const auto s = make_series({{5, 15, 40.0}});
+  const TimesliceGrid grid(10);
+  const auto up = upsample(m, s, grid);
+  EXPECT_NEAR(up.usage[0] + up.usage[1], 40.0, 1e-9);
+  EXPECT_NEAR(up.usage[0], 20.0, 1e-9);
+}
+
+// Property: mass conservation — the upsampled series plus unallocated mass
+// equals the measured mass, for random demand matrices and measurements.
+class UpsampleConservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpsampleConservationTest, MassIsConserved) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 977);
+  const int slices = 32;
+  const double capacity = 10.0;
+  std::vector<double> exact(slices);
+  std::vector<double> variable(slices);
+  for (int s = 0; s < slices; ++s) {
+    exact[s] = rng.next_bool(0.5) ? rng.next_double(0.0, 8.0) : 0.0;
+    variable[s] = rng.next_bool(0.6) ? rng.next_double(0.0, 3.0) : 0.0;
+  }
+  const auto m = make_matrix(exact, variable, capacity);
+
+  std::vector<Measurement> measurements;
+  TimeNs t = 0;
+  while (t < slices * 10) {
+    const TimeNs len = 10 * rng.next_int(1, 8);
+    const TimeNs end = std::min<TimeNs>(t + len, slices * 10);
+    measurements.push_back({t, end, rng.next_double(0.0, capacity)});
+    t = end;
+  }
+  const auto s = make_series(measurements);
+  const TimesliceGrid grid(10);
+  const auto up = upsample(m, s, grid);
+
+  double measured_mass = 0.0;
+  for (const auto& meas : measurements) {
+    measured_mass += meas.value * static_cast<double>(meas.end - meas.begin) / 10.0;
+  }
+  const double placed =
+      std::accumulate(up.usage.begin(), up.usage.end(), 0.0);
+  EXPECT_NEAR(placed + up.unallocated, measured_mass, 1e-6);
+  // Capacity respected everywhere.
+  for (const double u : up.usage) {
+    EXPECT_LE(u, capacity + 1e-9);
+    EXPECT_GE(u, -1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpsampleConservationTest,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace g10::core

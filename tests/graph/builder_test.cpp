@@ -1,0 +1,186 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace g10::graph {
+namespace {
+
+TEST(GraphBuilderTest, BuildsSortedCsr) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 2);
+  builder.add_edge(0, 1);
+  builder.add_edge(3, 0);
+  const Graph g = builder.build({});
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  const auto n0 = g.out_neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_EQ(g.out_degree(1), 0u);
+  EXPECT_EQ(g.out_degree(3), 1u);
+}
+
+TEST(GraphBuilderTest, DeduplicatesParallelEdges) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 1);
+  const Graph g = builder.build({});
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphBuilderTest, KeepsParallelEdgesWhenAsked) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 1);
+  GraphBuilder::Options options;
+  options.deduplicate = false;
+  const Graph g = builder.build(options);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(GraphBuilderTest, RemovesSelfLoopsByDefault) {
+  GraphBuilder builder(3);
+  builder.add_edge(1, 1);
+  builder.add_edge(0, 1);
+  const Graph g = builder.build({});
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(GraphBuilderTest, SymmetrizeAddsReverseEdges) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  GraphBuilder::Options options;
+  options.symmetrize = true;
+  const Graph g = builder.build(options);
+  EXPECT_EQ(g.edge_count(), 4u);
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 1));
+  EXPECT_TRUE(g.undirected());
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEdge) {
+  GraphBuilder builder(2);
+  EXPECT_THROW(builder.add_edge(0, 2), CheckError);
+  EXPECT_THROW(builder.add_edge(5, 0), CheckError);
+}
+
+TEST(GraphTest, InNeighborsAreCorrect) {
+  GraphBuilder builder(4);
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 2);
+  builder.add_edge(3, 2);
+  builder.add_edge(2, 0);
+  const Graph g = builder.build({});
+  const auto in2 = g.in_neighbors(2);
+  ASSERT_EQ(in2.size(), 3u);
+  EXPECT_EQ(in2[0], 0u);
+  EXPECT_EQ(in2[1], 1u);
+  EXPECT_EQ(in2[2], 3u);
+  EXPECT_EQ(g.in_degree(0), 1u);
+  EXPECT_EQ(g.in_degree(1), 0u);
+}
+
+TEST(GraphTest, HasEdgeBinarySearch) {
+  GraphBuilder builder(5);
+  for (VertexId v = 1; v < 5; ++v) builder.add_edge(0, v);
+  const Graph g = builder.build({});
+  for (VertexId v = 1; v < 5; ++v) EXPECT_TRUE(g.has_edge(0, v));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(GraphTest, EdgeIdMatchesCsrPosition) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 2);
+  const Graph g = builder.build({});
+  EXPECT_EQ(g.edge_id(0, 0), 0u);
+  EXPECT_EQ(g.edge_id(0, 1), 1u);
+  EXPECT_EQ(g.edge_id(1, 0), 2u);
+}
+
+TEST(GraphTest, EmptyGraph) {
+  GraphBuilder builder(3);
+  const Graph g = builder.build({});
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.out_neighbors(0).empty());
+}
+
+TEST(WeightedGraphTest, WeightsFollowEdges) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 2, 5.0);
+  builder.add_edge(0, 1, 2.5);
+  builder.add_edge(1, 2, 7.0);
+  const Graph g = builder.build({});
+  ASSERT_TRUE(g.weighted());
+  // Sorted CSR: (0,1)=2.5, (0,2)=5.0, (1,2)=7.0.
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 2.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1), 5.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(2), 7.0);
+  const auto w0 = g.out_weights(0);
+  ASSERT_EQ(w0.size(), 2u);
+  EXPECT_DOUBLE_EQ(w0[0], 2.5);
+}
+
+TEST(WeightedGraphTest, UnweightedDefaultsToOne) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1);
+  const Graph g = builder.build({});
+  EXPECT_FALSE(g.weighted());
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 1.0);
+  EXPECT_TRUE(g.out_weights(0).empty());
+}
+
+TEST(WeightedGraphTest, SymmetrizeDuplicatesWeight) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1, 3.5);
+  GraphBuilder::Options options;
+  options.symmetrize = true;
+  const Graph g = builder.build(options);
+  EXPECT_DOUBLE_EQ(g.edge_weight(g.edge_id(0, 0)), 3.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(g.edge_id(1, 0)), 3.5);
+}
+
+TEST(WeightedGraphTest, DedupKeepsLightestParallelEdge) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1, 9.0);
+  builder.add_edge(0, 1, 2.0);
+  const Graph g = builder.build({});
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 2.0);
+}
+
+TEST(WeightedGraphTest, InWeightMatchesOutEdge) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 2, 4.0);
+  builder.add_edge(1, 2, 6.0);
+  const Graph g = builder.build({});
+  const auto in2 = g.in_neighbors(2);
+  ASSERT_EQ(in2.size(), 2u);
+  EXPECT_DOUBLE_EQ(g.in_weight(2, 0), 4.0);  // from vertex 0
+  EXPECT_DOUBLE_EQ(g.in_weight(2, 1), 6.0);  // from vertex 1
+}
+
+TEST(WeightedGraphTest, SetWeightsValidatesSize) {
+  GraphBuilder builder(2);
+  builder.add_edge(0, 1);
+  Graph g = builder.build({});
+  EXPECT_THROW(g.set_weights({1.0, 2.0}), CheckError);
+  g.set_weights({2.5});
+  EXPECT_DOUBLE_EQ(g.edge_weight(0), 2.5);
+}
+
+TEST(GraphTest, CsrValidationRejectsBadOffsets) {
+  EXPECT_THROW(Graph({0, 2, 1}, {0, 1}, false, "bad"), CheckError);
+  EXPECT_THROW(Graph({1, 2}, {0}, false, "bad"), CheckError);
+}
+
+}  // namespace
+}  // namespace g10::graph

@@ -1,0 +1,53 @@
+#include "graph/degree_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace g10::graph {
+namespace {
+
+TEST(DegreeStatsTest, UniformDegreesHaveZeroGini) {
+  GraphBuilder builder(4);
+  // Ring: every vertex out-degree 1.
+  for (VertexId v = 0; v < 4; ++v) builder.add_edge(v, (v + 1) % 4);
+  const DegreeStats stats = compute_degree_stats(builder.build({}));
+  EXPECT_EQ(stats.min_out, 1u);
+  EXPECT_EQ(stats.max_out, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_out, 1.0);
+  EXPECT_NEAR(stats.gini, 0.0, 1e-12);
+  EXPECT_EQ(stats.isolated_vertices, 0u);
+}
+
+TEST(DegreeStatsTest, StarIsMaximallySkewed) {
+  GraphBuilder builder(11);
+  for (VertexId v = 1; v <= 10; ++v) builder.add_edge(0, v);
+  const DegreeStats stats = compute_degree_stats(builder.build({}));
+  EXPECT_EQ(stats.max_out, 10u);
+  EXPECT_EQ(stats.min_out, 0u);
+  EXPECT_EQ(stats.isolated_vertices, 10u);
+  // One of 11 vertices holds all degree: gini = 10/11.
+  EXPECT_NEAR(stats.gini, 10.0 / 11.0, 1e-9);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  const DegreeStats stats = compute_degree_stats(Graph());
+  EXPECT_EQ(stats.max_out, 0u);
+  EXPECT_DOUBLE_EQ(stats.gini, 0.0);
+}
+
+TEST(DegreeStatsTest, PercentilesAreOrdered) {
+  GraphBuilder builder(100);
+  for (VertexId v = 0; v < 99; ++v) {
+    for (VertexId t = 0; t < v % 10; ++t) {
+      builder.add_edge(v, (v + t + 1) % 100);
+    }
+  }
+  const DegreeStats stats = compute_degree_stats(builder.build({}));
+  EXPECT_LE(stats.p50_out, stats.p99_out);
+  EXPECT_LE(static_cast<double>(stats.min_out), stats.p50_out);
+  EXPECT_LE(stats.p99_out, static_cast<double>(stats.max_out));
+}
+
+}  // namespace
+}  // namespace g10::graph

@@ -1,0 +1,112 @@
+#include "monitor/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g10::monitor {
+namespace {
+
+trace::GroundTruthSeries make_series() {
+  trace::GroundTruthSeries gt;
+  gt.resource = "cpu";
+  gt.machine = 0;
+  gt.capacity = 4.0;
+  gt.series.set(0, 2.0);
+  gt.series.set(100, 4.0);
+  gt.series.set(200, 0.0);
+  return gt;
+}
+
+TEST(SamplerTest, SamplesAverageRates) {
+  const std::vector<trace::GroundTruthSeries> series{make_series()};
+  const auto samples = sample_ground_truth(series, 100, 300);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[0].time, 100);
+  EXPECT_DOUBLE_EQ(samples[0].value, 2.0);
+  EXPECT_EQ(samples[1].time, 200);
+  EXPECT_DOUBLE_EQ(samples[1].value, 4.0);
+  EXPECT_DOUBLE_EQ(samples[2].value, 0.0);
+  EXPECT_EQ(samples[0].resource, "cpu");
+  EXPECT_EQ(samples[0].machine, 0);
+}
+
+TEST(SamplerTest, ClipsFinalWindowAtEnd) {
+  const std::vector<trace::GroundTruthSeries> series{make_series()};
+  const auto samples = sample_ground_truth(series, 100, 250);
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_EQ(samples[2].time, 250);
+  // Window (200, 250]: value 0.
+  EXPECT_DOUBLE_EQ(samples[2].value, 0.0);
+}
+
+TEST(SamplerTest, MultipleSeriesAllSampled) {
+  auto a = make_series();
+  auto b = make_series();
+  b.resource = "network";
+  b.machine = 1;
+  const auto samples = sample_ground_truth({a, b}, 100, 200);
+  EXPECT_EQ(samples.size(), 4u);
+}
+
+TEST(DownsampleTest, FactorOneIsIdentity) {
+  std::vector<trace::MonitoringSampleRecord> samples{
+      {"cpu", 0, 100, 1.0}, {"cpu", 0, 200, 3.0}};
+  const auto out = downsample(samples, 1);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(DownsampleTest, MergesAverages) {
+  std::vector<trace::MonitoringSampleRecord> samples{
+      {"cpu", 0, 100, 1.0},
+      {"cpu", 0, 200, 3.0},
+      {"cpu", 0, 300, 5.0},
+      {"cpu", 0, 400, 7.0}};
+  const auto out = downsample(samples, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].time, 200);
+  EXPECT_DOUBLE_EQ(out[0].value, 2.0);
+  EXPECT_EQ(out[1].time, 400);
+  EXPECT_DOUBLE_EQ(out[1].value, 6.0);
+}
+
+TEST(DownsampleTest, TrailingPartialGroupAveraged) {
+  std::vector<trace::MonitoringSampleRecord> samples{
+      {"cpu", 0, 100, 2.0}, {"cpu", 0, 200, 4.0}, {"cpu", 0, 300, 9.0}};
+  const auto out = downsample(samples, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(out[1].value, 9.0);
+}
+
+TEST(DownsampleTest, StreamsAreSeparated) {
+  std::vector<trace::MonitoringSampleRecord> samples{
+      {"cpu", 0, 100, 1.0},
+      {"cpu", 1, 100, 10.0},
+      {"cpu", 0, 200, 3.0},
+      {"cpu", 1, 200, 30.0}};
+  const auto out = downsample(samples, 2);
+  ASSERT_EQ(out.size(), 2u);
+  // One merged sample per machine.
+  double m0 = 0.0;
+  double m1 = 0.0;
+  for (const auto& s : out) {
+    (s.machine == 0 ? m0 : m1) = s.value;
+  }
+  EXPECT_DOUBLE_EQ(m0, 2.0);
+  EXPECT_DOUBLE_EQ(m1, 20.0);
+}
+
+TEST(SamplerDownsampleConsistencyTest, DownsampledEqualsCoarseSampling) {
+  // downsample(sample(fine), k) == sample(coarse) when windows align.
+  const std::vector<trace::GroundTruthSeries> series{make_series()};
+  const auto fine = sample_ground_truth(series, 50, 400);
+  const auto merged = downsample(fine, 2);
+  const auto coarse = sample_ground_truth(series, 100, 400);
+  ASSERT_EQ(merged.size(), coarse.size());
+  for (std::size_t i = 0; i < merged.size(); ++i) {
+    EXPECT_EQ(merged[i].time, coarse[i].time);
+    EXPECT_NEAR(merged[i].value, coarse[i].value, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace g10::monitor

@@ -1,0 +1,85 @@
+#include "sim/fluid_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace g10::sim {
+namespace {
+
+TEST(FluidQueueTest, DrainsLinearly) {
+  FluidQueue q(100.0);  // 100 units per second
+  q.enqueue(0, 50.0);
+  EXPECT_DOUBLE_EQ(q.level(0), 50.0);
+  EXPECT_NEAR(q.level(kSecond / 4), 25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q.level(kSecond), 0.0);
+}
+
+TEST(FluidQueueTest, TimeUntilLevel) {
+  FluidQueue q(100.0);
+  q.enqueue(0, 100.0);
+  // Drops to 50 after 0.5 s.
+  EXPECT_NEAR(static_cast<double>(q.time_until_level(0, 50.0)),
+              0.5 * kSecond, 1e3);
+  EXPECT_NEAR(static_cast<double>(q.time_empty(0)),
+              1.0 * kSecond, 1e3);
+  // Already below target.
+  EXPECT_EQ(q.time_until_level(0, 200.0), 0);
+}
+
+TEST(FluidQueueTest, MultipleEnqueuesAccumulate) {
+  FluidQueue q(100.0);
+  q.enqueue(0, 30.0);
+  q.enqueue(kSecond / 10, 30.0);  // 20 left + 30 = 50
+  EXPECT_NEAR(q.level(kSecond / 10), 50.0, 1e-9);
+  EXPECT_DOUBLE_EQ(q.total_enqueued(), 60.0);
+}
+
+TEST(FluidQueueTest, RateSeriesConservesMass) {
+  FluidQueue q(200.0);
+  q.enqueue(0, 100.0);
+  q.enqueue(kSecond, 60.0);  // queue idle in between
+  const TimeNs end = 3 * kSecond;
+  StepFunction rate = q.finalize_rate_series(end);
+  // Integral of the drain rate over the busy spans equals the enqueued mass.
+  const double drained = rate.integrate(0, end) / static_cast<double>(kSecond);
+  EXPECT_NEAR(drained, 160.0, 1e-3);
+}
+
+TEST(FluidQueueTest, RateSeriesIsBusyDuringDrain) {
+  FluidQueue q(100.0);
+  q.enqueue(0, 100.0);  // busy for exactly 1 s
+  StepFunction rate = q.finalize_rate_series(2 * kSecond);
+  EXPECT_DOUBLE_EQ(rate.value_at(kSecond / 2), 100.0);
+  EXPECT_DOUBLE_EQ(rate.value_at(kSecond + kSecond / 2), 0.0);
+}
+
+TEST(FluidQueueTest, OverlappingBusySpansMerge) {
+  FluidQueue q(100.0);
+  q.enqueue(0, 100.0);
+  q.enqueue(kSecond / 2, 100.0);  // arrives while still draining
+  StepFunction rate = q.finalize_rate_series(3 * kSecond);
+  const double drained = rate.integrate(0, 3 * kSecond) /
+                         static_cast<double>(kSecond);
+  EXPECT_NEAR(drained, 200.0, 1e-3);
+  // Continuously busy from 0 to 2 s.
+  EXPECT_DOUBLE_EQ(rate.value_at(kSecond), 100.0);
+}
+
+TEST(FluidQueueTest, ZeroEnqueueIsNoop) {
+  FluidQueue q(100.0);
+  q.enqueue(0, 0.0);
+  EXPECT_DOUBLE_EQ(q.level(0), 0.0);
+  StepFunction rate = q.finalize_rate_series(kSecond);
+  EXPECT_DOUBLE_EQ(rate.integrate(0, kSecond), 0.0);
+}
+
+TEST(FluidQueueTest, RejectsInvalidUse) {
+  EXPECT_THROW(FluidQueue(0.0), CheckError);
+  FluidQueue q(10.0);
+  q.enqueue(100, 5.0);
+  EXPECT_THROW(q.enqueue(50, 5.0), CheckError);  // time went backwards
+}
+
+}  // namespace
+}  // namespace g10::sim

@@ -1,0 +1,92 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace g10::sim {
+namespace {
+
+TEST(SimulationTest, RunsEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulationTest, TiesBreakByInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(10, [&] { order.push_back(2); });
+  sim.schedule_at(10, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  std::vector<TimeNs> times;
+  sim.schedule_at(5, [&] {
+    times.push_back(sim.now());
+    sim.schedule_after(10, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<TimeNs>{5, 15}));
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(10, [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, CancelUnknownIdIsNoop) {
+  Simulation sim;
+  sim.cancel(12345);
+  bool ran = false;
+  sim.schedule_at(1, [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulationTest, SchedulingInPastThrows) {
+  Simulation sim;
+  sim.schedule_at(10, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), CheckError);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), CheckError);
+}
+
+TEST(SimulationTest, StepExecutesOneEvent) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_at(1, [&] { ++count; });
+  sim.schedule_at(2, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulationTest, PendingEventCountTracksCancels) {
+  Simulation sim;
+  const EventId a = sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+}  // namespace
+}  // namespace g10::sim

@@ -1,0 +1,35 @@
+#include "sim/usage_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace g10::sim {
+namespace {
+
+TEST(UsageRecorderTest, TracksAddsAndUtilization) {
+  UsageRecorder cpu("cpu", 4.0);
+  cpu.add(0, 2.0);
+  cpu.add(kSecond, 2.0);   // 4 cores busy
+  cpu.add(2 * kSecond, -4.0);
+  EXPECT_DOUBLE_EQ(cpu.current(), 0.0);
+  // [0,1s) at 2, [1s,2s) at 4 -> average 3 of 4 = 75%.
+  EXPECT_DOUBLE_EQ(cpu.utilization(0, 2 * kSecond), 0.75);
+  EXPECT_DOUBLE_EQ(cpu.capacity(), 4.0);
+  EXPECT_EQ(cpu.name(), "cpu");
+}
+
+TEST(UsageRecorderTest, SetOverrides) {
+  UsageRecorder r("net", 100.0);
+  r.set(0, 50.0);
+  r.set(kSecond, 0.0);
+  EXPECT_DOUBLE_EQ(r.utilization(0, kSecond), 0.5);
+  EXPECT_DOUBLE_EQ(r.utilization(kSecond, 2 * kSecond), 0.0);
+}
+
+TEST(UsageRecorderTest, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(UsageRecorder("bad", 0.0), CheckError);
+}
+
+}  // namespace
+}  // namespace g10::sim

@@ -1,0 +1,116 @@
+#include "trace/log_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace g10::trace {
+namespace {
+
+TEST(LogIoTest, WriteParseRoundTrip) {
+  std::vector<PhaseEventRecord> phases;
+  phases.push_back({PhaseEventRecord::Kind::Begin,
+                    PhasePath{}.child("Job", 0), 0, kGlobalMachine});
+  phases.push_back({PhaseEventRecord::Kind::End, PhasePath{}.child("Job", 0),
+                    5000, kGlobalMachine});
+  std::vector<BlockingEventRecord> blocks;
+  blocks.push_back({"GC", PhasePath{}.child("Job", 0).child("T", 2), 10, 20, 1});
+  std::vector<MonitoringSampleRecord> samples;
+  samples.push_back({"cpu", 0, 1000, 3.25});
+  samples.push_back({"network", 1, 2000, 1.5e8});
+
+  std::ostringstream os;
+  write_log(os, phases, blocks, samples);
+  std::istringstream is(os.str());
+  const ParseResult result = parse_log(is);
+  ASSERT_TRUE(result.ok()) << result.error->message;
+
+  ASSERT_EQ(result.log.phase_events.size(), 2u);
+  EXPECT_EQ(result.log.phase_events[0].kind, PhaseEventRecord::Kind::Begin);
+  EXPECT_EQ(result.log.phase_events[1].time, 5000);
+  EXPECT_EQ(result.log.phase_events[0].path.to_string(), "Job.0");
+
+  ASSERT_EQ(result.log.blocking_events.size(), 1u);
+  EXPECT_EQ(result.log.blocking_events[0].resource, "GC");
+  EXPECT_EQ(result.log.blocking_events[0].begin, 10);
+  EXPECT_EQ(result.log.blocking_events[0].end, 20);
+  EXPECT_EQ(result.log.blocking_events[0].machine, 1);
+
+  ASSERT_EQ(result.log.samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.log.samples[0].value, 3.25);
+  EXPECT_DOUBLE_EQ(result.log.samples[1].value, 1.5e8);
+}
+
+TEST(LogIoTest, IgnoresCommentsAndBlankLines) {
+  std::istringstream is("# comment\n\nPHASE\tB\tJob.0\t0\t-1\n");
+  const ParseResult result = parse_log(is);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.log.phase_events.size(), 1u);
+}
+
+TEST(LogIoTest, ReportsLineNumberOnError) {
+  std::istringstream is("# ok\nPHASE\tB\tJob.0\t0\t-1\nPHASE\tX\tJob.0\t1\t-1\n");
+  const ParseResult result = parse_log(is);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->line_number, 3u);
+  EXPECT_NE(result.error->message.find("B or E"), std::string::npos);
+}
+
+TEST(LogIoTest, RejectsBadRecords) {
+  const auto fails = [](const std::string& line) {
+    std::istringstream is(line);
+    return !parse_log(is).ok();
+  };
+  EXPECT_TRUE(fails("WHAT\tis\tthis\n"));
+  EXPECT_TRUE(fails("PHASE\tB\tJob.0\t-5\t-1\n"));        // negative time
+  EXPECT_TRUE(fails("PHASE\tB\tJob\t0\t-1\n"));           // bad path
+  EXPECT_TRUE(fails("PHASE\tB\tJob.0\t0\n"));             // missing field
+  EXPECT_TRUE(fails("BLOCK\tGC\tJob.0\t20\t10\t0\n"));    // end < begin
+  EXPECT_TRUE(fails("BLOCK\t\tJob.0\t0\t10\t0\n"));       // empty resource
+  EXPECT_TRUE(fails("SAMPLE\tcpu\t0\t100\tnotanumber\n"));
+}
+
+TEST(LogIoTest, EmptyLogIsValid) {
+  std::istringstream is("");
+  EXPECT_TRUE(parse_log(is).ok());
+}
+
+// Robustness: arbitrary mutations of a valid log either parse (when the
+// mutation hits a comment/number in a compatible way) or fail cleanly with
+// a line number — never crash and never produce out-of-range records.
+TEST(LogIoTest, MutatedLogsFailCleanly) {
+  std::vector<PhaseEventRecord> phases;
+  phases.push_back({PhaseEventRecord::Kind::Begin,
+                    PhasePath{}.child("Job", 0), 0, -1});
+  phases.push_back({PhaseEventRecord::Kind::End, PhasePath{}.child("Job", 0),
+                    5000, -1});
+  std::ostringstream os;
+  write_log(os, phases, {}, {});
+  const std::string original = os.str();
+  for (std::size_t pos = 0; pos < original.size(); ++pos) {
+    for (const char replacement : {'\t', 'x', '-', '0'}) {
+      std::string mutated = original;
+      mutated[pos] = replacement;
+      std::istringstream is(mutated);
+      const ParseResult result = parse_log(is);  // must not crash
+      if (!result.ok()) {
+        EXPECT_GT(result.error->line_number, 0u);
+        EXPECT_FALSE(result.error->message.empty());
+      } else {
+        for (const auto& rec : result.log.phase_events) {
+          EXPECT_GE(rec.time, 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(LogIoTest, HandlesWindowsLineEndings) {
+  std::istringstream is("PHASE\tB\tJob.0\t0\t-1\r\nPHASE\tE\tJob.0\t5\t-1\r\n");
+  const ParseResult result = parse_log(is);
+  ASSERT_TRUE(result.ok()) << result.error->message;
+  EXPECT_EQ(result.log.phase_events.size(), 2u);
+}
+
+}  // namespace
+}  // namespace g10::trace

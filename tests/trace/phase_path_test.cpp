@@ -1,0 +1,62 @@
+#include "trace/phase_path.hpp"
+
+#include <gtest/gtest.h>
+
+namespace g10::trace {
+namespace {
+
+TEST(PhasePathTest, BuildAndFormat) {
+  const PhasePath p =
+      PhasePath{}.child("Job", 0).child("Superstep", 3).child("Thread", 12);
+  EXPECT_EQ(p.to_string(), "Job.0/Superstep.3/Thread.12");
+  EXPECT_EQ(p.depth(), 3u);
+  EXPECT_EQ(p.leaf().type, "Thread");
+  EXPECT_EQ(p.leaf().index, 12);
+}
+
+TEST(PhasePathTest, ParentDropsLeaf) {
+  const PhasePath p = PhasePath{}.child("A", 0).child("B", 1);
+  EXPECT_EQ(p.parent().to_string(), "A.0");
+  EXPECT_TRUE(p.parent().parent().empty());
+}
+
+TEST(PhasePathTest, ParseRoundTrip) {
+  const auto parsed = parse_phase_path("Job.0/Superstep.3/Thread.12");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->to_string(), "Job.0/Superstep.3/Thread.12");
+}
+
+TEST(PhasePathTest, ParseSingleElement) {
+  const auto parsed = parse_phase_path("Job.0");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->depth(), 1u);
+}
+
+TEST(PhasePathTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_phase_path("").has_value());
+  EXPECT_FALSE(parse_phase_path("Job").has_value());
+  EXPECT_FALSE(parse_phase_path("Job.").has_value());
+  EXPECT_FALSE(parse_phase_path(".0").has_value());
+  EXPECT_FALSE(parse_phase_path("Job.-1").has_value());
+  EXPECT_FALSE(parse_phase_path("Job.x").has_value());
+  EXPECT_FALSE(parse_phase_path("Job.0//B.1").has_value());
+}
+
+TEST(PhasePathTest, TypeNamesMayContainDots) {
+  // rfind-based parse: the last dot separates the index.
+  const auto parsed = parse_phase_path("My.Phase.3");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->leaf().type, "My.Phase");
+  EXPECT_EQ(parsed->leaf().index, 3);
+}
+
+TEST(PhasePathTest, Equality) {
+  const PhasePath a = PhasePath{}.child("A", 0);
+  const PhasePath b = PhasePath{}.child("A", 0);
+  const PhasePath c = PhasePath{}.child("A", 1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace g10::trace

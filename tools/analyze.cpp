@@ -1,0 +1,151 @@
+// g10_analyze — offline Grade10 analysis of a dumped run:
+//
+//   g10_analyze --model <model.g10> --log <run.log>
+//               [--timeslice-ms MS] [--min-impact PCT]
+//
+// Parses the declarative model file and the run's log (phase events,
+// blocking events, monitoring samples), executes the full characterization
+// pipeline, and prints the profile, bottleneck, and issue reports.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/strings.hpp"
+#include "grade10/model/model_io.hpp"
+#include "grade10/pipeline.hpp"
+#include "grade10/report/diagnostics.hpp"
+#include "grade10/report/phase_profile.hpp"
+#include "grade10/report/report.hpp"
+#include "grade10/report/timeline_export.hpp"
+#include "trace/log_io.hpp"
+
+namespace g10 {
+namespace {
+
+struct Args {
+  std::string model_path;
+  std::string log_path;
+  std::string chrome_trace_path;  ///< optional chrome://tracing export
+  DurationNs timeslice = 50 * kMillisecond;
+  double min_impact = 0.01;
+};
+
+int usage() {
+  std::cerr << "usage: g10_analyze --model <model.g10> --log <run.log>\n"
+               "                   [--timeslice-ms MS] [--min-impact FRAC]\n"
+               "                   [--chrome-trace <out.json>]\n";
+  return 2;
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string_view arg = argv[i];
+    const std::string value = argv[i + 1];
+    if (arg == "--model") {
+      args.model_path = value;
+    } else if (arg == "--log") {
+      args.log_path = value;
+    } else if (arg == "--timeslice-ms") {
+      args.timeslice = parse_int(value).value_or(50) * kMillisecond;
+    } else if (arg == "--min-impact") {
+      args.min_impact = parse_double(value).value_or(0.01);
+    } else if (arg == "--chrome-trace") {
+      args.chrome_trace_path = value;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (args.model_path.empty() || args.log_path.empty()) return std::nullopt;
+  return args;
+}
+
+int run(const Args& args) {
+  std::ifstream model_file(args.model_path);
+  if (!model_file) {
+    std::cerr << "cannot open model file: " << args.model_path << '\n';
+    return 1;
+  }
+  core::ModelParseResult model = core::parse_model(model_file);
+  if (!model.ok()) {
+    std::cerr << args.model_path << ':' << model.error->line_number << ": "
+              << model.error->message << '\n';
+    return 1;
+  }
+
+  std::ifstream log_file(args.log_path);
+  if (!log_file) {
+    std::cerr << "cannot open log file: " << args.log_path << '\n';
+    return 1;
+  }
+  const trace::ParseResult log = trace::parse_log(log_file);
+  if (!log.ok()) {
+    std::cerr << args.log_path << ':' << log.error->line_number << ": "
+              << log.error->message << '\n';
+    return 1;
+  }
+  std::cout << "parsed " << log.log.phase_events.size() << " phase events, "
+            << log.log.blocking_events.size() << " blocking events, "
+            << log.log.samples.size() << " monitoring samples\n\n";
+
+  core::CharacterizationInput input;
+  input.model = &model.model.execution;
+  input.resources = &model.model.resources;
+  input.rules = &model.model.rules;
+  input.phase_events = log.log.phase_events;
+  input.blocking_events = log.log.blocking_events;
+  input.samples = log.log.samples;
+  input.config.timeslice = args.timeslice;
+  input.config.min_issue_impact = args.min_impact;
+  const core::CharacterizationResult result = core::characterize(input);
+
+  core::render_profile(std::cout, result.trace, model.model.resources,
+                       result.usage, result.grid);
+  std::cout << '\n';
+  core::render_bottlenecks(std::cout, model.model.resources,
+                           result.bottlenecks);
+  std::cout << '\n';
+  core::render_issues(std::cout, result.issues);
+  std::cout << '\n';
+  const auto profile = core::build_phase_profile(
+      result.trace, result.usage, result.bottlenecks, result.grid);
+  core::render_phase_profile(std::cout, model.model.execution,
+                             model.model.resources, profile);
+  std::cout << '\n';
+  const core::ReplaySimulator simulator(model.model.execution, result.trace);
+  const core::ReplaySchedule schedule =
+      simulator.simulate(simulator.recorded_durations());
+  core::render_critical_path(std::cout, model.model.execution, result.trace,
+                             simulator, schedule);
+  std::cout << '\n';
+  core::render_diagnostics(
+      std::cout, model.model.resources,
+      core::compute_resource_diagnostics(result.usage),
+      core::compute_machine_skew(result.usage));
+  if (!args.chrome_trace_path.empty()) {
+    std::ofstream trace_file(args.chrome_trace_path);
+    if (!trace_file) {
+      std::cerr << "cannot open " << args.chrome_trace_path << '\n';
+      return 1;
+    }
+    core::write_chrome_trace(trace_file, model.model.execution, result.trace);
+    std::cout << "\nwrote chrome://tracing timeline to "
+              << args.chrome_trace_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace g10
+
+int main(int argc, char** argv) {
+  const auto args = g10::parse_args(argc, argv);
+  if (!args) return g10::usage();
+  try {
+    return g10::run(*args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,204 @@
+// g10_run — run a workload on one of the bundled engines and dump the
+// artifacts a real deployment would collect: the execution/blocking log,
+// the monitoring samples, and the matching expert model file.
+//
+//   g10_run --engine pregel|gas --algorithm pagerank|bfs|wcc|cdlp|sssp
+//           --dataset rmat:<scale>|datagen:<vertices> --out <dir>
+//           [--workers N] [--cores N] [--iterations K] [--seed S]
+//           [--monitor-ms MS] [--sync-bug]
+//
+// The dumped directory can be analyzed offline with g10_analyze.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "algorithms/programs.hpp"
+#include "common/strings.hpp"
+#include "engine/gas/gas_engine.hpp"
+#include "engine/pregel/pregel_engine.hpp"
+#include "grade10/model/model_io.hpp"
+#include "grade10/models/gas_model.hpp"
+#include "grade10/models/pregel_model.hpp"
+#include "graph/generators.hpp"
+#include "monitor/sampler.hpp"
+#include "trace/log_io.hpp"
+
+namespace g10 {
+namespace {
+
+struct Args {
+  std::string engine = "pregel";
+  std::string algorithm = "pagerank";
+  std::string dataset = "rmat:14";
+  std::string out = "g10_run_out";
+  int workers = 4;
+  int cores = 8;
+  int iterations = 20;
+  std::uint64_t seed = 2020;
+  DurationNs monitor_interval = 400 * kMillisecond;
+  bool sync_bug = false;
+};
+
+int usage() {
+  std::cerr << "usage: g10_run --engine pregel|gas "
+               "--algorithm pagerank|bfs|wcc|cdlp|sssp\n"
+               "               --dataset rmat:<scale>|datagen:<vertices> "
+               "--out <dir>\n"
+               "               [--workers N] [--cores N] [--iterations K]\n"
+               "               [--seed S] [--monitor-ms MS] [--sync-bug]\n";
+  return 2;
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    if (arg == "--sync-bug") {
+      args.sync_bug = true;
+      continue;
+    }
+    const auto v = value();
+    if (!v) return std::nullopt;
+    if (arg == "--engine") {
+      args.engine = *v;
+    } else if (arg == "--algorithm") {
+      args.algorithm = *v;
+    } else if (arg == "--dataset") {
+      args.dataset = *v;
+    } else if (arg == "--out") {
+      args.out = *v;
+    } else if (arg == "--workers") {
+      args.workers = static_cast<int>(parse_int(*v).value_or(0));
+    } else if (arg == "--cores") {
+      args.cores = static_cast<int>(parse_int(*v).value_or(0));
+    } else if (arg == "--iterations") {
+      args.iterations = static_cast<int>(parse_int(*v).value_or(0));
+    } else if (arg == "--seed") {
+      args.seed = static_cast<std::uint64_t>(parse_int(*v).value_or(2020));
+    } else if (arg == "--monitor-ms") {
+      args.monitor_interval = parse_int(*v).value_or(400) * kMillisecond;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (args.workers <= 0 || args.cores <= 0 || args.iterations <= 0) {
+    return std::nullopt;
+  }
+  return args;
+}
+
+graph::Graph make_dataset(const std::string& spec) {
+  const auto parts = split(spec, ':');
+  if (parts.size() == 2 && parts[0] == "rmat") {
+    graph::RmatParams params;
+    params.scale = static_cast<int>(parse_int(parts[1]).value_or(14));
+    return generate_rmat(params);
+  }
+  if (parts.size() == 2 && parts[0] == "datagen") {
+    graph::DatagenParams params;
+    params.vertices = static_cast<graph::VertexId>(
+        parse_int(parts[1]).value_or(16384));
+    return generate_datagen_like(params);
+  }
+  throw std::runtime_error("unknown dataset spec: " + spec);
+}
+
+int run(const Args& args) {
+  graph::Graph graph = make_dataset(args.dataset);
+  if (args.algorithm == "sssp") {
+    graph::assign_random_weights(graph, 1.0, 10.0, args.seed);
+  }
+  std::cout << "dataset: " << graph.vertex_count() << " vertices, "
+            << graph.edge_count() << " edges\n";
+
+  const algorithms::PageRank pagerank(args.iterations);
+  const algorithms::Bfs bfs(1);
+  const algorithms::Wcc wcc;
+  const algorithms::Cdlp cdlp(args.iterations);
+  const algorithms::Sssp sssp(1);
+
+  trace::RunArtifacts artifacts;
+  core::FrameworkModel framework;
+  if (args.engine == "pregel") {
+    engine::PregelConfig cfg;
+    cfg.cluster.machine_count = args.workers;
+    cfg.cluster.machine.cores = args.cores;
+    cfg.seed = args.seed;
+    const engine::PregelEngine engine(cfg);
+    const std::map<std::string, const algorithms::PregelProgram*> programs{
+        {"pagerank", &pagerank}, {"bfs", &bfs}, {"wcc", &wcc},
+        {"cdlp", &cdlp}, {"sssp", &sssp}};
+    const auto it = programs.find(args.algorithm);
+    if (it == programs.end()) return usage();
+    artifacts = engine.run(graph, *it->second);
+    core::PregelModelParams params;
+    params.cores = args.cores;
+    params.threads = cfg.effective_threads();
+    params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
+    framework = core::make_pregel_model(params);
+  } else if (args.engine == "gas") {
+    engine::GasConfig cfg;
+    cfg.cluster.machine_count = args.workers;
+    cfg.cluster.machine.cores = args.cores;
+    cfg.seed = args.seed;
+    cfg.sync_bug.enabled = args.sync_bug;
+    const engine::GasEngine engine(cfg);
+    const std::map<std::string, const algorithms::GasProgram*> programs{
+        {"pagerank", &pagerank}, {"bfs", &bfs}, {"wcc", &wcc},
+        {"cdlp", &cdlp}, {"sssp", &sssp}};
+    const auto it = programs.find(args.algorithm);
+    if (it == programs.end()) return usage();
+    artifacts = engine.run(graph, *it->second);
+    core::GasModelParams params;
+    params.cores = args.cores;
+    params.threads = cfg.effective_threads();
+    params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
+    framework = core::make_gas_model(params);
+  } else {
+    return usage();
+  }
+
+  const auto samples = monitor::sample_ground_truth(
+      artifacts.ground_truth, args.monitor_interval, artifacts.makespan);
+
+  std::filesystem::create_directories(args.out);
+  {
+    std::ofstream log(args.out + "/run.log");
+    trace::write_log(log, artifacts.phase_events, artifacts.blocking_events,
+                     samples);
+  }
+  {
+    std::ofstream model(args.out + "/model.g10");
+    core::write_model(model, framework.execution, framework.resources,
+                      framework.tuned_rules);
+  }
+  std::cout << "makespan: " << to_seconds(artifacts.makespan) << " s\n";
+  std::cout << "wrote " << args.out << "/run.log ("
+            << artifacts.phase_events.size() << " phase events, "
+            << artifacts.blocking_events.size() << " blocking events, "
+            << samples.size() << " samples) and " << args.out
+            << "/model.g10\n";
+  std::cout << "analyze with: g10_analyze --model " << args.out
+            << "/model.g10 --log " << args.out << "/run.log\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace g10
+
+int main(int argc, char** argv) {
+  const auto args = g10::parse_args(argc, argv);
+  if (!args) return g10::usage();
+  try {
+    return g10::run(*args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
