@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_attribution_rules.dir/fig3_attribution_rules.cpp.o"
+  "CMakeFiles/fig3_attribution_rules.dir/fig3_attribution_rules.cpp.o.d"
+  "fig3_attribution_rules"
+  "fig3_attribution_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_attribution_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_resource_bottlenecks.dir/fig4_resource_bottlenecks.cpp.o"
+  "CMakeFiles/fig4_resource_bottlenecks.dir/fig4_resource_bottlenecks.cpp.o.d"
+  "fig4_resource_bottlenecks"
+  "fig4_resource_bottlenecks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_resource_bottlenecks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

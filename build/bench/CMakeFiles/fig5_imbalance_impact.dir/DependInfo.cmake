@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_imbalance_impact.cpp" "bench/CMakeFiles/fig5_imbalance_impact.dir/fig5_imbalance_impact.cpp.o" "gcc" "bench/CMakeFiles/fig5_imbalance_impact.dir/fig5_imbalance_impact.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/g10_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/grade10/CMakeFiles/g10_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/g10_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/g10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/g10_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/g10_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/g10_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/g10_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/g10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_imbalance_impact.dir/fig5_imbalance_impact.cpp.o"
+  "CMakeFiles/fig5_imbalance_impact.dir/fig5_imbalance_impact.cpp.o.d"
+  "fig5_imbalance_impact"
+  "fig5_imbalance_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_imbalance_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

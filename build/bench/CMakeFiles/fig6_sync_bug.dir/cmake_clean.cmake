@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_sync_bug.dir/fig6_sync_bug.cpp.o"
+  "CMakeFiles/fig6_sync_bug.dir/fig6_sync_bug.cpp.o.d"
+  "fig6_sync_bug"
+  "fig6_sync_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_sync_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libg10_bench_support.a"
+  "../lib/libg10_bench_support.pdb"
+  "CMakeFiles/g10_bench_support.dir/support/experiment.cpp.o"
+  "CMakeFiles/g10_bench_support.dir/support/experiment.cpp.o.d"
+  "CMakeFiles/g10_bench_support.dir/support/workloads.cpp.o"
+  "CMakeFiles/g10_bench_support.dir/support/workloads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libg10_bench_support.a"
+)

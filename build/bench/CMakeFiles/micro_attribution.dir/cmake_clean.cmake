@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_attribution.dir/micro_attribution.cpp.o"
+  "CMakeFiles/micro_attribution.dir/micro_attribution.cpp.o.d"
+  "micro_attribution"
+  "micro_attribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_attribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

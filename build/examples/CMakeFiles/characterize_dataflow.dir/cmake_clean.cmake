@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_dataflow.dir/characterize_dataflow.cpp.o"
+  "CMakeFiles/characterize_dataflow.dir/characterize_dataflow.cpp.o.d"
+  "characterize_dataflow"
+  "characterize_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

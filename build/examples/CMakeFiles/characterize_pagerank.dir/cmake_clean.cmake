@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_pagerank.dir/characterize_pagerank.cpp.o"
+  "CMakeFiles/characterize_pagerank.dir/characterize_pagerank.cpp.o.d"
+  "characterize_pagerank"
+  "characterize_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_engines.dir/compare_engines.cpp.o"
+  "CMakeFiles/compare_engines.dir/compare_engines.cpp.o.d"
+  "compare_engines"
+  "compare_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

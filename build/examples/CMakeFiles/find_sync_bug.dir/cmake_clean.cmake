@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_sync_bug.dir/find_sync_bug.cpp.o"
+  "CMakeFiles/find_sync_bug.dir/find_sync_bug.cpp.o.d"
+  "find_sync_bug"
+  "find_sync_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_sync_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

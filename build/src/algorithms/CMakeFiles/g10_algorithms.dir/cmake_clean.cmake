@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g10_algorithms.dir/programs.cpp.o"
+  "CMakeFiles/g10_algorithms.dir/programs.cpp.o.d"
+  "CMakeFiles/g10_algorithms.dir/reference.cpp.o"
+  "CMakeFiles/g10_algorithms.dir/reference.cpp.o.d"
+  "libg10_algorithms.a"
+  "libg10_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g10_common.dir/csv.cpp.o"
+  "CMakeFiles/g10_common.dir/csv.cpp.o.d"
+  "CMakeFiles/g10_common.dir/rng.cpp.o"
+  "CMakeFiles/g10_common.dir/rng.cpp.o.d"
+  "CMakeFiles/g10_common.dir/stats.cpp.o"
+  "CMakeFiles/g10_common.dir/stats.cpp.o.d"
+  "CMakeFiles/g10_common.dir/step_function.cpp.o"
+  "CMakeFiles/g10_common.dir/step_function.cpp.o.d"
+  "CMakeFiles/g10_common.dir/strings.cpp.o"
+  "CMakeFiles/g10_common.dir/strings.cpp.o.d"
+  "CMakeFiles/g10_common.dir/table.cpp.o"
+  "CMakeFiles/g10_common.dir/table.cpp.o.d"
+  "libg10_common.a"
+  "libg10_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

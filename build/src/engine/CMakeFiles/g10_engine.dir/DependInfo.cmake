@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/dataflow/dataflow_engine.cpp" "src/engine/CMakeFiles/g10_engine.dir/dataflow/dataflow_engine.cpp.o" "gcc" "src/engine/CMakeFiles/g10_engine.dir/dataflow/dataflow_engine.cpp.o.d"
+  "/root/repo/src/engine/gas/gas_engine.cpp" "src/engine/CMakeFiles/g10_engine.dir/gas/gas_engine.cpp.o" "gcc" "src/engine/CMakeFiles/g10_engine.dir/gas/gas_engine.cpp.o.d"
+  "/root/repo/src/engine/phase_logger.cpp" "src/engine/CMakeFiles/g10_engine.dir/phase_logger.cpp.o" "gcc" "src/engine/CMakeFiles/g10_engine.dir/phase_logger.cpp.o.d"
+  "/root/repo/src/engine/pregel/pregel_engine.cpp" "src/engine/CMakeFiles/g10_engine.dir/pregel/pregel_engine.cpp.o" "gcc" "src/engine/CMakeFiles/g10_engine.dir/pregel/pregel_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/g10_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/g10_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/g10_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/g10_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/g10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g10_engine.dir/dataflow/dataflow_engine.cpp.o"
+  "CMakeFiles/g10_engine.dir/dataflow/dataflow_engine.cpp.o.d"
+  "CMakeFiles/g10_engine.dir/gas/gas_engine.cpp.o"
+  "CMakeFiles/g10_engine.dir/gas/gas_engine.cpp.o.d"
+  "CMakeFiles/g10_engine.dir/phase_logger.cpp.o"
+  "CMakeFiles/g10_engine.dir/phase_logger.cpp.o.d"
+  "CMakeFiles/g10_engine.dir/pregel/pregel_engine.cpp.o"
+  "CMakeFiles/g10_engine.dir/pregel/pregel_engine.cpp.o.d"
+  "libg10_engine.a"
+  "libg10_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

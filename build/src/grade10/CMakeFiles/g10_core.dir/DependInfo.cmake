@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grade10/attribution/attributor.cpp" "src/grade10/CMakeFiles/g10_core.dir/attribution/attributor.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/attribution/attributor.cpp.o.d"
+  "/root/repo/src/grade10/attribution/demand.cpp" "src/grade10/CMakeFiles/g10_core.dir/attribution/demand.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/attribution/demand.cpp.o.d"
+  "/root/repo/src/grade10/attribution/upsample.cpp" "src/grade10/CMakeFiles/g10_core.dir/attribution/upsample.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/attribution/upsample.cpp.o.d"
+  "/root/repo/src/grade10/bottleneck/bottleneck.cpp" "src/grade10/CMakeFiles/g10_core.dir/bottleneck/bottleneck.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/bottleneck/bottleneck.cpp.o.d"
+  "/root/repo/src/grade10/issues/issue_detector.cpp" "src/grade10/CMakeFiles/g10_core.dir/issues/issue_detector.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/issues/issue_detector.cpp.o.d"
+  "/root/repo/src/grade10/issues/replay_simulator.cpp" "src/grade10/CMakeFiles/g10_core.dir/issues/replay_simulator.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/issues/replay_simulator.cpp.o.d"
+  "/root/repo/src/grade10/model/attribution_rules.cpp" "src/grade10/CMakeFiles/g10_core.dir/model/attribution_rules.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/model/attribution_rules.cpp.o.d"
+  "/root/repo/src/grade10/model/execution_model.cpp" "src/grade10/CMakeFiles/g10_core.dir/model/execution_model.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/model/execution_model.cpp.o.d"
+  "/root/repo/src/grade10/model/model_io.cpp" "src/grade10/CMakeFiles/g10_core.dir/model/model_io.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/model/model_io.cpp.o.d"
+  "/root/repo/src/grade10/model/resource_model.cpp" "src/grade10/CMakeFiles/g10_core.dir/model/resource_model.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/model/resource_model.cpp.o.d"
+  "/root/repo/src/grade10/models/dataflow_model.cpp" "src/grade10/CMakeFiles/g10_core.dir/models/dataflow_model.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/models/dataflow_model.cpp.o.d"
+  "/root/repo/src/grade10/models/gas_model.cpp" "src/grade10/CMakeFiles/g10_core.dir/models/gas_model.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/models/gas_model.cpp.o.d"
+  "/root/repo/src/grade10/models/pregel_model.cpp" "src/grade10/CMakeFiles/g10_core.dir/models/pregel_model.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/models/pregel_model.cpp.o.d"
+  "/root/repo/src/grade10/pipeline.cpp" "src/grade10/CMakeFiles/g10_core.dir/pipeline.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/grade10/report/diagnostics.cpp" "src/grade10/CMakeFiles/g10_core.dir/report/diagnostics.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/report/diagnostics.cpp.o.d"
+  "/root/repo/src/grade10/report/phase_profile.cpp" "src/grade10/CMakeFiles/g10_core.dir/report/phase_profile.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/report/phase_profile.cpp.o.d"
+  "/root/repo/src/grade10/report/report.cpp" "src/grade10/CMakeFiles/g10_core.dir/report/report.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/report/report.cpp.o.d"
+  "/root/repo/src/grade10/report/timeline_export.cpp" "src/grade10/CMakeFiles/g10_core.dir/report/timeline_export.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/report/timeline_export.cpp.o.d"
+  "/root/repo/src/grade10/trace/execution_trace.cpp" "src/grade10/CMakeFiles/g10_core.dir/trace/execution_trace.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/trace/execution_trace.cpp.o.d"
+  "/root/repo/src/grade10/trace/resource_trace.cpp" "src/grade10/CMakeFiles/g10_core.dir/trace/resource_trace.cpp.o" "gcc" "src/grade10/CMakeFiles/g10_core.dir/trace/resource_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/g10_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/g10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

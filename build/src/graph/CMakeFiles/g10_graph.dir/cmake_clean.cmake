@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g10_graph.dir/builder.cpp.o"
+  "CMakeFiles/g10_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/g10_graph.dir/degree_stats.cpp.o"
+  "CMakeFiles/g10_graph.dir/degree_stats.cpp.o.d"
+  "CMakeFiles/g10_graph.dir/generators.cpp.o"
+  "CMakeFiles/g10_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/g10_graph.dir/graph.cpp.o"
+  "CMakeFiles/g10_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/g10_graph.dir/partition.cpp.o"
+  "CMakeFiles/g10_graph.dir/partition.cpp.o.d"
+  "libg10_graph.a"
+  "libg10_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libg10_graph.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g10_monitor.dir/sampler.cpp.o"
+  "CMakeFiles/g10_monitor.dir/sampler.cpp.o.d"
+  "libg10_monitor.a"
+  "libg10_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

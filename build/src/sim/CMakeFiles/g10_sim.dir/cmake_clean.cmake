@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g10_sim.dir/fluid_queue.cpp.o"
+  "CMakeFiles/g10_sim.dir/fluid_queue.cpp.o.d"
+  "CMakeFiles/g10_sim.dir/simulation.cpp.o"
+  "CMakeFiles/g10_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/g10_sim.dir/usage_recorder.cpp.o"
+  "CMakeFiles/g10_sim.dir/usage_recorder.cpp.o.d"
+  "libg10_sim.a"
+  "libg10_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/log_io.cpp" "src/trace/CMakeFiles/g10_trace.dir/log_io.cpp.o" "gcc" "src/trace/CMakeFiles/g10_trace.dir/log_io.cpp.o.d"
+  "/root/repo/src/trace/phase_path.cpp" "src/trace/CMakeFiles/g10_trace.dir/phase_path.cpp.o" "gcc" "src/trace/CMakeFiles/g10_trace.dir/phase_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/g10_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

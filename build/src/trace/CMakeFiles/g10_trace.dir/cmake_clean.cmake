@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g10_trace.dir/log_io.cpp.o"
+  "CMakeFiles/g10_trace.dir/log_io.cpp.o.d"
+  "CMakeFiles/g10_trace.dir/phase_path.cpp.o"
+  "CMakeFiles/g10_trace.dir/phase_path.cpp.o.d"
+  "libg10_trace.a"
+  "libg10_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

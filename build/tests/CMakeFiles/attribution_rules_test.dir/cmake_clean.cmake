@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribution_rules_test.dir/grade10/attribution_rules_test.cpp.o"
+  "CMakeFiles/attribution_rules_test.dir/grade10/attribution_rules_test.cpp.o.d"
+  "attribution_rules_test"
+  "attribution_rules_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribution_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attributor_test.dir/grade10/attributor_test.cpp.o"
+  "CMakeFiles/attributor_test.dir/grade10/attributor_test.cpp.o.d"
+  "attributor_test"
+  "attributor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attributor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

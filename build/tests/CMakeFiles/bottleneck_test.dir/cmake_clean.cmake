@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_test.dir/grade10/bottleneck_test.cpp.o"
+  "CMakeFiles/bottleneck_test.dir/grade10/bottleneck_test.cpp.o.d"
+  "bottleneck_test"
+  "bottleneck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

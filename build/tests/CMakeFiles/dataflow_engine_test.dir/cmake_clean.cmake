@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_engine_test.dir/engine/dataflow_engine_test.cpp.o"
+  "CMakeFiles/dataflow_engine_test.dir/engine/dataflow_engine_test.cpp.o.d"
+  "dataflow_engine_test"
+  "dataflow_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_stats_test.dir/graph/degree_stats_test.cpp.o"
+  "CMakeFiles/degree_stats_test.dir/graph/degree_stats_test.cpp.o.d"
+  "degree_stats_test"
+  "degree_stats_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/execution_trace_test.dir/grade10/execution_trace_test.cpp.o"
+  "CMakeFiles/execution_trace_test.dir/grade10/execution_trace_test.cpp.o.d"
+  "execution_trace_test"
+  "execution_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/execution_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

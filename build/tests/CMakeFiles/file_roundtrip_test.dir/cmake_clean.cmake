@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_roundtrip_test.dir/grade10/file_roundtrip_test.cpp.o"
+  "CMakeFiles/file_roundtrip_test.dir/grade10/file_roundtrip_test.cpp.o.d"
+  "file_roundtrip_test"
+  "file_roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

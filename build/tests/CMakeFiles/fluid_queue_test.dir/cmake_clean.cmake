@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_queue_test.dir/sim/fluid_queue_test.cpp.o"
+  "CMakeFiles/fluid_queue_test.dir/sim/fluid_queue_test.cpp.o.d"
+  "fluid_queue_test"
+  "fluid_queue_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

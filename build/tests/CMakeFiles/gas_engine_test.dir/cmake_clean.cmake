@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas_engine_test.dir/engine/gas_engine_test.cpp.o"
+  "CMakeFiles/gas_engine_test.dir/engine/gas_engine_test.cpp.o.d"
+  "gas_engine_test"
+  "gas_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/issue_detector_test.dir/grade10/issue_detector_test.cpp.o"
+  "CMakeFiles/issue_detector_test.dir/grade10/issue_detector_test.cpp.o.d"
+  "issue_detector_test"
+  "issue_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/issue_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_logger_test.dir/engine/phase_logger_test.cpp.o"
+  "CMakeFiles/phase_logger_test.dir/engine/phase_logger_test.cpp.o.d"
+  "phase_logger_test"
+  "phase_logger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_logger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

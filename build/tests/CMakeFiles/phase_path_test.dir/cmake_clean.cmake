@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_path_test.dir/trace/phase_path_test.cpp.o"
+  "CMakeFiles/phase_path_test.dir/trace/phase_path_test.cpp.o.d"
+  "phase_path_test"
+  "phase_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

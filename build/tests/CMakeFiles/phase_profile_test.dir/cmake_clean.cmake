@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_profile_test.dir/grade10/phase_profile_test.cpp.o"
+  "CMakeFiles/phase_profile_test.dir/grade10/phase_profile_test.cpp.o.d"
+  "phase_profile_test"
+  "phase_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replay_simulator_test.dir/grade10/replay_simulator_test.cpp.o"
+  "CMakeFiles/replay_simulator_test.dir/grade10/replay_simulator_test.cpp.o.d"
+  "replay_simulator_test"
+  "replay_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replay_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

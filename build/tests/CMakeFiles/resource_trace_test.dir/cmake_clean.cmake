@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_trace_test.dir/grade10/resource_trace_test.cpp.o"
+  "CMakeFiles/resource_trace_test.dir/grade10/resource_trace_test.cpp.o.d"
+  "resource_trace_test"
+  "resource_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upsample_test.dir/grade10/upsample_test.cpp.o"
+  "CMakeFiles/upsample_test.dir/grade10/upsample_test.cpp.o.d"
+  "upsample_test"
+  "upsample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upsample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

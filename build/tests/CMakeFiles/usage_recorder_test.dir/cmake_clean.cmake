@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_recorder_test.dir/sim/usage_recorder_test.cpp.o"
+  "CMakeFiles/usage_recorder_test.dir/sim/usage_recorder_test.cpp.o.d"
+  "usage_recorder_test"
+  "usage_recorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

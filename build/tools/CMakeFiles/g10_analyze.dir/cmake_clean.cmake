@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g10_analyze.dir/analyze.cpp.o"
+  "CMakeFiles/g10_analyze.dir/analyze.cpp.o.d"
+  "g10_analyze"
+  "g10_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/g10_run.dir/run_workload.cpp.o"
+  "CMakeFiles/g10_run.dir/run_workload.cpp.o.d"
+  "g10_run"
+  "g10_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/g10_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
