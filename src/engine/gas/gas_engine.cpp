@@ -22,6 +22,34 @@ using algorithms::GasProgram;
 using algorithms::GatherEdges;
 using graph::EdgeIndex;
 using graph::Graph;
+
+// Matches the Pregel engine's salt: fault decisions draw from a forked RNG
+// stream so they never perturb the engine's own sequence.
+constexpr std::uint64_t kFaultSeedSalt = 0x9e3779b97f4a7c15ULL;
+
+/// Deterministic closed-form makespan estimate; anchors percent-based fault
+/// times. Capped at 64 iterations for convergence-bounded programs.
+TimeNs gas_nominal_horizon(const GasConfig& cfg, const Graph& g,
+                           const algorithms::GasProgram& prog) {
+  const double n = static_cast<double>(g.vertex_count());
+  const double m = static_cast<double>(g.edge_count());
+  const double cluster_rate = static_cast<double>(cfg.cluster.machine_count) *
+                              static_cast<double>(cfg.cluster.machine.cores) *
+                              cfg.cluster.machine.core_work_per_sec;
+  const int steps = std::min(prog.max_iterations(), 64);
+  const double step_work =
+      n * cfg.costs.work_per_apply +
+      m * (cfg.costs.work_per_gather_edge + cfg.costs.work_per_scatter_edge);
+  const double total_work = m * cfg.costs.work_per_load_edge +
+                            n * cfg.costs.work_per_store_vertex +
+                            static_cast<double>(steps) * step_work;
+  const double seconds =
+      total_work / cluster_rate +
+      static_cast<double>(steps) * 4.0 * cfg.costs.step_barrier_seconds;
+  return std::max<TimeNs>(
+      kMillisecond,
+      static_cast<TimeNs>(seconds * static_cast<double>(kSecond)));
+}
 using graph::VertexId;
 using trace::PhasePath;
 
@@ -32,12 +60,18 @@ class GasRun {
         g_(g),
         prog_(prog),
         rng_(cfg.seed),
+        faults_(cfg.cluster.faults, cfg.seed ^ kFaultSeedSalt),
         workers_(cfg.cluster.machine_count),
         threads_(cfg.effective_threads()) {
     cfg_.cluster.validate();
     G10_CHECK(g_.vertex_count() > 0);
     G10_CHECK_MSG(threads_ <= cfg_.cluster.machine.cores,
                   "threads per worker must not exceed cores");
+    // The GAS engine has no checkpoint/restart or retry machinery (yet):
+    // only slowdown and sampler-dropout faults are meaningful here.
+    G10_CHECK_MSG(!faults_.has_kind(sim::FaultKind::kCrash) &&
+                      !faults_.has_kind(sim::FaultKind::kNicDegrade),
+                  "gas engine supports only slow/drop fault kinds");
   }
 
   trace::RunArtifacts execute();
@@ -107,6 +141,7 @@ class GasRun {
   const Graph& g_;
   const GasProgram& prog_;
   Rng rng_;
+  sim::FaultInjector faults_;
   int workers_;
   int threads_;
 
@@ -218,7 +253,8 @@ void GasRun::load_graph() {
         static_cast<double>(per_worker_edges[static_cast<std::size_t>(w)]);
     const double cores = static_cast<double>(cfg_.cluster.machine.cores);
     const DurationNs duration = ns_for_work(
-        edges * cfg_.costs.work_per_load_edge / cores * jitter(0.05));
+        edges * cfg_.costs.work_per_load_edge / cores * jitter(0.05) /
+        faults_.speed_factor(w, 0));
     state.nic->enqueue(0, edges * cfg_.costs.bytes_per_load_edge);
     state.cpu->add(0, cores);
     state.cpu->add(duration, -cores);
@@ -412,9 +448,11 @@ void GasRun::step_thread_continue(int w, int th) {
   if (cursor < chunks.size()) {
     const double intensity =
         rng_.next_double(cfg_.costs.cpu_intensity_min, 1.0);
+    // An active slowdown window stretches the chunk (sampled at dispatch).
     const DurationNs duration = std::max<DurationNs>(
-        1, static_cast<DurationNs>(
-               static_cast<double>(chunks[cursor++]) / intensity));
+        1, static_cast<DurationNs>(static_cast<double>(chunks[cursor++]) /
+                                   intensity /
+                                   faults_.speed_factor(w, now)));
     state.cpu->add(now, intensity);
     sim_.schedule_after(duration, [this, w, th, intensity] {
       ws_[static_cast<std::size_t>(w)].cpu->add(sim_.now(), -intensity);
@@ -507,7 +545,8 @@ void GasRun::finish_execute(TimeNs t) {
         static_cast<double>(state.masters.size());
     const double cores = static_cast<double>(cfg_.cluster.machine.cores);
     const DurationNs duration = ns_for_work(
-        vertices * cfg_.costs.work_per_store_vertex / cores * jitter(0.05));
+        vertices * cfg_.costs.work_per_store_vertex / cores * jitter(0.05) /
+        faults_.speed_factor(w, t));
     state.cpu->add(t, cores);
     state.cpu->add(t + duration, -cores);
     const PhasePath worker_store = store.child("StoreWorker", w);
@@ -522,6 +561,9 @@ void GasRun::finish_execute(TimeNs t) {
 }
 
 trace::RunArtifacts GasRun::execute() {
+  if (!faults_.empty()) {
+    faults_.resolve(gas_nominal_horizon(cfg_, g_, prog_));
+  }
   load_graph();
   sim_.run();
   G10_CHECK_MSG(execute_finished_, "simulation ended before the job finished");
@@ -562,6 +604,11 @@ trace::RunArtifacts GasEngine::run(const graph::Graph& graph,
                                    const algorithms::GasProgram& program) const {
   GasRun run(config_, graph, program);
   return run.execute();
+}
+
+TimeNs GasEngine::estimate_horizon(const graph::Graph& graph,
+                                   const algorithms::GasProgram& program) const {
+  return gas_nominal_horizon(config_, graph, program);
 }
 
 }  // namespace g10::engine

@@ -109,6 +109,11 @@ class GasEngine {
   trace::RunArtifacts run(const graph::Graph& graph,
                           const algorithms::GasProgram& program) const;
 
+  /// Deterministic closed-form makespan estimate, used to resolve
+  /// percent-based fault times (see PregelEngine::estimate_horizon).
+  TimeNs estimate_horizon(const graph::Graph& graph,
+                          const algorithms::GasProgram& program) const;
+
   const GasConfig& config() const { return config_; }
 
  private:

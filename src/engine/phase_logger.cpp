@@ -35,6 +35,21 @@ void PhaseLogger::block(const std::string& resource,
       trace::BlockingEventRecord{resource, path, begin, end, machine});
 }
 
+bool PhaseLogger::abandon(const trace::PhasePath& path) {
+  return open_.erase(path.to_string()) > 0;
+}
+
+bool PhaseLogger::is_open(const trace::PhasePath& path) const {
+  return open_.contains(path.to_string());
+}
+
+std::optional<TimeNs> PhaseLogger::open_begin(
+    const trace::PhasePath& path) const {
+  const auto it = open_.find(path.to_string());
+  if (it == open_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::vector<trace::PhaseEventRecord> PhaseLogger::take_phase_events() {
   G10_CHECK_MSG(open_.empty(), "phases still open at end of run");
   return std::move(phase_events_);

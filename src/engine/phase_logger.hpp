@@ -4,6 +4,7 @@
 // (inside the engine) instead of during later analysis.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,19 @@ class PhaseLogger {
   /// Records that `path` was blocked on `resource` over [begin, end).
   void block(const std::string& resource, const trace::PhasePath& path,
              TimeNs begin, TimeNs end, trace::MachineId machine);
+
+  /// Drops an open phase WITHOUT emitting an End record, leaving a truncated
+  /// BEGIN-without-END in the log — exactly what a crashed worker's logger
+  /// would have produced. Returns false when the phase was not open.
+  bool abandon(const trace::PhasePath& path);
+
+  /// True when `path` has a Begin without a matching End (or abandon) yet.
+  bool is_open(const trace::PhasePath& path) const;
+
+  /// Begin time of an open phase; nullopt when not open. (Some phases are
+  /// logged ahead of simulated time — e.g. WorkerCompute begins at t+prep —
+  /// so crash handling clamps end times to at least the begin.)
+  std::optional<TimeNs> open_begin(const trace::PhasePath& path) const;
 
   std::size_t open_phase_count() const { return open_.size(); }
 

@@ -1,6 +1,7 @@
 #include "engine/pregel/pregel_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "common/rng.hpp"
 #include "engine/phase_logger.hpp"
 #include "graph/partition.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/fluid_queue.hpp"
 #include "sim/simulation.hpp"
 #include "sim/usage_recorder.hpp"
@@ -25,6 +27,37 @@ using graph::Graph;
 using graph::VertexId;
 using trace::PhasePath;
 
+// Seed offset for the fault injector's forked RNG stream: fault decisions
+// must not perturb the engine's own draw sequence.
+constexpr std::uint64_t kFaultSeedSalt = 0x9e3779b97f4a7c15ULL;
+
+/// Closed-form makespan estimate shared by PregelEngine::estimate_horizon
+/// and percent-time resolution inside a run. Deliberately ignores GC, queue
+/// stalls and jitter — fault times only need a stable, roughly-scaled
+/// anchor, not an accurate prediction.
+TimeNs pregel_nominal_horizon(const PregelConfig& cfg, const Graph& g,
+                              const PregelProgram& prog) {
+  const double n = static_cast<double>(g.vertex_count());
+  const double m = static_cast<double>(g.edge_count());
+  const double cluster_rate = static_cast<double>(cfg.cluster.machine_count) *
+                              static_cast<double>(cfg.cluster.machine.cores) *
+                              cfg.cluster.machine.core_work_per_sec;
+  const int steps = std::min(prog.max_supersteps(), 64);
+  const double step_work =
+      n * cfg.costs.work_per_vertex +
+      m * (cfg.costs.work_per_edge + cfg.costs.work_per_message);
+  const double total_work = m * cfg.costs.work_per_load_edge +
+                            n * cfg.costs.work_per_store_vertex +
+                            static_cast<double>(steps) * step_work;
+  const double seconds =
+      total_work / cluster_rate +
+      static_cast<double>(steps) *
+          (cfg.costs.prepare_seconds + cfg.costs.barrier_sync_seconds);
+  return std::max<TimeNs>(
+      kMillisecond,
+      static_cast<TimeNs>(seconds * static_cast<double>(kSecond)));
+}
+
 /// Whole-run mutable state. One instance per PregelEngine::run call; the
 /// event callbacks all close over `this`.
 class PregelRun {
@@ -34,6 +67,7 @@ class PregelRun {
         g_(g),
         prog_(prog),
         rng_(cfg.seed),
+        faults_(cfg.cluster.faults, cfg.seed ^ kFaultSeedSalt),
         workers_(cfg.cluster.machine_count),
         threads_(cfg.effective_threads()),
         combiner_(prog.combiner()) {
@@ -41,6 +75,8 @@ class PregelRun {
     G10_CHECK(g_.vertex_count() > 0);
     G10_CHECK_MSG(threads_ <= cfg_.cluster.machine.cores,
                   "threads per worker must not exceed cores");
+    G10_CHECK(cfg_.checkpoint.interval_supersteps > 0);
+    G10_CHECK(cfg_.retry.max_attempts >= 0);
   }
 
   trace::RunArtifacts execute();
@@ -53,6 +89,7 @@ class PregelRun {
     bool done = false;
     bool waiting_gc = false;
     bool phase_open = false;
+    double running_intensity = 0.0;  ///< CPU held by an in-flight chunk
     PhasePath phase;  ///< ComputeThread path for the current superstep
   };
 
@@ -118,6 +155,16 @@ class PregelRun {
     }
   }
 
+  /// Schedules `fn` at `t`, cancelled implicitly when a crash bumps the
+  /// epoch: every event belonging to the aborted execution attempt carries
+  /// the epoch it was scheduled in and becomes a no-op once stale.
+  template <typename Fn>
+  void schedule_epoch(TimeNs t, Fn fn) {
+    sim_.schedule_at(t, [this, e = epoch_, fn = std::move(fn)] {
+      if (e == epoch_) fn();
+    });
+  }
+
   // ---- phases of the run ----------------------------------------------------
   void noise_tick(int w);
   void load_graph();
@@ -125,6 +172,7 @@ class PregelRun {
   void thread_continue(int w, int th);
   void finish_chunk(int w, int th, double remote_bytes, double alloc_bytes,
                     double intensity);
+  void attempt_send(int w, int th, double remote_bytes, int attempt);
   void thread_done(int w, int th);
   void start_gc(int w);
   void end_gc(int w);
@@ -132,11 +180,27 @@ class PregelRun {
   void finish_superstep(TimeNs barrier_time);
   void finish_execute(TimeNs t);
 
+  // ---- fault tolerance ------------------------------------------------------
+  void save_checkpoint_state();
+  void restore_checkpoint_state();
+  TimeNs write_checkpoint(TimeNs t);
+  void complete_checkpoint();
+  void abort_checkpoint(int victim, TimeNs now);
+  void schedule_next_crash(TimeNs floor);
+  void schedule_nic_changes();
+  void fire_crash();
+  void close_or_abandon(const PhasePath& path, bool dead, TimeNs now,
+                        trace::MachineId machine);
+  double worker_vertex_count(int w) const;
+
   PhasePath superstep_path() const {
+    // Paths use the monotonic instance counter, not the logical superstep:
+    // after a crash the re-executed superstep gets a fresh index, keeping
+    // every path in the log unique.
     return PhasePath{}
         .child("Job", 0)
         .child("Execute", 0)
-        .child("Superstep", superstep_);
+        .child("Superstep", superstep_instance_);
   }
 
   // ---- members --------------------------------------------------------------
@@ -144,6 +208,7 @@ class PregelRun {
   const Graph& g_;
   const PregelProgram& prog_;
   Rng rng_;
+  sim::FaultInjector faults_;
   int workers_;
   int threads_;
   Combiner combiner_;
@@ -159,11 +224,29 @@ class PregelRun {
   std::vector<std::uint32_t> msg_count_cur_, msg_count_next_;
   std::vector<std::vector<double>> msg_list_cur_, msg_list_next_;
 
-  int superstep_ = 0;
+  int superstep_ = 0;           ///< logical superstep (algorithm semantics)
+  int superstep_instance_ = 0;  ///< Superstep path index (never reused)
   int workers_done_ = 0;
   int gc_seq_ = 0;  ///< GcPause instance index within the current superstep
   bool execute_finished_ = false;
   TimeNs makespan_ = 0;
+
+  // ---- fault-injection state ------------------------------------------------
+  bool checkpointing_ = false;  ///< armed iff the spec contains a crash
+  int epoch_ = 0;               ///< bumped on every crash
+  int recovery_seq_ = 0;
+  int checkpoint_seq_ = 0;
+  bool checkpoint_active_ = false;  ///< a checkpoint write is in flight
+  PhasePath checkpoint_path_;
+  std::vector<TimeNs> checkpoint_wend_;  ///< per-worker write-finish times
+  struct Snapshot {
+    int superstep = 0;
+    std::vector<double> value;
+    std::vector<char> halted;
+    std::vector<double> msg_combined;
+    std::vector<std::uint32_t> msg_count;
+    std::vector<std::vector<double>> msg_list;
+  } snapshot_;
 };
 
 void PregelRun::noise_tick(int w) {
@@ -229,7 +312,8 @@ void PregelRun::load_graph() {
     }
     const double cores = static_cast<double>(cfg_.cluster.machine.cores);
     const DurationNs duration = ns_for_work(
-        edges * cfg_.costs.work_per_load_edge / cores * jitter(0.05));
+        edges * cfg_.costs.work_per_load_edge / cores * jitter(0.05) /
+        faults_.speed_factor(w, 0));
     state.nic->enqueue(0, edges * cfg_.costs.bytes_per_load_edge);
     state.cpu->add(0, cores);
     state.cpu->add(duration, -cores);
@@ -246,7 +330,10 @@ void PregelRun::load_graph() {
       sim_.schedule_at(0, [this, w] { noise_tick(w); });
     }
   }
-  sim_.schedule_at(load_end, [this] { start_superstep(sim_.now()); });
+  schedule_epoch(load_end, [this] { start_superstep(sim_.now()); });
+  if (checkpointing_) save_checkpoint_state();
+  schedule_next_crash(load_end);
+  schedule_nic_changes();
 }
 
 void PregelRun::start_superstep(TimeNs t) {
@@ -289,7 +376,7 @@ void PregelRun::start_superstep(TimeNs t) {
       auto& thread = state.threads[static_cast<std::size_t>(th)];
       thread = ThreadState{};
       thread.phase = step.child("WorkerCompute", w).child("ComputeThread", th);
-      sim_.schedule_at(t + prep, [this, w, th] { thread_continue(w, th); });
+      schedule_epoch(t + prep, [this, w, th] { thread_continue(w, th); });
     }
   }
 }
@@ -316,7 +403,7 @@ void PregelRun::thread_continue(int w, int th) {
     const TimeNs resume = state.nic->time_until_level(
         now, cfg_.queue.capacity_bytes * cfg_.queue.resume_fraction);
     log_.block(pregel_names::kMessageQueue, thread.phase, now, resume, w);
-    sim_.schedule_at(resume, [this, w, th] { thread_continue(w, th); });
+    schedule_epoch(resume, [this, w, th] { thread_continue(w, th); });
     return;
   }
   // 3. Acquire a partition if we do not hold one.
@@ -381,17 +468,20 @@ void PregelRun::thread_continue(int w, int th) {
     }
   }
   // A JVM thread's effective CPU intensity fluctuates below one core;
-  // the same work then takes proportionally longer.
+  // the same work then takes proportionally longer. An active slowdown
+  // window stretches the chunk further (sampled once, at dispatch).
   const double intensity =
       rng_.next_double(cfg_.costs.cpu_intensity_min, 1.0);
   const DurationNs duration = std::max<DurationNs>(
-      1,
-      ns_for_work(work * jitter(cfg_.costs.work_jitter) / intensity));
+      1, ns_for_work(work * jitter(cfg_.costs.work_jitter) / intensity /
+                     faults_.speed_factor(w, now)));
   state.cpu->add(now, intensity);
+  thread.running_intensity = intensity;
   ++state.running_chunks;
-  sim_.schedule_after(duration, [this, w, th, remote_bytes, alloc, intensity] {
-    finish_chunk(w, th, remote_bytes, alloc, intensity);
-  });
+  schedule_epoch(now + duration,
+                 [this, w, th, remote_bytes, alloc, intensity] {
+                   finish_chunk(w, th, remote_bytes, alloc, intensity);
+                 });
 }
 
 void PregelRun::finish_chunk(int w, int th, double remote_bytes,
@@ -399,8 +489,8 @@ void PregelRun::finish_chunk(int w, int th, double remote_bytes,
   auto& state = ws_[static_cast<std::size_t>(w)];
   const TimeNs now = sim_.now();
   state.cpu->add(now, -intensity);
+  state.threads[static_cast<std::size_t>(th)].running_intensity = 0.0;
   --state.running_chunks;
-  state.nic->enqueue(now, remote_bytes);
   state.alloc_bytes += alloc_bytes;
   if (state.gc_active) {
     // GC is running: this core is immediately taken over by the collector.
@@ -409,6 +499,31 @@ void PregelRun::finish_chunk(int w, int th, double remote_bytes,
   } else if (cfg_.gc.enabled && state.alloc_bytes > cfg_.gc.young_gen_bytes) {
     start_gc(w);
   }
+  attempt_send(w, th, remote_bytes, 0);
+}
+
+void PregelRun::attempt_send(int w, int th, double remote_bytes, int attempt) {
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  auto& thread = state.threads[static_cast<std::size_t>(th)];
+  const TimeNs now = sim_.now();
+  // Under NIC message loss the flush of this chunk's remote messages can
+  // fail; the thread then backs off with an exponentially growing timeout
+  // and retries, which Grade10 sees as "Retry" blocking events. After
+  // max_attempts the send is forced through (the simulated transport is
+  // reliable underneath — correctness is never at stake, only time).
+  if (remote_bytes > 0.0 && attempt < cfg_.retry.max_attempts &&
+      faults_.send_fails(w, now)) {
+    const double timeout_seconds =
+        cfg_.retry.timeout_seconds *
+        std::pow(cfg_.retry.backoff, static_cast<double>(attempt));
+    const TimeNs resume = now + ns_from_seconds(timeout_seconds);
+    log_.block(pregel_names::kRetry, thread.phase, now, resume, w);
+    schedule_epoch(resume, [this, w, th, remote_bytes, attempt] {
+      attempt_send(w, th, remote_bytes, attempt + 1);
+    });
+    return;
+  }
+  state.nic->enqueue(now, remote_bytes);
   thread_continue(w, th);
 }
 
@@ -428,7 +543,7 @@ void PregelRun::start_gc(int w) {
   state.gc_cores_taken = static_cast<double>(cfg_.cluster.machine.cores) -
                          static_cast<double>(state.running_chunks);
   state.cpu->add(now, state.gc_cores_taken);
-  sim_.schedule_at(state.gc_end, [this, w] { end_gc(w); });
+  schedule_epoch(state.gc_end, [this, w] { end_gc(w); });
 }
 
 void PregelRun::end_gc(int w) {
@@ -472,7 +587,7 @@ void PregelRun::worker_compute_done(int w) {
     TimeNs barrier = 0;
     for (const auto& other : ws_) barrier = std::max(barrier, other.ready);
     barrier += ns_from_seconds(cfg_.costs.barrier_sync_seconds);
-    sim_.schedule_at(barrier, [this] { finish_superstep(sim_.now()); });
+    schedule_epoch(barrier, [this] { finish_superstep(sim_.now()); });
   }
 }
 
@@ -494,6 +609,16 @@ void PregelRun::finish_superstep(TimeNs barrier_time) {
     msg_count_cur_.swap(msg_count_next_);
   }
   ++superstep_;
+  ++superstep_instance_;
+  if (checkpointing_ &&
+      superstep_ % cfg_.checkpoint.interval_supersteps == 0) {
+    const TimeNs cp_end = write_checkpoint(barrier_time);
+    schedule_epoch(cp_end, [this] {
+      complete_checkpoint();
+      start_superstep(sim_.now());
+    });
+    return;
+  }
   start_superstep(barrier_time);
 }
 
@@ -511,7 +636,8 @@ void PregelRun::finish_execute(TimeNs t) {
     }
     const double cores = static_cast<double>(cfg_.cluster.machine.cores);
     const DurationNs duration = ns_for_work(
-        vertices * cfg_.costs.work_per_store_vertex / cores * jitter(0.05));
+        vertices * cfg_.costs.work_per_store_vertex / cores * jitter(0.05) /
+        faults_.speed_factor(w, t));
     state.cpu->add(t, cores);
     state.cpu->add(t + duration, -cores);
     const PhasePath worker_store = store.child("StoreWorker", w);
@@ -525,7 +651,213 @@ void PregelRun::finish_execute(TimeNs t) {
   execute_finished_ = true;
 }
 
+double PregelRun::worker_vertex_count(int w) const {
+  const auto& state = ws_[static_cast<std::size_t>(w)];
+  double vertices = 0.0;
+  for (const auto& part : state.partitions) {
+    vertices += static_cast<double>(part.size());
+  }
+  return vertices;
+}
+
+void PregelRun::save_checkpoint_state() {
+  snapshot_.superstep = superstep_;
+  snapshot_.value = value_;
+  snapshot_.halted = halted_;
+  snapshot_.msg_combined = msg_combined_cur_;
+  snapshot_.msg_count = msg_count_cur_;
+  snapshot_.msg_list = msg_list_cur_;
+}
+
+void PregelRun::restore_checkpoint_state() {
+  superstep_ = snapshot_.superstep;
+  value_ = snapshot_.value;
+  halted_ = snapshot_.halted;
+  msg_combined_cur_ = snapshot_.msg_combined;
+  msg_count_cur_ = snapshot_.msg_count;
+  msg_list_cur_ = snapshot_.msg_list;
+  // Partially-delivered messages from the aborted attempt are discarded;
+  // re-executing the superstep regenerates them.
+  std::fill(msg_combined_next_.begin(), msg_combined_next_.end(), 0.0);
+  std::fill(msg_count_next_.begin(), msg_count_next_.end(), 0u);
+  for (auto& list : msg_list_next_) list.clear();
+}
+
+TimeNs PregelRun::write_checkpoint(TimeNs t) {
+  // Open the checkpoint phases now; closure is deferred until the write
+  // completes (complete_checkpoint), so a crash landing inside the window
+  // truncates them — the log shows an interrupted checkpoint, and the
+  // snapshot falls back to the previous complete one.
+  const PhasePath exec = PhasePath{}.child("Job", 0).child("Execute", 0);
+  checkpoint_path_ = exec.child("Checkpoint", checkpoint_seq_++);
+  log_.begin(checkpoint_path_, t, trace::kGlobalMachine);
+  checkpoint_wend_.assign(static_cast<std::size_t>(workers_), t);
+  TimeNs cp_end = t;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const DurationNs duration =
+        ns_from_seconds(cfg_.checkpoint.base_seconds) +
+        ns_for_work(worker_vertex_count(w) * cfg_.checkpoint.work_per_vertex);
+    const TimeNs wend = t + duration;
+    checkpoint_wend_[static_cast<std::size_t>(w)] = wend;
+    log_.begin(checkpoint_path_.child("CheckpointWorker", w), t, w);
+    // Serialization is single-threaded per worker.
+    state.cpu->add(t, 1.0);
+    cp_end = std::max(cp_end, wend);
+  }
+  checkpoint_active_ = true;
+  return cp_end;
+}
+
+void PregelRun::complete_checkpoint() {
+  TimeNs cp_end = 0;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const TimeNs wend = checkpoint_wend_[static_cast<std::size_t>(w)];
+    log_.end(checkpoint_path_.child("CheckpointWorker", w), wend, w);
+    state.cpu->add(wend, -1.0);
+    cp_end = std::max(cp_end, wend);
+  }
+  log_.end(checkpoint_path_, cp_end, trace::kGlobalMachine);
+  checkpoint_active_ = false;
+  save_checkpoint_state();
+}
+
+void PregelRun::abort_checkpoint(int victim, TimeNs now) {
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const PhasePath worker_cp = checkpoint_path_.child("CheckpointWorker", w);
+    const TimeNs wend = checkpoint_wend_[static_cast<std::size_t>(w)];
+    const TimeNs stop = std::min(now, wend);
+    if (w == victim) {
+      log_.abandon(worker_cp);
+    } else {
+      log_.end(worker_cp, stop, w);
+    }
+    state.cpu->add(stop, -1.0);
+  }
+  log_.abandon(checkpoint_path_);
+  checkpoint_active_ = false;
+  // The snapshot was not saved: recovery falls back to the previous one.
+}
+
+void PregelRun::schedule_next_crash(TimeNs floor) {
+  if (!checkpointing_) return;
+  const auto t = faults_.next_crash_time();
+  if (!t) return;
+  // Not epoch-guarded: a crash belongs to the run, not to one execution
+  // attempt. A crash falling inside a recovery window fires right after it.
+  sim_.schedule_at(std::max(*t, floor), [this] { fire_crash(); });
+}
+
+void PregelRun::schedule_nic_changes() {
+  if (faults_.empty()) return;
+  const double base_rate = cfg_.cluster.machine.nic_bytes_per_sec();
+  for (const TimeNs t : faults_.nic_change_times()) {
+    // Boundaries may predate the point where scheduling happens (a window
+    // opening at t=0 while the graph is still loading): apply them now.
+    sim_.schedule_at(std::max(t, sim_.now()), [this, base_rate] {
+      if (execute_finished_) return;
+      const TimeNs now = sim_.now();
+      for (int w = 0; w < workers_; ++w) {
+        ws_[static_cast<std::size_t>(w)].nic->set_rate(
+            now, base_rate * faults_.nic_factor(w, now));
+      }
+    });
+  }
+}
+
+void PregelRun::close_or_abandon(const PhasePath& path, bool dead, TimeNs now,
+                                 trace::MachineId machine) {
+  const auto begin = log_.open_begin(path);
+  if (!begin) return;
+  if (dead) {
+    log_.abandon(path);
+  } else {
+    // Some phase begins are logged ahead of simulated time (WorkerCompute
+    // opens at t+prep); never end a phase before its begin.
+    log_.end(path, std::max(now, *begin), machine);
+  }
+}
+
+void PregelRun::fire_crash() {
+  if (execute_finished_) return;
+  const TimeNs now = sim_.now();
+  const auto victim = faults_.take_crash(now);
+  if (!victim) return;
+  // A new epoch invalidates every event of the aborted execution attempt.
+  ++epoch_;
+  const PhasePath step = superstep_path();
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const bool dead = w == *victim;
+    for (int th = 0; th < threads_; ++th) {
+      auto& thread = state.threads[static_cast<std::size_t>(th)];
+      if (thread.running_intensity > 0.0) {
+        state.cpu->add(now, -thread.running_intensity);
+        thread.running_intensity = 0.0;
+      }
+      if (thread.phase_open) {
+        // The crashed worker's log simply stops: its open phases keep their
+        // BEGIN but never get an END. Survivors close theirs cleanly.
+        if (dead) {
+          log_.abandon(thread.phase);
+        } else {
+          log_.end(thread.phase, now, w);
+        }
+        thread.phase_open = false;
+      }
+      thread.done = true;
+    }
+    state.running_chunks = 0;
+    if (state.gc_active) {
+      state.cpu->add(now, -state.gc_cores_taken);
+      state.gc_cores_taken = 0.0;
+      state.gc_active = false;
+      close_or_abandon(state.gc_phase, dead, now, w);
+    }
+    state.alloc_bytes = 0.0;
+    close_or_abandon(step.child("WorkerCompute", w), dead, now, w);
+    close_or_abandon(step.child("WorkerCommunicate", w), dead, now, w);
+    close_or_abandon(step.child("WorkerBarrier", w), dead, now, w);
+    // In-flight traffic of the aborted superstep is gone; the re-execution
+    // regenerates it.
+    state.nic->clear(now);
+  }
+  if (log_.is_open(step)) log_.abandon(step);
+  if (checkpoint_active_) abort_checkpoint(*victim, now);
+  ++superstep_instance_;
+
+  // Checkpoint-restart recovery: the master detects the failure, restarts
+  // the victim and every worker reloads the last checkpoint. The whole
+  // window is dead time, reported as "Recovery" blocking events.
+  const PhasePath exec = PhasePath{}.child("Job", 0).child("Execute", 0);
+  const PhasePath rec = exec.child("Recovery", recovery_seq_++);
+  log_.begin(rec, now, trace::kGlobalMachine);
+  const DurationNs restart = ns_from_seconds(cfg_.checkpoint.restart_seconds);
+  TimeNs rec_end = now + restart;
+  for (int w = 0; w < workers_; ++w) {
+    const DurationNs reload = ns_for_work(
+        worker_vertex_count(w) * cfg_.checkpoint.reload_work_per_vertex /
+        static_cast<double>(cfg_.cluster.machine.cores));
+    const TimeNs wend = now + restart + reload;
+    const PhasePath worker_rec = rec.child("RecoveryWorker", w);
+    log_.begin(worker_rec, now, w);
+    log_.end(worker_rec, wend, w);
+    log_.block(pregel_names::kRecovery, worker_rec, now, wend, w);
+    rec_end = std::max(rec_end, wend);
+  }
+  log_.end(rec, rec_end, trace::kGlobalMachine);
+  restore_checkpoint_state();
+  schedule_epoch(rec_end, [this] { start_superstep(sim_.now()); });
+  schedule_next_crash(rec_end);
+}
+
 trace::RunArtifacts PregelRun::execute() {
+  if (!faults_.empty()) {
+    faults_.resolve(pregel_nominal_horizon(cfg_, g_, prog_));
+    checkpointing_ = faults_.has_kind(sim::FaultKind::kCrash);
+  }
   load_graph();
   sim_.run();
   G10_CHECK_MSG(execute_finished_, "simulation ended before the job finished");
@@ -567,6 +899,11 @@ trace::RunArtifacts PregelEngine::run(
     const graph::Graph& graph, const algorithms::PregelProgram& program) const {
   PregelRun run(config_, graph, program);
   return run.execute();
+}
+
+TimeNs PregelEngine::estimate_horizon(
+    const graph::Graph& graph, const algorithms::PregelProgram& program) const {
+  return pregel_nominal_horizon(config_, graph, program);
 }
 
 }  // namespace g10::engine

@@ -10,17 +10,28 @@
 //   Job.0
 //   ├── LoadGraph.0                  └── LoadWorker.w
 //   ├── Execute.0
-//   │   └── (Superstep.s)
-//   │       ├── WorkerPrepare.w
-//   │       ├── WorkerCompute.w      └── (ComputeThread.t)
-//   │       ├── WorkerCommunicate.w  (concurrent with WorkerCompute)
-//   │       ├── WorkerBarrier.w
-//   │       └── (GcPause.k)          (when a collection happens)
+//   │   ├── (Superstep.s)
+//   │   │   ├── WorkerPrepare.w
+//   │   │   ├── WorkerCompute.w      └── (ComputeThread.t)
+//   │   │   ├── WorkerCommunicate.w  (concurrent with WorkerCompute)
+//   │   │   ├── WorkerBarrier.w
+//   │   │   └── (GcPause.k)          (when a collection happens)
+//   │   ├── (Checkpoint.k)           └── CheckpointWorker.w  (under faults)
+//   │   └── (Recovery.r)             └── RecoveryWorker.w    (after a crash)
 //   └── StoreResults.0               └── StoreWorker.w
 //
 // Consumable resources recorded: "cpu" (cores in use, per machine) and
 // "network" (NIC transmit bytes/s, per machine). Blocking resources
-// referenced in blocking events: "GC" and "MessageQueue".
+// referenced in blocking events: "GC", "MessageQueue", and — under fault
+// injection — "Retry" (send retry-timeout backoff) and "Recovery"
+// (checkpoint-restart downtime).
+//
+// Fault injection (ClusterSpec::faults): worker crashes trigger
+// checkpoint/restart recovery — the crashed worker's open phases are left
+// as BEGIN-without-END in the log, exactly like a real crashed JVM's log.
+// Superstep path indices keep counting across re-executions
+// (Superstep.3 crashed -> recovery -> Superstep.4 re-runs the same logical
+// superstep), so every path in the log stays unique.
 #pragma once
 
 #include <cstdint>
@@ -86,6 +97,26 @@ struct QueueConfig {
   double resume_fraction = 0.5;  ///< unblock when level <= fraction*capacity
 };
 
+/// Checkpoint/restart fault tolerance. Checkpointing is armed only when the
+/// fault spec contains a crash event, so fault-free runs stay byte-identical
+/// to runs produced before this feature existed.
+struct CheckpointConfig {
+  int interval_supersteps = 1;          ///< checkpoint every k supersteps
+  double base_seconds = 0.010;          ///< fixed per-checkpoint barrier cost
+  double work_per_vertex = 30.0;        ///< serialization work per vertex
+  double restart_seconds = 0.25;        ///< master detects + reschedules
+  double reload_work_per_vertex = 60.0; ///< deserialize state during recovery
+};
+
+/// Retry-timeout backoff on remote sends under NIC message loss: a failed
+/// send blocks the compute thread ("Retry" blocking event) for an
+/// exponentially growing timeout before the attempt is repeated.
+struct RetryConfig {
+  double timeout_seconds = 0.02;  ///< first retry timeout
+  double backoff = 2.0;           ///< timeout multiplier per failed attempt
+  int max_attempts = 4;           ///< afterwards the send goes through anyway
+};
+
 struct PregelConfig {
   sim::ClusterSpec cluster;
   int threads_per_worker = 0;     ///< 0 = one per core
@@ -95,6 +126,8 @@ struct PregelConfig {
   GcConfig gc;
   QueueConfig queue;
   NoiseConfig noise;
+  CheckpointConfig checkpoint;
+  RetryConfig retry;
   std::uint64_t seed = 42;
 
   int effective_threads() const {
@@ -109,6 +142,8 @@ inline constexpr const char* kCpu = "cpu";
 inline constexpr const char* kNetwork = "network";
 inline constexpr const char* kGc = "GC";
 inline constexpr const char* kMessageQueue = "MessageQueue";
+inline constexpr const char* kRetry = "Retry";
+inline constexpr const char* kRecovery = "Recovery";
 }  // namespace pregel_names
 
 class PregelEngine {
@@ -117,6 +152,13 @@ class PregelEngine {
 
   /// Runs the program to completion; deterministic for a fixed config.
   trace::RunArtifacts run(const graph::Graph& graph,
+                          const algorithms::PregelProgram& program) const;
+
+  /// Deterministic closed-form estimate of the run's makespan, used to
+  /// resolve percent-based fault times ("crash:w2@40%"). Intentionally
+  /// crude: total modeled work over aggregate cluster throughput, capped at
+  /// 64 supersteps for convergence-bounded programs.
+  TimeNs estimate_horizon(const graph::Graph& graph,
                           const algorithms::PregelProgram& program) const;
 
   const PregelConfig& config() const { return config_; }

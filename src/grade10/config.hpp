@@ -1,6 +1,9 @@
 // Tunables of the Grade10 analysis pipeline.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "common/time.hpp"
 
 namespace g10::core {
@@ -27,6 +30,13 @@ struct AnalysisConfig {
   /// slice shrinks to the utilization of the next-binding resource, but
   /// never below this floor.
   double min_shrink_fraction = 0.02;
+
+  /// Blocking resources that represent fault handling (crash recovery,
+  /// send retries). Their blocked time is reported as a single
+  /// fault-recovery issue measured directly on the trace, not through the
+  /// replay simulator: recovery phases are wait-type, so a replay that
+  /// zeroes them would understate the real cost.
+  std::vector<std::string> fault_resources{"Recovery", "Retry"};
 };
 
 }  // namespace g10::core

@@ -195,12 +195,65 @@ PerformanceIssue IssueDetector::bottleneck_issue(
   return issue;
 }
 
+PerformanceIssue IssueDetector::fault_recovery_issue() const {
+  PerformanceIssue issue;
+  issue.kind = IssueKind::kFaultRecovery;
+  issue.description = "time lost to fault handling (crash recovery, retries)";
+  std::vector<Interval> spans;
+  for (const BlockingSpan& span : trace_.blocking()) {
+    const std::string& name = resources_.resource(span.resource).name;
+    if (std::find(config_.fault_resources.begin(),
+                  config_.fault_resources.end(),
+                  name) == config_.fault_resources.end()) {
+      continue;
+    }
+    spans.push_back(span.interval);
+  }
+  const TimeNs end_time = trace_.end_time();
+  issue.baseline_makespan = end_time;
+  DurationNs blocked = 0;
+  if (!spans.empty()) {
+    std::sort(spans.begin(), spans.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin < b.begin;
+              });
+    TimeNs cursor = spans.front().begin;
+    for (const Interval& span : spans) {
+      const TimeNs begin = std::max(span.begin, cursor);
+      if (span.end > begin) {
+        blocked += span.end - begin;
+        cursor = span.end;
+      }
+    }
+  }
+  issue.optimistic_makespan = end_time - blocked;
+  issue.impact = end_time > 0
+                     ? static_cast<double>(blocked) /
+                           static_cast<double>(end_time)
+                     : 0.0;
+  return issue;
+}
+
 std::vector<PerformanceIssue> IssueDetector::detect(
     const AttributedUsage& usage, const BottleneckReport& bottlenecks) {
   std::vector<PerformanceIssue> issues;
   for (ResourceId r = 0;
        r < static_cast<ResourceId>(resources_.resource_count()); ++r) {
+    // Fault-class resources are covered by the dedicated fault-recovery
+    // issue below; a bottleneck replay would zero their wait-type phases.
+    const std::string& name = resources_.resource(r).name;
+    if (std::find(config_.fault_resources.begin(),
+                  config_.fault_resources.end(),
+                  name) != config_.fault_resources.end()) {
+      continue;
+    }
     issues.push_back(bottleneck_issue(r, usage, bottlenecks));
+  }
+  {
+    PerformanceIssue fault = fault_recovery_issue();
+    if (fault.optimistic_makespan < fault.baseline_makespan) {
+      issues.push_back(std::move(fault));
+    }
   }
   for (PhaseTypeId t = 0; t < static_cast<PhaseTypeId>(model_.type_count());
        ++t) {

@@ -15,6 +15,12 @@
 //    their mean duration (total work preserved; work is interchangeable
 //    only within a group, per the paper's locality assumption). Non-leaf
 //    groups scale their leaf descendants proportionally.
+//
+//  - Fault recovery: total wall-clock time covered by fault-class blocking
+//    events (config.fault_resources — crash recovery and send retries).
+//    Measured directly as the union of those blocked intervals over the
+//    trace; the replay simulator is bypassed because recovery phases are
+//    wait-type and would replay with zero duration.
 #pragma once
 
 #include <string>
@@ -27,7 +33,7 @@
 
 namespace g10::core {
 
-enum class IssueKind { kResourceBottleneck, kImbalance };
+enum class IssueKind { kResourceBottleneck, kImbalance, kFaultRecovery };
 
 struct PerformanceIssue {
   IssueKind kind = IssueKind::kResourceBottleneck;
@@ -59,6 +65,11 @@ class IssueDetector {
   PerformanceIssue bottleneck_issue(ResourceId resource,
                                     const AttributedUsage& usage,
                                     const BottleneckReport& bottlenecks);
+
+  /// The fault-recovery issue: union of blocked intervals on the
+  /// config.fault_resources over the whole trace. Impact is relative to
+  /// the recorded end time, not the replay baseline.
+  PerformanceIssue fault_recovery_issue() const;
 
   TimeNs baseline_makespan() const { return baseline_; }
   const ReplaySimulator& simulator() const { return simulator_; }

@@ -19,6 +19,18 @@ FrameworkModel make_pregel_model(const PregelModelParams& params) {
   const PhaseTypeId communicate = x.add_child(superstep, "WorkerCommunicate");
   const PhaseTypeId barrier = x.add_child(superstep, "WorkerBarrier");
   const PhaseTypeId gc_pause = x.add_child(superstep, "GcPause");
+  // Fault-tolerance phases (only present in logs from faulted runs).
+  // Checkpoints and recoveries interleave with supersteps; all are modeled
+  // as wait phases so the replay simulator treats them as overhead that a
+  // fault-free run would not pay — their cost is carried by the Recovery /
+  // Retry blocking events and reported as the fault-recovery issue.
+  const PhaseTypeId checkpoint = x.add_child(execute, "Checkpoint",
+                                             /*repeated=*/true);
+  const PhaseTypeId checkpoint_worker = x.add_child(checkpoint,
+                                                    "CheckpointWorker");
+  const PhaseTypeId recovery = x.add_child(execute, "Recovery",
+                                           /*repeated=*/true);
+  const PhaseTypeId recovery_worker = x.add_child(recovery, "RecoveryWorker");
   const PhaseTypeId store = x.add_child(job, "StoreResults");
   const PhaseTypeId store_worker = x.add_child(store, "StoreWorker");
   x.add_order(load, execute);
@@ -35,6 +47,10 @@ FrameworkModel make_pregel_model(const PregelModelParams& params) {
   // A GC pause's cost is fully accounted as blocked time on the compute
   // threads; the GcPause phase itself is an annotation for attribution.
   x.set_wait(gc_pause);
+  x.set_wait(checkpoint);
+  x.set_wait(checkpoint_worker);
+  x.set_wait(recovery);
+  x.set_wait(recovery_worker);
   x.set_concurrency_limit(thread, params.threads);
   x.validate();
 
@@ -43,6 +59,8 @@ FrameworkModel make_pregel_model(const PregelModelParams& params) {
   m.network = m.resources.add_consumable("network", params.network_capacity);
   m.gc = m.resources.add_blocking("GC");
   m.message_queue = m.resources.add_blocking("MessageQueue");
+  m.recovery = m.resources.add_blocking("Recovery");
+  m.retry = m.resources.add_blocking("Retry");
 
   // --- attribution rules ------------------------------------------------------
   // Untuned: the implicit Variable(1x) rule for every pair (paper §IV-B).
@@ -61,6 +79,12 @@ FrameworkModel make_pregel_model(const PregelModelParams& params) {
   rules.set(barrier, m.network, AttributionRule::none());
   rules.set(gc_pause, m.cpu, AttributionRule::exact(cores));
   rules.set(gc_pause, m.network, AttributionRule::none());
+  // A checkpoint writer burns one core per worker; a recovering worker is
+  // reloading state, not computing.
+  rules.set(checkpoint_worker, m.cpu, AttributionRule::exact(1.0));
+  rules.set(checkpoint_worker, m.network, AttributionRule::none());
+  rules.set(recovery_worker, m.cpu, AttributionRule::none());
+  rules.set(recovery_worker, m.network, AttributionRule::none());
   const PhaseTypeId load_worker = x.find("LoadWorker");
   rules.set(load_worker, m.cpu, AttributionRule::exact(cores));
   rules.set(load_worker, m.network, AttributionRule::variable(1.0));

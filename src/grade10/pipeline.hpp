@@ -2,7 +2,9 @@
 // characterization result (paper Fig. 1, components 6-9).
 #pragma once
 
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "grade10/attribution/attributor.hpp"
@@ -40,8 +42,32 @@ struct CharacterizationResult {
   TimesliceGrid grid{1};
 };
 
+/// Outcome summary of a characterization attempt: structured errors instead
+/// of aborts, plus any lenient-mode repair warnings from trace ingestion.
+struct CharacterizationStatus {
+  std::vector<std::string> errors;
+  std::vector<std::string> warnings;
+  bool ok() const { return errors.empty(); }
+};
+
+struct CheckedCharacterization {
+  CharacterizationStatus status;
+  /// Present when the pipeline produced a (possibly partial) result. On a
+  /// late-stage failure the trace survives but downstream fields are empty.
+  std::optional<CharacterizationResult> result;
+};
+
 /// Runs the full pipeline: trace building, demand estimation, upsampling +
 /// attribution, bottleneck identification, and issue detection.
+/// Throws g10::CheckError on invalid input or a damaged trace (unless
+/// trace_options.lenient repairs it).
 CharacterizationResult characterize(const CharacterizationInput& input);
+
+/// Like characterize(), but never throws for data-dependent failures:
+/// missing inputs and per-stage CheckErrors become status.errors, and the
+/// stages that did complete are returned. Use with trace_options.lenient
+/// for graceful degradation on damaged logs.
+CheckedCharacterization characterize_checked(
+    const CharacterizationInput& input);
 
 }  // namespace g10::core

@@ -39,6 +39,24 @@ ExecutionTrace ExecutionTrace::build(
     const Options& options) {
   model.validate();
   ExecutionTrace trace;
+  const bool lenient = options.lenient;
+  constexpr std::size_t kMaxWarnings = 24;
+  std::size_t warning_overflow = 0;
+  const auto warn = [&](std::string message) {
+    if (trace.warnings_.size() < kMaxWarnings) {
+      trace.warnings_.push_back(std::move(message));
+    } else {
+      ++warning_overflow;
+    }
+  };
+  // Data damage is a hard error in strict mode and a warning in lenient
+  // mode. Model violations never go through here — they always throw.
+  const auto require_lenient = [lenient](const std::string& what) {
+    if (!lenient) {
+      throw CheckError("damaged trace: " + what +
+                       " (lenient ingestion repairs this)");
+    }
+  };
 
   struct Pending {
     InstanceId id = kNoInstance;
@@ -51,11 +69,16 @@ ExecutionTrace ExecutionTrace::build(
     if (event.kind == trace::PhaseEventRecord::Kind::Begin) {
       const PhaseTypeId type = model.find(event.path.leaf().type);
       if (type == kNoPhaseType) {
-        G10_CHECK_MSG(options.ignore_unknown_phases,
-                      "unknown phase type in log: " << event.path.leaf().type);
+        if (options.ignore_unknown_phases) continue;
+        require_lenient("unknown phase type in log: " + event.path.leaf().type);
+        warn("skipped phase of unknown type: " + key);
         continue;
       }
-      G10_CHECK_MSG(!pending.contains(key), "duplicate phase begin: " << key);
+      if (pending.contains(key)) {
+        require_lenient("duplicate phase begin: " + key);
+        warn("skipped duplicate begin: " + key);
+        continue;
+      }
       PhaseInstance instance;
       instance.id = static_cast<InstanceId>(trace.instances_.size());
       instance.type = type;
@@ -70,26 +93,42 @@ ExecutionTrace ExecutionTrace::build(
     } else {
       const auto it = pending.find(key);
       if (it == pending.end()) {
-        G10_CHECK_MSG(options.ignore_unknown_phases,
-                      "phase end without begin: " << key);
+        if (options.ignore_unknown_phases) continue;
+        require_lenient("phase end without begin: " + key);
+        warn("skipped end without begin: " + key);
         continue;
       }
-      G10_CHECK_MSG(!it->second.ended, "duplicate phase end: " << key);
-      it->second.ended = true;
+      if (it->second.ended) {
+        require_lenient("duplicate phase end: " + key);
+        warn("skipped duplicate end: " + key);
+        continue;
+      }
       auto& instance = trace.instances_[static_cast<std::size_t>(it->second.id)];
-      G10_CHECK_MSG(event.time >= instance.begin,
-                    "phase " << key << " ends before it begins");
+      if (event.time < instance.begin) {
+        // Leave the instance open; the synthesis pass below repairs it.
+        require_lenient("phase " + key + " ends before it begins");
+        warn("skipped end before begin: " + key);
+        continue;
+      }
+      it->second.ended = true;
       instance.end = event.time;
       trace.end_time_ = std::max(trace.end_time_, event.time);
     }
   }
 
-  // Every instance must have ended.
+  // Every instance must have ended — a BEGIN without an END is the signature
+  // of a crashed worker's log. Lenient mode repairs it below.
+  std::vector<InstanceId> unended;
   for (const auto& [key, state] : pending) {
-    G10_CHECK_MSG(state.ended, "phase never ended: " << key);
+    if (state.ended) continue;
+    require_lenient("phase never ended: " + key);
+    unended.push_back(state.id);
   }
+  std::sort(unended.begin(), unended.end());
 
-  // Resolve parents and verify model linkage + temporal containment.
+  // Resolve parents and verify model linkage. Model violations stay hard
+  // errors even in lenient mode: they mean the wrong model, not a damaged
+  // log. Temporal containment is checked after end synthesis.
   for (auto& instance : trace.instances_) {
     const PhaseType& type = model.type(instance.type);
     const auto slash = instance.path.rfind('/');
@@ -108,10 +147,79 @@ ExecutionTrace ExecutionTrace::build(
     G10_CHECK_MSG(type.parent == parent.type,
                   "instance " << instance.path
                               << " violates the model hierarchy");
-    G10_CHECK_MSG(instance.begin >= parent.begin && instance.end <= parent.end,
-                  "instance " << instance.path
-                              << " escapes its parent's interval");
     parent.children.push_back(instance.id);
+  }
+
+  if (!unended.empty()) {
+    // Synthesize closure for truncated phases. Bottom-up (deepest first):
+    // an unended phase ends no earlier than anything recorded inside it —
+    // its children's ends and its own blocking events — which pins the
+    // deepest truncated subtree to the last time its worker was heard from
+    // (the crash time). Top-down afterwards: a truncated child of a
+    // truncated parent is stretched to the parent's synthesized end, so a
+    // whole abandoned subtree closes at one consistent instant.
+    std::unordered_map<std::string, TimeNs> block_max;
+    for (const auto& event : blocking_events) {
+      auto [it, inserted] = block_max.try_emplace(event.path.to_string(),
+                                                  event.end);
+      if (!inserted) it->second = std::max(it->second, event.end);
+    }
+    const auto depth_of = [](const PhaseInstance& instance) {
+      return std::count(instance.path.begin(), instance.path.end(), '/');
+    };
+    std::vector<InstanceId> by_depth = unended;
+    std::sort(by_depth.begin(), by_depth.end(),
+              [&](InstanceId a, InstanceId b) {
+                const auto da = depth_of(trace.instances_[a]);
+                const auto db = depth_of(trace.instances_[b]);
+                return da != db ? da > db : a < b;
+              });
+    for (const InstanceId id : by_depth) {
+      auto& instance = trace.instances_[static_cast<std::size_t>(id)];
+      TimeNs end = instance.begin;
+      for (const InstanceId child : instance.children) {
+        const auto& c = trace.instances_[static_cast<std::size_t>(child)];
+        if (c.end >= 0) end = std::max(end, c.end);
+      }
+      const auto bit = block_max.find(instance.path);
+      if (bit != block_max.end()) end = std::max(end, bit->second);
+      instance.end = end;
+      instance.degraded = true;
+    }
+    std::reverse(by_depth.begin(), by_depth.end());  // now shallowest first
+    for (const InstanceId id : by_depth) {
+      auto& instance = trace.instances_[static_cast<std::size_t>(id)];
+      if (instance.parent == kNoInstance) continue;
+      const auto& parent =
+          trace.instances_[static_cast<std::size_t>(instance.parent)];
+      if (parent.degraded) {
+        instance.end = std::max(instance.end, parent.end);
+      } else {
+        instance.end = std::max(instance.begin,
+                                std::min(instance.end, parent.end));
+      }
+    }
+    for (const InstanceId id : unended) {
+      auto& instance = trace.instances_[static_cast<std::size_t>(id)];
+      trace.end_time_ = std::max(trace.end_time_, instance.end);
+      warn("phase never ended; synthesized closure at " +
+           std::to_string(instance.end) + " ns: " + instance.path);
+    }
+  }
+
+  // Temporal containment: a child must run inside its parent.
+  for (auto& instance : trace.instances_) {
+    if (instance.parent == kNoInstance) continue;
+    const auto& parent =
+        trace.instances_[static_cast<std::size_t>(instance.parent)];
+    if (instance.begin >= parent.begin && instance.end <= parent.end) continue;
+    require_lenient("instance " + instance.path +
+                    " escapes its parent's interval");
+    warn("clamped " + instance.path + " into its parent's interval");
+    instance.begin = std::max(instance.begin, parent.begin);
+    instance.end = std::min(instance.end, parent.end);
+    if (instance.end < instance.begin) instance.end = instance.begin;
+    instance.degraded = true;
   }
 
   for (const auto& instance : trace.instances_) {
@@ -127,27 +235,45 @@ ExecutionTrace ExecutionTrace::build(
   // Attach blocking events.
   for (const auto& event : blocking_events) {
     const ResourceId resource = resources.find(event.resource);
+    const std::string key = event.path.to_string();
     if (resource == kNoResource) {
-      G10_CHECK_MSG(options.ignore_unknown_blocking,
-                    "unknown blocking resource: " << event.resource);
+      if (options.ignore_unknown_blocking) continue;
+      require_lenient("unknown blocking resource: " + event.resource);
+      warn("skipped blocking event on unknown resource: " + event.resource);
       continue;
     }
-    G10_CHECK_MSG(
-        resources.resource(resource).kind == ResourceKind::kBlocking,
-        "blocking event on consumable resource: " << event.resource);
-    const std::string key = event.path.to_string();
+    if (resources.resource(resource).kind != ResourceKind::kBlocking) {
+      require_lenient("blocking event on consumable resource: " +
+                      event.resource);
+      warn("skipped blocking event on consumable resource: " +
+           event.resource);
+      continue;
+    }
     const auto it = trace.by_path_.find(key);
     if (it == trace.by_path_.end()) {
-      G10_CHECK_MSG(options.ignore_unknown_phases,
-                    "blocking event for unknown phase: " << key);
+      if (options.ignore_unknown_phases) continue;
+      require_lenient("blocking event for unknown phase: " + key);
+      warn("skipped blocking event for unknown phase: " + key);
       continue;
     }
     auto& instance = trace.instances_[static_cast<std::size_t>(it->second)];
-    G10_CHECK_MSG(event.begin >= instance.begin && event.end <= instance.end,
-                  "blocking event escapes phase interval: " << key);
-    instance.blocked.push_back({event.begin, event.end});
-    trace.blocking_.push_back(
-        BlockingSpan{resource, it->second, {event.begin, event.end}});
+    Interval interval{event.begin, event.end};
+    if (interval.begin < instance.begin || interval.end > instance.end) {
+      require_lenient("blocking event escapes phase interval: " + key);
+      interval.begin = std::max(interval.begin, instance.begin);
+      interval.end = std::min(interval.end, instance.end);
+      if (interval.empty()) {
+        warn("dropped blocking event outside phase interval: " + key);
+        continue;
+      }
+      warn("clamped blocking event into phase interval: " + key);
+    }
+    instance.blocked.push_back(interval);
+    trace.blocking_.push_back(BlockingSpan{resource, it->second, interval});
+  }
+  if (warning_overflow > 0) {
+    trace.warnings_.push_back("(+" + std::to_string(warning_overflow) +
+                              " more warnings suppressed)");
   }
   // Normalize blocked interval lists (sorted, merged).
   for (auto& instance : trace.instances_) {
@@ -177,6 +303,12 @@ const PhaseInstance& ExecutionTrace::instance(InstanceId id) const {
 InstanceId ExecutionTrace::find(const std::string& path) const {
   const auto it = by_path_.find(path);
   return it == by_path_.end() ? kNoInstance : it->second;
+}
+
+std::size_t ExecutionTrace::degraded_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(instances_.begin(), instances_.end(),
+                    [](const PhaseInstance& i) { return i.degraded; }));
 }
 
 }  // namespace g10::core

@@ -27,6 +27,9 @@ struct PhaseInstance {
   TimeNs begin = 0;
   TimeNs end = 0;
   trace::MachineId machine = trace::kGlobalMachine;
+  /// True when lenient mode repaired this instance (synthesized a missing
+  /// end, clamped an escaping interval): its timing is an estimate.
+  bool degraded = false;
   std::string path;  ///< canonical path string
   std::vector<InstanceId> children;
   /// Merged intervals during which the phase was blocked (any resource).
@@ -53,11 +56,20 @@ class ExecutionTrace {
     /// Drop phase instances whose type is not in the execution model
     /// (an untuned model may not describe e.g. GcPause phases).
     bool ignore_unknown_phases = false;
+    /// Graceful degradation for damaged logs (crashed workers): instead of
+    /// throwing, repair what can be repaired and record a warning. A phase
+    /// with a BEGIN but no END (a crashed worker's log just stops) gets a
+    /// synthesized end — the latest recorded time in its subtree, i.e. the
+    /// crash time — and is flagged `degraded`; duplicate/orphaned events
+    /// and escaping intervals are skipped or clamped. Violations of the
+    /// model itself (unknown hierarchy linkage) remain hard errors: those
+    /// mean the wrong model was supplied, not a damaged log.
+    bool lenient = false;
   };
 
   /// Builds and validates the instance tree. Throws CheckError on
   /// structural problems (unbalanced events, unknown types, child escaping
-  /// its parent's interval).
+  /// its parent's interval) unless Options::lenient repairs them.
   static ExecutionTrace build(
       const ExecutionModel& model, const ResourceModel& resources,
       std::span<const trace::PhaseEventRecord> phase_events,
@@ -86,12 +98,20 @@ class ExecutionTrace {
   /// All machine ids that appear on instances (excluding global).
   const std::vector<trace::MachineId>& machines() const { return machines_; }
 
+  /// Human-readable notes about repairs performed in lenient mode (capped;
+  /// a final entry summarizes any overflow). Empty for a clean trace.
+  const std::vector<std::string>& warnings() const { return warnings_; }
+
+  /// Number of instances flagged `degraded` by lenient repairs.
+  std::size_t degraded_count() const;
+
  private:
   std::vector<PhaseInstance> instances_;
   std::vector<InstanceId> leaves_;
   std::vector<BlockingSpan> blocking_;
   std::unordered_map<std::string, InstanceId> by_path_;
   std::vector<trace::MachineId> machines_;
+  std::vector<std::string> warnings_;
   TimeNs end_time_ = 0;
 };
 

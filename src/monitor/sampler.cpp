@@ -63,4 +63,20 @@ std::vector<MonitoringSampleRecord> downsample(
   return out;
 }
 
+std::vector<MonitoringSampleRecord> apply_sampler_dropout(
+    const std::vector<MonitoringSampleRecord>& samples,
+    const sim::FaultInjector& faults) {
+  if (faults.empty()) return samples;
+  std::vector<MonitoringSampleRecord> out;
+  out.reserve(samples.size());
+  for (const auto& rec : samples) {
+    if (rec.machine != trace::kGlobalMachine &&
+        faults.sample_dropped(rec.machine, rec.time)) {
+      continue;
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
 }  // namespace g10::monitor

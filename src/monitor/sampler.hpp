@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/fault_injector.hpp"
 #include "trace/records.hpp"
 
 namespace g10::monitor {
@@ -27,5 +28,14 @@ std::vector<trace::MonitoringSampleRecord> sample_ground_truth(
 /// the samples it has.
 std::vector<trace::MonitoringSampleRecord> downsample(
     const std::vector<trace::MonitoringSampleRecord>& samples, int factor);
+
+/// Drops every sample whose (machine, time) falls inside one of the
+/// injector's sampler-dropout windows — the monitoring daemon on that
+/// machine was down. The injector must be resolved. Grade10's resource
+/// traces tolerate the gaps (the next surviving sample's window simply
+/// covers more time).
+std::vector<trace::MonitoringSampleRecord> apply_sampler_dropout(
+    const std::vector<trace::MonitoringSampleRecord>& samples,
+    const sim::FaultInjector& faults);
 
 }  // namespace g10::monitor

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/check.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace g10::sim {
 
@@ -22,12 +23,15 @@ struct MachineSpec {
 struct ClusterSpec {
   int machine_count = 4;
   MachineSpec machine;
+  /// Seeded fault schedule applied by the engines (empty = clean run).
+  FaultSpec faults;
 
   void validate() const {
     G10_CHECK(machine_count > 0);
     G10_CHECK(machine.cores > 0);
     G10_CHECK(machine.core_work_per_sec > 0);
     G10_CHECK(machine.nic_bandwidth_bps > 0);
+    faults.validate(machine_count);
   }
 };
 

@@ -1,0 +1,363 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+
+namespace g10::sim {
+namespace {
+
+// Parses "40%" / "2s" / "150ms" / bare "2" (seconds) into a FaultTime.
+std::optional<FaultTime> parse_fault_time(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  FaultTime out;
+  double scale = 1.0;
+  if (text.back() == '%') {
+    out.percent = true;
+    scale = 0.01;
+    text.remove_suffix(1);
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    scale = 1e-3;
+    text.remove_suffix(2);
+  } else if (text.back() == 's') {
+    text.remove_suffix(1);
+  }
+  const auto value = parse_double(text);
+  if (!value || *value < 0.0 || !std::isfinite(*value)) return std::nullopt;
+  out.value = *value * scale;
+  return out;
+}
+
+std::string fault_time_to_string(const FaultTime& t) {
+  if (t.percent) return format_fixed(t.value * 100.0, 6 /*trimmed below*/);
+  return format_fixed(t.value, 6);
+}
+
+// format_fixed keeps trailing zeros; strip them for a tidy canonical form.
+std::string trim_number(std::string s) {
+  if (s.find('.') == std::string::npos) return s;
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+std::string render_time(const FaultTime& t) {
+  return trim_number(fault_time_to_string(t)) + (t.percent ? "%" : "s");
+}
+
+bool fail(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+  return false;
+}
+
+// Parses one event ("crash:w2@40%"). Returns false with a diagnostic on
+// malformed input.
+bool parse_event(std::string_view text, FaultEvent* out, std::string* error) {
+  const auto parts = split(text, ':');
+  if (parts.size() < 2) {
+    return fail(error, "fault event '" + std::string(text) +
+                           "': expected <kind>:w<machine>@<time>...");
+  }
+  const std::string_view kind_name = trim(parts[0]);
+  if (kind_name == "crash") {
+    out->kind = FaultKind::kCrash;
+  } else if (kind_name == "slow") {
+    out->kind = FaultKind::kSlowdown;
+  } else if (kind_name == "nic") {
+    out->kind = FaultKind::kNicDegrade;
+  } else if (kind_name == "drop") {
+    out->kind = FaultKind::kSampleDrop;
+  } else {
+    return fail(error, "unknown fault kind '" + std::string(kind_name) +
+                           "' (expected crash|slow|nic|drop)");
+  }
+
+  // Target + schedule: "w<machine>@<time>[+<duration>]".
+  std::string_view target = trim(parts[1]);
+  const auto at_pos = target.find('@');
+  if (target.empty() || target.front() != 'w' ||
+      at_pos == std::string_view::npos) {
+    return fail(error, "fault event '" + std::string(text) +
+                           "': expected target 'w<machine>@<time>'");
+  }
+  const std::string_view machine_text = target.substr(1, at_pos - 1);
+  if (machine_text == "*") {
+    if (out->kind == FaultKind::kCrash) {
+      return fail(error, "crash faults need a specific machine, not 'w*'");
+    }
+    out->machine = FaultEvent::kAllMachines;
+  } else {
+    const auto machine = parse_int(machine_text);
+    if (!machine || *machine < 0) {
+      return fail(error, "bad machine index '" + std::string(machine_text) +
+                             "' in fault event '" + std::string(text) + "'");
+    }
+    out->machine = static_cast<int>(*machine);
+  }
+  std::string_view schedule = target.substr(at_pos + 1);
+  const auto plus_pos = schedule.find('+');
+  std::string_view at_text = schedule.substr(0, plus_pos);
+  const auto at = parse_fault_time(at_text);
+  if (!at) {
+    return fail(error, "bad fault time '" + std::string(at_text) +
+                           "' in fault event '" + std::string(text) + "'");
+  }
+  out->at = *at;
+  if (plus_pos != std::string_view::npos) {
+    const std::string_view dur_text = schedule.substr(plus_pos + 1);
+    const auto duration = parse_fault_time(dur_text);
+    if (!duration || duration->value <= 0.0) {
+      return fail(error, "bad fault duration '" + std::string(dur_text) +
+                             "' in fault event '" + std::string(text) + "'");
+    }
+    out->duration = *duration;
+  } else {
+    out->open_ended = out->kind != FaultKind::kCrash;
+  }
+  if (out->kind == FaultKind::kCrash && plus_pos != std::string_view::npos) {
+    return fail(error, "crash faults take no duration: '" + std::string(text) +
+                           "'");
+  }
+
+  // Optional parameters: "x<factor>" and "loss=<p>".
+  bool saw_factor = false;
+  for (std::size_t i = 2; i < parts.size(); ++i) {
+    const std::string_view param = trim(parts[i]);
+    if (!param.empty() && param.front() == 'x') {
+      const auto factor = parse_double(param.substr(1));
+      if (!factor || *factor <= 0.0 || !std::isfinite(*factor)) {
+        return fail(error, "bad factor '" + std::string(param) +
+                               "' in fault event '" + std::string(text) + "'");
+      }
+      out->factor = *factor;
+      saw_factor = true;
+    } else if (starts_with(param, "loss=")) {
+      const auto loss = parse_double(param.substr(5));
+      if (!loss || *loss < 0.0 || *loss >= 1.0) {
+        return fail(error, "bad loss probability '" + std::string(param) +
+                               "' (need [0,1)) in '" + std::string(text) +
+                               "'");
+      }
+      out->loss = *loss;
+    } else {
+      return fail(error, "unknown fault parameter '" + std::string(param) +
+                             "' in fault event '" + std::string(text) + "'");
+    }
+  }
+  if (out->kind == FaultKind::kSlowdown && !saw_factor) {
+    return fail(error,
+                "slow faults need an 'x<factor>' parameter: '" +
+                    std::string(text) + "'");
+  }
+  if (out->loss > 0.0 && out->kind != FaultKind::kNicDegrade) {
+    return fail(error, "'loss=' applies only to nic faults: '" +
+                           std::string(text) + "'");
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kSlowdown:
+      return "slow";
+    case FaultKind::kNicDegrade:
+      return "nic";
+    case FaultKind::kSampleDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+bool FaultSpec::has_kind(FaultKind kind) const {
+  return std::any_of(events.begin(), events.end(),
+                     [kind](const FaultEvent& e) { return e.kind == kind; });
+}
+
+std::optional<FaultSpec> FaultSpec::parse(std::string_view text,
+                                          std::string* error) {
+  FaultSpec spec;
+  // Accept ',' and ';' as event separators.
+  std::string normalized(text);
+  std::replace(normalized.begin(), normalized.end(), ';', ',');
+  for (const std::string_view part : split(normalized, ',')) {
+    if (trim(part).empty()) continue;
+    FaultEvent event;
+    if (!parse_event(trim(part), &event, error)) return std::nullopt;
+    spec.events.push_back(event);
+  }
+  return spec;
+}
+
+std::string FaultSpec::to_string() const {
+  std::vector<std::string> parts;
+  parts.reserve(events.size());
+  for (const FaultEvent& e : events) {
+    std::string s(fault_kind_name(e.kind));
+    s += ":w";
+    s += e.machine == FaultEvent::kAllMachines ? "*"
+                                               : std::to_string(e.machine);
+    s += "@" + render_time(e.at);
+    if (e.kind != FaultKind::kCrash && !e.open_ended) {
+      s += "+" + render_time(e.duration);
+    }
+    if (e.kind == FaultKind::kSlowdown || e.kind == FaultKind::kNicDegrade) {
+      s += ":x" + trim_number(format_fixed(e.factor, 6));
+    }
+    if (e.loss > 0.0) {
+      s += ":loss=" + trim_number(format_fixed(e.loss, 6));
+    }
+    parts.push_back(std::move(s));
+  }
+  return join(parts, ",");
+}
+
+void FaultSpec::validate(int machine_count) const {
+  for (const FaultEvent& e : events) {
+    if (e.machine == FaultEvent::kAllMachines) continue;
+    G10_CHECK_MSG(e.machine < machine_count,
+                  "fault event targets machine " + std::to_string(e.machine) +
+                      " but the cluster has only " +
+                      std::to_string(machine_count) + " machines");
+  }
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), rng_(seed) {}
+
+void FaultInjector::resolve(TimeNs nominal_horizon) {
+  G10_CHECK_MSG(nominal_horizon > 0, "fault horizon must be positive");
+  resolved_events_.clear();
+  resolved_events_.reserve(spec_.events.size());
+  const auto to_ns = [nominal_horizon](const FaultTime& t) -> TimeNs {
+    const double seconds_or_fraction = t.value;
+    const double ns = t.percent
+                          ? seconds_or_fraction *
+                                static_cast<double>(nominal_horizon)
+                          : seconds_or_fraction * static_cast<double>(kSecond);
+    return static_cast<TimeNs>(std::llround(ns));
+  };
+  for (const FaultEvent& e : spec_.events) {
+    Resolved r;
+    r.begin = to_ns(e.at);
+    if (e.kind == FaultKind::kCrash) {
+      r.end = r.begin;
+    } else if (e.open_ended) {
+      // Open-ended windows last "to end of run"; 64x the nominal horizon is
+      // beyond any simulated clock value the engines produce.
+      r.end = nominal_horizon * 64;
+    } else {
+      r.end = r.begin + to_ns(e.duration);
+    }
+    resolved_events_.push_back(r);
+  }
+  resolved_ = true;
+}
+
+std::optional<TimeNs> FaultInjector::next_crash_time() const {
+  if (spec_.events.empty()) return std::nullopt;
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  std::optional<TimeNs> best;
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    if (spec_.events[i].kind != FaultKind::kCrash) continue;
+    if (resolved_events_[i].consumed) continue;
+    const TimeNs t = resolved_events_[i].begin;
+    if (!best || t < *best) best = t;
+  }
+  return best;
+}
+
+std::optional<int> FaultInjector::take_crash(TimeNs now) {
+  if (spec_.events.empty()) return std::nullopt;
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  std::optional<std::size_t> best;
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    if (spec_.events[i].kind != FaultKind::kCrash) continue;
+    if (resolved_events_[i].consumed) continue;
+    if (resolved_events_[i].begin > now) continue;
+    if (!best || resolved_events_[i].begin < resolved_events_[*best].begin) {
+      best = i;
+    }
+  }
+  if (!best) return std::nullopt;
+  resolved_events_[*best].consumed = true;
+  return spec_.events[*best].machine;
+}
+
+bool FaultInjector::window_active(std::size_t i, int machine, TimeNs t) const {
+  const FaultEvent& e = spec_.events[i];
+  if (e.machine != FaultEvent::kAllMachines && e.machine != machine) {
+    return false;
+  }
+  const Resolved& r = resolved_events_[i];
+  return t >= r.begin && t < r.end;
+}
+
+double FaultInjector::speed_factor(int machine, TimeNs t) const {
+  if (spec_.events.empty()) return 1.0;
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  double factor = 1.0;
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    if (spec_.events[i].kind != FaultKind::kSlowdown) continue;
+    if (window_active(i, machine, t)) factor *= spec_.events[i].factor;
+  }
+  return factor;
+}
+
+double FaultInjector::nic_factor(int machine, TimeNs t) const {
+  if (spec_.events.empty()) return 1.0;
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  double factor = 1.0;
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    if (spec_.events[i].kind != FaultKind::kNicDegrade) continue;
+    if (window_active(i, machine, t)) factor *= spec_.events[i].factor;
+  }
+  return factor;
+}
+
+bool FaultInjector::send_fails(int machine, TimeNs t) {
+  if (spec_.events.empty()) return false;
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  double pass = 1.0;
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    if (spec_.events[i].kind != FaultKind::kNicDegrade) continue;
+    if (spec_.events[i].loss <= 0.0) continue;
+    if (window_active(i, machine, t)) pass *= 1.0 - spec_.events[i].loss;
+  }
+  // No active loss window: report success without touching the RNG, so that
+  // runs outside the window keep the exact event sequence of a clean run.
+  if (pass >= 1.0) return false;
+  return rng_.next_bool(1.0 - pass);
+}
+
+bool FaultInjector::sample_dropped(int machine, TimeNs t) const {
+  if (spec_.events.empty()) return false;
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    if (spec_.events[i].kind != FaultKind::kSampleDrop) continue;
+    if (window_active(i, machine, t)) return true;
+  }
+  return false;
+}
+
+std::vector<TimeNs> FaultInjector::nic_change_times() const {
+  if (spec_.events.empty()) return {};
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  std::vector<TimeNs> times;
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    if (spec_.events[i].kind != FaultKind::kNicDegrade) continue;
+    times.push_back(resolved_events_[i].begin);
+    times.push_back(resolved_events_[i].end);
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
+}
+
+}  // namespace g10::sim

@@ -1,0 +1,141 @@
+// Seeded fault injection for the simulated cluster.
+//
+// A FaultSpec is a declarative schedule of fault events (worker crashes,
+// transient machine slowdowns, NIC degradation / message loss, monitoring
+// sampler dropout) parsed from a compact text grammar:
+//
+//   crash:w2@40%                  crash machine 2 at 40% of the nominal run
+//   slow:w1@2s+3s:x0.5            machine 1 runs at 0.5x speed for 3s from t=2s
+//   nic:w0@10%+30%:x0.25:loss=0.2 NIC at 25% rate, 20% send loss, for a window
+//   drop:w3@30%+20%               machine 3's monitoring samples are dropped
+//
+// Events are comma- (or semicolon-) separated. Times and durations take an
+// `s` suffix (absolute simulated seconds) or a `%` suffix (fraction of the
+// engine's deterministic nominal-horizon estimate, resolved just before the
+// run). `w*` targets every machine (window kinds only; a crash needs a
+// specific victim). Engines consult a FaultInjector — a resolved FaultSpec
+// plus its own forked RNG stream — so that fault decisions never perturb the
+// engine's RNG sequence: a fault-free spec leaves a run byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace g10::sim {
+
+enum class FaultKind {
+  kCrash,     ///< kill a worker process; engine recovers from a checkpoint
+  kSlowdown,  ///< scale core_work_per_sec by `factor` inside the window
+  kNicDegrade,  ///< scale NIC drain rate by `factor`, lose sends with p=loss
+  kSampleDrop,  ///< suppress the machine's monitoring samples in the window
+};
+
+/// Returns the spec-grammar tag ("crash", "slow", "nic", "drop").
+std::string_view fault_kind_name(FaultKind kind);
+
+/// A time coordinate as written in a spec: either absolute seconds or a
+/// fraction of the nominal horizon (resolved later by the engine).
+struct FaultTime {
+  double value = 0.0;    ///< seconds, or fraction in [0,1]-ish when percent
+  bool percent = false;  ///< true when written with a `%` suffix
+};
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kSlowdown;
+  int machine = 0;  ///< target machine, or kAllMachines for window kinds
+  FaultTime at;     ///< event time (window start for window kinds)
+  FaultTime duration;        ///< window length; ignored for crashes
+  bool open_ended = false;   ///< no `+dur` given: window lasts to end of run
+  double factor = 1.0;       ///< speed / NIC-rate multiplier (slow, nic)
+  double loss = 0.0;         ///< per-send loss probability (nic only)
+
+  static constexpr int kAllMachines = -1;
+};
+
+/// A parsed, unresolved fault schedule. Attached to ClusterSpec so that a
+/// single engine config carries its chaos plan.
+struct FaultSpec {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  bool has_kind(FaultKind kind) const;
+
+  /// Parses the grammar described in the file comment. On failure returns
+  /// nullopt and, when `error` is non-null, stores a diagnostic.
+  static std::optional<FaultSpec> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  /// Round-trips back to the spec grammar (canonical form).
+  std::string to_string() const;
+
+  /// Checks machine indices against the cluster size. Throws CheckError.
+  void validate(int machine_count) const;
+};
+
+/// A FaultSpec resolved against a concrete run: percent times converted to
+/// absolute nanoseconds, plus an independent RNG stream for loss draws.
+///
+/// Queries are pure functions of (spec, time) except send_fails(), which
+/// consumes the injector's RNG — but only when a loss window is active, so a
+/// spec without loss never draws and determinism of the host run is intact.
+class FaultInjector {
+ public:
+  FaultInjector() : rng_(0) {}
+  FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+  bool empty() const { return spec_.events.empty(); }
+  bool has_kind(FaultKind kind) const { return spec_.has_kind(kind); }
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Converts percent-based times using the engine's nominal-horizon
+  /// estimate. Must be called (once) before any query below.
+  void resolve(TimeNs nominal_horizon);
+  bool resolved() const { return resolved_; }
+
+  /// Earliest not-yet-consumed crash time, if any.
+  std::optional<TimeNs> next_crash_time() const;
+
+  /// Consumes the earliest unconsumed crash with time <= now and returns its
+  /// victim machine; nullopt when no crash is due.
+  std::optional<int> take_crash(TimeNs now);
+
+  /// Product of active slowdown factors for `machine` at time t (1.0 when
+  /// no window is active).
+  double speed_factor(int machine, TimeNs t) const;
+
+  /// Product of active NIC-degradation factors for `machine` at time t.
+  double nic_factor(int machine, TimeNs t) const;
+
+  /// Bernoulli draw against the combined active loss probability. Consumes
+  /// RNG only when some loss window is active for `machine` at time t.
+  bool send_fails(int machine, TimeNs t);
+
+  /// True when a sampler-dropout window covers (machine, t).
+  bool sample_dropped(int machine, TimeNs t) const;
+
+  /// Sorted, deduplicated boundary times of all NIC-degradation windows;
+  /// engines schedule drain-rate updates at these instants.
+  std::vector<TimeNs> nic_change_times() const;
+
+ private:
+  struct Resolved {
+    TimeNs begin = 0;
+    TimeNs end = 0;  ///< == begin for crashes; horizon cap for open-ended
+    bool consumed = false;  ///< crashes only
+  };
+
+  bool window_active(std::size_t i, int machine, TimeNs t) const;
+
+  FaultSpec spec_;
+  std::vector<Resolved> resolved_events_;
+  Rng rng_;
+  bool resolved_ = false;
+};
+
+}  // namespace g10::sim

@@ -56,6 +56,31 @@ TimeNs FluidQueue::time_until_level(TimeNs now, double target) const {
                    std::ceil(seconds * static_cast<double>(kSecond)));
 }
 
+void FluidQueue::set_rate(TimeNs now, double rate) {
+  G10_CHECK(!finalized_);
+  G10_CHECK_MSG(rate > 0.0, "drain rate must be positive");
+  advance(now);
+  if (rate == drain_rate_) return;
+  if (busy_) {
+    // Close the segment drained at the old rate and reopen at the new one.
+    rate_series_.set(busy_start_, drain_rate_);
+    rate_series_.set(now, rate);
+    busy_start_ = now;
+  }
+  drain_rate_ = rate;
+}
+
+void FluidQueue::clear(TimeNs now) {
+  G10_CHECK(!finalized_);
+  advance(now);
+  if (busy_) {
+    rate_series_.set(busy_start_, drain_rate_);
+    rate_series_.set(now, 0.0);
+    busy_ = false;
+  }
+  level_ = 0.0;
+}
+
 StepFunction FluidQueue::finalize_rate_series(TimeNs end) {
   G10_CHECK(!finalized_);
   advance(end);

@@ -33,6 +33,15 @@ class FluidQueue {
   /// Earliest time >= now at which the queue is empty.
   TimeNs time_empty(TimeNs now) const { return time_until_level(now, 0.0); }
 
+  /// Changes the drain rate at time `now` (fault injection: NIC degradation
+  /// windows). The busy span recorded so far is closed at the old rate and
+  /// reopened at the new one, so the rate series reflects both regimes.
+  void set_rate(TimeNs now, double rate);
+
+  /// Discards all queued content at time `now` (fault injection: a crashed
+  /// worker's in-flight messages are gone; they are re-sent after recovery).
+  void clear(TimeNs now);
+
   double drain_rate() const { return drain_rate_; }
 
   /// Total amount ever enqueued (for conservation checks in tests).

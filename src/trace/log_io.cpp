@@ -114,7 +114,9 @@ std::optional<std::string> parse_sample_line(
 
 }  // namespace
 
-ParseResult parse_log(std::istream& is) {
+ParseResult parse_log(std::istream& is) { return parse_log(is, {}); }
+
+ParseResult parse_log(std::istream& is, const ParseOptions& options) {
   ParseResult result;
   std::string line;
   std::size_t line_number = 0;
@@ -134,8 +136,13 @@ ParseResult parse_log(std::istream& is) {
       error = "unknown record type: " + std::string(fields[0]);
     }
     if (error) {
-      result.error = ParseError{line_number, *error};
-      return result;
+      ++result.error_count;
+      ParseError diagnostic{line_number, *error, std::string(trimmed)};
+      if (!result.error) result.error = diagnostic;
+      if (result.errors.size() < options.max_errors) {
+        result.errors.push_back(std::move(diagnostic));
+      }
+      if (!options.recover) return result;
     }
   }
   return result;

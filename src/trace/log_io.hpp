@@ -5,7 +5,10 @@
 //   BLOCK  <resource>  <path>  <begin_ns>  <end_ns>  <machine>
 //   SAMPLE <resource>  <machine>  <time_ns>  <value>
 // Lines starting with '#' and blank lines are ignored. The parser reports
-// the first malformed line with its line number.
+// malformed lines with their line number and the offending text; in
+// recovery mode it skips bad lines and keeps going (collecting up to
+// ParseOptions::max_errors diagnostics) instead of stopping at the first —
+// real logs from crashed workers are routinely truncated or corrupted.
 #pragma once
 
 #include <istream>
@@ -39,17 +42,33 @@ struct ParsedLog {
 struct ParseError {
   std::size_t line_number = 0;
   std::string message;
+  std::string line;  ///< the offending line's text (trimmed)
 };
 
-/// Parses a log stream; returns the records or the first error.
+struct ParseOptions {
+  /// When true, malformed lines are skipped (and collected as errors) and
+  /// parsing continues; when false, parsing stops at the first bad line.
+  bool recover = false;
+  /// Cap on stored ParseError entries, so a corrupt multi-GB log cannot
+  /// balloon the error list; error_count still counts every bad line.
+  std::size_t max_errors = 64;
+};
+
+/// Parses a log stream; returns the records or the error(s).
 /// (A tiny expected<>-style result to stay dependency-free.)
 struct ParseResult {
   ParsedLog log;
+  /// First error encountered, if any (kept for existing call sites).
   std::optional<ParseError> error;
+  /// All collected errors, capped at ParseOptions::max_errors.
+  std::vector<ParseError> errors;
+  /// Total number of malformed lines seen, including those beyond the cap.
+  std::size_t error_count = 0;
 
   bool ok() const { return !error.has_value(); }
 };
 
 ParseResult parse_log(std::istream& is);
+ParseResult parse_log(std::istream& is, const ParseOptions& options);
 
 }  // namespace g10::trace

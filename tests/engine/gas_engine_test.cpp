@@ -8,6 +8,7 @@
 
 #include "algorithms/programs.hpp"
 #include "algorithms/reference.hpp"
+#include "common/check.hpp"
 #include "graph/generators.hpp"
 
 namespace g10::engine {
@@ -223,6 +224,29 @@ TEST(GasEngineTest, BfsTerminatesEarlyOnConvergence) {
   }
   EXPECT_GE(max_iteration, 1);
   EXPECT_LT(max_iteration, 100);
+}
+
+TEST(GasFaultTest, SlowdownStretchesMakespanWithoutChangingOutput) {
+  const auto g = small_graph();
+  const GasEngine baseline_engine(small_config());
+  const auto baseline = baseline_engine.run(g, PageRank(6));
+  auto cfg = small_config();
+  const auto spec = sim::FaultSpec::parse("slow:w*@0s:x0.25");
+  ASSERT_TRUE(spec.has_value());
+  cfg.cluster.faults = *spec;
+  const GasEngine engine(cfg);
+  const auto slowed = engine.run(g, PageRank(6));
+  EXPECT_GT(slowed.makespan, baseline.makespan);
+  expect_values_near(slowed.vertex_values, baseline.vertex_values, 0.0);
+}
+
+TEST(GasFaultTest, RejectsUnsupportedFaultKinds) {
+  auto cfg = small_config();
+  const auto spec = sim::FaultSpec::parse("crash:w0@40%");
+  ASSERT_TRUE(spec.has_value());
+  cfg.cluster.faults = *spec;
+  const GasEngine engine(cfg);
+  EXPECT_THROW(engine.run(small_graph(), PageRank(2)), CheckError);
 }
 
 }  // namespace

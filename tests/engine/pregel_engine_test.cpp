@@ -234,6 +234,105 @@ TEST(PregelEngineTest, MakespanCoversAllEvents) {
   EXPECT_GT(result.makespan, 0);
 }
 
+PregelConfig faulted_config(const std::string& faults) {
+  PregelConfig cfg = small_config();
+  auto spec = sim::FaultSpec::parse(faults);
+  EXPECT_TRUE(spec.has_value()) << faults;
+  if (spec) cfg.cluster.faults = *spec;
+  return cfg;
+}
+
+TEST(PregelFaultTest, CrashRecoveryConvergesToReference) {
+  // A worker crash mid-run must not change the algorithm's output: the
+  // engine restarts from the last checkpoint and re-executes.
+  const auto g = small_graph();
+  const PregelEngine engine(faulted_config("crash:w1@40%"));
+  const auto result = engine.run(g, PageRank(8));
+  expect_values_near(result.vertex_values,
+                     algorithms::pagerank_reference(g, 8), 1e-9);
+}
+
+TEST(PregelFaultTest, CrashEmitsRecoveryBlocksAndTruncatedPhases) {
+  const auto g = small_graph();
+  const PregelEngine baseline_engine(small_config());
+  const auto baseline = baseline_engine.run(g, PageRank(8));
+  const PregelEngine engine(faulted_config("crash:w1@40%"));
+  const auto result = engine.run(g, PageRank(8));
+  // The recovery window shows up as blocked time.
+  bool has_recovery = false;
+  for (const auto& block : result.blocking_events) {
+    if (block.resource == pregel_names::kRecovery) has_recovery = true;
+  }
+  EXPECT_TRUE(has_recovery);
+  // The crashed worker's log stops mid-phase: at least one BEGIN has no END.
+  std::map<std::string, int> open;
+  for (const auto& event : result.phase_events) {
+    open[event.path.to_string()] +=
+        event.kind == trace::PhaseEventRecord::Kind::Begin ? 1 : -1;
+  }
+  int truncated = 0;
+  for (const auto& [key, count] : open) truncated += count;
+  EXPECT_GT(truncated, 0);
+  // Recovery + re-execution costs time.
+  EXPECT_GT(result.makespan, baseline.makespan);
+}
+
+TEST(PregelFaultTest, FaultScheduleIsDeterministic) {
+  const auto g = small_graph();
+  const PregelEngine engine(faulted_config("crash:w1@40%,slow:w0@30%+30%:x0.5"));
+  const auto a = engine.run(g, PageRank(6));
+  const auto b = engine.run(g, PageRank(6));
+  ASSERT_EQ(a.phase_events.size(), b.phase_events.size());
+  for (std::size_t i = 0; i < a.phase_events.size(); ++i) {
+    EXPECT_EQ(a.phase_events[i].kind, b.phase_events[i].kind);
+    EXPECT_EQ(a.phase_events[i].time, b.phase_events[i].time);
+    EXPECT_EQ(a.phase_events[i].path.to_string(),
+              b.phase_events[i].path.to_string());
+  }
+  ASSERT_EQ(a.blocking_events.size(), b.blocking_events.size());
+  for (std::size_t i = 0; i < a.blocking_events.size(); ++i) {
+    EXPECT_EQ(a.blocking_events[i].begin, b.blocking_events[i].begin);
+    EXPECT_EQ(a.blocking_events[i].end, b.blocking_events[i].end);
+  }
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(PregelFaultTest, SlowdownStretchesMakespan) {
+  const auto g = small_graph();
+  const PregelEngine baseline_engine(small_config());
+  const auto baseline = baseline_engine.run(g, PageRank(6));
+  const PregelEngine engine(faulted_config("slow:w*@0s:x0.25"));
+  const auto slowed = engine.run(g, PageRank(6));
+  EXPECT_GT(slowed.makespan, baseline.makespan);
+  // Correctness is unaffected; timing shifts only reorder message
+  // accumulation, so values agree to floating-point noise.
+  expect_values_near(slowed.vertex_values, baseline.vertex_values, 1e-12);
+}
+
+TEST(PregelFaultTest, LossyNicCausesRetryBlocks) {
+  const auto g = small_graph();
+  const PregelEngine engine(faulted_config("nic:w*@0s:x0.5:loss=0.4"));
+  const auto result = engine.run(g, PageRank(6));
+  bool has_retry = false;
+  for (const auto& block : result.blocking_events) {
+    if (block.resource == pregel_names::kRetry) has_retry = true;
+  }
+  EXPECT_TRUE(has_retry);
+  expect_values_near(result.vertex_values,
+                     algorithms::pagerank_reference(g, 6), 1e-9);
+}
+
+TEST(PregelFaultTest, CrashedRunEmitsCheckpoints) {
+  const auto g = small_graph();
+  const PregelEngine engine(faulted_config("crash:w0@50%"));
+  const auto result = engine.run(g, PageRank(6));
+  bool has_checkpoint = false;
+  for (const auto& event : result.phase_events) {
+    if (event.path.leaf().type == "CheckpointWorker") has_checkpoint = true;
+  }
+  EXPECT_TRUE(has_checkpoint);
+}
+
 class PregelChunkingTest
     : public ::testing::TestWithParam<std::pair<int, int>> {};
 

@@ -149,6 +149,102 @@ TEST(ExecutionTraceTest, UnknownBlockingResourceOptionallyIgnored) {
   EXPECT_TRUE(trace.blocking().empty());
 }
 
+TEST(ExecutionTraceLenientTest, SynthesizesEndForTruncatedPhases) {
+  // A crashed worker's log just stops: Step.1 and its Work.0 have a BEGIN
+  // but no END. Lenient mode closes them at the crash time (the latest
+  // recorded time in the subtree) and flags them degraded.
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 50);
+  events.push_back({trace::PhaseEventRecord::Kind::Begin,
+                    testing::make_path("Job.0/Step.1"), 50, -1});
+  events.push_back({trace::PhaseEventRecord::Kind::Begin,
+                    testing::make_path("Job.0/Step.1/Work.0"), 50, 1});
+  std::vector<trace::BlockingEventRecord> blocks;
+  blocks.push_back(make_block("GC", "Job.0/Step.1/Work.0", 60, 80, 1));
+
+  ExecutionTrace::Options options;
+  options.lenient = true;
+  const auto trace = ExecutionTrace::build(m.execution, m.resources, events,
+                                           blocks, options);
+  const PhaseInstance& work = trace.instance(trace.find("Job.0/Step.1/Work.0"));
+  const PhaseInstance& step = trace.instance(trace.find("Job.0/Step.1"));
+  // The blocking event pins the last sign of life at t=80.
+  EXPECT_EQ(work.end, 80);
+  EXPECT_TRUE(work.degraded);
+  EXPECT_EQ(step.end, 80);
+  EXPECT_TRUE(step.degraded);
+  EXPECT_EQ(trace.degraded_count(), 2u);
+  EXPECT_FALSE(trace.warnings().empty());
+  // The blocking event itself still attaches.
+  EXPECT_EQ(trace.blocking().size(), 1u);
+}
+
+TEST(ExecutionTraceLenientTest, SkipsDuplicateAndOrphanEvents) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 50);
+  // Duplicate begin, duplicate end, end-without-begin.
+  events.push_back({trace::PhaseEventRecord::Kind::Begin,
+                    testing::make_path("Job.0/Step.0"), 60, -1});
+  events.push_back({trace::PhaseEventRecord::Kind::End,
+                    testing::make_path("Job.0/Step.0"), 70, -1});
+  events.push_back({trace::PhaseEventRecord::Kind::End,
+                    testing::make_path("Job.0/Step.7"), 70, -1});
+
+  ExecutionTrace::Options options;
+  options.lenient = true;
+  const auto trace =
+      ExecutionTrace::build(m.execution, m.resources, events, {}, options);
+  EXPECT_EQ(trace.instances().size(), 2u);
+  EXPECT_EQ(trace.instance(trace.find("Job.0/Step.0")).end, 50);
+  EXPECT_EQ(trace.warnings().size(), 3u);
+}
+
+TEST(ExecutionTraceLenientTest, ClampsEscapingChildAndBlocking) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Step.0", 0, 120);  // ends after parent
+  std::vector<trace::BlockingEventRecord> blocks;
+  blocks.push_back(make_block("GC", "Job.0/Step.0", 90, 110, -1));
+
+  ExecutionTrace::Options options;
+  options.lenient = true;
+  const auto trace = ExecutionTrace::build(m.execution, m.resources, events,
+                                           blocks, options);
+  const PhaseInstance& step = trace.instance(trace.find("Job.0/Step.0"));
+  EXPECT_EQ(step.end, 100);  // clamped into Job.0
+  EXPECT_TRUE(step.degraded);
+  ASSERT_EQ(trace.blocking().size(), 1u);
+  EXPECT_EQ(trace.blocking()[0].interval.end, 100);  // clamped too
+}
+
+TEST(ExecutionTraceLenientTest, ModelViolationsStayHardErrors) {
+  // Lenient mode repairs damaged data, not a mismatched model.
+  const Models m = simple_models();
+  ExecutionTrace::Options options;
+  options.lenient = true;
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  add_phase(events, "Job.0/Work.0", 0, 10);  // Work under Job: wrong parent
+  EXPECT_THROW(
+      ExecutionTrace::build(m.execution, m.resources, events, {}, options),
+      CheckError);
+}
+
+TEST(ExecutionTraceLenientTest, StrictModeStillThrowsOnTruncation) {
+  const Models m = simple_models();
+  std::vector<trace::PhaseEventRecord> events;
+  add_phase(events, "Job.0", 0, 100);
+  events.push_back({trace::PhaseEventRecord::Kind::Begin,
+                    testing::make_path("Job.0/Step.0"), 10, -1});
+  EXPECT_THROW(ExecutionTrace::build(m.execution, m.resources, events, {}),
+               CheckError);
+}
+
 TEST(ActiveIntervalsTest, SubtractsAndMerges) {
   const auto active = active_intervals(0, 100, {{20, 40}, {30, 50}, {80, 90}});
   ASSERT_EQ(active.size(), 3u);

@@ -15,6 +15,7 @@
 #include "grade10/report/report.hpp"
 #include "graph/generators.hpp"
 #include "monitor/sampler.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace g10::core {
 namespace {
@@ -163,6 +164,68 @@ TEST(PipelineTest, GasEndToEndFindsImbalance) {
 TEST(PipelineTest, RequiresModels) {
   CharacterizationInput input;
   EXPECT_THROW(characterize(input), CheckError);
+}
+
+TEST(PipelineTest, CheckedReportsMissingInputsWithoutThrowing) {
+  CharacterizationInput input;
+  const CheckedCharacterization checked = characterize_checked(input);
+  EXPECT_FALSE(checked.status.ok());
+  EXPECT_EQ(checked.status.errors.size(), 3u);
+  EXPECT_FALSE(checked.result.has_value());
+}
+
+TEST(PipelineTest, FaultedPregelNeedsLenientAndReportsRecoveryIssue) {
+  engine::PregelConfig cfg;
+  cfg.cluster.machine_count = 2;
+  cfg.cluster.machine.cores = 4;
+  cfg.seed = 9;
+  const auto spec = sim::FaultSpec::parse("crash:w1@40%");
+  ASSERT_TRUE(spec.has_value());
+  cfg.cluster.faults = *spec;
+  const engine::PregelEngine engine(cfg);
+  const auto artifacts = engine.run(workload_graph(), algorithms::PageRank(6));
+  const auto samples = monitor::sample_ground_truth(
+      artifacts.ground_truth, 50 * kMillisecond, artifacts.makespan);
+
+  PregelModelParams params;
+  params.cores = cfg.cluster.machine.cores;
+  params.threads = cfg.effective_threads();
+  params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
+  const FrameworkModel model = make_pregel_model(params);
+
+  CharacterizationInput input;
+  input.model = &model.execution;
+  input.resources = &model.resources;
+  input.rules = &model.tuned_rules;
+  input.phase_events = artifacts.phase_events;
+  input.blocking_events = artifacts.blocking_events;
+  input.samples = samples;
+  input.config.timeslice = 10 * kMillisecond;
+  input.config.min_issue_impact = 0.0;
+
+  // Strict ingestion fails on the truncated phases the crash left behind.
+  const CheckedCharacterization strict = characterize_checked(input);
+  EXPECT_FALSE(strict.status.ok());
+  EXPECT_FALSE(strict.result.has_value());
+
+  // Lenient mode repairs the trace and characterizes end-to-end.
+  input.trace_options.lenient = true;
+  const CheckedCharacterization lenient = characterize_checked(input);
+  ASSERT_TRUE(lenient.status.ok())
+      << (lenient.status.errors.empty() ? "" : lenient.status.errors.front());
+  ASSERT_TRUE(lenient.result.has_value());
+  EXPECT_GT(lenient.result->trace.degraded_count(), 0u);
+  EXPECT_FALSE(lenient.status.warnings.empty());
+
+  // Crash recovery shows up as its own detected issue with real impact.
+  bool found_fault_issue = false;
+  for (const auto& issue : lenient.result->issues) {
+    if (issue.kind == IssueKind::kFaultRecovery) {
+      found_fault_issue = true;
+      EXPECT_GT(issue.impact, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_fault_issue);
 }
 
 }  // namespace

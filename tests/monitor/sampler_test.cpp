@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/fault_injector.hpp"
+
 namespace g10::monitor {
 namespace {
 
@@ -106,6 +108,25 @@ TEST(SamplerDownsampleConsistencyTest, DownsampledEqualsCoarseSampling) {
     EXPECT_EQ(merged[i].time, coarse[i].time);
     EXPECT_NEAR(merged[i].value, coarse[i].value, 1e-12);
   }
+}
+
+TEST(SamplerDropoutTest, DropsSamplesOnlyInsideWindows) {
+  // Machine 0's monitoring daemon is down during [100ms, 200ms).
+  const auto spec = sim::FaultSpec::parse("drop:w0@100ms+100ms");
+  ASSERT_TRUE(spec.has_value());
+  sim::FaultInjector faults(*spec, 1);
+  faults.resolve(kSecond);
+
+  std::vector<trace::MonitoringSampleRecord> samples{
+      {"cpu", 0, 50 * kMillisecond, 1.0},
+      {"cpu", 0, 150 * kMillisecond, 2.0},   // dropped
+      {"cpu", 1, 150 * kMillisecond, 3.0},   // other machine: kept
+      {"cpu", 0, 250 * kMillisecond, 4.0}};
+  const auto kept = apply_sampler_dropout(samples, faults);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_DOUBLE_EQ(kept[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(kept[1].value, 3.0);
+  EXPECT_DOUBLE_EQ(kept[2].value, 4.0);
 }
 
 }  // namespace

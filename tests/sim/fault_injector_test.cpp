@@ -1,0 +1,198 @@
+#include "sim/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace g10::sim {
+namespace {
+
+TEST(FaultSpecTest, ParsesCrashEvent) {
+  const auto spec = FaultSpec::parse("crash:w2@40%");
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_EQ(spec->events.size(), 1u);
+  const FaultEvent& e = spec->events[0];
+  EXPECT_EQ(e.kind, FaultKind::kCrash);
+  EXPECT_EQ(e.machine, 2);
+  EXPECT_TRUE(e.at.percent);
+  EXPECT_DOUBLE_EQ(e.at.value, 0.4);
+}
+
+TEST(FaultSpecTest, ParsesMultipleEvents) {
+  const auto spec =
+      FaultSpec::parse("slow:w1@2s+3s:x0.5, nic:w0@10%+30%:x0.25:loss=0.2; "
+                       "drop:w3@30%+20%");
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_EQ(spec->events.size(), 3u);
+  EXPECT_EQ(spec->events[0].kind, FaultKind::kSlowdown);
+  EXPECT_DOUBLE_EQ(spec->events[0].at.value, 2.0);
+  EXPECT_FALSE(spec->events[0].at.percent);
+  EXPECT_DOUBLE_EQ(spec->events[0].factor, 0.5);
+  EXPECT_EQ(spec->events[1].kind, FaultKind::kNicDegrade);
+  EXPECT_DOUBLE_EQ(spec->events[1].loss, 0.2);
+  EXPECT_EQ(spec->events[2].kind, FaultKind::kSampleDrop);
+  EXPECT_TRUE(spec->has_kind(FaultKind::kSlowdown));
+  EXPECT_FALSE(spec->has_kind(FaultKind::kCrash));
+}
+
+TEST(FaultSpecTest, ParsesAllMachinesAndOpenEndedWindows) {
+  const auto spec = FaultSpec::parse("slow:w*@50%:x0.25");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->events[0].machine, FaultEvent::kAllMachines);
+  EXPECT_TRUE(spec->events[0].open_ended);
+}
+
+TEST(FaultSpecTest, RoundTripsThroughToString) {
+  const std::string text =
+      "crash:w2@40%,slow:w1@2s+3s:x0.5,nic:w0@10%+30%:x0.25:loss=0.2,"
+      "drop:w3@30%+20%";
+  const auto spec = FaultSpec::parse(text);
+  ASSERT_TRUE(spec.has_value());
+  const auto again = FaultSpec::parse(spec->to_string());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(spec->to_string(), again->to_string());
+  EXPECT_EQ(spec->events.size(), again->events.size());
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(FaultSpec::parse("explode:w0@1s", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  // A crash needs a specific victim.
+  EXPECT_FALSE(FaultSpec::parse("crash:w*@40%").has_value());
+  // A crash is a point event.
+  EXPECT_FALSE(FaultSpec::parse("crash:w0@40%+10%").has_value());
+  // A slowdown needs its factor.
+  EXPECT_FALSE(FaultSpec::parse("slow:w0@1s+1s").has_value());
+  // Loss applies only to nic events, and must be a probability below 1.
+  EXPECT_FALSE(FaultSpec::parse("slow:w0@1s+1s:x0.5:loss=0.1").has_value());
+  EXPECT_FALSE(FaultSpec::parse("nic:w0@1s+1s:x0.5:loss=1.5").has_value());
+  EXPECT_FALSE(FaultSpec::parse("slow:w0@1s+1s:x0").has_value());
+  EXPECT_FALSE(FaultSpec::parse("garbage").has_value());
+}
+
+TEST(FaultSpecTest, ValidateChecksMachineIndices) {
+  const auto spec = FaultSpec::parse("crash:w5@40%");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NO_THROW(spec->validate(6));
+  EXPECT_THROW(spec->validate(4), CheckError);
+}
+
+TEST(FaultInjectorTest, ResolvesPercentTimesAgainstHorizon) {
+  const auto spec = FaultSpec::parse("crash:w1@50%");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  const auto t = inj.next_crash_time();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(*t, 5 * kSecond);
+}
+
+TEST(FaultInjectorTest, CrashIsConsumedOnce) {
+  const auto spec = FaultSpec::parse("crash:w1@1s");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  EXPECT_FALSE(inj.take_crash(kSecond / 2).has_value());
+  const auto victim = inj.take_crash(2 * kSecond);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1);
+  EXPECT_FALSE(inj.take_crash(3 * kSecond).has_value());
+  EXPECT_FALSE(inj.next_crash_time().has_value());
+}
+
+TEST(FaultInjectorTest, SpeedFactorOnlyInsideWindow) {
+  const auto spec = FaultSpec::parse("slow:w1@2s+3s:x0.5");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  EXPECT_DOUBLE_EQ(inj.speed_factor(1, kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(inj.speed_factor(1, 3 * kSecond), 0.5);
+  EXPECT_DOUBLE_EQ(inj.speed_factor(0, 3 * kSecond), 1.0);  // other machine
+  EXPECT_DOUBLE_EQ(inj.speed_factor(1, 6 * kSecond), 1.0);  // window over
+}
+
+TEST(FaultInjectorTest, AllMachinesWindowAppliesEverywhere) {
+  const auto spec = FaultSpec::parse("slow:w*@1s+1s:x0.25");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_DOUBLE_EQ(inj.speed_factor(m, kSecond + kSecond / 2), 0.25);
+  }
+}
+
+TEST(FaultInjectorTest, OverlappingWindowsMultiply) {
+  const auto spec = FaultSpec::parse("slow:w0@1s+4s:x0.5,slow:w0@2s+1s:x0.5");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  EXPECT_DOUBLE_EQ(inj.speed_factor(0, kSecond + kSecond / 2), 0.5);
+  EXPECT_DOUBLE_EQ(inj.speed_factor(0, 2 * kSecond + kSecond / 2), 0.25);
+}
+
+TEST(FaultInjectorTest, NicFactorAndChangeTimes) {
+  const auto spec = FaultSpec::parse("nic:w0@1s+2s:x0.25");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  EXPECT_DOUBLE_EQ(inj.nic_factor(0, kSecond / 2), 1.0);
+  EXPECT_DOUBLE_EQ(inj.nic_factor(0, kSecond + 1), 0.25);
+  EXPECT_DOUBLE_EQ(inj.nic_factor(0, 4 * kSecond), 1.0);
+  const auto times = inj.nic_change_times();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], kSecond);
+  EXPECT_EQ(times[1], 3 * kSecond);
+}
+
+TEST(FaultInjectorTest, SendFailsNeverDrawsWithoutLossWindow) {
+  const auto spec = FaultSpec::parse("nic:w0@1s+2s:x0.5");  // no loss
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.send_fails(0, kSecond + 1));
+  }
+}
+
+TEST(FaultInjectorTest, SendFailuresAreDeterministicPerSeed) {
+  const auto spec = FaultSpec::parse("nic:w0@0s+10s:x1:loss=0.5");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector a(*spec, 42);
+  FaultInjector b(*spec, 42);
+  a.resolve(10 * kSecond);
+  b.resolve(10 * kSecond);
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    const bool fa = a.send_fails(0, kSecond);
+    EXPECT_EQ(fa, b.send_fails(0, kSecond));
+    if (fa) ++failures;
+  }
+  // Roughly half should fail.
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+}
+
+TEST(FaultInjectorTest, SampleDropWindows) {
+  const auto spec = FaultSpec::parse("drop:w3@1s+2s");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  EXPECT_FALSE(inj.sample_dropped(3, kSecond / 2));
+  EXPECT_TRUE(inj.sample_dropped(3, 2 * kSecond));
+  EXPECT_FALSE(inj.sample_dropped(2, 2 * kSecond));
+  EXPECT_FALSE(inj.sample_dropped(3, 4 * kSecond));
+}
+
+TEST(FaultInjectorTest, QueriesOnEmptySpecNeedNoResolve) {
+  FaultInjector inj;
+  EXPECT_TRUE(inj.empty());
+  EXPECT_DOUBLE_EQ(inj.speed_factor(0, kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(inj.nic_factor(0, kSecond), 1.0);
+  EXPECT_FALSE(inj.send_fails(0, kSecond));
+  EXPECT_FALSE(inj.sample_dropped(0, kSecond));
+  EXPECT_FALSE(inj.next_crash_time().has_value());
+}
+
+}  // namespace
+}  // namespace g10::sim

@@ -74,6 +74,30 @@ TEST(FluidQueueTest, ZeroEnqueueIsNoop) {
   EXPECT_DOUBLE_EQ(rate.integrate(0, kSecond), 0.0);
 }
 
+TEST(FluidQueueTest, SetRateChangesDrainSpeed) {
+  FluidQueue q(100.0);
+  q.enqueue(0, 100.0);
+  q.set_rate(kSecond / 2, 50.0);  // 50 units left, now draining at 50/s
+  EXPECT_NEAR(q.level(kSecond / 2), 50.0, 1e-9);
+  EXPECT_NEAR(q.level(kSecond), 25.0, 1e-9);
+  // 50 units at 50/s: empty one second after the rate change.
+  EXPECT_NEAR(static_cast<double>(q.time_empty(kSecond / 2)),
+              1.5 * kSecond, 1e3);
+}
+
+TEST(FluidQueueTest, ClearDiscardsQueuedContent) {
+  FluidQueue q(100.0);
+  q.enqueue(0, 100.0);
+  q.clear(kSecond / 2);
+  EXPECT_DOUBLE_EQ(q.level(kSecond / 2), 0.0);
+  EXPECT_EQ(q.time_empty(kSecond / 2), kSecond / 2);  // already empty
+  // Mass drained before the clear still shows up in the rate series.
+  StepFunction rate = q.finalize_rate_series(kSecond);
+  const double drained = rate.integrate(0, kSecond) /
+                         static_cast<double>(kSecond);
+  EXPECT_NEAR(drained, 50.0, 1e-3);
+}
+
 TEST(FluidQueueTest, RejectsInvalidUse) {
   EXPECT_THROW(FluidQueue(0.0), CheckError);
   FluidQueue q(10.0);

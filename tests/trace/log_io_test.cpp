@@ -105,6 +105,54 @@ TEST(LogIoTest, MutatedLogsFailCleanly) {
   }
 }
 
+TEST(LogIoTest, ErrorCarriesOffendingLineText) {
+  std::istringstream is("PHASE\tX\tJob.0\t1\t-1\n");
+  const ParseResult result = parse_log(is);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->line, "PHASE\tX\tJob.0\t1\t-1");
+}
+
+TEST(LogIoTest, RecoveryModeSkipsBadLinesAndKeepsGoing) {
+  std::istringstream is(
+      "PHASE\tB\tJob.0\t0\t-1\n"
+      "garbage line\n"
+      "PHASE\tX\tJob.0\t1\t-1\n"
+      "PHASE\tE\tJob.0\t5\t-1\n");
+  ParseOptions options;
+  options.recover = true;
+  const ParseResult result = parse_log(is, options);
+  // Good records around the damage are all kept.
+  EXPECT_EQ(result.log.phase_events.size(), 2u);
+  EXPECT_EQ(result.error_count, 2u);
+  ASSERT_EQ(result.errors.size(), 2u);
+  EXPECT_EQ(result.errors[0].line_number, 2u);
+  EXPECT_EQ(result.errors[1].line_number, 3u);
+  // The first error is also surfaced the legacy way.
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->line_number, 2u);
+}
+
+TEST(LogIoTest, RecoveryModeCapsStoredErrors) {
+  std::ostringstream os;
+  for (int i = 0; i < 50; ++i) os << "junk\t" << i << '\n';
+  std::istringstream is(os.str());
+  ParseOptions options;
+  options.recover = true;
+  options.max_errors = 8;
+  const ParseResult result = parse_log(is, options);
+  EXPECT_EQ(result.errors.size(), 8u);
+  EXPECT_EQ(result.error_count, 50u);
+}
+
+TEST(LogIoTest, TruncatedLastLineFailsCleanlyInStrictMode) {
+  // A crashed writer typically leaves a half-written last line.
+  std::istringstream is("PHASE\tB\tJob.0\t0\t-1\nPHASE\tE\tJo");
+  const ParseResult result = parse_log(is);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error->line_number, 2u);
+  EXPECT_EQ(result.log.phase_events.size(), 1u);
+}
+
 TEST(LogIoTest, HandlesWindowsLineEndings) {
   std::istringstream is("PHASE\tB\tJob.0\t0\t-1\r\nPHASE\tE\tJob.0\t5\t-1\r\n");
   const ParseResult result = parse_log(is);

@@ -2,10 +2,17 @@
 //
 //   g10_analyze --model <model.g10> --log <run.log>
 //               [--timeslice-ms MS] [--min-impact PCT]
+//               [--lenient | --strict]
 //
 // Parses the declarative model file and the run's log (phase events,
 // blocking events, monitoring samples), executes the full characterization
 // pipeline, and prints the profile, bottleneck, and issue reports.
+//
+// --strict (the default) refuses damaged input: malformed log lines and
+// structural trace defects (e.g. a crashed worker's BEGIN-without-END) are
+// listed and the exit code is non-zero. --lenient repairs what it can —
+// bad lines are skipped, truncated phases get synthesized ends and are
+// flagged degraded — and characterizes the run end to end anyway.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -29,20 +36,31 @@ struct Args {
   std::string chrome_trace_path;  ///< optional chrome://tracing export
   DurationNs timeslice = 50 * kMillisecond;
   double min_impact = 0.01;
+  bool lenient = false;
 };
 
 int usage() {
   std::cerr << "usage: g10_analyze --model <model.g10> --log <run.log>\n"
                "                   [--timeslice-ms MS] [--min-impact FRAC]\n"
-               "                   [--chrome-trace <out.json>]\n";
+               "                   [--chrome-trace <out.json>]\n"
+               "                   [--lenient | --strict]\n";
   return 2;
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
   Args args;
-  for (int i = 1; i + 1 < argc; i += 2) {
+  for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    const std::string value = argv[i + 1];
+    if (arg == "--lenient") {
+      args.lenient = true;
+      continue;
+    }
+    if (arg == "--strict") {
+      args.lenient = false;
+      continue;
+    }
+    if (i + 1 >= argc) return std::nullopt;
+    const std::string value = argv[++i];
     if (arg == "--model") {
       args.model_path = value;
     } else if (arg == "--log") {
@@ -79,11 +97,26 @@ int run(const Args& args) {
     std::cerr << "cannot open log file: " << args.log_path << '\n';
     return 1;
   }
-  const trace::ParseResult log = trace::parse_log(log_file);
+  trace::ParseOptions parse_options;
+  parse_options.recover = true;  // always collect the full error list
+  const trace::ParseResult log = trace::parse_log(log_file, parse_options);
   if (!log.ok()) {
-    std::cerr << args.log_path << ':' << log.error->line_number << ": "
-              << log.error->message << '\n';
-    return 1;
+    if (!args.lenient) {
+      std::cerr << args.log_path << ": " << log.error_count
+                << " malformed line(s):\n";
+      for (const auto& error : log.errors) {
+        std::cerr << "  line " << error.line_number << ": " << error.message
+                  << "  [" << error.line << "]\n";
+      }
+      if (log.error_count > log.errors.size()) {
+        std::cerr << "  (+" << (log.error_count - log.errors.size())
+                  << " more)\n";
+      }
+      std::cerr << "re-run with --lenient to skip damaged lines\n";
+      return 1;
+    }
+    std::cout << "lenient: skipped " << log.error_count
+              << " malformed line(s)\n";
   }
   std::cout << "parsed " << log.log.phase_events.size() << " phase events, "
             << log.log.blocking_events.size() << " blocking events, "
@@ -98,7 +131,28 @@ int run(const Args& args) {
   input.samples = log.log.samples;
   input.config.timeslice = args.timeslice;
   input.config.min_issue_impact = args.min_impact;
-  const core::CharacterizationResult result = core::characterize(input);
+  input.trace_options.lenient = args.lenient;
+
+  core::CheckedCharacterization checked = core::characterize_checked(input);
+  if (!checked.status.ok() || !checked.result.has_value()) {
+    std::cerr << "characterization failed:\n";
+    for (const auto& error : checked.status.errors) {
+      std::cerr << "  " << error << '\n';
+    }
+    if (!args.lenient) {
+      std::cerr << "re-run with --lenient to repair damaged traces\n";
+    }
+    return 1;
+  }
+  const core::CharacterizationResult& result = *checked.result;
+  if (!checked.status.warnings.empty()) {
+    std::cout << "lenient repairs ("
+              << result.trace.degraded_count() << " degraded instances):\n";
+    for (const auto& warning : checked.status.warnings) {
+      std::cout << "  " << warning << '\n';
+    }
+    std::cout << '\n';
+  }
 
   core::render_profile(std::cout, result.trace, model.model.resources,
                        result.usage, result.grid);

@@ -5,7 +5,15 @@
 //   g10_run --engine pregel|gas --algorithm pagerank|bfs|wcc|cdlp|sssp
 //           --dataset rmat:<scale>|datagen:<vertices> --out <dir>
 //           [--workers N] [--cores N] [--iterations K] [--seed S]
-//           [--monitor-ms MS] [--sync-bug]
+//           [--monitor-ms MS] [--sync-bug] [--faults <spec>]
+//
+// --faults injects failures from a deterministic schedule, e.g.
+//   crash:w2@40%              worker 2 crashes 40% into the nominal run
+//   slow:w1@2s+3s:x0.5        worker 1 at half speed for 3s starting at 2s
+//   nic:w0@10%+30%:x0.25:loss=0.2   NIC degraded + 20% message loss
+//   drop:w3@30%+20%           worker 3's monitoring samples dropped
+// Multiple events are comma- or semicolon-separated. The gas engine
+// supports only the slow/drop kinds.
 //
 // The dumped directory can be analyzed offline with g10_analyze.
 #include <filesystem>
@@ -15,6 +23,7 @@
 #include <string>
 
 #include "algorithms/programs.hpp"
+#include "common/check.hpp"
 #include "common/strings.hpp"
 #include "engine/gas/gas_engine.hpp"
 #include "engine/pregel/pregel_engine.hpp"
@@ -23,6 +32,7 @@
 #include "grade10/models/pregel_model.hpp"
 #include "graph/generators.hpp"
 #include "monitor/sampler.hpp"
+#include "sim/fault_injector.hpp"
 #include "trace/log_io.hpp"
 
 namespace g10 {
@@ -39,6 +49,7 @@ struct Args {
   std::uint64_t seed = 2020;
   DurationNs monitor_interval = 400 * kMillisecond;
   bool sync_bug = false;
+  std::string faults;
 };
 
 int usage() {
@@ -47,7 +58,8 @@ int usage() {
                "               --dataset rmat:<scale>|datagen:<vertices> "
                "--out <dir>\n"
                "               [--workers N] [--cores N] [--iterations K]\n"
-               "               [--seed S] [--monitor-ms MS] [--sync-bug]\n";
+               "               [--seed S] [--monitor-ms MS] [--sync-bug]\n"
+               "               [--faults <spec>]  e.g. crash:w2@40%\n";
   return 2;
 }
 
@@ -83,6 +95,8 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.seed = static_cast<std::uint64_t>(parse_int(*v).value_or(2020));
     } else if (arg == "--monitor-ms") {
       args.monitor_interval = parse_int(*v).value_or(400) * kMillisecond;
+    } else if (arg == "--faults") {
+      args.faults = *v;
     } else {
       return std::nullopt;
     }
@@ -110,6 +124,23 @@ graph::Graph make_dataset(const std::string& spec) {
 }
 
 int run(const Args& args) {
+  sim::FaultSpec fault_spec;
+  if (!args.faults.empty()) {
+    std::string error;
+    const auto parsed = sim::FaultSpec::parse(args.faults, &error);
+    if (!parsed) {
+      std::cerr << "bad --faults spec: " << error << '\n';
+      return 2;
+    }
+    fault_spec = *parsed;
+    try {
+      fault_spec.validate(args.workers);
+    } catch (const CheckError& e) {
+      std::cerr << "bad --faults spec: " << e.what() << '\n';
+      return 2;
+    }
+  }
+
   graph::Graph graph = make_dataset(args.dataset);
   if (args.algorithm == "sssp") {
     graph::assign_random_weights(graph, 1.0, 10.0, args.seed);
@@ -125,10 +156,12 @@ int run(const Args& args) {
 
   trace::RunArtifacts artifacts;
   core::FrameworkModel framework;
+  TimeNs fault_horizon = 0;
   if (args.engine == "pregel") {
     engine::PregelConfig cfg;
     cfg.cluster.machine_count = args.workers;
     cfg.cluster.machine.cores = args.cores;
+    cfg.cluster.faults = fault_spec;
     cfg.seed = args.seed;
     const engine::PregelEngine engine(cfg);
     const std::map<std::string, const algorithms::PregelProgram*> programs{
@@ -136,6 +169,7 @@ int run(const Args& args) {
         {"cdlp", &cdlp}, {"sssp", &sssp}};
     const auto it = programs.find(args.algorithm);
     if (it == programs.end()) return usage();
+    fault_horizon = engine.estimate_horizon(graph, *it->second);
     artifacts = engine.run(graph, *it->second);
     core::PregelModelParams params;
     params.cores = args.cores;
@@ -143,9 +177,15 @@ int run(const Args& args) {
     params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
     framework = core::make_pregel_model(params);
   } else if (args.engine == "gas") {
+    if (fault_spec.has_kind(sim::FaultKind::kCrash) ||
+        fault_spec.has_kind(sim::FaultKind::kNicDegrade)) {
+      std::cerr << "the gas engine supports only slow/drop fault kinds\n";
+      return 2;
+    }
     engine::GasConfig cfg;
     cfg.cluster.machine_count = args.workers;
     cfg.cluster.machine.cores = args.cores;
+    cfg.cluster.faults = fault_spec;
     cfg.seed = args.seed;
     cfg.sync_bug.enabled = args.sync_bug;
     const engine::GasEngine engine(cfg);
@@ -154,6 +194,7 @@ int run(const Args& args) {
         {"cdlp", &cdlp}, {"sssp", &sssp}};
     const auto it = programs.find(args.algorithm);
     if (it == programs.end()) return usage();
+    fault_horizon = engine.estimate_horizon(graph, *it->second);
     artifacts = engine.run(graph, *it->second);
     core::GasModelParams params;
     params.cores = args.cores;
@@ -164,8 +205,16 @@ int run(const Args& args) {
     return usage();
   }
 
-  const auto samples = monitor::sample_ground_truth(
+  auto samples = monitor::sample_ground_truth(
       artifacts.ground_truth, args.monitor_interval, artifacts.makespan);
+  if (fault_spec.has_kind(sim::FaultKind::kSampleDrop)) {
+    sim::FaultInjector dropout(fault_spec, args.seed);
+    dropout.resolve(fault_horizon);
+    const std::size_t before = samples.size();
+    samples = monitor::apply_sampler_dropout(samples, dropout);
+    std::cout << "sampler dropout: " << (before - samples.size()) << " of "
+              << before << " samples lost\n";
+  }
 
   std::filesystem::create_directories(args.out);
   {
@@ -185,7 +234,12 @@ int run(const Args& args) {
             << samples.size() << " samples) and " << args.out
             << "/model.g10\n";
   std::cout << "analyze with: g10_analyze --model " << args.out
-            << "/model.g10 --log " << args.out << "/run.log\n";
+            << "/model.g10 --log " << args.out << "/run.log";
+  if (!fault_spec.empty()) {
+    std::cout << " --lenient";
+    std::cout << "\nfaults injected: " << fault_spec.to_string();
+  }
+  std::cout << '\n';
   return 0;
 }
 
