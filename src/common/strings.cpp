@@ -7,12 +7,19 @@ namespace g10 {
 
 std::vector<std::string_view> split(std::string_view s, char delim) {
   std::vector<std::string_view> out;
+  split_into(s, delim, out);
+  return out;
+}
+
+void split_into(std::string_view s, char delim,
+                std::vector<std::string_view>& out) {
+  out.clear();
   std::size_t start = 0;
   while (true) {
     const std::size_t pos = s.find(delim, start);
     if (pos == std::string_view::npos) {
       out.push_back(s.substr(start));
-      return out;
+      return;
     }
     out.push_back(s.substr(start, pos - start));
     start = pos + 1;

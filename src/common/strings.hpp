@@ -12,6 +12,11 @@ namespace g10 {
 /// Splits on a single-character delimiter; keeps empty fields.
 std::vector<std::string_view> split(std::string_view s, char delim);
 
+/// split() into a caller-owned vector (cleared first). Hot parse loops
+/// reuse one scratch vector instead of allocating per line.
+void split_into(std::string_view s, char delim,
+                std::vector<std::string_view>& out);
+
 /// Removes leading/trailing ASCII whitespace.
 std::string_view trim(std::string_view s);
 

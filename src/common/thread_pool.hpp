@@ -1,0 +1,126 @@
+// Work-stealing thread-pool executor shared by the analysis pipeline, the
+// log parser, and (later) the simulated engines.
+//
+// Design goals, in priority order:
+//  1. Determinism: parallel_for / parallel_map place every result by its
+//     input index, so the output of a parallel stage is bit-identical to
+//     the serial stage regardless of thread count or scheduling.
+//  2. No regression at one thread: a pool with thread_count() == 1 spawns
+//     no workers and runs everything inline on the caller — the serial hot
+//     path pays no synchronization.
+//  3. Safe nesting: a parallel_for issued from inside a pool task makes
+//     progress on the calling thread alone, so stacked parallel stages
+//     cannot deadlock even when every worker is busy.
+//
+// Each worker owns a deque protected by a small mutex; submit() distributes
+// round-robin, owners pop newest-first (LIFO, cache-warm), thieves steal
+// oldest-first (FIFO). The pending-task count is bounded: submit() blocks
+// while the pool is `queue_capacity` tasks behind, so a runaway producer
+// cannot balloon memory.
+//
+// Thread count resolution (resolve_threads): an explicit request wins, then
+// the G10_THREADS environment variable, then std::thread::hardware_concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace g10 {
+
+class ThreadPool {
+ public:
+  struct Options {
+    /// Total concurrency including the submitting thread: a pool with
+    /// `threads == n` spawns n - 1 workers. 0 resolves via resolve_threads.
+    std::size_t threads = 0;
+    /// Bound on queued-but-not-started tasks; submit() blocks at the cap.
+    std::size_t queue_capacity = 4096;
+  };
+
+  /// Default-constructed pool: auto thread count, default queue bound.
+  ThreadPool() : ThreadPool(Options{}) {}
+  explicit ThreadPool(Options options);
+  explicit ThreadPool(std::size_t threads)
+      : ThreadPool(Options{threads, 4096}) {}
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency: workers plus the caller participating in
+  /// parallel_for. Always >= 1.
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Enqueues a task for a worker thread. With no workers the task runs
+  /// inline. Blocks while `queue_capacity` tasks are already pending.
+  /// Tasks must not throw (wrap and capture; parallel_for does this).
+  void submit(std::function<void()> task);
+
+  /// Like submit(), but never blocks: returns false (dropping the task)
+  /// when the queue is at capacity or the pool has no workers. Used by
+  /// parallel_for, whose fan-outs complete through the caller regardless.
+  bool try_submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Runs body(i) for every i in [0, n), fanned out in `grain`-sized
+  /// contiguous chunks. The caller participates; returns once all n
+  /// iterations completed. If any body threw, rethrows the exception of
+  /// the lowest-indexed failing chunk (deterministic across schedules).
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Resolves a requested thread count: `requested` if nonzero, else
+  /// G10_THREADS (when set to a positive integer), else hardware
+  /// concurrency. Never returns 0.
+  static std::size_t resolve_threads(std::size_t requested);
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mutex;
+    std::thread thread;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_acquire(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t queue_capacity_ = 4096;
+
+  std::mutex state_mutex_;
+  std::condition_variable wake_cv_;   ///< workers: work available or stop
+  std::condition_variable space_cv_;  ///< producers: queue below capacity
+  std::condition_variable idle_cv_;   ///< wait_idle: all tasks finished
+  std::size_t pending_ = 0;     ///< queued, not yet started
+  std::size_t unfinished_ = 0;  ///< queued or running
+  std::size_t next_worker_ = 0;
+  bool stop_ = false;
+};
+
+/// parallel_for through an optional pool: nullptr or a single-thread pool
+/// runs serially inline.
+void parallel_for(ThreadPool* pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& body);
+
+/// Maps f over items with results placed by index — output order (and, for
+/// floating-point work, every bit of it) is independent of thread count.
+/// The result type must be default-constructible and movable.
+template <typename T, typename F>
+auto parallel_map(ThreadPool* pool, const std::vector<T>& items, F&& f)
+    -> std::vector<std::decay_t<decltype(f(items[0]))>> {
+  std::vector<std::decay_t<decltype(f(items[0]))>> out(items.size());
+  parallel_for(pool, items.size(), 1,
+               [&](std::size_t i) { out[i] = f(items[i]); });
+  return out;
+}
+
+}  // namespace g10

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace g10::core {
 
@@ -20,6 +21,78 @@ bool in_subtree(const ExecutionTrace& trace, InstanceId node,
   return false;
 }
 
+/// Upsampling + per-slice attribution of one (resource, machine) matrix.
+AttributedResource attribute_one(const DemandMatrix& matrix,
+                                 const ResourceSeries& series,
+                                 const TimesliceGrid& grid,
+                                 bool constant_strawman) {
+  AttributedResource out;
+  out.resource = matrix.resource;
+  out.machine = matrix.machine;
+  out.capacity = matrix.capacity;
+  out.upsampled = constant_strawman ? upsample_constant(matrix, series, grid)
+                                    : upsample(matrix, series, grid);
+  const auto slices = static_cast<std::size_t>(matrix.slice_count);
+  out.unattributed.assign(slices, 0.0);
+  out.slice_offsets.assign(slices + 1, 0);
+
+  // Bucket leaf demands by slice (sparse: few active leaves per slice).
+  std::vector<std::vector<const LeafDemand*>> per_slice(slices);
+  for (const LeafDemand& leaf : matrix.leaves) {
+    for (std::size_t i = 0; i < leaf.active_fraction.size(); ++i) {
+      if (leaf.active_fraction[i] <= 0.0) continue;
+      const auto slice = static_cast<std::size_t>(leaf.first_slice) + i;
+      if (slice < slices) per_slice[slice].push_back(&leaf);
+    }
+  }
+
+  for (std::size_t s = 0; s < slices; ++s) {
+    out.slice_offsets[s] = static_cast<std::uint32_t>(out.entries.size());
+    const double consumption = out.upsampled.usage[s];
+    const auto& leaves = per_slice[s];
+    if (leaves.empty()) {
+      out.unattributed[s] = consumption;
+      continue;
+    }
+    // Exact phases first, proportionally, capped at their demand.
+    double sum_exact = 0.0;
+    double sum_weight = 0.0;
+    for (const LeafDemand* leaf : leaves) {
+      const double frac = leaf->fraction(static_cast<TimesliceIndex>(s));
+      if (leaf->rule.is_exact()) {
+        sum_exact += leaf->rule.amount * frac;
+      } else {
+        sum_weight += leaf->rule.amount * frac;
+      }
+    }
+    const double exact_scale =
+        sum_exact > kEps ? std::min(1.0, consumption / sum_exact) : 0.0;
+    double remaining = consumption - sum_exact * exact_scale;
+    for (const LeafDemand* leaf : leaves) {
+      const double frac = leaf->fraction(static_cast<TimesliceIndex>(s));
+      AttributionEntry entry;
+      entry.instance = leaf->instance;
+      entry.fraction = frac;
+      entry.exact = leaf->rule.is_exact();
+      if (entry.exact) {
+        entry.demand = leaf->rule.amount * frac;
+        entry.usage = entry.demand * exact_scale;
+      } else {
+        entry.demand = leaf->rule.amount * frac;
+        entry.usage = sum_weight > kEps
+                          ? remaining * entry.demand / sum_weight
+                          : 0.0;
+      }
+      out.entries.push_back(entry);
+    }
+    if (sum_weight <= kEps && remaining > kEps) {
+      out.unattributed[s] = remaining;
+    }
+  }
+  out.slice_offsets[slices] = static_cast<std::uint32_t>(out.entries.size());
+  return out;
+}
+
 }  // namespace
 
 const AttributedResource* AttributedUsage::find(
@@ -33,79 +106,26 @@ const AttributedResource* AttributedUsage::find(
 AttributedUsage attribute_usage(const std::vector<DemandMatrix>& demand,
                                 const ResourceTrace& monitored,
                                 const TimesliceGrid& grid,
-                                bool constant_strawman) {
+                                bool constant_strawman, ThreadPool* pool) {
+  // Matrices without monitoring data are skipped; resolve the series up
+  // front so the parallel slots line up with the demand order.
+  std::vector<const ResourceSeries*> series(demand.size(), nullptr);
+  for (std::size_t m = 0; m < demand.size(); ++m) {
+    series[m] = monitored.find(demand[m].resource, demand[m].machine);
+  }
+
+  // Each matrix upsamples and attributes independently; results land in
+  // per-index slots, so collection order matches the serial loop exactly.
+  std::vector<AttributedResource> slots(demand.size());
+  parallel_for(pool, demand.size(), 1, [&](std::size_t m) {
+    if (series[m] == nullptr) return;
+    slots[m] = attribute_one(demand[m], *series[m], grid, constant_strawman);
+  });
+
   AttributedUsage result;
-  for (const DemandMatrix& matrix : demand) {
-    const ResourceSeries* series =
-        monitored.find(matrix.resource, matrix.machine);
-    if (series == nullptr) continue;
-
-    AttributedResource out;
-    out.resource = matrix.resource;
-    out.machine = matrix.machine;
-    out.capacity = matrix.capacity;
-    out.upsampled = constant_strawman
-                        ? upsample_constant(matrix, *series, grid)
-                        : upsample(matrix, *series, grid);
-    const auto slices = static_cast<std::size_t>(matrix.slice_count);
-    out.unattributed.assign(slices, 0.0);
-    out.slice_offsets.assign(slices + 1, 0);
-
-    // Bucket leaf demands by slice (sparse: few active leaves per slice).
-    std::vector<std::vector<const LeafDemand*>> per_slice(slices);
-    for (const LeafDemand& leaf : matrix.leaves) {
-      for (std::size_t i = 0; i < leaf.active_fraction.size(); ++i) {
-        if (leaf.active_fraction[i] <= 0.0) continue;
-        const auto slice = static_cast<std::size_t>(leaf.first_slice) + i;
-        if (slice < slices) per_slice[slice].push_back(&leaf);
-      }
-    }
-
-    for (std::size_t s = 0; s < slices; ++s) {
-      out.slice_offsets[s] = static_cast<std::uint32_t>(out.entries.size());
-      const double consumption = out.upsampled.usage[s];
-      const auto& leaves = per_slice[s];
-      if (leaves.empty()) {
-        out.unattributed[s] = consumption;
-        continue;
-      }
-      // Exact phases first, proportionally, capped at their demand.
-      double sum_exact = 0.0;
-      double sum_weight = 0.0;
-      for (const LeafDemand* leaf : leaves) {
-        const double frac = leaf->fraction(static_cast<TimesliceIndex>(s));
-        if (leaf->rule.is_exact()) {
-          sum_exact += leaf->rule.amount * frac;
-        } else {
-          sum_weight += leaf->rule.amount * frac;
-        }
-      }
-      const double exact_scale =
-          sum_exact > kEps ? std::min(1.0, consumption / sum_exact) : 0.0;
-      double remaining = consumption - sum_exact * exact_scale;
-      for (const LeafDemand* leaf : leaves) {
-        const double frac = leaf->fraction(static_cast<TimesliceIndex>(s));
-        AttributionEntry entry;
-        entry.instance = leaf->instance;
-        entry.fraction = frac;
-        entry.exact = leaf->rule.is_exact();
-        if (entry.exact) {
-          entry.demand = leaf->rule.amount * frac;
-          entry.usage = entry.demand * exact_scale;
-        } else {
-          entry.demand = leaf->rule.amount * frac;
-          entry.usage = sum_weight > kEps
-                            ? remaining * entry.demand / sum_weight
-                            : 0.0;
-        }
-        out.entries.push_back(entry);
-      }
-      if (sum_weight <= kEps && remaining > kEps) {
-        out.unattributed[s] = remaining;
-      }
-    }
-    out.slice_offsets[slices] = static_cast<std::uint32_t>(out.entries.size());
-    result.resources.push_back(std::move(out));
+  for (std::size_t m = 0; m < demand.size(); ++m) {
+    if (series[m] == nullptr) continue;
+    result.resources.push_back(std::move(slots[m]));
   }
   return result;
 }

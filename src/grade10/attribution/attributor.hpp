@@ -12,6 +12,7 @@
 #include "common/time.hpp"
 #include "grade10/attribution/demand.hpp"
 #include "grade10/attribution/upsample.hpp"
+#include "grade10/trace/resource_trace.hpp"
 
 namespace g10::core {
 
@@ -57,11 +58,13 @@ struct AttributedUsage {
 /// Runs upsampling + per-slice attribution for every demand matrix with a
 /// matching monitored series. Matrices without monitoring data are skipped.
 /// `constant_strawman` replaces Grade10's upsampler with the constant-rate
-/// baseline (Table II).
+/// baseline (Table II). With a pool, matrices are processed in parallel
+/// (bit-identical to the serial path).
 AttributedUsage attribute_usage(const std::vector<DemandMatrix>& demand,
                                 const ResourceTrace& monitored,
                                 const TimesliceGrid& grid,
-                                bool constant_strawman = false);
+                                bool constant_strawman = false,
+                                ThreadPool* pool = nullptr);
 
 /// Total usage (unit·seconds) attributed to the subtree rooted at
 /// `subtree_root`, for one attributed resource.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace g10::core {
 
@@ -24,16 +25,60 @@ LeafDemand make_leaf_demand(const PhaseInstance& leaf,
   const auto active = active_intervals(leaf.begin, leaf.end, leaf.blocked);
   const double slice_len = static_cast<double>(grid.slice_duration());
   for (const auto& interval : active) {
-    TimesliceIndex s = grid.slice_of(interval.begin);
-    while (s * grid.slice_duration() < interval.end) {
-      const DurationNs overlap =
-          interval.overlap(grid.start_of(s), grid.end_of(s));
-      demand.active_fraction[static_cast<std::size_t>(s - demand.first_slice)] +=
-          static_cast<double>(overlap) / slice_len;
-      ++s;
+    if (interval.end <= interval.begin) continue;
+    // First and last overlapped slices computed arithmetically; every slice
+    // strictly between them is fully covered and contributes exactly 1.0
+    // (overlap == slice_duration), so no per-slice overlap math is needed.
+    const TimesliceIndex first = grid.slice_of(interval.begin);
+    const TimesliceIndex final = grid.slice_count(interval.end) - 1;
+    if (first == final) {
+      demand.active_fraction[static_cast<std::size_t>(
+          first - demand.first_slice)] +=
+          static_cast<double>(interval.length()) / slice_len;
+      continue;
     }
+    demand.active_fraction[static_cast<std::size_t>(
+        first - demand.first_slice)] +=
+        static_cast<double>(grid.end_of(first) - interval.begin) / slice_len;
+    for (TimesliceIndex s = first + 1; s < final; ++s) {
+      demand.active_fraction[static_cast<std::size_t>(
+          s - demand.first_slice)] += 1.0;
+    }
+    demand.active_fraction[static_cast<std::size_t>(
+        final - demand.first_slice)] +=
+        static_cast<double>(interval.end - grid.start_of(final)) / slice_len;
   }
   return demand;
+}
+
+/// Fills one (resource, machine) matrix with the demand of its leaves.
+void fill_matrix(DemandMatrix& matrix, const ResourceModel& resources,
+                 const AttributionRuleSet& rules, const ExecutionTrace& trace,
+                 const TimesliceGrid& grid, TimesliceIndex slice_count) {
+  matrix.slice_count = slice_count;
+  matrix.exact.assign(static_cast<std::size_t>(slice_count), 0.0);
+  matrix.variable.assign(static_cast<std::size_t>(slice_count), 0.0);
+  const bool global =
+      resources.resource(matrix.resource).scope == ResourceScope::kGlobal;
+  for (const InstanceId leaf_id : trace.leaves()) {
+    const PhaseInstance& leaf = trace.instance(leaf_id);
+    if (!global && leaf.machine != matrix.machine) continue;
+    const AttributionRule rule = rules.get(leaf.type, matrix.resource);
+    if (rule.is_none()) continue;
+    if (leaf.duration() <= 0) continue;
+    LeafDemand demand = make_leaf_demand(leaf, rule, grid);
+    for (std::size_t i = 0; i < demand.active_fraction.size(); ++i) {
+      const double frac = demand.active_fraction[i];
+      if (frac <= 0.0) continue;
+      const auto slice = static_cast<std::size_t>(demand.first_slice) + i;
+      if (rule.is_exact()) {
+        matrix.exact[slice] += rule.amount * frac;
+      } else {
+        matrix.variable[slice] += rule.amount * frac;
+      }
+    }
+    matrix.leaves.push_back(std::move(demand));
+  }
 }
 
 }  // namespace
@@ -41,7 +86,8 @@ LeafDemand make_leaf_demand(const PhaseInstance& leaf,
 std::vector<DemandMatrix> estimate_demand(const ResourceModel& resources,
                                           const AttributionRuleSet& rules,
                                           const ExecutionTrace& trace,
-                                          const TimesliceGrid& grid) {
+                                          const TimesliceGrid& grid,
+                                          ThreadPool* pool) {
   const TimesliceIndex slice_count =
       trace.end_time() > 0 ? grid.slice_count(trace.end_time()) : 0;
 
@@ -67,33 +113,12 @@ std::vector<DemandMatrix> estimate_demand(const ResourceModel& resources,
     }
   }
 
-  for (auto& matrix : matrices) {
-    matrix.slice_count = slice_count;
-    matrix.exact.assign(static_cast<std::size_t>(slice_count), 0.0);
-    matrix.variable.assign(static_cast<std::size_t>(slice_count), 0.0);
-    const bool global =
-        resources.resource(matrix.resource).scope == ResourceScope::kGlobal;
-    for (const InstanceId leaf_id : trace.leaves()) {
-      const PhaseInstance& leaf = trace.instance(leaf_id);
-      if (!global && leaf.machine != matrix.machine) continue;
-      const AttributionRule rule = rules.get(leaf.type, matrix.resource);
-      if (rule.is_none()) continue;
-      if (leaf.duration() <= 0) continue;
-      LeafDemand demand = make_leaf_demand(leaf, rule, grid);
-      for (std::size_t i = 0; i < demand.active_fraction.size(); ++i) {
-        const double frac = demand.active_fraction[i];
-        if (frac <= 0.0) continue;
-        const auto slice =
-            static_cast<std::size_t>(demand.first_slice) + i;
-        if (rule.is_exact()) {
-          matrix.exact[slice] += rule.amount * frac;
-        } else {
-          matrix.variable[slice] += rule.amount * frac;
-        }
-      }
-      matrix.leaves.push_back(std::move(demand));
-    }
-  }
+  // Each (resource, machine) matrix is independent; fan out one per task.
+  // Every matrix is filled by exactly one thread, so the result is
+  // bit-identical to the serial loop.
+  parallel_for(pool, matrices.size(), 1, [&](std::size_t m) {
+    fill_matrix(matrices[m], resources, rules, trace, grid, slice_count);
+  });
   return matrices;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.hpp"
+
 namespace g10::core {
 
 const ResourceSaturation* BottleneckReport::find_saturation(
@@ -36,10 +38,77 @@ std::map<ResourceId, DurationNs> BottleneckReport::totals_by_resource(
   return totals;
 }
 
+namespace {
+
+/// Bottleneck classification of a single attributed resource instance.
+struct ResourceBottlenecks {
+  ResourceSaturation sat;
+  std::map<std::pair<InstanceId, ResourceId>, DurationNs> saturated;
+  std::map<std::pair<InstanceId, ResourceId>, DurationNs> self_limited;
+};
+
+ResourceBottlenecks detect_one(const AttributedResource& res,
+                               const TimesliceGrid& grid,
+                               const AnalysisConfig& config) {
+  ResourceBottlenecks out;
+  const DurationNs slice = grid.slice_duration();
+
+  // Saturation timeline with run-length filtering.
+  ResourceSaturation& sat = out.sat;
+  sat.resource = res.resource;
+  sat.machine = res.machine;
+  const auto slices = static_cast<std::size_t>(res.slice_count());
+  sat.saturated.assign(slices, 0);
+  const double threshold = config.saturation_threshold * res.capacity;
+  std::size_t run_start = 0;
+  bool in_run = false;
+  const auto close_run = [&](std::size_t end) {
+    if (!in_run) return;
+    if (end - run_start >=
+        static_cast<std::size_t>(config.min_saturation_slices)) {
+      for (std::size_t s = run_start; s < end; ++s) sat.saturated[s] = 1;
+      sat.total_saturated +=
+          static_cast<DurationNs>(end - run_start) * slice;
+    }
+    in_run = false;
+  };
+  for (std::size_t s = 0; s < slices; ++s) {
+    if (res.upsampled.usage[s] >= threshold) {
+      if (!in_run) {
+        in_run = true;
+        run_start = s;
+      }
+    } else {
+      close_run(s);
+    }
+  }
+  close_run(slices);
+
+  // Per-phase consumable bottlenecks.
+  for (std::size_t s = 0; s < slices; ++s) {
+    const auto entries = res.slice_entries(static_cast<TimesliceIndex>(s));
+    for (const AttributionEntry& entry : entries) {
+      if (entry.demand <= 0.0) continue;
+      const auto affected = static_cast<DurationNs>(
+          entry.fraction * static_cast<double>(slice));
+      if (sat.saturated[s]) {
+        out.saturated[{entry.instance, res.resource}] += affected;
+      } else if (entry.exact &&
+                 entry.usage >= config.exact_cap_threshold * entry.demand) {
+        out.self_limited[{entry.instance, res.resource}] += affected;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 BottleneckReport detect_bottlenecks(const AttributedUsage& usage,
                                     const ExecutionTrace& trace,
                                     const TimesliceGrid& grid,
-                                    const AnalysisConfig& config) {
+                                    const AnalysisConfig& config,
+                                    ThreadPool* pool) {
   BottleneckReport report;
 
   // Blocking bottlenecks: straight from the blocking events.
@@ -47,55 +116,19 @@ BottleneckReport detect_bottlenecks(const AttributedUsage& usage,
     report.blocked[{span.instance, span.resource}] += span.interval.length();
   }
 
-  const DurationNs slice = grid.slice_duration();
-  for (const AttributedResource& res : usage.resources) {
-    // Saturation timeline with run-length filtering.
-    ResourceSaturation sat;
-    sat.resource = res.resource;
-    sat.machine = res.machine;
-    const auto slices = static_cast<std::size_t>(res.slice_count());
-    sat.saturated.assign(slices, 0);
-    const double threshold = config.saturation_threshold * res.capacity;
-    std::size_t run_start = 0;
-    bool in_run = false;
-    const auto close_run = [&](std::size_t end) {
-      if (!in_run) return;
-      if (end - run_start >=
-          static_cast<std::size_t>(config.min_saturation_slices)) {
-        for (std::size_t s = run_start; s < end; ++s) sat.saturated[s] = 1;
-        sat.total_saturated +=
-            static_cast<DurationNs>(end - run_start) * slice;
-      }
-      in_run = false;
-    };
-    for (std::size_t s = 0; s < slices; ++s) {
-      if (res.upsampled.usage[s] >= threshold) {
-        if (!in_run) {
-          in_run = true;
-          run_start = s;
-        }
-      } else {
-        close_run(s);
-      }
+  // Each resource instance classifies independently; partial results are
+  // merged in resource order. The per-(instance, resource) durations are
+  // integers, so merged sums are exact regardless of grouping.
+  std::vector<ResourceBottlenecks> partial(usage.resources.size());
+  parallel_for(pool, usage.resources.size(), 1, [&](std::size_t r) {
+    partial[r] = detect_one(usage.resources[r], grid, config);
+  });
+  for (ResourceBottlenecks& p : partial) {
+    for (const auto& [key, value] : p.saturated) report.saturated[key] += value;
+    for (const auto& [key, value] : p.self_limited) {
+      report.self_limited[key] += value;
     }
-    close_run(slices);
-
-    // Per-phase consumable bottlenecks.
-    for (std::size_t s = 0; s < slices; ++s) {
-      const auto entries = res.slice_entries(static_cast<TimesliceIndex>(s));
-      for (const AttributionEntry& entry : entries) {
-        if (entry.demand <= 0.0) continue;
-        const auto affected = static_cast<DurationNs>(
-            entry.fraction * static_cast<double>(slice));
-        if (sat.saturated[s]) {
-          report.saturated[{entry.instance, res.resource}] += affected;
-        } else if (entry.exact &&
-                   entry.usage >= config.exact_cap_threshold * entry.demand) {
-          report.self_limited[{entry.instance, res.resource}] += affected;
-        }
-      }
-    }
-    report.saturation.push_back(std::move(sat));
+    report.saturation.push_back(std::move(p.sat));
   }
   return report;
 }

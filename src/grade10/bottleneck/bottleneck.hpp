@@ -51,9 +51,12 @@ struct BottleneckReport {
       const std::map<std::pair<InstanceId, ResourceId>, DurationNs>& m);
 };
 
+/// With a pool, resource instances are classified in parallel and merged
+/// in resource order (bit-identical to the serial path).
 BottleneckReport detect_bottlenecks(const AttributedUsage& usage,
                                     const ExecutionTrace& trace,
                                     const TimesliceGrid& grid,
-                                    const AnalysisConfig& config);
+                                    const AnalysisConfig& config,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace g10::core

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace g10::core {
 
@@ -79,7 +80,7 @@ std::vector<DurationNs> IssueDetector::balanced_durations(
   return adjusted;
 }
 
-PerformanceIssue IssueDetector::imbalance_issue(PhaseTypeId type) {
+PerformanceIssue IssueDetector::imbalance_issue(PhaseTypeId type) const {
   PerformanceIssue issue;
   issue.kind = IssueKind::kImbalance;
   issue.phase_type = type;
@@ -98,7 +99,7 @@ PerformanceIssue IssueDetector::imbalance_issue(PhaseTypeId type) {
 
 PerformanceIssue IssueDetector::bottleneck_issue(
     ResourceId resource, const AttributedUsage& usage,
-    const BottleneckReport& bottlenecks) {
+    const BottleneckReport& bottlenecks) const {
   PerformanceIssue issue;
   issue.kind = IssueKind::kResourceBottleneck;
   issue.resource = resource;
@@ -235,8 +236,16 @@ PerformanceIssue IssueDetector::fault_recovery_issue() const {
 }
 
 std::vector<PerformanceIssue> IssueDetector::detect(
-    const AttributedUsage& usage, const BottleneckReport& bottlenecks) {
-  std::vector<PerformanceIssue> issues;
+    const AttributedUsage& usage, const BottleneckReport& bottlenecks,
+    ThreadPool* pool) {
+  // Candidate enumeration is cheap and stays serial; evaluating a candidate
+  // replays the whole trace, so that fans out — one task per candidate.
+  struct Candidate {
+    bool is_imbalance = false;
+    ResourceId resource = kNoResource;
+    PhaseTypeId type = kNoPhaseType;
+  };
+  std::vector<Candidate> candidates;
   for (ResourceId r = 0;
        r < static_cast<ResourceId>(resources_.resource_count()); ++r) {
     // Fault-class resources are covered by the dedicated fault-recovery
@@ -247,14 +256,9 @@ std::vector<PerformanceIssue> IssueDetector::detect(
                   name) != config_.fault_resources.end()) {
       continue;
     }
-    issues.push_back(bottleneck_issue(r, usage, bottlenecks));
+    candidates.push_back({false, r, kNoPhaseType});
   }
-  {
-    PerformanceIssue fault = fault_recovery_issue();
-    if (fault.optimistic_makespan < fault.baseline_makespan) {
-      issues.push_back(std::move(fault));
-    }
-  }
+  const std::size_t bottleneck_count = candidates.size();
   for (PhaseTypeId t = 0; t < static_cast<PhaseTypeId>(model_.type_count());
        ++t) {
     if (t == model_.root() || model_.type(t).wait) continue;
@@ -268,8 +272,29 @@ std::vector<PerformanceIssue> IssueDetector::detect(
         break;
       }
     }
-    if (has_group) issues.push_back(imbalance_issue(t));
+    if (has_group) candidates.push_back({true, kNoResource, t});
   }
+
+  const std::vector<PerformanceIssue> evaluated =
+      parallel_map(pool, candidates, [&](const Candidate& c) {
+        return c.is_imbalance ? imbalance_issue(c.type)
+                              : bottleneck_issue(c.resource, usage,
+                                                 bottlenecks);
+      });
+
+  // Reassemble in the serial order (bottlenecks, fault recovery,
+  // imbalances) so the impact sort below sees the same input sequence at
+  // every thread count — ties then break identically.
+  const auto fault_pos =
+      evaluated.begin() + static_cast<std::ptrdiff_t>(bottleneck_count);
+  std::vector<PerformanceIssue> issues(evaluated.begin(), fault_pos);
+  {
+    PerformanceIssue fault = fault_recovery_issue();
+    if (fault.optimistic_makespan < fault.baseline_makespan) {
+      issues.push_back(std::move(fault));
+    }
+  }
+  issues.insert(issues.end(), fault_pos, evaluated.end());
   std::erase_if(issues, [this](const PerformanceIssue& issue) {
     return issue.impact < config_.min_issue_impact;
   });

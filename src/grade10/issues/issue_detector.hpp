@@ -53,18 +53,20 @@ class IssueDetector {
                 const AnalysisConfig& config);
 
   /// All issues whose impact clears config.min_issue_impact, sorted by
-  /// descending impact.
+  /// descending impact. With a pool, candidate issues are evaluated in
+  /// parallel (one replay each) and reassembled in the serial order.
   std::vector<PerformanceIssue> detect(const AttributedUsage& usage,
-                                       const BottleneckReport& bottlenecks);
+                                       const BottleneckReport& bottlenecks,
+                                       ThreadPool* pool = nullptr);
 
   /// The imbalance issue for one phase type (used by the Fig. 5/6 benches
-  /// regardless of the reporting threshold).
-  PerformanceIssue imbalance_issue(PhaseTypeId type);
+  /// regardless of the reporting threshold). Thread-safe.
+  PerformanceIssue imbalance_issue(PhaseTypeId type) const;
 
-  /// The bottleneck-removal issue for one resource.
+  /// The bottleneck-removal issue for one resource. Thread-safe.
   PerformanceIssue bottleneck_issue(ResourceId resource,
                                     const AttributedUsage& usage,
-                                    const BottleneckReport& bottlenecks);
+                                    const BottleneckReport& bottlenecks) const;
 
   /// The fault-recovery issue: union of blocked intervals on the
   /// config.fault_resources over the whole trace. Impact is relative to

@@ -2,10 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 namespace g10::trace {
 namespace {
+
+/// Round-trips parsed records back to text so two ParseResults can be
+/// compared for record-level equality with one string comparison.
+std::string serialize(const ParsedLog& log) {
+  std::ostringstream os;
+  write_log(os, log.phase_events, log.blocking_events, log.samples);
+  return os.str();
+}
 
 TEST(LogIoTest, WriteParseRoundTrip) {
   std::vector<PhaseEventRecord> phases;
@@ -158,6 +169,119 @@ TEST(LogIoTest, HandlesWindowsLineEndings) {
   const ParseResult result = parse_log(is);
   ASSERT_TRUE(result.ok()) << result.error->message;
   EXPECT_EQ(result.log.phase_events.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked concurrent parsing. min_chunk_bytes is lowered to force tiny logs
+// into many chunks; results must match the serial parse exactly.
+
+/// A log with records on every line and damage at the given 1-based lines.
+std::string make_log(std::size_t lines, const std::vector<std::size_t>& bad) {
+  std::ostringstream os;
+  for (std::size_t i = 1; i <= lines; ++i) {
+    if (std::find(bad.begin(), bad.end(), i) != bad.end()) {
+      os << "BROKEN\trecord\t" << i << '\n';
+    } else if (i % 7 == 0) {
+      os << "# comment line " << i << '\n';
+    } else if (i % 3 == 0) {
+      os << "SAMPLE\tcpu\t0\t" << i * 100 << "\t"
+         << 0.25 * static_cast<double>(i) << '\n';
+    } else {
+      os << "PHASE\t" << (i % 2 ? 'B' : 'E') << "\tJob.0\t" << i * 10
+         << "\t-1\n";
+    }
+  }
+  return os.str();
+}
+
+TEST(LogIoTest, ChunkedLenientParseMatchesSerialExactly) {
+  const std::string text = make_log(500, {40, 41, 333, 499});
+  ParseOptions serial_options;
+  serial_options.recover = true;
+  serial_options.threads = 1;
+  const ParseResult serial = parse_log_text(text, serial_options);
+
+  ParseOptions chunked_options = serial_options;
+  chunked_options.threads = 4;
+  chunked_options.min_chunk_bytes = 64;  // force many chunks
+  const ParseResult chunked = parse_log_text(text, chunked_options);
+
+  EXPECT_EQ(serialize(chunked.log), serialize(serial.log));
+  EXPECT_EQ(chunked.error_count, serial.error_count);
+  ASSERT_EQ(chunked.errors.size(), serial.errors.size());
+  for (std::size_t i = 0; i < serial.errors.size(); ++i) {
+    EXPECT_EQ(chunked.errors[i].line_number, serial.errors[i].line_number);
+    EXPECT_EQ(chunked.errors[i].message, serial.errors[i].message);
+    EXPECT_EQ(chunked.errors[i].line, serial.errors[i].line);
+  }
+  ASSERT_TRUE(chunked.error.has_value());
+  EXPECT_EQ(chunked.error->line_number, 40u);
+}
+
+TEST(LogIoTest, ChunkedLenientParseKeepsExactLineNumbersPerChunk) {
+  // Bad lines placed so that (at 64-byte chunks) they land in different
+  // chunks; their reported numbers must still be absolute file positions.
+  const std::vector<std::size_t> bad = {5, 120, 121, 250};
+  const std::string text = make_log(256, bad);
+  ParseOptions options;
+  options.recover = true;
+  options.threads = 8;
+  options.min_chunk_bytes = 64;
+  const ParseResult result = parse_log_text(text, options);
+  ASSERT_EQ(result.errors.size(), bad.size());
+  for (std::size_t i = 0; i < bad.size(); ++i) {
+    EXPECT_EQ(result.errors[i].line_number, bad[i]);
+  }
+  EXPECT_EQ(result.error_count, bad.size());
+}
+
+TEST(LogIoTest, ChunkedStrictParseStopsAtTheSameFirstError) {
+  const std::string text = make_log(300, {142, 260});
+  ParseOptions serial_options;  // strict
+  serial_options.threads = 1;
+  const ParseResult serial = parse_log_text(text, serial_options);
+
+  ParseOptions chunked_options;
+  chunked_options.threads = 4;
+  chunked_options.min_chunk_bytes = 64;
+  const ParseResult chunked = parse_log_text(text, chunked_options);
+
+  ASSERT_FALSE(serial.ok());
+  ASSERT_FALSE(chunked.ok());
+  EXPECT_EQ(chunked.error->line_number, 142u);
+  EXPECT_EQ(chunked.error->line_number, serial.error->line_number);
+  EXPECT_EQ(chunked.error->message, serial.error->message);
+  // Records kept before the stop are the same prefix at any thread count.
+  EXPECT_EQ(serialize(chunked.log), serialize(serial.log));
+  EXPECT_EQ(chunked.error_count, serial.error_count);
+}
+
+TEST(LogIoTest, ChunkedParseOfCleanLogMatchesSerial) {
+  const std::string text = make_log(1000, {});
+  const ParseResult serial = parse_log_text(text, {.threads = 1});
+  const ParseResult chunked = parse_log_text(
+      text, {.threads = 8, .min_chunk_bytes = 128});
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(chunked.ok());
+  EXPECT_EQ(serialize(chunked.log), serialize(serial.log));
+}
+
+TEST(LogIoTest, ReadLogFileRoundTripsAndReportsMissingFiles) {
+  const std::string path = ::testing::TempDir() + "log_io_test_run.log";
+  {
+    std::ofstream out(path);
+    out << make_log(50, {});
+  }
+  const ParseResult result = read_log_file(path);
+  EXPECT_TRUE(result.ok());
+  EXPECT_FALSE(result.log.phase_events.empty());
+  std::remove(path.c_str());
+
+  const ParseResult missing = read_log_file(path + ".does-not-exist");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error->line_number, 0u);
+  EXPECT_NE(missing.error->message.find("cannot open"), std::string::npos);
+  EXPECT_EQ(missing.error_count, 1u);
 }
 
 }  // namespace

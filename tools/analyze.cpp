@@ -2,7 +2,7 @@
 //
 //   g10_analyze --model <model.g10> --log <run.log>
 //               [--timeslice-ms MS] [--min-impact PCT]
-//               [--lenient | --strict]
+//               [--threads N] [--lenient | --strict]
 //
 // Parses the declarative model file and the run's log (phase events,
 // blocking events, monitoring samples), executes the full characterization
@@ -13,6 +13,10 @@
 // listed and the exit code is non-zero. --lenient repairs what it can —
 // bad lines are skipped, truncated phases get synthesized ends and are
 // flagged degraded — and characterizes the run end to end anyway.
+//
+// --threads N caps the parse/characterization concurrency (0 = auto via
+// the G10_THREADS environment variable, else all hardware threads;
+// 1 = fully serial). Results are identical at every setting.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -36,13 +40,14 @@ struct Args {
   std::string chrome_trace_path;  ///< optional chrome://tracing export
   DurationNs timeslice = 50 * kMillisecond;
   double min_impact = 0.01;
+  int threads = 0;  ///< 0 = auto (G10_THREADS, else hardware)
   bool lenient = false;
 };
 
 int usage() {
   std::cerr << "usage: g10_analyze --model <model.g10> --log <run.log>\n"
                "                   [--timeslice-ms MS] [--min-impact FRAC]\n"
-               "                   [--chrome-trace <out.json>]\n"
+               "                   [--chrome-trace <out.json>] [--threads N]\n"
                "                   [--lenient | --strict]\n";
   return 2;
 }
@@ -69,6 +74,9 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.timeslice = parse_int(value).value_or(50) * kMillisecond;
     } else if (arg == "--min-impact") {
       args.min_impact = parse_double(value).value_or(0.01);
+    } else if (arg == "--threads") {
+      args.threads = static_cast<int>(parse_int(value).value_or(0));
+      if (args.threads < 0) return std::nullopt;
     } else if (arg == "--chrome-trace") {
       args.chrome_trace_path = value;
     } else {
@@ -92,14 +100,15 @@ int run(const Args& args) {
     return 1;
   }
 
-  std::ifstream log_file(args.log_path);
-  if (!log_file) {
-    std::cerr << "cannot open log file: " << args.log_path << '\n';
-    return 1;
-  }
   trace::ParseOptions parse_options;
   parse_options.recover = true;  // always collect the full error list
-  const trace::ParseResult log = trace::parse_log(log_file, parse_options);
+  parse_options.threads = args.threads;
+  const trace::ParseResult log =
+      trace::read_log_file(args.log_path, parse_options);
+  if (log.error && log.error->line_number == 0) {
+    std::cerr << log.error->message << '\n';
+    return 1;
+  }
   if (!log.ok()) {
     if (!args.lenient) {
       std::cerr << args.log_path << ": " << log.error_count
@@ -131,6 +140,7 @@ int run(const Args& args) {
   input.samples = log.log.samples;
   input.config.timeslice = args.timeslice;
   input.config.min_issue_impact = args.min_impact;
+  input.config.threads = args.threads;
   input.trace_options.lenient = args.lenient;
 
   core::CheckedCharacterization checked = core::characterize_checked(input);

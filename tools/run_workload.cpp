@@ -218,7 +218,13 @@ int run(const Args& args) {
 
   std::filesystem::create_directories(args.out);
   {
-    std::ofstream log(args.out + "/run.log");
+    // A large stream buffer turns the many small record writes into a few
+    // big ones; fault-injected runs can dump millions of records.
+    std::vector<char> buffer(1 << 20);
+    std::ofstream log;
+    log.rdbuf()->pubsetbuf(buffer.data(),
+                           static_cast<std::streamsize>(buffer.size()));
+    log.open(args.out + "/run.log");
     trace::write_log(log, artifacts.phase_events, artifacts.blocking_events,
                      samples);
   }
