@@ -1,10 +1,23 @@
 // Lightweight precondition / invariant checking.
 //
-// G10_CHECK is always on (the cost is negligible relative to the analysis
-// pipeline) and throws g10::CheckError so tests can assert on violations
-// instead of aborting the process.
+// Two tiers, both always on (the cost is negligible relative to the
+// analysis pipeline) and both throwing so tests can assert on violations
+// instead of aborting the process:
+//
+//  - G10_CHECK / G10_CHECK_MSG guard *input* preconditions: a violation
+//    means the caller handed in bad data (malformed trace, inconsistent
+//    model). Throws g10::CheckError; the pipeline's checked entry points
+//    convert these into structured status errors.
+//  - G10_ASSERT / G10_ASSERT_MSG document *internal* invariants: a
+//    violation means a bug in this codebase, never bad input. Throws
+//    g10::AssertError (a CheckError subclass, so existing handlers still
+//    catch it) with a message prefixed "internal invariant violated".
+//
+// Both carry std::source_location, so the failure message names the
+// function as well as the file:line without any macro __FILE__ plumbing.
 #pragma once
 
+#include <source_location>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -17,29 +30,73 @@ class CheckError : public std::logic_error {
   explicit CheckError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Thrown when a G10_ASSERT condition is violated: an internal bug, not a
+/// data problem. Subclasses CheckError so existing catch sites keep working.
+class AssertError : public CheckError {
+ public:
+  explicit AssertError(const std::string& what) : CheckError(what) {}
+};
+
 namespace detail {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line, const std::string& msg) {
+inline std::string check_message(const char* kind, const char* expr,
+                                 const std::source_location& loc,
+                                 const std::string& msg) {
   std::ostringstream os;
-  os << "check failed: " << expr << " at " << file << ':' << line;
+  os << kind << ": " << expr << " at " << loc.file_name() << ':' << loc.line()
+     << " in " << loc.function_name();
   if (!msg.empty()) os << " — " << msg;
-  throw CheckError(os.str());
+  return os.str();
+}
+
+[[noreturn]] inline void check_failed(const char* expr,
+                                      const std::source_location& loc,
+                                      const std::string& msg) {
+  throw CheckError(check_message("check failed", expr, loc, msg));
+}
+
+[[noreturn]] inline void assert_failed(const char* expr,
+                                       const std::source_location& loc,
+                                       const std::string& msg) {
+  throw AssertError(
+      check_message("internal invariant violated", expr, loc, msg));
 }
 
 }  // namespace detail
 }  // namespace g10
 
-#define G10_CHECK(cond)                                              \
-  do {                                                               \
-    if (!(cond)) ::g10::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+#define G10_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::g10::detail::check_failed(                             \
+          #cond, ::std::source_location::current(), "");       \
+    }                                                          \
   } while (0)
 
-#define G10_CHECK_MSG(cond, msg)                                     \
-  do {                                                               \
-    if (!(cond)) {                                                   \
-      std::ostringstream g10_os_;                                    \
-      g10_os_ << msg;                                                \
-      ::g10::detail::check_failed(#cond, __FILE__, __LINE__, g10_os_.str()); \
-    }                                                                \
+#define G10_CHECK_MSG(cond, msg)                               \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      std::ostringstream g10_os_;                              \
+      g10_os_ << msg;                                          \
+      ::g10::detail::check_failed(                             \
+          #cond, ::std::source_location::current(), g10_os_.str()); \
+    }                                                          \
+  } while (0)
+
+#define G10_ASSERT(cond)                                       \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::g10::detail::assert_failed(                            \
+          #cond, ::std::source_location::current(), "");       \
+    }                                                          \
+  } while (0)
+
+#define G10_ASSERT_MSG(cond, msg)                              \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      std::ostringstream g10_os_;                              \
+      g10_os_ << msg;                                          \
+      ::g10::detail::assert_failed(                            \
+          #cond, ::std::source_location::current(), g10_os_.str()); \
+    }                                                          \
   } while (0)

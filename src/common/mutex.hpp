@@ -1,0 +1,50 @@
+// Annotated mutex primitives for Clang's thread-safety analysis.
+//
+// g10::Mutex wraps std::mutex and declares itself a capability, so fields
+// marked G10_GUARDED_BY(mutex_) are compile-time checked under Clang
+// (libstdc++'s std::mutex carries no such attributes). g10::MutexLock is
+// the scoped holder. Condition waits use std::condition_variable_any
+// directly on the Mutex: wait() unlocks and relocks the mutex internally,
+// which matches what the analysis assumes (the capability is held on both
+// sides of the call).
+#pragma once
+
+#include <mutex>
+
+#include "common/thread_annotations.hpp"
+
+namespace g10 {
+
+/// A std::mutex declared as a thread-safety capability. Satisfies
+/// BasicLockable, so std::condition_variable_any can wait on it directly.
+class G10_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() G10_ACQUIRE() { mutex_.lock(); }
+  void unlock() G10_RELEASE() { mutex_.unlock(); }
+  bool try_lock() G10_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// RAII holder for a Mutex; the analysis tracks its scope as the region in
+/// which the capability is held.
+class G10_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) G10_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() G10_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace g10

@@ -1,0 +1,63 @@
+// Clang thread-safety-analysis annotations (no-ops elsewhere).
+//
+// The macros expand to Clang's capability attributes so that lock
+// discipline — which mutex guards which field, which functions must be
+// called with a lock held — is declared in the types and checked at
+// compile time (-Wthread-safety; the build promotes violations to errors
+// with -Werror=thread-safety under Clang). GCC and MSVC see empty macros,
+// so annotated code stays portable.
+//
+// Use g10::Mutex / g10::MutexLock from common/mutex.hpp as the annotated
+// capability types; std::mutex itself carries no attributes under
+// libstdc++, so the analysis cannot see through it.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define G10_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define G10_THREAD_ANNOTATION_IMPL(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex).
+#define G10_CAPABILITY(name) G10_THREAD_ANNOTATION_IMPL(capability(name))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define G10_SCOPED_CAPABILITY G10_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Declares that a field or variable may only be accessed while holding
+/// the given capability.
+#define G10_GUARDED_BY(x) G10_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Like G10_GUARDED_BY, but guards the data a pointer points to.
+#define G10_PT_GUARDED_BY(x) G10_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Declares that a function acquires the given capabilities and does not
+/// release them before returning.
+#define G10_ACQUIRE(...) \
+  G10_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the given capabilities.
+#define G10_RELEASE(...) \
+  G10_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/// Declares that a function attempts to acquire a capability; `result` is
+/// the return value that indicates success.
+#define G10_TRY_ACQUIRE(result, ...) \
+  G10_THREAD_ANNOTATION_IMPL(try_acquire_capability(result, __VA_ARGS__))
+
+/// Declares that the caller must hold the given capabilities.
+#define G10_REQUIRES(...) \
+  G10_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the given capabilities (prevents
+/// self-deadlock on non-reentrant mutexes).
+#define G10_EXCLUDES(...) G10_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability guarding the returned object.
+#define G10_RETURN_CAPABILITY(x) G10_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function (used for code the
+/// analysis cannot model, e.g. conditional locking).
+#define G10_NO_THREAD_SAFETY_ANALYSIS \
+  G10_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)

@@ -42,7 +42,7 @@ ThreadPool::ThreadPool(Options options)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -59,15 +59,15 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   std::size_t target;
   {
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    space_cv_.wait(lock, [this] { return pending_ < queue_capacity_ || stop_; });
+    MutexLock lock(state_mutex_);
+    while (pending_ >= queue_capacity_ && !stop_) space_cv_.wait(state_mutex_);
     if (stop_) return;
     ++pending_;
     ++unfinished_;
     target = next_worker_++ % workers_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    MutexLock lock(workers_[target]->mutex);
     workers_[target]->tasks.push_back(std::move(task));
   }
   wake_cv_.notify_one();
@@ -77,14 +77,14 @@ bool ThreadPool::try_submit(std::function<void()> task) {
   if (workers_.empty()) return false;
   std::size_t target;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     if (stop_ || pending_ >= queue_capacity_) return false;
     ++pending_;
     ++unfinished_;
     target = next_worker_++ % workers_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    MutexLock lock(workers_[target]->mutex);
     workers_[target]->tasks.push_back(std::move(task));
   }
   wake_cv_.notify_one();
@@ -95,7 +95,7 @@ bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& out) {
   // Own queue first, newest task (LIFO keeps the cache warm) ...
   {
     Worker& mine = *workers_[self];
-    std::lock_guard<std::mutex> lock(mine.mutex);
+    MutexLock lock(mine.mutex);
     if (!mine.tasks.empty()) {
       out = std::move(mine.tasks.back());
       mine.tasks.pop_back();
@@ -106,7 +106,7 @@ bool ThreadPool::try_acquire(std::size_t self, std::function<void()>& out) {
   // early chunks of a fan-out across thieves).
   for (std::size_t k = 1; k < workers_.size(); ++k) {
     Worker& victim = *workers_[(self + k) % workers_.size()];
-    std::lock_guard<std::mutex> lock(victim.mutex);
+    MutexLock lock(victim.mutex);
     if (!victim.tasks.empty()) {
       out = std::move(victim.tasks.front());
       victim.tasks.pop_front();
@@ -120,27 +120,27 @@ void ThreadPool::worker_loop(std::size_t self) {
   while (true) {
     std::function<void()> task;
     if (!try_acquire(self, task)) {
-      std::unique_lock<std::mutex> lock(state_mutex_);
-      wake_cv_.wait(lock, [this] { return pending_ > 0 || stop_; });
+      MutexLock lock(state_mutex_);
+      while (pending_ == 0 && !stop_) wake_cv_.wait(state_mutex_);
       if (stop_ && pending_ == 0) return;
       continue;  // re-scan the queues with the lock released
     }
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       --pending_;
     }
     space_cv_.notify_one();
     task();
     {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       if (--unfinished_ == 0) idle_cv_.notify_all();
     }
   }
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  MutexLock lock(state_mutex_);
+  while (unfinished_ != 0) idle_cv_.wait(state_mutex_);
 }
 
 namespace {
@@ -156,15 +156,15 @@ struct ForLoopState {
   const std::function<void(std::size_t)>* body = nullptr;
 
   std::atomic<std::size_t> next_chunk{0};
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::size_t chunks_done = 0;
+  Mutex mutex;
+  std::condition_variable_any done_cv;
+  std::size_t chunks_done G10_GUARDED_BY(mutex) = 0;
   /// Exception of the lowest-index failing chunk, for deterministic rethrow.
-  std::size_t error_chunk = 0;
-  std::exception_ptr error;
+  std::size_t error_chunk G10_GUARDED_BY(mutex) = 0;
+  std::exception_ptr error G10_GUARDED_BY(mutex);
 
   /// Claims and runs chunks until none are left.
-  void drain() {
+  void drain() G10_EXCLUDES(mutex) {
     while (true) {
       const std::size_t chunk =
           next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -173,7 +173,7 @@ struct ForLoopState {
     }
   }
 
-  void run_chunk(std::size_t chunk) {
+  void run_chunk(std::size_t chunk) G10_EXCLUDES(mutex) {
     const std::size_t begin = chunk * grain;
     const std::size_t end = std::min(n, begin + grain);
     std::exception_ptr caught;
@@ -182,7 +182,7 @@ struct ForLoopState {
     } catch (...) {
       caught = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     if (caught && (!error || chunk < error_chunk)) {
       error = caught;
       error_chunk = chunk;
@@ -219,9 +219,10 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   }
   state->drain();
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done_cv.wait(lock,
-                      [&] { return state->chunks_done == state->chunk_count; });
+  MutexLock lock(state->mutex);
+  while (state->chunks_done != state->chunk_count) {
+    state->done_cv.wait(state->mutex);
+  }
   if (state->error) std::rethrow_exception(state->error);
 }
 

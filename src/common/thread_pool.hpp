@@ -20,6 +20,11 @@
 //
 // Thread count resolution (resolve_threads): an explicit request wins, then
 // the G10_THREADS environment variable, then std::thread::hardware_concurrency.
+//
+// Lock discipline is declared with the thread-safety annotations from
+// common/thread_annotations.hpp and enforced at compile time under Clang
+// (-Werror=thread-safety): every shared field names the mutex that guards
+// it, and accessing one without holding that mutex is a build error.
 #pragma once
 
 #include <condition_variable>
@@ -27,10 +32,13 @@
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace g10 {
 
@@ -61,22 +69,23 @@ class ThreadPool {
   /// Enqueues a task for a worker thread. With no workers the task runs
   /// inline. Blocks while `queue_capacity` tasks are already pending.
   /// Tasks must not throw (wrap and capture; parallel_for does this).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) G10_EXCLUDES(state_mutex_);
 
   /// Like submit(), but never blocks: returns false (dropping the task)
   /// when the queue is at capacity or the pool has no workers. Used by
   /// parallel_for, whose fan-outs complete through the caller regardless.
-  bool try_submit(std::function<void()> task);
+  bool try_submit(std::function<void()> task) G10_EXCLUDES(state_mutex_);
 
   /// Blocks until every submitted task has finished executing.
-  void wait_idle();
+  void wait_idle() G10_EXCLUDES(state_mutex_);
 
   /// Runs body(i) for every i in [0, n), fanned out in `grain`-sized
   /// contiguous chunks. The caller participates; returns once all n
   /// iterations completed. If any body threw, rethrows the exception of
   /// the lowest-indexed failing chunk (deterministic across schedules).
   void parallel_for(std::size_t n, std::size_t grain,
-                    const std::function<void(std::size_t)>& body);
+                    const std::function<void(std::size_t)>& body)
+      G10_EXCLUDES(state_mutex_);
 
   /// Resolves a requested thread count: `requested` if nonzero, else
   /// G10_THREADS (when set to a positive integer), else hardware
@@ -85,25 +94,28 @@ class ThreadPool {
 
  private:
   struct Worker {
-    std::deque<std::function<void()>> tasks;
-    std::mutex mutex;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks G10_GUARDED_BY(mutex);
     std::thread thread;
   };
 
-  void worker_loop(std::size_t self);
-  bool try_acquire(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t self) G10_EXCLUDES(state_mutex_);
+  bool try_acquire(std::size_t self, std::function<void()>& out)
+      G10_EXCLUDES(state_mutex_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::size_t queue_capacity_ = 4096;
 
-  std::mutex state_mutex_;
-  std::condition_variable wake_cv_;   ///< workers: work available or stop
-  std::condition_variable space_cv_;  ///< producers: queue below capacity
-  std::condition_variable idle_cv_;   ///< wait_idle: all tasks finished
-  std::size_t pending_ = 0;     ///< queued, not yet started
-  std::size_t unfinished_ = 0;  ///< queued or running
-  std::size_t next_worker_ = 0;
-  bool stop_ = false;
+  Mutex state_mutex_;
+  /// condition_variable_any waits on the annotated Mutex itself, so the
+  /// guarded members below stay under one declared capability.
+  std::condition_variable_any wake_cv_;   ///< workers: work available or stop
+  std::condition_variable_any space_cv_;  ///< producers: queue below capacity
+  std::condition_variable_any idle_cv_;   ///< wait_idle: all tasks finished
+  std::size_t pending_ G10_GUARDED_BY(state_mutex_) = 0;  ///< queued, unstarted
+  std::size_t unfinished_ G10_GUARDED_BY(state_mutex_) = 0;  ///< or running
+  std::size_t next_worker_ G10_GUARDED_BY(state_mutex_) = 0;
+  bool stop_ G10_GUARDED_BY(state_mutex_) = false;
 };
 
 /// parallel_for through an optional pool: nullptr or a single-thread pool

@@ -33,6 +33,8 @@ AttributedResource attribute_one(const DemandMatrix& matrix,
   out.upsampled = constant_strawman ? upsample_constant(matrix, series, grid)
                                     : upsample(matrix, series, grid);
   const auto slices = static_cast<std::size_t>(matrix.slice_count);
+  G10_ASSERT_MSG(out.upsampled.usage.size() == slices,
+                 "upsampled series does not tile the timeslice grid");
   out.unattributed.assign(slices, 0.0);
   out.slice_offsets.assign(slices + 1, 0);
 
@@ -68,6 +70,10 @@ AttributedResource attribute_one(const DemandMatrix& matrix,
     const double exact_scale =
         sum_exact > kEps ? std::min(1.0, consumption / sum_exact) : 0.0;
     double remaining = consumption - sum_exact * exact_scale;
+    // Exact attribution is capped at the measured consumption, so the
+    // residual handed to variable phases can never go negative (unless the
+    // monitor itself reported a negative rate, which lint flags upstream).
+    G10_ASSERT(remaining >= -kEps || consumption < 0.0);
     for (const LeafDemand* leaf : leaves) {
       const double frac = leaf->fraction(static_cast<TimesliceIndex>(s));
       AttributionEntry entry;

@@ -31,6 +31,8 @@ LeafDemand make_leaf_demand(const PhaseInstance& leaf,
     // (overlap == slice_duration), so no per-slice overlap math is needed.
     const TimesliceIndex first = grid.slice_of(interval.begin);
     const TimesliceIndex final = grid.slice_count(interval.end) - 1;
+    G10_ASSERT_MSG(first >= demand.first_slice && final <= last,
+                   "active interval escapes its leaf's slice range");
     if (first == final) {
       demand.active_fraction[static_cast<std::size_t>(
           first - demand.first_slice)] +=

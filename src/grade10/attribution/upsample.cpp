@@ -18,6 +18,7 @@ struct SliceSpan {
 
 /// Slices covered by [begin, end) with their coverage fractions.
 SliceSpan covered_slices(TimeNs begin, TimeNs end, const TimesliceGrid& grid) {
+  G10_ASSERT_MSG(end > begin, "measurement window must be non-empty");
   SliceSpan span;
   span.first = grid.slice_of(begin);
   const TimesliceIndex last = grid.slice_count(end) - 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/thread_pool.hpp"
 
 namespace g10::core {
@@ -58,6 +59,9 @@ ResourceBottlenecks detect_one(const AttributedResource& res,
   sat.resource = res.resource;
   sat.machine = res.machine;
   const auto slices = static_cast<std::size_t>(res.slice_count());
+  G10_ASSERT_MSG(res.upsampled.usage.size() == slices,
+                 "attributed resource and upsampled series disagree on "
+                 "slice count");
   sat.saturated.assign(slices, 0);
   const double threshold = config.saturation_threshold * res.capacity;
   std::size_t run_start = 0;

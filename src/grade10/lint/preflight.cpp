@@ -1,0 +1,24 @@
+#include "grade10/lint/preflight.hpp"
+
+#include "grade10/lint/model_lint.hpp"
+
+namespace g10::lint {
+
+LintReport preflight_model(std::string_view model_text,
+                           std::string_view model_filename) {
+  return lint_model_text(model_text, model_filename);
+}
+
+LintReport preflight(std::string_view model_text,
+                     std::string_view model_filename,
+                     const core::ModelDescription& model,
+                     const trace::ParseResult& log,
+                     std::string_view log_filename,
+                     const TraceLintOptions& options) {
+  LintReport report = lint_model_text(model_text, model_filename);
+  report.merge(lint_parse_errors(log, log_filename));
+  report.merge(lint_trace(model, log.log, options, log_filename));
+  return report;
+}
+
+}  // namespace g10::lint

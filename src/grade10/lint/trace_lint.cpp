@@ -1,0 +1,366 @@
+#include "grade10/lint/trace_lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace g10::lint {
+
+namespace {
+
+using trace::kGlobalMachine;
+using trace::MachineId;
+
+/// One phase instance reassembled from its BEGIN/END events.
+struct Instance {
+  trace::PhasePath path;
+  bool has_begin = false;
+  bool has_end = false;
+  TimeNs begin = 0;
+  TimeNs end = 0;
+  MachineId begin_machine = kGlobalMachine;
+  MachineId end_machine = kGlobalMachine;
+
+  bool complete() const { return has_begin && has_end; }
+};
+
+class TraceLinter {
+ public:
+  TraceLinter(const core::ModelDescription& model,
+              const trace::ParsedLog& log, const TraceLintOptions& options,
+              std::string_view filename)
+      : model_(model), log_(log), options_(options), file_(filename) {}
+
+  LintReport run() {
+    collect_instances();
+    check_instances();
+    check_sibling_overlap();
+    check_blocking_events();
+    check_samples();
+    return std::move(report_);
+  }
+
+ private:
+  Location at(std::string context) const {
+    return Location{file_, 0, std::move(context)};
+  }
+
+  /// Adds a finding once per (rule, context); repeat offenders of the same
+  /// kind (e.g. every instance of one unknown type) would otherwise flood
+  /// the report.
+  void add_once(std::string rule_id, Severity severity, std::string context,
+                std::string message) {
+    if (!reported_.insert(rule_id + "\x1f" + context).second) return;
+    report_.add(std::move(rule_id), severity, at(std::move(context)),
+                std::move(message));
+  }
+
+  void collect_instances() {
+    for (const trace::PhaseEventRecord& event : log_.phase_events) {
+      const std::string key = event.path.to_string();
+      auto [it, inserted] = instances_.try_emplace(key);
+      Instance& inst = it->second;
+      if (inserted) inst.path = event.path;
+      if (event.kind == trace::PhaseEventRecord::Kind::Begin) {
+        if (inst.has_begin) {
+          report_.add("trace-duplicate-begin", Severity::kError, at(key),
+                      "phase instance begins more than once");
+          continue;
+        }
+        inst.has_begin = true;
+        inst.begin = event.time;
+        inst.begin_machine = event.machine;
+      } else {
+        if (inst.has_end) {
+          report_.add("trace-duplicate-end", Severity::kError, at(key),
+                      "phase instance ends more than once");
+          continue;
+        }
+        inst.has_end = true;
+        inst.end = event.time;
+        inst.end_machine = event.machine;
+      }
+      machines_.insert(event.machine);
+    }
+  }
+
+  void check_instances() {
+    for (const auto& [key, inst] : instances_) {
+      if (inst.has_begin && !inst.has_end) {
+        report_.add("trace-unbalanced-begin", Severity::kError, at(key),
+                    "phase instance begins but never ends (truncated log?)");
+      } else if (inst.has_end && !inst.has_begin) {
+        report_.add("trace-unbalanced-end", Severity::kError, at(key),
+                    "phase instance ends without ever beginning");
+      }
+      if (inst.complete() && inst.end < inst.begin) {
+        report_.add("trace-nonmonotonic-time", Severity::kError, at(key),
+                    "phase instance ends at " + std::to_string(inst.end) +
+                        "ns, before its begin at " +
+                        std::to_string(inst.begin) + "ns");
+      }
+      if (inst.complete() && inst.begin_machine != inst.end_machine) {
+        report_.add("trace-machine-mismatch", Severity::kWarning, at(key),
+                    "BEGIN reports machine " +
+                        std::to_string(inst.begin_machine) +
+                        " but END reports machine " +
+                        std::to_string(inst.end_machine));
+      }
+      check_against_model(key, inst);
+    }
+  }
+
+  void check_against_model(const std::string& key, const Instance& inst) {
+    const auto& elements = inst.path.elements;
+    if (elements.empty()) return;
+    const std::string& leaf_type = elements.back().type;
+    const core::PhaseTypeId type_id = model_.execution.find(leaf_type);
+    if (type_id == core::kNoPhaseType) {
+      add_once("trace-unknown-phase-type", Severity::kError, leaf_type,
+               "phase type '" + leaf_type + "' is not in the model");
+      return;
+    }
+    if (elements.size() == 1) {
+      if (type_id != model_.execution.root()) {
+        add_once("trace-hierarchy-mismatch", Severity::kError, leaf_type,
+                 "phase type '" + leaf_type +
+                     "' appears at the top of a path but is not the "
+                     "model's root");
+      }
+      return;
+    }
+    const std::string& parent_type = elements[elements.size() - 2].type;
+    const core::PhaseTypeId parent_id = model_.execution.find(parent_type);
+    if (parent_id != core::kNoPhaseType &&
+        model_.execution.type(type_id).parent != parent_id) {
+      add_once("trace-hierarchy-mismatch", Severity::kError,
+               parent_type + "/" + leaf_type,
+               "the model does not declare '" + parent_type +
+                   "' as the parent of '" + leaf_type + "'");
+    }
+    const std::string parent_key = inst.path.parent().to_string();
+    const auto parent_it = instances_.find(parent_key);
+    if (parent_it == instances_.end()) {
+      add_once("trace-missing-parent", Severity::kError, key,
+               "parent instance '" + parent_key +
+                   "' never appears in the log");
+      return;
+    }
+    const Instance& parent = parent_it->second;
+    if (inst.complete() && parent.complete() &&
+        (inst.begin < parent.begin || inst.end > parent.end)) {
+      report_.add("trace-child-escapes-parent", Severity::kError, at(key),
+                  "instance runs [" + std::to_string(inst.begin) + ", " +
+                      std::to_string(inst.end) +
+                      ")ns, outside its parent's [" +
+                      std::to_string(parent.begin) + ", " +
+                      std::to_string(parent.end) + ")ns");
+    }
+  }
+
+  void check_sibling_overlap() {
+    // Instances of a REPEATED type under one parent must run sequentially
+    // (paper: supersteps); concurrent instances of non-repeated types
+    // (one worker per machine) are expected.
+    std::map<std::pair<std::string, std::string>, std::vector<const Instance*>>
+        groups;
+    for (const auto& [key, inst] : instances_) {
+      if (!inst.complete() || inst.path.elements.empty()) continue;
+      const std::string& type = inst.path.leaf().type;
+      const core::PhaseTypeId id = model_.execution.find(type);
+      if (id == core::kNoPhaseType || !model_.execution.type(id).repeated) {
+        continue;
+      }
+      groups[{inst.path.parent().to_string(), type}].push_back(&inst);
+    }
+    for (auto& [group, members] : groups) {
+      std::sort(members.begin(), members.end(),
+                [](const Instance* a, const Instance* b) {
+                  return a->begin < b->begin;
+                });
+      for (std::size_t i = 1; i < members.size(); ++i) {
+        const Instance& prev = *members[i - 1];
+        const Instance& next = *members[i];
+        if (next.begin < prev.end) {
+          report_.add(
+              "trace-overlapping-siblings", Severity::kError,
+              at(next.path.to_string()),
+              "repeated instance overlaps sibling '" +
+                  prev.path.to_string() + "' (begins at " +
+                  std::to_string(next.begin) + "ns, before its end at " +
+                  std::to_string(prev.end) + "ns)");
+        }
+      }
+    }
+  }
+
+  void check_machine(MachineId machine, const std::string& context) {
+    if (machine == kGlobalMachine || machines_.count(machine) > 0) return;
+    add_once("trace-orphan-machine", Severity::kWarning,
+             "machine " + std::to_string(machine),
+             "machine " + std::to_string(machine) +
+                 " appears in " + context +
+                 " but in no phase event");
+  }
+
+  void check_blocking_events() {
+    for (const trace::BlockingEventRecord& event : log_.blocking_events) {
+      const std::string key = event.path.to_string();
+      const core::ResourceId resource = model_.resources.find(event.resource);
+      if (resource == core::kNoResource) {
+        add_once("trace-blocking-unknown-resource", Severity::kError,
+                 event.resource,
+                 "blocking resource '" + event.resource +
+                     "' is not in the model");
+      } else if (model_.resources.resource(resource).kind ==
+                 core::ResourceKind::kConsumable) {
+        add_once("trace-blocking-consumable-resource", Severity::kWarning,
+                 event.resource,
+                 "resource '" + event.resource +
+                     "' is CONSUMABLE; blocked time is only accounted for "
+                     "blocking resources");
+      }
+      check_machine(event.machine, "a blocking event");
+      const auto it = instances_.find(key);
+      if (it == instances_.end()) {
+        add_once("trace-blocking-unknown-phase", Severity::kError, key,
+                 "blocking event names phase instance '" + key +
+                     "', which never appears in the log");
+        continue;
+      }
+      const Instance& inst = it->second;
+      if (inst.complete() &&
+          (event.begin < inst.begin || event.end > inst.end)) {
+        report_.add("trace-blocking-outside-phase", Severity::kError, at(key),
+                    "blocking interval [" + std::to_string(event.begin) +
+                        ", " + std::to_string(event.end) +
+                        ")ns escapes the phase's [" +
+                        std::to_string(inst.begin) + ", " +
+                        std::to_string(inst.end) + ")ns");
+      }
+    }
+  }
+
+  void check_samples() {
+    std::map<std::pair<std::string, MachineId>,
+             std::vector<const trace::MonitoringSampleRecord*>>
+        series;
+    for (const trace::MonitoringSampleRecord& sample : log_.samples) {
+      const std::string context =
+          sample.resource + "@" + std::to_string(sample.machine);
+      const core::ResourceId resource = model_.resources.find(sample.resource);
+      if (resource == core::kNoResource) {
+        add_once("trace-sample-unknown-resource", Severity::kError,
+                 sample.resource,
+                 "monitored resource '" + sample.resource +
+                     "' is not in the model");
+      } else if (model_.resources.resource(resource).kind ==
+                 core::ResourceKind::kBlocking) {
+        add_once("trace-sample-blocking-resource", Severity::kError,
+                 sample.resource,
+                 "resource '" + sample.resource +
+                     "' is BLOCKING and has no consumption rate to sample");
+      } else {
+        const double capacity = model_.resources.resource(resource).capacity;
+        if (sample.value > capacity * options_.capacity_slack) {
+          add_once("trace-sample-over-capacity", Severity::kWarning, context,
+                   "sample value " + format_fixed(sample.value, 3) +
+                       " exceeds the capacity " + format_fixed(capacity, 3) +
+                       " of '" + sample.resource + "' (unit mismatch?)");
+        }
+      }
+      if (sample.value < 0.0) {
+        add_once("trace-sample-negative", Severity::kError, context,
+                 "sample reports a negative rate " +
+                     format_fixed(sample.value, 3));
+      }
+      check_machine(sample.machine, "a monitoring sample");
+      series[{sample.resource, sample.machine}].push_back(&sample);
+    }
+    for (const auto& [key, samples] : series) {
+      const std::string context =
+          key.first + "@" + std::to_string(key.second);
+      for (std::size_t i = 1; i < samples.size(); ++i) {
+        if (samples[i]->time <= samples[i - 1]->time) {
+          add_once("trace-sample-nonmonotonic", Severity::kError, context,
+                   "series repeats or decreases its sample time at " +
+                       std::to_string(samples[i]->time) + "ns");
+          break;
+        }
+      }
+      check_sample_gaps(context, samples);
+    }
+  }
+
+  void check_sample_gaps(
+      const std::string& context,
+      const std::vector<const trace::MonitoringSampleRecord*>& samples) {
+    if (samples.size() < options_.min_gap_samples) return;
+    std::vector<TimeNs> periods;
+    periods.reserve(samples.size() - 1);
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      const TimeNs gap = samples[i]->time - samples[i - 1]->time;
+      if (gap <= 0) return;  // non-monotonic series, reported above
+      periods.push_back(gap);
+    }
+    std::vector<TimeNs> sorted = periods;
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    const TimeNs median = sorted[sorted.size() / 2];
+    const auto threshold = static_cast<double>(median) *
+                           options_.sample_gap_factor;
+    const TimeNs worst = *std::max_element(periods.begin(), periods.end());
+    if (static_cast<double>(worst) > threshold) {
+      add_once("trace-sample-gap", Severity::kWarning, context,
+               "series has a " + std::to_string(worst) +
+                   "ns gap against a median period of " +
+                   std::to_string(median) + "ns (dropped samples?)");
+    }
+  }
+
+  const core::ModelDescription& model_;
+  const trace::ParsedLog& log_;
+  TraceLintOptions options_;
+  std::string file_;
+  LintReport report_;
+  std::map<std::string, Instance> instances_;
+  std::set<MachineId> machines_;
+  std::set<std::string> reported_;
+};
+
+}  // namespace
+
+LintReport lint_trace(const core::ModelDescription& model,
+                      const trace::ParsedLog& log,
+                      const TraceLintOptions& options,
+                      std::string_view filename) {
+  return TraceLinter(model, log, options, filename).run();
+}
+
+LintReport lint_parse_errors(const trace::ParseResult& result,
+                             std::string_view filename) {
+  LintReport report;
+  const std::string file(filename);
+  for (const trace::ParseError& error : result.errors) {
+    report.add("trace-syntax", Severity::kError,
+               Location{file, error.line_number, error.line}, error.message);
+  }
+  if (result.errors.empty() && result.error) {
+    report.add("trace-syntax", Severity::kError,
+               Location{file, result.error->line_number, result.error->line},
+               result.error->message);
+  }
+  if (result.error_count > result.errors.size()) {
+    report.add("trace-syntax", Severity::kError, Location{file, 0, ""},
+               std::to_string(result.error_count - result.errors.size()) +
+                   " additional malformed line(s) beyond the error cap");
+  }
+  return report;
+}
+
+}  // namespace g10::lint

@@ -1,0 +1,42 @@
+// Lint rules over parsed trace records, cross-checked against a model.
+//
+// The trace builders (ExecutionTrace/ResourceTrace) enforce a few of these
+// invariants by throwing on first violation; the linter instead walks the
+// raw parsed records and reports *all* problems — unbalanced or duplicated
+// phase events, intervals that escape their parent, repeated siblings that
+// overlap, blocking events outside their phase or naming phantom resources,
+// and monitoring series that tick backwards, go negative, exceed capacity
+// or skip samples. Findings carry the phase path or resource@machine in
+// Location::context; record streams have no line numbers.
+#pragma once
+
+#include <string_view>
+
+#include "grade10/lint/lint.hpp"
+#include "grade10/model/model_io.hpp"
+#include "trace/log_io.hpp"
+
+namespace g10::lint {
+
+struct TraceLintOptions {
+  /// A sampling gap larger than `sample_gap_factor` times the series'
+  /// median period raises trace-sample-gap. Needs >= `min_gap_samples`
+  /// samples to estimate the period at all.
+  double sample_gap_factor = 2.5;
+  std::size_t min_gap_samples = 4;
+  /// Samples above capacity by more than this factor raise
+  /// trace-sample-over-capacity (small overshoot is measurement noise).
+  double capacity_slack = 1.05;
+};
+
+/// Lints parsed records against `model`. `filename` seeds finding locations.
+LintReport lint_trace(const core::ModelDescription& model,
+                      const trace::ParsedLog& log,
+                      const TraceLintOptions& options = {},
+                      std::string_view filename = "<log>");
+
+/// Maps log-parser diagnostics to trace-syntax findings (with line numbers).
+LintReport lint_parse_errors(const trace::ParseResult& result,
+                             std::string_view filename);
+
+}  // namespace g10::lint

@@ -171,6 +171,14 @@ TEST(LogIoTest, HandlesWindowsLineEndings) {
   EXPECT_EQ(result.log.phase_events.size(), 2u);
 }
 
+TEST(LogIoTest, FinalLineWithoutNewlineIsParsed) {
+  const std::string text = "PHASE\tB\tJob.0\t0\t-1\nPHASE\tE\tJob.0\t5\t-1";
+  const ParseResult result = parse_log_text(text);
+  ASSERT_TRUE(result.ok()) << result.error->message;
+  ASSERT_EQ(result.log.phase_events.size(), 2u);
+  EXPECT_EQ(result.log.phase_events[1].time, 5);
+}
+
 // ---------------------------------------------------------------------------
 // Chunked concurrent parsing. min_chunk_bytes is lowered to force tiny logs
 // into many chunks; results must match the serial parse exactly.
@@ -254,6 +262,82 @@ TEST(LogIoTest, ChunkedStrictParseStopsAtTheSameFirstError) {
   // Records kept before the stop are the same prefix at any thread count.
   EXPECT_EQ(serialize(chunked.log), serialize(serial.log));
   EXPECT_EQ(chunked.error_count, serial.error_count);
+}
+
+/// Rewrites every "\n" as "\r\n" (CRLF logs from Windows-side tooling).
+std::string with_crlf(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() * 2);
+  for (const char c : text) {
+    if (c == '\n') out.push_back('\r');
+    out.push_back(c);
+  }
+  return out;
+}
+
+TEST(LogIoTest, CrlfChunkedParseMatchesSerialExactly) {
+  const std::string text = with_crlf(make_log(400, {40, 251}));
+  ParseOptions serial_options;
+  serial_options.recover = true;
+  serial_options.threads = 1;
+  const ParseResult serial = parse_log_text(text, serial_options);
+
+  ParseOptions chunked_options = serial_options;
+  chunked_options.threads = 4;
+  chunked_options.min_chunk_bytes = 64;
+  const ParseResult chunked = parse_log_text(text, chunked_options);
+
+  EXPECT_EQ(serialize(chunked.log), serialize(serial.log));
+  EXPECT_EQ(chunked.error_count, serial.error_count);
+  ASSERT_EQ(chunked.errors.size(), serial.errors.size());
+  for (std::size_t i = 0; i < serial.errors.size(); ++i) {
+    EXPECT_EQ(chunked.errors[i].line_number, serial.errors[i].line_number);
+    EXPECT_EQ(chunked.errors[i].line, serial.errors[i].line);
+  }
+  // CRLF changes bytes, not records: the LF parse yields the same records.
+  const ParseResult lf = parse_log_text(make_log(400, {40, 251}),
+                                        serial_options);
+  EXPECT_EQ(serialize(serial.log), serialize(lf.log));
+}
+
+TEST(LogIoTest, MissingFinalNewlineChunkedParseMatchesSerial) {
+  std::string text = make_log(300, {});
+  ASSERT_EQ(text.back(), '\n');
+  text.pop_back();  // crashed writer: last line has no terminator
+
+  const ParseResult serial = parse_log_text(text, {.threads = 1});
+  const ParseResult chunked = parse_log_text(
+      text, {.threads = 8, .min_chunk_bytes = 64});
+  ASSERT_TRUE(serial.ok()) << serial.error->message;
+  ASSERT_TRUE(chunked.ok()) << chunked.error->message;
+  EXPECT_EQ(serialize(chunked.log), serialize(serial.log));
+
+  // The unterminated record is present, not dropped.
+  const ParseResult terminated = parse_log_text(make_log(300, {}),
+                                                {.threads = 1});
+  EXPECT_EQ(serialize(serial.log), serialize(terminated.log));
+}
+
+TEST(LogIoTest, CrlfWithTruncatedFinalLineMatchesSerial) {
+  // Both quirks at once: CRLF line endings and a half-written final line.
+  std::string text = with_crlf(make_log(200, {}));
+  text += "PHASE\tE\tJo";  // no terminator
+  ParseOptions serial_options;
+  serial_options.recover = true;
+  serial_options.threads = 1;
+  const ParseResult serial = parse_log_text(text, serial_options);
+
+  ParseOptions chunked_options = serial_options;
+  chunked_options.threads = 4;
+  chunked_options.min_chunk_bytes = 64;
+  const ParseResult chunked = parse_log_text(text, chunked_options);
+
+  EXPECT_EQ(serialize(chunked.log), serialize(serial.log));
+  EXPECT_EQ(chunked.error_count, serial.error_count);
+  ASSERT_EQ(serial.errors.size(), 1u);
+  ASSERT_EQ(chunked.errors.size(), 1u);
+  EXPECT_EQ(chunked.errors[0].line_number, serial.errors[0].line_number);
+  EXPECT_EQ(chunked.errors[0].line_number, 201u);
 }
 
 TEST(LogIoTest, ChunkedParseOfCleanLogMatchesSerial) {

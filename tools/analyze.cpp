@@ -2,11 +2,16 @@
 //
 //   g10_analyze --model <model.g10> --log <run.log>
 //               [--timeslice-ms MS] [--min-impact PCT]
-//               [--threads N] [--lenient | --strict]
+//               [--threads N] [--lenient | --strict] [--no-preflight]
 //
 // Parses the declarative model file and the run's log (phase events,
 // blocking events, monitoring samples), executes the full characterization
 // pipeline, and prints the profile, bottleneck, and issue reports.
+//
+// Before characterizing, the inputs are linted (the same checks g10_lint
+// runs): in strict mode lint errors abort the analysis; with --lenient
+// they are printed and the analysis continues; --no-preflight skips the
+// lint pass entirely.
 //
 // --strict (the default) refuses damaged input: malformed log lines and
 // structural trace defects (e.g. a crashed worker's BEGIN-without-END) are
@@ -20,9 +25,12 @@
 #include <fstream>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "common/strings.hpp"
+#include "grade10/lint/model_lint.hpp"
+#include "grade10/lint/trace_lint.hpp"
 #include "grade10/model/model_io.hpp"
 #include "grade10/pipeline.hpp"
 #include "grade10/report/diagnostics.hpp"
@@ -42,13 +50,14 @@ struct Args {
   double min_impact = 0.01;
   int threads = 0;  ///< 0 = auto (G10_THREADS, else hardware)
   bool lenient = false;
+  bool preflight = true;
 };
 
 int usage() {
   std::cerr << "usage: g10_analyze --model <model.g10> --log <run.log>\n"
                "                   [--timeslice-ms MS] [--min-impact FRAC]\n"
                "                   [--chrome-trace <out.json>] [--threads N]\n"
-               "                   [--lenient | --strict]\n";
+               "                   [--lenient | --strict] [--no-preflight]\n";
   return 2;
 }
 
@@ -62,6 +71,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
     }
     if (arg == "--strict") {
       args.lenient = false;
+      continue;
+    }
+    if (arg == "--no-preflight") {
+      args.preflight = false;
       continue;
     }
     if (i + 1 >= argc) return std::nullopt;
@@ -88,12 +101,16 @@ std::optional<Args> parse_args(int argc, char** argv) {
 }
 
 int run(const Args& args) {
-  std::ifstream model_file(args.model_path);
+  std::ifstream model_file(args.model_path, std::ios::binary);
   if (!model_file) {
     std::cerr << "cannot open model file: " << args.model_path << '\n';
     return 1;
   }
-  core::ModelParseResult model = core::parse_model(model_file);
+  std::ostringstream model_buffer;
+  model_buffer << model_file.rdbuf();
+  const std::string model_text = std::move(model_buffer).str();
+  std::istringstream model_stream(model_text);
+  core::ModelParseResult model = core::parse_model(model_stream);
   if (!model.ok()) {
     std::cerr << args.model_path << ':' << model.error->line_number << ": "
               << model.error->message << '\n';
@@ -130,6 +147,30 @@ int run(const Args& args) {
   std::cout << "parsed " << log.log.phase_events.size() << " phase events, "
             << log.log.blocking_events.size() << " blocking events, "
             << log.log.samples.size() << " monitoring samples\n\n";
+
+  // Pre-flight lint: the same static checks g10_lint runs. Malformed log
+  // lines are already reported above, so only the model and record-level
+  // trace rules run here.
+  if (args.preflight) {
+    lint::LintReport preflight =
+        lint::lint_model_text(model_text, args.model_path);
+    preflight.merge(
+        lint::lint_trace(model.model, log.log, {}, args.log_path));
+    if (!preflight.clean()) {
+      std::cerr << "preflight lint:\n";
+      lint::render_text(std::cerr, preflight);
+    }
+    if (!preflight.ok()) {
+      if (!args.lenient) {
+        std::cerr << "preflight failed; fix the input, or re-run with "
+                     "--lenient to analyze anyway (--no-preflight skips "
+                     "the check)\n";
+        return 1;
+      }
+      std::cout << "lenient: continuing past " << preflight.error_count()
+                << " preflight error(s)\n\n";
+    }
+  }
 
   core::CharacterizationInput input;
   input.model = &model.model.execution;

@@ -1,0 +1,152 @@
+// g10_lint — static validation of Grade10 inputs, without running the
+// characterization pipeline:
+//
+//   g10_lint --model <model.g10> [--log <run.log>]
+//            [--json] [--werror] [--threads N]
+//   g10_lint --rules
+//
+// Checks the declarative model file (phase tree shape, sibling order
+// cycles, attribution rules) and, when --log is given, the dumped run
+// against that model (unbalanced/overlapping phases, blocking events
+// outside their phase, monitoring series defects). Findings are printed
+// one per line, or as JSON with --json; --rules lists every rule id.
+//
+// Exit codes: 0 = clean or warnings only, 1 = errors (or any finding with
+// --werror), 2 = usage or I/O failure.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "common/strings.hpp"
+#include "grade10/lint/model_lint.hpp"
+#include "grade10/lint/preflight.hpp"
+#include "grade10/model/model_io.hpp"
+#include "trace/log_io.hpp"
+
+namespace g10 {
+namespace {
+
+struct Args {
+  std::string model_path;
+  std::string log_path;
+  bool json = false;
+  bool werror = false;
+  bool list_rules = false;
+  int threads = 0;
+};
+
+int usage() {
+  std::cerr << "usage: g10_lint --model <model.g10> [--log <run.log>]\n"
+               "                [--json] [--werror] [--threads N]\n"
+               "       g10_lint --rules\n";
+  return 2;
+}
+
+std::optional<Args> parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json") {
+      args.json = true;
+      continue;
+    }
+    if (arg == "--werror") {
+      args.werror = true;
+      continue;
+    }
+    if (arg == "--rules") {
+      args.list_rules = true;
+      continue;
+    }
+    if (i + 1 >= argc) return std::nullopt;
+    const std::string value = argv[++i];
+    if (arg == "--model") {
+      args.model_path = value;
+    } else if (arg == "--log") {
+      args.log_path = value;
+    } else if (arg == "--threads") {
+      args.threads = static_cast<int>(parse_int(value).value_or(0));
+      if (args.threads < 0) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!args.list_rules && args.model_path.empty()) return std::nullopt;
+  return args;
+}
+
+int list_rules() {
+  for (const lint::RuleInfo& rule : lint::rule_catalog()) {
+    std::cout << rule.id << " (" << lint::to_string(rule.severity) << "): "
+              << rule.summary << '\n';
+  }
+  return 0;
+}
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return std::move(buffer).str();
+}
+
+int run(const Args& args) {
+  const auto model_text = slurp(args.model_path);
+  if (!model_text) {
+    std::cerr << "cannot open model file: " << args.model_path << '\n';
+    return 2;
+  }
+
+  lint::LintReport report;
+  if (args.log_path.empty()) {
+    report = lint::preflight_model(*model_text, args.model_path);
+  } else {
+    // Trace rules cross-check against the parsed model, so the model must
+    // at least parse; its lint findings explain why when it does not.
+    std::istringstream model_stream(*model_text);
+    core::ModelParseResult model = core::parse_model(model_stream);
+    if (!model.ok()) {
+      report = lint::preflight_model(*model_text, args.model_path);
+      std::cerr << "model does not parse; skipping trace lint\n";
+    } else {
+      trace::ParseOptions options;
+      options.recover = true;
+      options.threads = args.threads;
+      const trace::ParseResult log =
+          trace::read_log_file(args.log_path, options);
+      if (log.error && log.error->line_number == 0) {
+        std::cerr << log.error->message << '\n';
+        return 2;
+      }
+      report = lint::preflight(*model_text, args.model_path, model.model, log,
+                               args.log_path);
+    }
+  }
+
+  if (args.json) {
+    lint::render_json(std::cout, report);
+  } else {
+    lint::render_text(std::cout, report);
+  }
+  if (report.error_count() > 0) return 1;
+  if (args.werror && !report.clean()) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace g10
+
+int main(int argc, char** argv) {
+  const auto args = g10::parse_args(argc, argv);
+  if (!args) return g10::usage();
+  if (args->list_rules) return g10::list_rules();
+  try {
+    return g10::run(*args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
