@@ -1,0 +1,36 @@
+// Fault-tolerance configuration shared by both simulated engines.
+//
+// Both the Pregel and the GAS engine recover from injected worker crashes
+// the same way — periodic snapshots, heartbeat failure detection, restart
+// from the last complete checkpoint — and both carry remote traffic over a
+// sim::ReliableChannel. These knobs parameterize that machinery; engine
+// headers embed them in their config structs.
+#pragma once
+
+namespace g10::engine {
+
+/// Checkpoint/restart fault tolerance. Checkpointing is armed only when the
+/// fault spec contains a crash event, so fault-free runs stay byte-identical
+/// to runs produced before this feature existed.
+struct CheckpointConfig {
+  int interval_steps = 1;               ///< checkpoint every k supersteps
+                                        ///< (Pregel) / iterations (GAS)
+  double base_seconds = 0.010;          ///< fixed per-checkpoint barrier cost
+  double work_per_vertex = 30.0;        ///< serialization work per vertex
+  double restart_seconds = 0.25;        ///< master detects + reschedules
+  double reload_work_per_vertex = 60.0; ///< deserialize state during recovery
+};
+
+/// Retransmission policy of the reliable channel carrying remote sends: a
+/// lost message blocks the sender ("Retry" blocking event) for an
+/// exponentially growing, deterministically jittered timeout before the
+/// attempt is repeated. Partitioned links are ridden out past the budget;
+/// plain loss is forced through once the budget ends.
+struct RetryConfig {
+  double timeout_seconds = 0.02;  ///< first retransmit timeout
+  double backoff = 2.0;           ///< timeout multiplier per failed attempt
+  double jitter = 0.25;           ///< deterministic timeout jitter fraction
+  int max_attempts = 4;           ///< transmissions before the budget ends
+};
+
+}  // namespace g10::engine

@@ -10,7 +10,9 @@
 #include "common/rng.hpp"
 #include "engine/phase_logger.hpp"
 #include "graph/partition.hpp"
+#include "sim/failure_detector.hpp"
 #include "sim/fluid_queue.hpp"
+#include "sim/reliable_channel.hpp"
 #include "sim/simulation.hpp"
 #include "sim/usage_recorder.hpp"
 
@@ -67,11 +69,8 @@ class GasRun {
     G10_CHECK(g_.vertex_count() > 0);
     G10_CHECK_MSG(threads_ <= cfg_.cluster.machine.cores,
                   "threads per worker must not exceed cores");
-    // The GAS engine has no checkpoint/restart or retry machinery (yet):
-    // only slowdown and sampler-dropout faults are meaningful here.
-    G10_CHECK_MSG(!faults_.has_kind(sim::FaultKind::kCrash) &&
-                      !faults_.has_kind(sim::FaultKind::kNicDegrade),
-                  "gas engine supports only slow/drop fault kinds");
+    G10_CHECK_MSG(cfg_.checkpoint.interval_steps > 0,
+                  "checkpoint interval must be positive");
   }
 
   trace::RunArtifacts execute();
@@ -98,7 +97,22 @@ class GasRun {
     std::vector<TimeNs> worker_end;
     int workers_left = 0;
     std::function<void(TimeNs)> on_done;
+    // Crash-teardown bookkeeping: what is still open / charged to the CPU.
+    bool active = false;
+    std::vector<double> running;  ///< in-flight CPU intensity per thread slot
+    std::vector<char> thread_open;
+    std::vector<char> worker_open;
   };
+
+  /// Schedules `fn` at `t`, cancelled implicitly when a crash bumps the
+  /// epoch: every event belonging to the aborted execution attempt carries
+  /// the epoch it was scheduled in and becomes a no-op once stale.
+  template <typename Fn>
+  void schedule_epoch(TimeNs t, Fn fn) {
+    sim_.schedule_at(t, [this, e = epoch_, fn = std::move(fn)]() mutable {
+      if (e == epoch_) fn();
+    });
+  }
 
   double speed() const { return cfg_.cluster.machine.core_work_per_sec; }
   DurationNs ns_for_work(double work) const {
@@ -127,14 +141,32 @@ class GasRun {
   void step_thread_continue(int w, int th);
   void step_worker_finished(int w, TimeNs t);
   void run_exchange(TimeNs t, std::function<void(TimeNs)> on_done);
+  void finalize_exchange_worker(int w, TimeNs begin, TimeNs send_done);
   void finish_iteration(TimeNs t);
   void finish_execute(TimeNs t);
 
+  // ---- fault tolerance ----------------------------------------------------
+  void save_checkpoint_state();
+  void restore_checkpoint_state();
+  TimeNs write_checkpoint(TimeNs t);
+  void complete_checkpoint();
+  void abort_checkpoint(int victim, TimeNs now);
+  void schedule_next_crash(TimeNs floor);
+  void schedule_nic_changes();
+  void fire_crash();
+  void detect_and_recover();
+  void teardown_worker(int w, TimeNs now, bool truncate);
+  void close_or_abandon(const PhasePath& path, bool truncate, TimeNs now,
+                        trace::MachineId machine);
+
   PhasePath iteration_path() const {
+    // Paths use the monotonic instance counter, not the logical iteration:
+    // after a crash the re-executed iteration gets a fresh index, keeping
+    // every path in the log unique. The two counters coincide fault-free.
     return PhasePath{}
         .child("Job", 0)
         .child("Execute", 0)
-        .child("Iteration", iteration_);
+        .child("Iteration", iteration_instance_);
   }
 
   GasConfig cfg_;
@@ -165,8 +197,47 @@ class GasRun {
 
   StepRuntime step_;
   int iteration_ = 0;
+  int iteration_instance_ = 0;  ///< monotonic Iteration path index
   bool execute_finished_ = false;
   TimeNs makespan_ = 0;
+
+  // ---- fault tolerance state ----
+  std::uint64_t epoch_ = 0;
+  bool checkpointing_ = false;  ///< armed only when the spec has a crash
+  sim::FailureDetector detector_;
+  sim::ReliableChannel channel_;
+  std::vector<char> dead_;
+  bool any_dead_ = false;
+  int crash_victim_ = -1;
+  TimeNs crash_time_ = 0;
+  std::vector<double> worker_edges_;  ///< edge-partition sizes (re-ingestion)
+  /// Latest END logged ahead of simulated time within the current iteration
+  /// (step barriers, drained exchange ends): the abort close of the
+  /// Iteration must cover every such child END.
+  TimeNs logged_end_floor_ = 0;
+
+  struct Snapshot {
+    int iteration = 0;
+    std::vector<double> value;
+    std::vector<char> active;
+  };
+  Snapshot snapshot_;
+  bool checkpoint_active_ = false;
+  int checkpoint_seq_ = 0;
+  int recovery_seq_ = 0;
+  PhasePath checkpoint_path_;
+  std::vector<TimeNs> checkpoint_wend_;
+
+  // ---- event-driven exchange (non-trivial channel only) ----
+  PhasePath exchange_path_;
+  bool exchange_active_ = false;
+  int exchange_left_ = 0;
+  TimeNs exchange_latest_ = 0;
+  std::vector<char> exchange_open_;
+  std::function<void(TimeNs)> exchange_on_done_;
+  /// Per-(src,dst) exchange bytes; filled only when sends travel through
+  /// the reliable channel (otherwise the aggregate per-src totals suffice).
+  std::vector<std::vector<double>> exchange_by_dst_;
 };
 
 std::vector<DurationNs> GasRun::make_chunks(double total_work,
@@ -188,7 +259,11 @@ void GasRun::noise_tick(int w) {
   state.noise_level = std::clamp(
       state.noise_level + rng_.next_normal(0.0, cfg_.noise.sigma), 0.0,
       cfg_.noise.max_cores);
-  state.noise.set(sim_.now(), state.noise_level);
+  // The walk keeps drawing while a machine is down (RNG stream stability),
+  // but a dead machine reports no background CPU.
+  state.noise.set(sim_.now(),
+                  dead_[static_cast<std::size_t>(w)] != 0 ? 0.0
+                                                          : state.noise_level);
   sim_.schedule_after(cfg_.noise.interval, [this, w] { noise_tick(w); });
 }
 
@@ -246,11 +321,13 @@ void GasRun::load_graph() {
   log_.begin(job, 0, trace::kGlobalMachine);
   log_.begin(load, 0, trace::kGlobalMachine);
   const auto per_worker_edges = cut_.edge_counts();
+  worker_edges_.assign(static_cast<std::size_t>(workers_), 0.0);
   TimeNs load_end = 0;
   for (int w = 0; w < workers_; ++w) {
     auto& state = ws_[static_cast<std::size_t>(w)];
     const auto edges =
         static_cast<double>(per_worker_edges[static_cast<std::size_t>(w)]);
+    worker_edges_[static_cast<std::size_t>(w)] = edges;
     const double cores = static_cast<double>(cfg_.cluster.machine.cores);
     const DurationNs duration = ns_for_work(
         edges * cfg_.costs.work_per_load_edge / cores * jitter(0.05) /
@@ -271,7 +348,10 @@ void GasRun::load_graph() {
       sim_.schedule_at(0, [this, w] { noise_tick(w); });
     }
   }
-  sim_.schedule_at(load_end, [this] { start_iteration(sim_.now()); });
+  schedule_epoch(load_end, [this] { start_iteration(sim_.now()); });
+  if (checkpointing_) save_checkpoint_state();
+  schedule_next_crash(load_end);
+  schedule_nic_changes();
 }
 
 void GasRun::compute_iteration_effects() {
@@ -331,6 +411,14 @@ void GasRun::compute_iteration_effects() {
   scatter_work_.assign(static_cast<std::size_t>(workers_), 0.0);
   exchange_bytes_.assign(static_cast<std::size_t>(workers_), 0.0);
   exchange_values_.assign(static_cast<std::size_t>(workers_), 0.0);
+  // Per-destination breakdown is needed only when exchange traffic travels
+  // through the reliable channel (any fault events present).
+  const bool track_dst = !channel_.trivial();
+  if (track_dst) {
+    exchange_by_dst_.assign(
+        static_cast<std::size_t>(workers_),
+        std::vector<double>(static_cast<std::size_t>(workers_), 0.0));
+  }
 
   const bool gather_in = prog_.gather_edges() != GatherEdges::kOut;
   const bool gather_out = prog_.gather_edges() != GatherEdges::kIn;
@@ -358,6 +446,9 @@ void GasRun::compute_iteration_effects() {
         if (r != cut_.master[v]) {
           exchange_bytes_[r] += cfg_.costs.bytes_per_value;
           exchange_values_[r] += 1.0;
+          if (track_dst) {
+            exchange_by_dst_[r][cut_.master[v]] += cfg_.costs.bytes_per_value;
+          }
         }
       }
     }
@@ -367,11 +458,20 @@ void GasRun::compute_iteration_effects() {
           static_cast<double>(cut_.replicas[v].size()) - 1.0;
       exchange_bytes_[cut_.master[v]] += mirrors * cfg_.costs.bytes_per_value;
       exchange_values_[cut_.master[v]] += mirrors;
+      if (track_dst) {
+        for (const auto r : cut_.replicas[v]) {
+          if (r != cut_.master[v]) {
+            exchange_by_dst_[cut_.master[v]][r] += cfg_.costs.bytes_per_value;
+          }
+        }
+      }
     }
   }
 }
 
 void GasRun::start_iteration(TimeNs t) {
+  if (any_dead_) return;  // recovery owns the timeline until it completes
+  logged_end_floor_ = 0;
   bool any_active = false;
   for (char a : active_) {
     if (a) {
@@ -419,6 +519,10 @@ void GasRun::run_compute_step(TimeNs t, const char* step_type,
   step_.worker_begin.assign(static_cast<std::size_t>(workers_), t);
   step_.worker_end.assign(static_cast<std::size_t>(workers_), t);
   step_.bug_extra.assign(static_cast<std::size_t>(workers_), 0.0);
+  step_.active = true;
+  step_.running.assign(static_cast<std::size_t>(workers_ * threads_), 0.0);
+  step_.thread_open.assign(static_cast<std::size_t>(workers_ * threads_), 1);
+  step_.worker_open.assign(static_cast<std::size_t>(workers_), 1);
 
   log_.begin(step_.step_path, t, trace::kGlobalMachine);
   const double chunk_work = static_cast<double>(cfg_.chunk_edges) *
@@ -435,13 +539,15 @@ void GasRun::run_compute_step(TimeNs t, const char* step_type,
       log_.begin(
           step_.step_path.child(step_.worker_type, w).child(thread_type, th),
           t, w);
-      sim_.schedule_at(t, [this, w, th] { step_thread_continue(w, th); });
+      schedule_epoch(t, [this, w, th] { step_thread_continue(w, th); });
     }
   }
 }
 
 void GasRun::step_thread_continue(int w, int th) {
+  if (dead_[static_cast<std::size_t>(w)] != 0) return;
   const TimeNs now = sim_.now();
+  const auto slot = static_cast<std::size_t>(w * threads_ + th);
   auto& chunks = step_.chunks[static_cast<std::size_t>(w)];
   auto& cursor = step_.next_chunk[static_cast<std::size_t>(w)];
   auto& state = ws_[static_cast<std::size_t>(w)];
@@ -454,8 +560,11 @@ void GasRun::step_thread_continue(int w, int th) {
                                    intensity /
                                    faults_.speed_factor(w, now)));
     state.cpu->add(now, intensity);
-    sim_.schedule_after(duration, [this, w, th, intensity] {
+    step_.running[slot] = intensity;
+    schedule_epoch(now + duration, [this, w, th, slot, intensity] {
+      if (dead_[static_cast<std::size_t>(w)] != 0) return;
       ws_[static_cast<std::size_t>(w)].cpu->add(sim_.now(), -intensity);
+      step_.running[slot] = 0.0;
       step_thread_continue(w, th);
     });
     return;
@@ -474,26 +583,33 @@ void GasRun::step_thread_continue(int w, int th) {
                   now - step_.worker_begin[static_cast<std::size_t>(w)]));
     if (extra > 0) {
       state.cpu->add(now, 1.0);
-      sim_.schedule_after(extra, [this, w, th] {
+      step_.running[slot] = 1.0;
+      schedule_epoch(now + extra, [this, w, th, slot] {
+        if (dead_[static_cast<std::size_t>(w)] != 0) return;
         ws_[static_cast<std::size_t>(w)].cpu->add(sim_.now(), -1.0);
+        step_.running[slot] = 0.0;
         step_thread_continue(w, th);
       });
       return;
     }
   }
   log_.end(thread_path, now, w);
+  step_.thread_open[slot] = 0;
   if (--left == 0) step_worker_finished(w, now);
 }
 
 void GasRun::step_worker_finished(int w, TimeNs t) {
   log_.end(step_.step_path.child(step_.worker_type, w), t, w);
+  step_.worker_open[static_cast<std::size_t>(w)] = 0;
   step_.worker_end[static_cast<std::size_t>(w)] = t;
   if (--step_.workers_left == 0) {
     TimeNs barrier = 0;
     for (const TimeNs end : step_.worker_end) barrier = std::max(barrier, end);
     barrier += ns_from_seconds(cfg_.costs.step_barrier_seconds);
     log_.end(step_.step_path, barrier, trace::kGlobalMachine);
-    sim_.schedule_at(barrier, [this, cb = std::move(step_.on_done)]() mutable {
+    step_.active = false;
+    logged_end_floor_ = std::max(logged_end_floor_, barrier);
+    schedule_epoch(barrier, [this, cb = std::move(step_.on_done)]() mutable {
       cb(sim_.now());
     });
   }
@@ -502,27 +618,102 @@ void GasRun::step_worker_finished(int w, TimeNs t) {
 void GasRun::run_exchange(TimeNs t, std::function<void(TimeNs)> on_done) {
   const PhasePath step = iteration_path().child("ExchangeStep", 0);
   log_.begin(step, t, trace::kGlobalMachine);
-  TimeNs latest = t;
+  if (channel_.trivial()) {
+    // Fault-free fast path: the whole exchange resolves synchronously and
+    // stays byte-identical to runs produced before the reliable channel
+    // existed.
+    TimeNs latest = t;
+    for (int w = 0; w < workers_; ++w) {
+      auto& state = ws_[static_cast<std::size_t>(w)];
+      const auto bytes = exchange_bytes_[static_cast<std::size_t>(w)];
+      const auto values = exchange_values_[static_cast<std::size_t>(w)];
+      const DurationNs serialize = ns_for_work(
+          values * cfg_.costs.work_per_exchange_value * jitter(0.05));
+      state.cpu->add(t, 1.0);
+      state.cpu->add(t + serialize, -1.0);
+      state.nic->enqueue(t, bytes);
+      const TimeNs end =
+          std::max(t + serialize, state.nic->time_empty(t + serialize));
+      const PhasePath worker = step.child("WorkerExchange", w);
+      log_.begin(worker, t, w);
+      log_.end(worker, end, w);
+      latest = std::max(latest, end);
+    }
+    latest += ns_from_seconds(cfg_.costs.step_barrier_seconds);
+    log_.end(step, latest, trace::kGlobalMachine);
+    sim_.schedule_at(
+        latest, [cb = std::move(on_done), this]() mutable { cb(sim_.now()); });
+    return;
+  }
+
+  // Under fault injection every (src, dst) transfer is planned through the
+  // reliable channel: each attempt costs bytes on the sender's NIC, and the
+  // retransmit backoff the sender blocks through surfaces as a "Retry"
+  // blocking event once the wait completes. The step becomes event-driven;
+  // each worker finalizes independently and the last one closes the step.
+  exchange_path_ = step;
+  exchange_active_ = true;
+  exchange_left_ = workers_;
+  exchange_latest_ = t;
+  exchange_open_.assign(static_cast<std::size_t>(workers_), 1);
+  exchange_on_done_ = std::move(on_done);
   for (int w = 0; w < workers_; ++w) {
     auto& state = ws_[static_cast<std::size_t>(w)];
-    const auto bytes = exchange_bytes_[static_cast<std::size_t>(w)];
     const auto values = exchange_values_[static_cast<std::size_t>(w)];
     const DurationNs serialize = ns_for_work(
         values * cfg_.costs.work_per_exchange_value * jitter(0.05));
     state.cpu->add(t, 1.0);
     state.cpu->add(t + serialize, -1.0);
-    state.nic->enqueue(t, bytes);
-    const TimeNs end =
-        std::max(t + serialize, state.nic->time_empty(t + serialize));
-    const PhasePath worker = step.child("WorkerExchange", w);
-    log_.begin(worker, t, w);
-    log_.end(worker, end, w);
-    latest = std::max(latest, end);
+    log_.begin(step.child("WorkerExchange", w), t, w);
+    TimeNs send_done = t;
+    for (int dst = 0; dst < workers_; ++dst) {
+      const double bytes = exchange_by_dst_[static_cast<std::size_t>(w)]
+                                           [static_cast<std::size_t>(dst)];
+      if (bytes <= 0.0) continue;
+      const auto plan = channel_.plan_send(w, dst, t);
+      for (const auto& attempt : plan.attempts) {
+        if (attempt.at <= t) {
+          state.nic->enqueue(t, bytes);
+        } else {
+          schedule_epoch(attempt.at, [this, w, bytes] {
+            if (dead_[static_cast<std::size_t>(w)] != 0) return;
+            ws_[static_cast<std::size_t>(w)].nic->enqueue(sim_.now(), bytes);
+          });
+        }
+      }
+      send_done = std::max(send_done, plan.complete);
+    }
+    const TimeNs finalize_at = std::max(send_done, t + serialize);
+    schedule_epoch(finalize_at, [this, w, t, send_done] {
+      finalize_exchange_worker(w, t, send_done);
+    });
   }
-  latest += ns_from_seconds(cfg_.costs.step_barrier_seconds);
-  log_.end(step, latest, trace::kGlobalMachine);
-  sim_.schedule_at(latest,
-                   [cb = std::move(on_done), this]() mutable { cb(sim_.now()); });
+}
+
+void GasRun::finalize_exchange_worker(int w, TimeNs begin, TimeNs send_done) {
+  if (dead_[static_cast<std::size_t>(w)] != 0) return;
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  const TimeNs now = sim_.now();
+  const TimeNs end = std::max(now, state.nic->time_empty(now));
+  const PhasePath worker = exchange_path_.child("WorkerExchange", w);
+  if (send_done > begin) {
+    log_.block(gas_names::kRetry, worker, begin, send_done, w);
+  }
+  log_.end(worker, end, w);
+  exchange_open_[static_cast<std::size_t>(w)] = 0;
+  logged_end_floor_ = std::max(logged_end_floor_, end);
+  exchange_latest_ = std::max(exchange_latest_, end);
+  if (--exchange_left_ == 0) {
+    exchange_active_ = false;
+    const TimeNs latest =
+        exchange_latest_ + ns_from_seconds(cfg_.costs.step_barrier_seconds);
+    log_.end(exchange_path_, latest, trace::kGlobalMachine);
+    logged_end_floor_ = std::max(logged_end_floor_, latest);
+    schedule_epoch(latest,
+                   [this, cb = std::move(exchange_on_done_)]() mutable {
+                     cb(sim_.now());
+                   });
+  }
 }
 
 void GasRun::finish_iteration(TimeNs t) {
@@ -530,6 +721,18 @@ void GasRun::finish_iteration(TimeNs t) {
   value_ = new_value_;
   active_.swap(next_active_);
   ++iteration_;
+  ++iteration_instance_;
+  if (checkpointing_ && iteration_ % cfg_.checkpoint.interval_steps == 0) {
+    const TimeNs cp_end = write_checkpoint(t);
+    schedule_epoch(cp_end, [this] {
+      // A crash inside the window aborts the write (detect_and_recover);
+      // the snapshot falls back to the previous complete one.
+      if (any_dead_) return;
+      complete_checkpoint();
+      start_iteration(sim_.now());
+    });
+    return;
+  }
   start_iteration(t);
 }
 
@@ -560,10 +763,262 @@ void GasRun::finish_execute(TimeNs t) {
   execute_finished_ = true;
 }
 
+void GasRun::save_checkpoint_state() {
+  snapshot_.iteration = iteration_;
+  snapshot_.value = value_;
+  snapshot_.active = active_;
+}
+
+void GasRun::restore_checkpoint_state() {
+  iteration_ = snapshot_.iteration;
+  value_ = snapshot_.value;
+  active_ = snapshot_.active;
+  // new_value_ / next_active_ / changed_ are recomputed wholesale by
+  // compute_iteration_effects when the iteration re-executes.
+}
+
+TimeNs GasRun::write_checkpoint(TimeNs t) {
+  // Open the checkpoint phases now; closure is deferred until the write
+  // completes (complete_checkpoint), so a crash landing inside the window
+  // truncates them — the log shows an interrupted checkpoint, and the
+  // snapshot falls back to the previous complete one.
+  const PhasePath exec = PhasePath{}.child("Job", 0).child("Execute", 0);
+  checkpoint_path_ = exec.child("Checkpoint", checkpoint_seq_++);
+  log_.begin(checkpoint_path_, t, trace::kGlobalMachine);
+  checkpoint_wend_.assign(static_cast<std::size_t>(workers_), t);
+  TimeNs cp_end = t;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const DurationNs duration =
+        ns_from_seconds(cfg_.checkpoint.base_seconds) +
+        ns_for_work(static_cast<double>(state.masters.size()) *
+                    cfg_.checkpoint.work_per_vertex);
+    const TimeNs wend = t + duration;
+    checkpoint_wend_[static_cast<std::size_t>(w)] = wend;
+    log_.begin(checkpoint_path_.child("CheckpointWorker", w), t, w);
+    // Serialization is single-threaded per worker.
+    state.cpu->add(t, 1.0);
+    cp_end = std::max(cp_end, wend);
+  }
+  checkpoint_active_ = true;
+  return cp_end;
+}
+
+void GasRun::complete_checkpoint() {
+  TimeNs cp_end = 0;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const TimeNs wend = checkpoint_wend_[static_cast<std::size_t>(w)];
+    log_.end(checkpoint_path_.child("CheckpointWorker", w), wend, w);
+    state.cpu->add(wend, -1.0);
+    cp_end = std::max(cp_end, wend);
+  }
+  log_.end(checkpoint_path_, cp_end, trace::kGlobalMachine);
+  checkpoint_active_ = false;
+  save_checkpoint_state();
+}
+
+void GasRun::abort_checkpoint(int victim, TimeNs now) {
+  // Survivors stop writing when the failure is detected (`now`); the victim
+  // stopped at the crash instant itself.
+  const bool truncated = cfg_.crash_log == CrashLogStyle::kTruncated;
+  TimeNs cp_close = 0;
+  for (int w = 0; w < workers_; ++w) {
+    auto& state = ws_[static_cast<std::size_t>(w)];
+    const PhasePath worker_cp = checkpoint_path_.child("CheckpointWorker", w);
+    const TimeNs wend = checkpoint_wend_[static_cast<std::size_t>(w)];
+    const TimeNs stop =
+        w == victim ? std::min(crash_time_, wend) : std::min(now, wend);
+    if (w == victim && truncated) {
+      log_.abandon(worker_cp);
+    } else {
+      log_.end(worker_cp, stop, w);
+      cp_close = std::max(cp_close, stop);
+    }
+    state.cpu->add(stop, -1.0);
+  }
+  if (truncated) {
+    log_.abandon(checkpoint_path_);
+  } else {
+    log_.end(checkpoint_path_, cp_close, trace::kGlobalMachine);
+  }
+  checkpoint_active_ = false;
+  // The snapshot was not saved: recovery falls back to the previous one.
+}
+
+void GasRun::schedule_next_crash(TimeNs floor) {
+  if (!checkpointing_) return;
+  const auto t = faults_.next_crash_time();
+  if (!t) return;
+  // Not epoch-guarded: a crash belongs to the run, not to one execution
+  // attempt. A crash falling inside a recovery window fires right after it.
+  sim_.schedule_at(std::max(*t, floor), [this] { fire_crash(); });
+}
+
+void GasRun::schedule_nic_changes() {
+  if (faults_.empty()) return;
+  const double base_rate = cfg_.cluster.machine.nic_bytes_per_sec();
+  for (const TimeNs t : faults_.nic_change_times()) {
+    // Boundaries may predate the point where scheduling happens (a window
+    // opening at t=0 while the graph is still loading): apply them now.
+    sim_.schedule_at(std::max(t, sim_.now()), [this, base_rate] {
+      if (execute_finished_) return;
+      const TimeNs now = sim_.now();
+      for (int w = 0; w < workers_; ++w) {
+        ws_[static_cast<std::size_t>(w)].nic->set_rate(
+            now, base_rate * faults_.nic_factor(w, now));
+      }
+    });
+  }
+}
+
+void GasRun::close_or_abandon(const PhasePath& path, bool truncate, TimeNs now,
+                              trace::MachineId machine) {
+  const auto begin = log_.open_begin(path);
+  if (!begin) return;
+  if (truncate) {
+    log_.abandon(path);
+  } else {
+    log_.end(path, std::max(now, *begin), machine);
+  }
+}
+
+void GasRun::teardown_worker(int w, TimeNs now, bool truncate) {
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  if (step_.active) {
+    const PhasePath worker = step_.step_path.child(step_.worker_type, w);
+    for (int th = 0; th < threads_; ++th) {
+      const auto slot = static_cast<std::size_t>(w * threads_ + th);
+      if (step_.running[slot] > 0.0) {
+        state.cpu->add(now, -step_.running[slot]);
+        step_.running[slot] = 0.0;
+      }
+      if (step_.thread_open[slot]) {
+        close_or_abandon(worker.child(step_.thread_type, th), truncate, now,
+                         w);
+        step_.thread_open[slot] = 0;
+      }
+    }
+    if (step_.worker_open[static_cast<std::size_t>(w)]) {
+      close_or_abandon(worker, truncate, now, w);
+      step_.worker_open[static_cast<std::size_t>(w)] = 0;
+    }
+  }
+  if (exchange_active_ && exchange_open_[static_cast<std::size_t>(w)]) {
+    close_or_abandon(exchange_path_.child("WorkerExchange", w), truncate, now,
+                     w);
+    exchange_open_[static_cast<std::size_t>(w)] = 0;
+  }
+  // In-flight traffic of the aborted iteration is gone; the re-execution
+  // regenerates it.
+  state.nic->clear(now);
+}
+
+void GasRun::fire_crash() {
+  if (execute_finished_) return;
+  // A second failure while one is still being handled is picked up by
+  // schedule_next_crash() after the in-flight recovery completes.
+  if (any_dead_) return;
+  const TimeNs now = sim_.now();
+  const auto victim = faults_.take_crash(now);
+  if (!victim) return;
+  const int v = *victim;
+  crash_victim_ = v;
+  crash_time_ = now;
+  any_dead_ = true;
+  dead_[static_cast<std::size_t>(v)] = 1;
+  channel_.set_dead(v, true);
+
+  // The victim dies silently: its compute stops, its queued traffic is
+  // gone, its open phases close (log shipper flush) or truncate. Survivors
+  // keep running until the failure detector times out the victim's
+  // heartbeats; nobody here consults the injector about the future.
+  teardown_worker(v, now, cfg_.crash_log == CrashLogStyle::kTruncated);
+  sim_.schedule_at(detector_.detect_time(v, now),
+                   [this] { detect_and_recover(); });
+}
+
+void GasRun::detect_and_recover() {
+  const TimeNs now = sim_.now();  // heartbeat-timeout detection instant
+  const int victim = crash_victim_;
+  // A new epoch invalidates every event of the aborted execution attempt.
+  ++epoch_;
+  const bool truncated = cfg_.crash_log == CrashLogStyle::kTruncated;
+  for (int w = 0; w < workers_; ++w) {
+    if (w != victim) teardown_worker(w, now, false);
+  }
+  // Step barriers and drained exchange ENDs were logged ahead of time; the
+  // aborted phases must close at or after every logged child END.
+  const TimeNs iter_close = std::max(now, logged_end_floor_);
+  if (step_.active) {
+    close_or_abandon(step_.step_path, truncated, iter_close,
+                     trace::kGlobalMachine);
+    step_ = StepRuntime{};
+  }
+  if (exchange_active_) {
+    close_or_abandon(exchange_path_, truncated, iter_close,
+                     trace::kGlobalMachine);
+    exchange_active_ = false;
+    exchange_on_done_ = nullptr;
+  }
+  close_or_abandon(iteration_path(), truncated, iter_close,
+                   trace::kGlobalMachine);
+  if (checkpoint_active_) abort_checkpoint(victim, now);
+  ++iteration_instance_;
+
+  // Snapshot-restart recovery: every worker reloads the last complete
+  // snapshot; the restarted victim additionally re-ingests its edge
+  // partition from storage. The whole window is dead time, reported as
+  // "Recovery" blocking events.
+  const PhasePath exec = PhasePath{}.child("Job", 0).child("Execute", 0);
+  const PhasePath rec = exec.child("Recovery", recovery_seq_++);
+  log_.begin(rec, now, trace::kGlobalMachine);
+  const DurationNs restart = ns_from_seconds(cfg_.checkpoint.restart_seconds);
+  const double cores = static_cast<double>(cfg_.cluster.machine.cores);
+  TimeNs rec_end = now + restart;
+  for (int w = 0; w < workers_; ++w) {
+    double reload_work = static_cast<double>(ws_[static_cast<std::size_t>(w)]
+                                                 .masters.size()) *
+                         cfg_.checkpoint.reload_work_per_vertex;
+    if (w == victim) {
+      reload_work += worker_edges_[static_cast<std::size_t>(w)] *
+                     cfg_.costs.work_per_load_edge;
+    }
+    const TimeNs wend = now + restart + ns_for_work(reload_work / cores);
+    const PhasePath worker_rec = rec.child("RecoveryWorker", w);
+    log_.begin(worker_rec, now, w);
+    log_.end(worker_rec, wend, w);
+    log_.block(gas_names::kRecovery, worker_rec, now, wend, w);
+    rec_end = std::max(rec_end, wend);
+  }
+  log_.end(rec, rec_end, trace::kGlobalMachine);
+  restore_checkpoint_state();
+  dead_[static_cast<std::size_t>(victim)] = 0;
+  channel_.set_dead(victim, false);
+  any_dead_ = false;
+  crash_victim_ = -1;
+  // Resume after both the recovery window and the last logged END of the
+  // aborted iteration, so repeated Iteration instances never overlap.
+  const TimeNs resume = std::max(rec_end, iter_close);
+  schedule_epoch(resume, [this] { start_iteration(sim_.now()); });
+  schedule_next_crash(resume);
+}
+
 trace::RunArtifacts GasRun::execute() {
   if (!faults_.empty()) {
     faults_.resolve(gas_nominal_horizon(cfg_, g_, prog_));
+    checkpointing_ = faults_.has_kind(sim::FaultKind::kCrash);
   }
+  sim::FailureDetectorConfig heartbeat = cfg_.heartbeat;
+  heartbeat.seed ^= cfg_.seed;
+  detector_ = sim::FailureDetector(heartbeat, &faults_);
+  sim::ReliableChannelConfig channel;
+  channel.timeout_seconds = cfg_.retry.timeout_seconds;
+  channel.backoff = cfg_.retry.backoff;
+  channel.jitter = cfg_.retry.jitter;
+  channel.max_attempts = std::max(1, cfg_.retry.max_attempts);
+  channel_ = sim::ReliableChannel(channel, &faults_, workers_);
+  dead_.assign(static_cast<std::size_t>(workers_), 0);
   load_graph();
   sim_.run();
   G10_CHECK_MSG(execute_finished_, "simulation ended before the job finished");

@@ -15,21 +15,38 @@
 //   Job.0
 //   ├── LoadGraph.0              └── LoadWorker.w
 //   ├── Execute.0
-//   │   └── (Iteration.i)
-//   │       ├── GatherStep.0     └── WorkerGather.w  └── (GatherThread.t)
-//   │       ├── ApplyStep.0      └── WorkerApply.w   └── (ApplyThread.t)
-//   │       ├── ScatterStep.0    └── WorkerScatter.w └── (ScatterThread.t)
-//   │       └── ExchangeStep.0   └── WorkerExchange.w
+//   │   ├── (Iteration.i)
+//   │   │   ├── GatherStep.0     └── WorkerGather.w  └── (GatherThread.t)
+//   │   │   ├── ApplyStep.0      └── WorkerApply.w   └── (ApplyThread.t)
+//   │   │   ├── ScatterStep.0    └── WorkerScatter.w └── (ScatterThread.t)
+//   │   │   └── ExchangeStep.0   └── WorkerExchange.w
+//   │   ├── (Checkpoint.k)       └── CheckpointWorker.w  (under faults)
+//   │   └── (Recovery.r)         └── RecoveryWorker.w    (after a crash)
 //   └── StoreResults.0           └── StoreWorker.w
 //
-// Consumable resources recorded: "cpu", "network" (per machine).
+// Consumable resources recorded: "cpu", "network" (per machine). Blocking
+// resources appear only under fault injection: "Retry" (reliable-channel
+// retransmit backoff during Exchange) and "Recovery" (checkpoint-restart
+// downtime after a crash).
+//
+// Fault injection (ClusterSpec::faults): exchange traffic travels through a
+// sim::ReliableChannel, so NIC loss windows and `part:` partitions cost
+// retransmit time, never correctness. Crashes are detected by heartbeat
+// timeout (sim::FailureDetector) and recovered by restoring the last
+// snapshot and re-ingesting the victim's edge partition; checkpointing is
+// armed only when the spec contains a crash, so fault-free runs stay
+// byte-identical. Iteration path indices keep counting across
+// re-executions, exactly like the Pregel engine's Superstep indices.
 #pragma once
 
 #include <cstdint>
 
 #include "algorithms/gas_program.hpp"
+#include "engine/fault_tolerance.hpp"
+#include "engine/phase_logger.hpp"
 #include "graph/graph.hpp"
 #include "sim/cluster.hpp"
+#include "sim/failure_detector.hpp"
 #include "trace/records.hpp"
 
 namespace g10::engine {
@@ -89,6 +106,12 @@ struct GasConfig {
   GasNoiseConfig noise;
   SyncBugConfig sync_bug;
   VertexCutStrategy partitioning = VertexCutStrategy::kHashSource;
+  CheckpointConfig checkpoint;
+  RetryConfig retry;
+  /// Heartbeat failure detection; its seed is folded with `seed` so two runs
+  /// differing only in the engine seed also shift their detection latency.
+  sim::FailureDetectorConfig heartbeat;
+  CrashLogStyle crash_log = CrashLogStyle::kReconciled;
   std::uint64_t seed = 42;
 
   int effective_threads() const {
@@ -100,6 +123,8 @@ struct GasConfig {
 namespace gas_names {
 inline constexpr const char* kCpu = "cpu";
 inline constexpr const char* kNetwork = "network";
+inline constexpr const char* kRetry = "Retry";
+inline constexpr const char* kRecovery = "Recovery";
 }  // namespace gas_names
 
 class GasEngine {

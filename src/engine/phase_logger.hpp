@@ -14,6 +14,18 @@
 
 namespace g10::engine {
 
+/// How a crash victim's already-open phases appear in the final log.
+///
+/// kReconciled (default): the victim's log shipper flushes closing records
+/// at the crash instant, so the dumped trace stays balanced and strict
+/// analysis succeeds with the recovery window attributed to Retry/Recovery
+/// blocking. kTruncated reproduces a raw crashed logger: open phases keep
+/// their BEGIN forever and only a lenient analysis can repair the trace.
+enum class CrashLogStyle {
+  kReconciled,
+  kTruncated,
+};
+
 class PhaseLogger {
  public:
   void begin(const trace::PhasePath& path, TimeNs time,

@@ -11,8 +11,10 @@
 #include "common/rng.hpp"
 #include "engine/phase_logger.hpp"
 #include "graph/partition.hpp"
+#include "sim/failure_detector.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/fluid_queue.hpp"
+#include "sim/reliable_channel.hpp"
 #include "sim/simulation.hpp"
 #include "sim/usage_recorder.hpp"
 
@@ -75,7 +77,7 @@ class PregelRun {
     G10_CHECK(g_.vertex_count() > 0);
     G10_CHECK_MSG(threads_ <= cfg_.cluster.machine.cores,
                   "threads per worker must not exceed cores");
-    G10_CHECK(cfg_.checkpoint.interval_supersteps > 0);
+    G10_CHECK(cfg_.checkpoint.interval_steps > 0);
     G10_CHECK(cfg_.retry.max_attempts >= 0);
   }
 
@@ -90,6 +92,7 @@ class PregelRun {
     bool waiting_gc = false;
     bool phase_open = false;
     double running_intensity = 0.0;  ///< CPU held by an in-flight chunk
+    TimeNs gc_wait_begin = 0;  ///< when this thread started waiting on GC
     PhasePath phase;  ///< ComputeThread path for the current superstep
   };
 
@@ -170,9 +173,11 @@ class PregelRun {
   void load_graph();
   void start_superstep(TimeNs t);
   void thread_continue(int w, int th);
-  void finish_chunk(int w, int th, double remote_bytes, double alloc_bytes,
-                    double intensity);
-  void attempt_send(int w, int th, double remote_bytes, int attempt);
+  void finish_chunk(int w, int th, double remote_bytes,
+                    const std::vector<double>& remote_by_dst,
+                    double alloc_bytes, double intensity);
+  void send_chunk(int w, int th, double remote_bytes,
+                  const std::vector<double>& remote_by_dst);
   void thread_done(int w, int th);
   void start_gc(int w);
   void end_gc(int w);
@@ -189,7 +194,9 @@ class PregelRun {
   void schedule_next_crash(TimeNs floor);
   void schedule_nic_changes();
   void fire_crash();
-  void close_or_abandon(const PhasePath& path, bool dead, TimeNs now,
+  void detect_and_recover();
+  void teardown_worker(int w, TimeNs now, bool truncate);
+  void close_or_abandon(const PhasePath& path, bool truncate, TimeNs now,
                         trace::MachineId machine);
   double worker_vertex_count(int w) const;
 
@@ -233,7 +240,14 @@ class PregelRun {
 
   // ---- fault-injection state ------------------------------------------------
   bool checkpointing_ = false;  ///< armed iff the spec contains a crash
-  int epoch_ = 0;               ///< bumped on every crash
+  sim::FailureDetector detector_;
+  sim::ReliableChannel channel_;
+  std::vector<char> dead_;      ///< per-worker: crashed, not yet recovered
+  bool any_dead_ = false;
+  int crash_victim_ = -1;
+  TimeNs crash_time_ = 0;
+  std::vector<TimeNs> comm_end_;  ///< per-worker logged Communicate END times
+  int epoch_ = 0;               ///< bumped when recovery aborts an attempt
   int recovery_seq_ = 0;
   int checkpoint_seq_ = 0;
   bool checkpoint_active_ = false;  ///< a checkpoint write is in flight
@@ -255,7 +269,11 @@ void PregelRun::noise_tick(int w) {
   state.noise_level = std::clamp(
       state.noise_level + rng_.next_normal(0.0, cfg_.noise.sigma), 0.0,
       cfg_.noise.max_cores);
-  state.noise.set(sim_.now(), state.noise_level);
+  // The walk keeps advancing (fixed RNG draw schedule) but a crashed
+  // machine reports zero background CPU until it rejoins.
+  state.noise.set(sim_.now(),
+                  dead_[static_cast<std::size_t>(w)] != 0 ? 0.0
+                                                          : state.noise_level);
   sim_.schedule_after(cfg_.noise.interval, [this, w] { noise_tick(w); });
 }
 
@@ -337,6 +355,8 @@ void PregelRun::load_graph() {
 }
 
 void PregelRun::start_superstep(TimeNs t) {
+  if (any_dead_) return;  // recovery restarts execution itself
+  std::fill(comm_end_.begin(), comm_end_.end(), TimeNs{0});
   // Determine the active set; stop when nothing is runnable.
   std::size_t total_active = 0;
   for (int w = 0; w < workers_; ++w) {
@@ -382,6 +402,7 @@ void PregelRun::start_superstep(TimeNs t) {
 }
 
 void PregelRun::thread_continue(int w, int th) {
+  if (dead_[static_cast<std::size_t>(w)] != 0) return;
   auto& state = ws_[static_cast<std::size_t>(w)];
   auto& thread = state.threads[static_cast<std::size_t>(th)];
   const TimeNs now = sim_.now();
@@ -390,20 +411,30 @@ void PregelRun::thread_continue(int w, int th) {
     log_.begin(thread.phase, now, w);
     thread.phase_open = true;
   }
-  // 1. Stop-the-world GC on this worker: wait until it completes.
+  // 1. Stop-the-world GC on this worker: wait until it completes. The GC
+  //    blocking event is emitted when the wait ends (end_gc, or crash
+  //    teardown), so an interrupted wait never logs a dangling block.
   if (state.gc_active) {
     if (!thread.waiting_gc) {
       thread.waiting_gc = true;
-      log_.block(pregel_names::kGc, thread.phase, now, state.gc_end, w);
+      thread.gc_wait_begin = now;
     }
     return;  // end_gc() resumes us
   }
-  // 2. Outgoing message buffer over capacity: backpressure stall.
+  // 2. Outgoing message buffer over capacity: backpressure stall. Logged
+  //    when the stall resolves, for the same reason as the GC wait.
   if (state.nic->level(now) > cfg_.queue.capacity_bytes) {
     const TimeNs resume = state.nic->time_until_level(
         now, cfg_.queue.capacity_bytes * cfg_.queue.resume_fraction);
-    log_.block(pregel_names::kMessageQueue, thread.phase, now, resume, w);
-    schedule_epoch(resume, [this, w, th] { thread_continue(w, th); });
+    schedule_epoch(resume, [this, w, th, now, resume] {
+      if (dead_[static_cast<std::size_t>(w)] != 0) return;
+      log_.block(pregel_names::kMessageQueue,
+                 ws_[static_cast<std::size_t>(w)]
+                     .threads[static_cast<std::size_t>(th)]
+                     .phase,
+                 now, resume, w);
+      thread_continue(w, th);
+    });
     return;
   }
   // 3. Acquire a partition if we do not hold one.
@@ -428,6 +459,12 @@ void PregelRun::thread_continue(int w, int th) {
 
   double work = 0.0;
   double remote_bytes = 0.0;
+  // Per-destination split of the remote traffic, needed only when the
+  // reliable channel is live (each destination is a separate ack'd
+  // transfer); fault-free runs skip the bookkeeping entirely.
+  const bool track_dst = !channel_.trivial();
+  std::vector<double> remote_by_dst;
+  if (track_dst) remote_by_dst.assign(static_cast<std::size_t>(workers_), 0.0);
   double alloc = 0.0;
   PregelOutbox out;
   std::span<const double> empty;
@@ -459,6 +496,9 @@ void PregelRun::thread_continue(int w, int th) {
         alloc += cfg_.gc.bytes_per_message;
         if (owner_.owner[u] != static_cast<std::uint32_t>(w)) {
           remote_bytes += cfg_.costs.bytes_per_message;
+          if (track_dst) {
+            remote_by_dst[owner_.owner[u]] += cfg_.costs.bytes_per_message;
+          }
         }
       }
     } else {
@@ -479,13 +519,16 @@ void PregelRun::thread_continue(int w, int th) {
   thread.running_intensity = intensity;
   ++state.running_chunks;
   schedule_epoch(now + duration,
-                 [this, w, th, remote_bytes, alloc, intensity] {
-                   finish_chunk(w, th, remote_bytes, alloc, intensity);
+                 [this, w, th, remote_bytes,
+                  by_dst = std::move(remote_by_dst), alloc, intensity] {
+                   finish_chunk(w, th, remote_bytes, by_dst, alloc, intensity);
                  });
 }
 
 void PregelRun::finish_chunk(int w, int th, double remote_bytes,
+                             const std::vector<double>& remote_by_dst,
                              double alloc_bytes, double intensity) {
+  if (dead_[static_cast<std::size_t>(w)] != 0) return;
   auto& state = ws_[static_cast<std::size_t>(w)];
   const TimeNs now = sim_.now();
   state.cpu->add(now, -intensity);
@@ -499,31 +542,52 @@ void PregelRun::finish_chunk(int w, int th, double remote_bytes,
   } else if (cfg_.gc.enabled && state.alloc_bytes > cfg_.gc.young_gen_bytes) {
     start_gc(w);
   }
-  attempt_send(w, th, remote_bytes, 0);
+  send_chunk(w, th, remote_bytes, remote_by_dst);
 }
 
-void PregelRun::attempt_send(int w, int th, double remote_bytes, int attempt) {
+void PregelRun::send_chunk(int w, int th, double remote_bytes,
+                           const std::vector<double>& remote_by_dst) {
   auto& state = ws_[static_cast<std::size_t>(w)];
-  auto& thread = state.threads[static_cast<std::size_t>(th)];
   const TimeNs now = sim_.now();
-  // Under NIC message loss the flush of this chunk's remote messages can
-  // fail; the thread then backs off with an exponentially growing timeout
-  // and retries, which Grade10 sees as "Retry" blocking events. After
-  // max_attempts the send is forced through (the simulated transport is
-  // reliable underneath — correctness is never at stake, only time).
-  if (remote_bytes > 0.0 && attempt < cfg_.retry.max_attempts &&
-      faults_.send_fails(w, now)) {
-    const double timeout_seconds =
-        cfg_.retry.timeout_seconds *
-        std::pow(cfg_.retry.backoff, static_cast<double>(attempt));
-    const TimeNs resume = now + ns_from_seconds(timeout_seconds);
-    log_.block(pregel_names::kRetry, thread.phase, now, resume, w);
-    schedule_epoch(resume, [this, w, th, remote_bytes, attempt] {
-      attempt_send(w, th, remote_bytes, attempt + 1);
+  if (channel_.trivial() || remote_bytes <= 0.0) {
+    // Fast path: without fault events every send is a single immediate
+    // attempt, so the flush bypasses the channel and the trace stays
+    // byte-identical to runs that attach no fault spec at all.
+    state.nic->enqueue(now, remote_bytes);
+    thread_continue(w, th);
+    return;
+  }
+  // The chunk's remote messages go out as one ack'd transfer per
+  // destination. Each planned attempt (including retransmits) costs the
+  // payload bytes on this worker's NIC at its own time; the thread itself
+  // blocks until the last transfer completes, which Grade10 sees as a
+  // "Retry" blocking event emitted when the wait ends.
+  TimeNs resume = now;
+  for (int dst = 0; dst < workers_; ++dst) {
+    const double bytes = remote_by_dst[static_cast<std::size_t>(dst)];
+    if (bytes <= 0.0 || dst == w) continue;
+    const auto plan = channel_.plan_send(w, dst, now);
+    for (const auto& attempt : plan.attempts) {
+      if (attempt.at <= now) {
+        state.nic->enqueue(now, bytes);
+      } else {
+        schedule_epoch(attempt.at, [this, w, bytes] {
+          if (dead_[static_cast<std::size_t>(w)] != 0) return;
+          ws_[static_cast<std::size_t>(w)].nic->enqueue(sim_.now(), bytes);
+        });
+      }
+    }
+    resume = std::max(resume, plan.complete);
+  }
+  if (resume > now) {
+    const PhasePath phase = state.threads[static_cast<std::size_t>(th)].phase;
+    schedule_epoch(resume, [this, w, th, phase, now, resume] {
+      if (dead_[static_cast<std::size_t>(w)] != 0) return;
+      log_.block(pregel_names::kRetry, phase, now, resume, w);
+      thread_continue(w, th);
     });
     return;
   }
-  state.nic->enqueue(now, remote_bytes);
   thread_continue(w, th);
 }
 
@@ -548,6 +612,8 @@ void PregelRun::start_gc(int w) {
 
 void PregelRun::end_gc(int w) {
   auto& state = ws_[static_cast<std::size_t>(w)];
+  // A crash teardown may have force-finished this collection already.
+  if (!state.gc_active) return;
   const TimeNs now = sim_.now();
   state.cpu->add(now, -state.gc_cores_taken);
   state.gc_cores_taken = 0.0;
@@ -557,6 +623,8 @@ void PregelRun::end_gc(int w) {
     auto& thread = state.threads[static_cast<std::size_t>(th)];
     if (thread.waiting_gc) {
       thread.waiting_gc = false;
+      log_.block(pregel_names::kGc, thread.phase, thread.gc_wait_begin, now,
+                 w);
       thread_continue(w, th);
     }
   }
@@ -581,6 +649,9 @@ void PregelRun::worker_compute_done(int w) {
   log_.end(step.child("WorkerCompute", w), now, w);
   const TimeNs drained = state.nic->time_empty(now);
   log_.end(step.child("WorkerCommunicate", w), drained, w);
+  // The END above is logged ahead of simulated time; remember it so a crash
+  // teardown can close the Superstep at or after every logged child END.
+  comm_end_[static_cast<std::size_t>(w)] = drained;
   log_.begin(step.child("WorkerBarrier", w), now, w);
   state.ready = std::max(drained, state.gc_active ? state.gc_end : now);
   if (++workers_done_ == workers_) {
@@ -592,6 +663,9 @@ void PregelRun::worker_compute_done(int w) {
 }
 
 void PregelRun::finish_superstep(TimeNs barrier_time) {
+  // A crash with a pending detection leaves the superstep to the recovery
+  // path; the barrier must not retire it half-dead.
+  if (any_dead_) return;
   const PhasePath step = superstep_path();
   for (int w = 0; w < workers_; ++w) {
     log_.end(step.child("WorkerBarrier", w), barrier_time, w);
@@ -611,9 +685,12 @@ void PregelRun::finish_superstep(TimeNs barrier_time) {
   ++superstep_;
   ++superstep_instance_;
   if (checkpointing_ &&
-      superstep_ % cfg_.checkpoint.interval_supersteps == 0) {
+      superstep_ % cfg_.checkpoint.interval_steps == 0) {
     const TimeNs cp_end = write_checkpoint(barrier_time);
     schedule_epoch(cp_end, [this] {
+      // A crash inside the write window leaves the checkpoint to be aborted
+      // by the recovery path instead of completed here.
+      if (any_dead_) return;
       complete_checkpoint();
       start_superstep(sim_.now());
     });
@@ -724,19 +801,29 @@ void PregelRun::complete_checkpoint() {
 }
 
 void PregelRun::abort_checkpoint(int victim, TimeNs now) {
+  // Survivors stop writing when the failure is detected (`now`); the victim
+  // stopped at the crash instant itself.
+  const bool truncated = cfg_.crash_log == CrashLogStyle::kTruncated;
+  TimeNs cp_close = 0;
   for (int w = 0; w < workers_; ++w) {
     auto& state = ws_[static_cast<std::size_t>(w)];
     const PhasePath worker_cp = checkpoint_path_.child("CheckpointWorker", w);
     const TimeNs wend = checkpoint_wend_[static_cast<std::size_t>(w)];
-    const TimeNs stop = std::min(now, wend);
-    if (w == victim) {
+    const TimeNs stop =
+        w == victim ? std::min(crash_time_, wend) : std::min(now, wend);
+    if (w == victim && truncated) {
       log_.abandon(worker_cp);
     } else {
       log_.end(worker_cp, stop, w);
+      cp_close = std::max(cp_close, stop);
     }
     state.cpu->add(stop, -1.0);
   }
-  log_.abandon(checkpoint_path_);
+  if (truncated) {
+    log_.abandon(checkpoint_path_);
+  } else {
+    log_.end(checkpoint_path_, cp_close, trace::kGlobalMachine);
+  }
   checkpoint_active_ = false;
   // The snapshot was not saved: recovery falls back to the previous one.
 }
@@ -767,11 +854,11 @@ void PregelRun::schedule_nic_changes() {
   }
 }
 
-void PregelRun::close_or_abandon(const PhasePath& path, bool dead, TimeNs now,
-                                 trace::MachineId machine) {
+void PregelRun::close_or_abandon(const PhasePath& path, bool truncate,
+                                 TimeNs now, trace::MachineId machine) {
   const auto begin = log_.open_begin(path);
   if (!begin) return;
-  if (dead) {
+  if (truncate) {
     log_.abandon(path);
   } else {
     // Some phase begins are logged ahead of simulated time (WorkerCompute
@@ -780,57 +867,102 @@ void PregelRun::close_or_abandon(const PhasePath& path, bool dead, TimeNs now,
   }
 }
 
+void PregelRun::teardown_worker(int w, TimeNs now, bool truncate) {
+  auto& state = ws_[static_cast<std::size_t>(w)];
+  const PhasePath step = superstep_path();
+  for (int th = 0; th < threads_; ++th) {
+    auto& thread = state.threads[static_cast<std::size_t>(th)];
+    if (thread.running_intensity > 0.0) {
+      state.cpu->add(now, -thread.running_intensity);
+      thread.running_intensity = 0.0;
+    }
+    if (thread.phase_open) {
+      if (thread.waiting_gc && !truncate) {
+        log_.block(pregel_names::kGc, thread.phase, thread.gc_wait_begin, now,
+                   w);
+      }
+      if (truncate) {
+        // The crashed worker's log simply stops: its open phases keep their
+        // BEGIN but never get an END.
+        log_.abandon(thread.phase);
+      } else {
+        log_.end(thread.phase, now, w);
+      }
+      thread.phase_open = false;
+    }
+    thread.waiting_gc = false;
+    thread.done = true;
+  }
+  state.running_chunks = 0;
+  if (state.gc_active) {
+    state.cpu->add(now, -state.gc_cores_taken);
+    state.gc_cores_taken = 0.0;
+    state.gc_active = false;
+    close_or_abandon(state.gc_phase, truncate, now, w);
+  }
+  state.alloc_bytes = 0.0;
+  close_or_abandon(step.child("WorkerCompute", w), truncate, now, w);
+  close_or_abandon(step.child("WorkerCommunicate", w), truncate, now, w);
+  close_or_abandon(step.child("WorkerBarrier", w), truncate, now, w);
+  // In-flight traffic of the aborted superstep is gone; the re-execution
+  // regenerates it.
+  state.nic->clear(now);
+}
+
 void PregelRun::fire_crash() {
   if (execute_finished_) return;
+  // A second failure while one is still being handled is picked up by
+  // schedule_next_crash() after the in-flight recovery completes.
+  if (any_dead_) return;
   const TimeNs now = sim_.now();
   const auto victim = faults_.take_crash(now);
   if (!victim) return;
+  const int v = *victim;
+  crash_victim_ = v;
+  crash_time_ = now;
+  any_dead_ = true;
+  dead_[static_cast<std::size_t>(v)] = 1;
+  channel_.set_dead(v, true);
+
+  // The victim dies silently: its compute stops, its queued traffic is
+  // gone, its open phases close (log shipper flush) or truncate. Survivors
+  // keep running — their sends to the victim fail deterministically and
+  // give up after the retry budget — until the failure detector times out
+  // the victim's heartbeats; nobody here consults the injector about the
+  // future.
+  teardown_worker(v, now, cfg_.crash_log == CrashLogStyle::kTruncated);
+  sim_.schedule_at(detector_.detect_time(v, now),
+                   [this] { detect_and_recover(); });
+}
+
+void PregelRun::detect_and_recover() {
+  const TimeNs now = sim_.now();  // heartbeat-timeout detection instant
+  const int victim = crash_victim_;
   // A new epoch invalidates every event of the aborted execution attempt.
   ++epoch_;
+  const bool truncated = cfg_.crash_log == CrashLogStyle::kTruncated;
   const PhasePath step = superstep_path();
+  const bool step_open = log_.is_open(step);
+  // Some WorkerCommunicate ENDs were logged ahead of time; the Superstep
+  // must close at or after every logged child END.
+  TimeNs step_close = now;
   for (int w = 0; w < workers_; ++w) {
-    auto& state = ws_[static_cast<std::size_t>(w)];
-    const bool dead = w == *victim;
-    for (int th = 0; th < threads_; ++th) {
-      auto& thread = state.threads[static_cast<std::size_t>(th)];
-      if (thread.running_intensity > 0.0) {
-        state.cpu->add(now, -thread.running_intensity);
-        thread.running_intensity = 0.0;
-      }
-      if (thread.phase_open) {
-        // The crashed worker's log simply stops: its open phases keep their
-        // BEGIN but never get an END. Survivors close theirs cleanly.
-        if (dead) {
-          log_.abandon(thread.phase);
-        } else {
-          log_.end(thread.phase, now, w);
-        }
-        thread.phase_open = false;
-      }
-      thread.done = true;
-    }
-    state.running_chunks = 0;
-    if (state.gc_active) {
-      state.cpu->add(now, -state.gc_cores_taken);
-      state.gc_cores_taken = 0.0;
-      state.gc_active = false;
-      close_or_abandon(state.gc_phase, dead, now, w);
-    }
-    state.alloc_bytes = 0.0;
-    close_or_abandon(step.child("WorkerCompute", w), dead, now, w);
-    close_or_abandon(step.child("WorkerCommunicate", w), dead, now, w);
-    close_or_abandon(step.child("WorkerBarrier", w), dead, now, w);
-    // In-flight traffic of the aborted superstep is gone; the re-execution
-    // regenerates it.
-    state.nic->clear(now);
+    if (w != victim) teardown_worker(w, now, false);
+    step_close = std::max(step_close, comm_end_[static_cast<std::size_t>(w)]);
   }
-  if (log_.is_open(step)) log_.abandon(step);
-  if (checkpoint_active_) abort_checkpoint(*victim, now);
+  if (step_open) {
+    if (truncated) {
+      log_.abandon(step);
+    } else {
+      log_.end(step, step_close, trace::kGlobalMachine);
+    }
+  }
+  if (checkpoint_active_) abort_checkpoint(victim, now);
   ++superstep_instance_;
 
-  // Checkpoint-restart recovery: the master detects the failure, restarts
-  // the victim and every worker reloads the last checkpoint. The whole
-  // window is dead time, reported as "Recovery" blocking events.
+  // Checkpoint-restart recovery: the master restarts the victim and every
+  // worker reloads the last checkpoint. The whole window is dead time,
+  // reported as "Recovery" blocking events.
   const PhasePath exec = PhasePath{}.child("Job", 0).child("Execute", 0);
   const PhasePath rec = exec.child("Recovery", recovery_seq_++);
   log_.begin(rec, now, trace::kGlobalMachine);
@@ -849,8 +981,15 @@ void PregelRun::fire_crash() {
   }
   log_.end(rec, rec_end, trace::kGlobalMachine);
   restore_checkpoint_state();
-  schedule_epoch(rec_end, [this] { start_superstep(sim_.now()); });
-  schedule_next_crash(rec_end);
+  dead_[static_cast<std::size_t>(victim)] = 0;
+  channel_.set_dead(victim, false);
+  any_dead_ = false;
+  crash_victim_ = -1;
+  // Resume after both the recovery window and the last logged END of the
+  // aborted superstep, so repeated Superstep instances never overlap.
+  const TimeNs resume = std::max(rec_end, step_close);
+  schedule_epoch(resume, [this] { start_superstep(sim_.now()); });
+  schedule_next_crash(resume);
 }
 
 trace::RunArtifacts PregelRun::execute() {
@@ -858,6 +997,17 @@ trace::RunArtifacts PregelRun::execute() {
     faults_.resolve(pregel_nominal_horizon(cfg_, g_, prog_));
     checkpointing_ = faults_.has_kind(sim::FaultKind::kCrash);
   }
+  sim::FailureDetectorConfig heartbeat = cfg_.heartbeat;
+  heartbeat.seed ^= cfg_.seed;
+  detector_ = sim::FailureDetector(heartbeat, &faults_);
+  sim::ReliableChannelConfig channel;
+  channel.timeout_seconds = cfg_.retry.timeout_seconds;
+  channel.backoff = cfg_.retry.backoff;
+  channel.jitter = cfg_.retry.jitter;
+  channel.max_attempts = std::max(1, cfg_.retry.max_attempts);
+  channel_ = sim::ReliableChannel(channel, &faults_, workers_);
+  dead_.assign(static_cast<std::size_t>(workers_), 0);
+  comm_end_.assign(static_cast<std::size_t>(workers_), 0);
   load_graph();
   sim_.run();
   G10_CHECK_MSG(execute_finished_, "simulation ended before the job finished");

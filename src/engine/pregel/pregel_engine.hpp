@@ -26,20 +26,30 @@
 // injection — "Retry" (send retry-timeout backoff) and "Recovery"
 // (checkpoint-restart downtime).
 //
-// Fault injection (ClusterSpec::faults): worker crashes trigger
-// checkpoint/restart recovery — the crashed worker's open phases are left
-// as BEGIN-without-END in the log, exactly like a real crashed JVM's log.
-// Superstep path indices keep counting across re-executions
-// (Superstep.3 crashed -> recovery -> Superstep.4 re-runs the same logical
-// superstep), so every path in the log stays unique.
+// Fault injection (ClusterSpec::faults): remote sends travel through a
+// sim::ReliableChannel (ack/retransmit with exponential backoff, riding out
+// `part:` network partitions), so message loss costs time — never
+// correctness. Worker crashes are detected by surviving workers through a
+// sim::FailureDetector heartbeat timeout, then handled with
+// checkpoint/restart recovery. By default (CrashLogStyle::kReconciled) the
+// victim's log shipper flushes closing records at the crash instant so the
+// trace stays balanced and strict analysis attributes the lost time to
+// Retry/Recovery; CrashLogStyle::kTruncated reproduces a raw crashed JVM's
+// log (BEGIN-without-END) instead. Superstep path indices keep counting
+// across re-executions (Superstep.3 crashed -> recovery -> Superstep.4
+// re-runs the same logical superstep), so every path in the log stays
+// unique.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "algorithms/pregel_program.hpp"
+#include "engine/fault_tolerance.hpp"
+#include "engine/phase_logger.hpp"
 #include "graph/graph.hpp"
 #include "sim/cluster.hpp"
+#include "sim/failure_detector.hpp"
 #include "trace/records.hpp"
 
 namespace g10::engine {
@@ -97,26 +107,6 @@ struct QueueConfig {
   double resume_fraction = 0.5;  ///< unblock when level <= fraction*capacity
 };
 
-/// Checkpoint/restart fault tolerance. Checkpointing is armed only when the
-/// fault spec contains a crash event, so fault-free runs stay byte-identical
-/// to runs produced before this feature existed.
-struct CheckpointConfig {
-  int interval_supersteps = 1;          ///< checkpoint every k supersteps
-  double base_seconds = 0.010;          ///< fixed per-checkpoint barrier cost
-  double work_per_vertex = 30.0;        ///< serialization work per vertex
-  double restart_seconds = 0.25;        ///< master detects + reschedules
-  double reload_work_per_vertex = 60.0; ///< deserialize state during recovery
-};
-
-/// Retry-timeout backoff on remote sends under NIC message loss: a failed
-/// send blocks the compute thread ("Retry" blocking event) for an
-/// exponentially growing timeout before the attempt is repeated.
-struct RetryConfig {
-  double timeout_seconds = 0.02;  ///< first retry timeout
-  double backoff = 2.0;           ///< timeout multiplier per failed attempt
-  int max_attempts = 4;           ///< afterwards the send goes through anyway
-};
-
 struct PregelConfig {
   sim::ClusterSpec cluster;
   int threads_per_worker = 0;     ///< 0 = one per core
@@ -128,6 +118,10 @@ struct PregelConfig {
   NoiseConfig noise;
   CheckpointConfig checkpoint;
   RetryConfig retry;
+  /// Heartbeat failure detection; its seed is folded with `seed` so two runs
+  /// differing only in the engine seed also shift their detection latency.
+  sim::FailureDetectorConfig heartbeat;
+  CrashLogStyle crash_log = CrashLogStyle::kReconciled;
   std::uint64_t seed = 42;
 
   int effective_threads() const {

@@ -165,6 +165,9 @@ const std::vector<RuleInfo>& rule_catalog() {
        "a phase instance has more than one BEGIN event"},
       {"trace-duplicate-end", Severity::kError,
        "a phase instance has more than one END event"},
+      {"trace-fault-blocking-without-spec", Severity::kWarning,
+       "the log records Retry/Recovery blocked time but carries no 'faults' "
+       "META record naming the injected fault spec"},
       {"trace-hierarchy-mismatch", Severity::kError,
        "a path nests a phase type under a parent type that the model does "
        "not declare as its parent"},

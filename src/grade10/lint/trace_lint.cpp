@@ -41,6 +41,7 @@ class TraceLinter {
     check_instances();
     check_sibling_overlap();
     check_blocking_events();
+    check_fault_provenance();
     check_samples();
     return std::move(report_);
   }
@@ -243,6 +244,23 @@ class TraceLinter {
                         std::to_string(inst.begin) + ", " +
                         std::to_string(inst.end) + ")ns");
       }
+    }
+  }
+
+  void check_fault_provenance() {
+    // Retry/Recovery blocked time only appears in runs that had faults
+    // injected, and those runs stamp the spec into a META "faults" record.
+    // Blocked fault time without that provenance usually means a stripped
+    // or hand-assembled log whose fault attribution can't be cross-checked.
+    const auto spec = log_.meta_value("faults");
+    if (spec.has_value() && !trim(*spec).empty()) return;
+    for (const trace::BlockingEventRecord& event : log_.blocking_events) {
+      if (event.resource != "Retry" && event.resource != "Recovery") continue;
+      add_once("trace-fault-blocking-without-spec", Severity::kWarning,
+               event.resource,
+               "log records '" + event.resource +
+                   "' blocked time but no 'faults' META record names the "
+                   "injected fault spec");
     }
   }
 

@@ -27,6 +27,17 @@ FrameworkModel make_gas_model(const GasModelParams& params) {
   const PhaseTypeId exchange_step = x.add_child(iteration, "ExchangeStep");
   const PhaseTypeId worker_exchange =
       x.add_child(exchange_step, "WorkerExchange");
+  // Fault-tolerance phases (only present in logs from faulted runs); they
+  // mirror the Pregel model: wait phases whose cost is carried by the
+  // Recovery / Retry blocking events and surfaced as the fault-recovery
+  // issue rather than attributed as useful work.
+  const PhaseTypeId checkpoint = x.add_child(execute, "Checkpoint",
+                                             /*repeated=*/true);
+  const PhaseTypeId checkpoint_worker = x.add_child(checkpoint,
+                                                    "CheckpointWorker");
+  const PhaseTypeId recovery = x.add_child(execute, "Recovery",
+                                           /*repeated=*/true);
+  const PhaseTypeId recovery_worker = x.add_child(recovery, "RecoveryWorker");
   const PhaseTypeId store = x.add_child(job, "StoreResults");
   const PhaseTypeId store_worker = x.add_child(store, "StoreWorker");
   x.add_order(load, execute);
@@ -34,6 +45,10 @@ FrameworkModel make_gas_model(const GasModelParams& params) {
   x.add_order(gather_step, apply_step);
   x.add_order(apply_step, scatter_step);
   x.add_order(scatter_step, exchange_step);
+  x.set_wait(checkpoint);
+  x.set_wait(checkpoint_worker);
+  x.set_wait(recovery);
+  x.set_wait(recovery_worker);
   x.set_concurrency_limit(gather_thread, params.threads);
   x.set_concurrency_limit(apply_thread, params.threads);
   x.set_concurrency_limit(scatter_thread, params.threads);
@@ -41,6 +56,8 @@ FrameworkModel make_gas_model(const GasModelParams& params) {
 
   m.cpu = m.resources.add_consumable("cpu", static_cast<double>(params.cores));
   m.network = m.resources.add_consumable("network", params.network_capacity);
+  m.recovery = m.resources.add_blocking("Recovery");
+  m.retry = m.resources.add_blocking("Retry");
 
   auto& rules = m.tuned_rules;
   const auto cores = static_cast<double>(params.cores);
@@ -54,6 +71,12 @@ FrameworkModel make_gas_model(const GasModelParams& params) {
   rules.set(load_worker, m.network, AttributionRule::variable(1.0));
   rules.set(store_worker, m.cpu, AttributionRule::exact(cores));
   rules.set(store_worker, m.network, AttributionRule::none());
+  // A checkpoint writer burns one core per worker; a recovering worker is
+  // reloading state, not computing.
+  rules.set(checkpoint_worker, m.cpu, AttributionRule::exact(1.0));
+  rules.set(checkpoint_worker, m.network, AttributionRule::none());
+  rules.set(recovery_worker, m.cpu, AttributionRule::none());
+  rules.set(recovery_worker, m.network, AttributionRule::none());
   return m;
 }
 

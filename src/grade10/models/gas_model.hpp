@@ -1,8 +1,10 @@
 // Expert models for the GAS-style (PowerGraph stand-in) engine. The paper
 // describes its PowerGraph model as "comprehensive and tuned" (§IV-B),
 // which is why its upsampling accuracy is the best of the three variants.
-// PowerGraph, being native C++, has no GC and no explicit queue stalls, so
-// its resource model has no blocking resources.
+// PowerGraph, being native C++, has no GC and no explicit queue stalls; its
+// only blocking resources are the fault-handling pair shared with the
+// Pregel model ("Retry" retransmit backoff, "Recovery" snapshot-restart
+// downtime), which appear solely under fault injection.
 #pragma once
 
 #include "grade10/models/pregel_model.hpp"  // FrameworkModel

@@ -22,8 +22,8 @@ struct FrameworkModel {
   ResourceId network = kNoResource;
   ResourceId gc = kNoResource;             ///< Pregel only
   ResourceId message_queue = kNoResource;  ///< Pregel only
-  ResourceId recovery = kNoResource;       ///< Pregel only (fault handling)
-  ResourceId retry = kNoResource;          ///< Pregel only (fault handling)
+  ResourceId recovery = kNoResource;       ///< fault handling (both engines)
+  ResourceId retry = kNoResource;          ///< fault handling (both engines)
 };
 
 struct PregelModelParams {

@@ -1,0 +1,97 @@
+#include "sim/failure_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace g10::sim {
+namespace {
+
+// Stateless uniform-[0,1) hash of (seed, machine, k): the per-beat schedule
+// jitter. SplitMix64 gives well-mixed bits without touching any run RNG.
+double jitter01(std::uint64_t seed, int machine, int k) {
+  std::uint64_t state = seed ^ 0x6d9f0c4f2a8e1b37ULL;
+  state += static_cast<std::uint64_t>(machine + 1) * 0x9e3779b97f4a7c15ULL;
+  state += static_cast<std::uint64_t>(k + 1) * 0xbf58476d1ce4e5b9ULL;
+  const std::uint64_t bits = splitmix64_next(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FailureDetector::FailureDetector(FailureDetectorConfig config,
+                                 const FaultInjector* faults)
+    : config_(config), faults_(faults) {
+  G10_CHECK_MSG(config_.interval_seconds > 0.0,
+                "heartbeat interval must be positive");
+  G10_CHECK_MSG(config_.timeout_seconds > 0.0,
+                "heartbeat timeout must be positive");
+  G10_CHECK_MSG(config_.jitter >= 0.0 && config_.jitter < 1.0,
+                "heartbeat jitter must be in [0,1)");
+}
+
+TimeNs FailureDetector::heartbeat_time(int machine, int k) const {
+  // h_k = sum of jittered intervals; each increment stays positive because
+  // jitter < 1, so the schedule is strictly increasing.
+  double seconds = 0.0;
+  for (int i = 0; i <= k; ++i) {
+    const double wobble =
+        config_.jitter * (jitter01(config_.seed, machine, i) - 0.5);
+    seconds += config_.interval_seconds * (1.0 + wobble);
+  }
+  return static_cast<TimeNs>(
+      std::llround(seconds * static_cast<double>(kSecond)));
+}
+
+TimeNs FailureDetector::last_heartbeat_at_or_before(int machine,
+                                                    TimeNs t) const {
+  double seconds = 0.0;
+  TimeNs last = 0;
+  for (int k = 0;; ++k) {
+    const double wobble =
+        config_.jitter * (jitter01(config_.seed, machine, k) - 0.5);
+    seconds += config_.interval_seconds * (1.0 + wobble);
+    const TimeNs beat = static_cast<TimeNs>(
+        std::llround(seconds * static_cast<double>(kSecond)));
+    if (beat > t) return last;
+    last = beat;
+  }
+}
+
+TimeNs FailureDetector::detect_time(int machine, TimeNs crash_time) const {
+  const TimeNs last = last_heartbeat_at_or_before(machine, crash_time);
+  const TimeNs timeout = static_cast<TimeNs>(
+      std::llround(config_.timeout_seconds * static_cast<double>(kSecond)));
+  return std::max(crash_time, last + timeout);
+}
+
+std::vector<std::pair<TimeNs, TimeNs>> FailureDetector::suspicion_windows(
+    int machine) const {
+  std::vector<std::pair<TimeNs, TimeNs>> out;
+  if (faults_ == nullptr) return out;
+  const TimeNs timeout = static_cast<TimeNs>(
+      std::llround(config_.timeout_seconds * static_cast<double>(kSecond)));
+  for (const auto& [begin, end] : faults_->isolation_windows(machine)) {
+    // Beats sent inside the window are lost; suspicion fires a timeout
+    // after the last delivered beat and is refuted by the first beat sent
+    // after the heal.
+    const TimeNs suspect =
+        last_heartbeat_at_or_before(machine, begin) + timeout;
+    TimeNs refute = 0;
+    for (int k = 0;; ++k) {
+      const TimeNs beat = heartbeat_time(machine, k);
+      if (beat >= end) {
+        refute = beat;
+        break;
+      }
+    }
+    if (suspect >= refute) continue;  // healed before the timeout expired
+    out.emplace_back(suspect, refute);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace g10::sim

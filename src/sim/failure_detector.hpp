@@ -1,0 +1,69 @@
+// Heartbeat-based failure detection for the simulated cluster.
+//
+// Every worker process heartbeats a coordinator (the master, hosted outside
+// the worker set) on a per-machine jittered schedule; the coordinator
+// declares a worker dead once it has heard nothing for a timeout. The
+// detector here is purely computational: heartbeat instants are a
+// deterministic schedule derived from (seed, machine, beat index) — no
+// simulated heartbeat traffic, no RNG consumed from the host run — so the
+// detection latency of a crash is a pure function of the config and the
+// crash time. This is what replaces the engines' old omniscient behaviour
+// of starting recovery the instant the injector fired a crash: survivors
+// now pay a realistic silence-window delay before recovery begins.
+//
+// Network partitions raise *suspicion* only. A pairwise `part:wA-wB` window
+// never cuts a worker off from the coordinator, and an isolation window
+// (`part:wA-w*`) silences A's heartbeats only until it heals — the
+// coordinator's suspicion is refuted by the first post-heal heartbeat, so
+// `part:` faults are ridden out without triggering recovery. The suspicion
+// windows are exposed for inspection/tests via suspicion_windows().
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace g10::sim {
+
+struct FailureDetectorConfig {
+  double interval_seconds = 0.05;  ///< nominal heartbeat period
+  double timeout_seconds = 0.15;   ///< silence needed to declare death
+  double jitter = 0.2;             ///< per-beat schedule jitter (fraction)
+  std::uint64_t seed = 0;          ///< folded into the jitter hash
+};
+
+class FailureDetector {
+ public:
+  FailureDetector() = default;
+  FailureDetector(FailureDetectorConfig config, const FaultInjector* faults);
+
+  const FailureDetectorConfig& config() const { return config_; }
+
+  /// Send time of `machine`'s k-th heartbeat (deterministically jittered,
+  /// strictly increasing in k).
+  TimeNs heartbeat_time(int machine, int k) const;
+
+  /// Send time of the last heartbeat of `machine` at or before t (0 when t
+  /// precedes the first beat).
+  TimeNs last_heartbeat_at_or_before(int machine, TimeNs t) const;
+
+  /// Time at which the coordinator declares `machine` dead given that it
+  /// crashed (went silent) at `crash_time`: the timeout expiry after the
+  /// victim's last delivered heartbeat, never before the crash itself.
+  TimeNs detect_time(int machine, TimeNs crash_time) const;
+
+  /// [suspect, refute) windows during which the coordinator suspects
+  /// `machine` because an isolation partition (`part:wA-w*`) silenced its
+  /// heartbeats. Pairwise partitions produce none. Windows whose partition
+  /// heals before the timeout expires never open. Sorted by start time.
+  std::vector<std::pair<TimeNs, TimeNs>> suspicion_windows(int machine) const;
+
+ private:
+  FailureDetectorConfig config_;
+  const FaultInjector* faults_ = nullptr;
+};
+
+}  // namespace g10::sim

@@ -53,8 +53,29 @@ bool fail(std::string* error, std::string message) {
   return false;
 }
 
-// Parses one event ("crash:w2@40%"). Returns false with a diagnostic on
-// malformed input.
+// Parses one machine index ("2" or "*" when allow_all is set).
+bool parse_machine(std::string_view machine_text, bool allow_all, int* out,
+                   std::string_view event_text, std::string* error) {
+  if (machine_text == "*") {
+    if (!allow_all) {
+      return fail(error, "'w*' is not a valid target here: '" +
+                             std::string(event_text) + "'");
+    }
+    *out = FaultEvent::kAllMachines;
+    return true;
+  }
+  const auto machine = parse_int(machine_text);
+  if (!machine || *machine < 0) {
+    return fail(error, "bad machine index '" + std::string(machine_text) +
+                           "' in fault event '" + std::string(event_text) +
+                           "'");
+  }
+  *out = static_cast<int>(*machine);
+  return true;
+}
+
+// Parses one event ("crash:w2@40%", "part:w0-w2@30%+20%"). Returns false
+// with a diagnostic on malformed input.
 bool parse_event(std::string_view text, FaultEvent* out, std::string* error) {
   const auto parts = split(text, ':');
   if (parts.size() < 2) {
@@ -70,12 +91,15 @@ bool parse_event(std::string_view text, FaultEvent* out, std::string* error) {
     out->kind = FaultKind::kNicDegrade;
   } else if (kind_name == "drop") {
     out->kind = FaultKind::kSampleDrop;
+  } else if (kind_name == "part") {
+    out->kind = FaultKind::kPartition;
   } else {
     return fail(error, "unknown fault kind '" + std::string(kind_name) +
-                           "' (expected crash|slow|nic|drop)");
+                           "' (expected crash|slow|nic|drop|part)");
   }
 
-  // Target + schedule: "w<machine>@<time>[+<duration>]".
+  // Target + schedule: "w<machine>@<time>[+<duration>]"; partitions name a
+  // machine pair "wA-wB".
   std::string_view target = trim(parts[1]);
   const auto at_pos = target.find('@');
   if (target.empty() || target.front() != 'w' ||
@@ -84,18 +108,35 @@ bool parse_event(std::string_view text, FaultEvent* out, std::string* error) {
                            "': expected target 'w<machine>@<time>'");
   }
   const std::string_view machine_text = target.substr(1, at_pos - 1);
-  if (machine_text == "*") {
+  if (out->kind == FaultKind::kPartition) {
+    const auto dash_pos = machine_text.find("-w");
+    if (dash_pos == std::string_view::npos) {
+      return fail(error, "partition faults need a machine pair 'wA-wB': '" +
+                             std::string(text) + "'");
+    }
+    // The first endpoint must be concrete; the peer may be '*' (isolate the
+    // first endpoint from every other machine).
+    if (!parse_machine(trim(machine_text.substr(0, dash_pos)), false,
+                       &out->machine, text, error)) {
+      return false;
+    }
+    if (!parse_machine(trim(machine_text.substr(dash_pos + 2)), true,
+                       &out->machine_b, text, error)) {
+      return false;
+    }
+    if (out->machine_b == out->machine) {
+      return fail(error, "partition endpoints must differ: '" +
+                             std::string(text) + "'");
+    }
+  } else if (machine_text == "*") {
     if (out->kind == FaultKind::kCrash) {
       return fail(error, "crash faults need a specific machine, not 'w*'");
     }
     out->machine = FaultEvent::kAllMachines;
   } else {
-    const auto machine = parse_int(machine_text);
-    if (!machine || *machine < 0) {
-      return fail(error, "bad machine index '" + std::string(machine_text) +
-                             "' in fault event '" + std::string(text) + "'");
+    if (!parse_machine(machine_text, false, &out->machine, text, error)) {
+      return false;
     }
-    out->machine = static_cast<int>(*machine);
   }
   std::string_view schedule = target.substr(at_pos + 1);
   const auto plus_pos = schedule.find('+');
@@ -115,18 +156,37 @@ bool parse_event(std::string_view text, FaultEvent* out, std::string* error) {
     }
     out->duration = *duration;
   } else {
-    out->open_ended = out->kind != FaultKind::kCrash;
+    out->open_ended =
+        out->kind != FaultKind::kCrash && out->kind != FaultKind::kPartition;
   }
   if (out->kind == FaultKind::kCrash && plus_pos != std::string_view::npos) {
     return fail(error, "crash faults take no duration: '" + std::string(text) +
                            "'");
   }
+  if (out->kind == FaultKind::kPartition &&
+      plus_pos == std::string_view::npos) {
+    return fail(error,
+                "partition faults need an explicit '+<duration>' (a machine "
+                "unreachable forever is a crash): '" +
+                    std::string(text) + "'");
+  }
 
-  // Optional parameters: "x<factor>" and "loss=<p>".
+  // Optional parameters: "x<factor>" (slow, nic) and "loss=<p>" (nic).
   bool saw_factor = false;
+  bool saw_loss = false;
   for (std::size_t i = 2; i < parts.size(); ++i) {
     const std::string_view param = trim(parts[i]);
     if (!param.empty() && param.front() == 'x') {
+      if (out->kind != FaultKind::kSlowdown &&
+          out->kind != FaultKind::kNicDegrade) {
+        return fail(error, "'x<factor>' applies only to slow|nic faults: '" +
+                               std::string(text) + "'");
+      }
+      if (saw_factor) {
+        return fail(error, "duplicate factor parameter '" +
+                               std::string(param) + "' in fault event '" +
+                               std::string(text) + "'");
+      }
       const auto factor = parse_double(param.substr(1));
       if (!factor || *factor <= 0.0 || !std::isfinite(*factor)) {
         return fail(error, "bad factor '" + std::string(param) +
@@ -135,6 +195,15 @@ bool parse_event(std::string_view text, FaultEvent* out, std::string* error) {
       out->factor = *factor;
       saw_factor = true;
     } else if (starts_with(param, "loss=")) {
+      if (out->kind != FaultKind::kNicDegrade) {
+        return fail(error, "'loss=' applies only to nic faults: '" +
+                               std::string(text) + "'");
+      }
+      if (saw_loss) {
+        return fail(error, "duplicate loss parameter '" + std::string(param) +
+                               "' in fault event '" + std::string(text) +
+                               "'");
+      }
       const auto loss = parse_double(param.substr(5));
       if (!loss || *loss < 0.0 || *loss >= 1.0) {
         return fail(error, "bad loss probability '" + std::string(param) +
@@ -142,6 +211,7 @@ bool parse_event(std::string_view text, FaultEvent* out, std::string* error) {
                                "'");
       }
       out->loss = *loss;
+      saw_loss = true;
     } else {
       return fail(error, "unknown fault parameter '" + std::string(param) +
                              "' in fault event '" + std::string(text) + "'");
@@ -152,11 +222,18 @@ bool parse_event(std::string_view text, FaultEvent* out, std::string* error) {
                 "slow faults need an 'x<factor>' parameter: '" +
                     std::string(text) + "'");
   }
-  if (out->loss > 0.0 && out->kind != FaultKind::kNicDegrade) {
-    return fail(error, "'loss=' applies only to nic faults: '" +
-                           std::string(text) + "'");
-  }
   return true;
+}
+
+// True when partition event e cuts the (a, b) link. `part:wA-w*` isolates A
+// from everyone.
+bool separates(const FaultEvent& e, int a, int b) {
+  if (a == b) return false;
+  if (e.machine_b == FaultEvent::kAllMachines) {
+    return a == e.machine || b == e.machine;
+  }
+  return (a == e.machine && b == e.machine_b) ||
+         (a == e.machine_b && b == e.machine);
 }
 
 }  // namespace
@@ -171,6 +248,8 @@ std::string_view fault_kind_name(FaultKind kind) {
       return "nic";
     case FaultKind::kSampleDrop:
       return "drop";
+    case FaultKind::kPartition:
+      return "part";
   }
   return "?";
 }
@@ -203,15 +282,25 @@ std::string FaultSpec::to_string() const {
     s += ":w";
     s += e.machine == FaultEvent::kAllMachines ? "*"
                                                : std::to_string(e.machine);
-    s += "@" + render_time(e.at);
+    if (e.kind == FaultKind::kPartition) {
+      s += "-w";
+      s += e.machine_b == FaultEvent::kAllMachines
+               ? "*"
+               : std::to_string(e.machine_b);
+    }
+    s += '@';
+    s += render_time(e.at);
     if (e.kind != FaultKind::kCrash && !e.open_ended) {
-      s += "+" + render_time(e.duration);
+      s += '+';
+      s += render_time(e.duration);
     }
     if (e.kind == FaultKind::kSlowdown || e.kind == FaultKind::kNicDegrade) {
-      s += ":x" + trim_number(format_fixed(e.factor, 6));
+      s += ":x";
+      s += trim_number(format_fixed(e.factor, 6));
     }
     if (e.loss > 0.0) {
-      s += ":loss=" + trim_number(format_fixed(e.loss, 6));
+      s += ":loss=";
+      s += trim_number(format_fixed(e.loss, 6));
     }
     parts.push_back(std::move(s));
   }
@@ -219,12 +308,16 @@ std::string FaultSpec::to_string() const {
 }
 
 void FaultSpec::validate(int machine_count) const {
-  for (const FaultEvent& e : events) {
-    if (e.machine == FaultEvent::kAllMachines) continue;
-    G10_CHECK_MSG(e.machine < machine_count,
-                  "fault event targets machine " + std::to_string(e.machine) +
+  const auto check_machine = [machine_count](int machine) {
+    if (machine == FaultEvent::kAllMachines) return;
+    G10_CHECK_MSG(machine < machine_count,
+                  "fault event targets machine " + std::to_string(machine) +
                       " but the cluster has only " +
                       std::to_string(machine_count) + " machines");
+  };
+  for (const FaultEvent& e : events) {
+    check_machine(e.machine);
+    if (e.kind == FaultKind::kPartition) check_machine(e.machine_b);
   }
 }
 
@@ -344,6 +437,57 @@ bool FaultInjector::sample_dropped(int machine, TimeNs t) const {
     if (window_active(i, machine, t)) return true;
   }
   return false;
+}
+
+bool FaultInjector::partitioned(int a, int b, TimeNs t) const {
+  if (spec_.events.empty()) return false;
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    const FaultEvent& e = spec_.events[i];
+    if (e.kind != FaultKind::kPartition || !separates(e, a, b)) continue;
+    const Resolved& r = resolved_events_[i];
+    if (t >= r.begin && t < r.end) return true;
+  }
+  return false;
+}
+
+TimeNs FaultInjector::partition_heal_time(int a, int b, TimeNs t) const {
+  if (spec_.events.empty()) return t;
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  // Walk through chained/overlapping windows: each pass extends the heal
+  // time to the latest end of a window still covering it.
+  TimeNs heal = t;
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+      const FaultEvent& e = spec_.events[i];
+      if (e.kind != FaultKind::kPartition || !separates(e, a, b)) continue;
+      const Resolved& r = resolved_events_[i];
+      if (heal >= r.begin && heal < r.end) {
+        heal = r.end;
+        advanced = true;
+      }
+    }
+  }
+  return heal;
+}
+
+std::vector<std::pair<TimeNs, TimeNs>> FaultInjector::isolation_windows(
+    int machine) const {
+  if (spec_.events.empty()) return {};
+  G10_CHECK_MSG(resolved_, "FaultInjector::resolve() must run first");
+  std::vector<std::pair<TimeNs, TimeNs>> windows;
+  for (std::size_t i = 0; i < spec_.events.size(); ++i) {
+    const FaultEvent& e = spec_.events[i];
+    if (e.kind != FaultKind::kPartition) continue;
+    if (e.machine != machine || e.machine_b != FaultEvent::kAllMachines) {
+      continue;
+    }
+    windows.emplace_back(resolved_events_[i].begin, resolved_events_[i].end);
+  }
+  std::sort(windows.begin(), windows.end());
+  return windows;
 }
 
 std::vector<TimeNs> FaultInjector::nic_change_times() const {

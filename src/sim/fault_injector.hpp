@@ -8,13 +8,20 @@
 //   slow:w1@2s+3s:x0.5            machine 1 runs at 0.5x speed for 3s from t=2s
 //   nic:w0@10%+30%:x0.25:loss=0.2 NIC at 25% rate, 20% send loss, for a window
 //   drop:w3@30%+20%               machine 3's monitoring samples are dropped
+//   part:w0-w2@30%+20%            network partition between machines 0 and 2
 //
-// Events are comma- (or semicolon-) separated. Times and durations take an
-// `s` suffix (absolute simulated seconds) or a `%` suffix (fraction of the
-// engine's deterministic nominal-horizon estimate, resolved just before the
-// run). `w*` targets every machine (window kinds only; a crash needs a
-// specific victim). Engines consult a FaultInjector — a resolved FaultSpec
-// plus its own forked RNG stream — so that fault decisions never perturb the
+// Events are comma- (or semicolon-) separated; empty items between
+// separators (trailing commas, doubled separators, whitespace-only parts)
+// are normalized away, so `to_string()` always re-renders a canonical,
+// separator-tidy form. Times and durations take an `s` suffix (absolute
+// simulated seconds) or a `%` suffix (fraction of the engine's
+// deterministic nominal-horizon estimate, resolved just before the run).
+// `w*` targets every machine (window kinds only; a crash needs a specific
+// victim, and a partition's first endpoint must be concrete — its peer may
+// be `w*` to isolate one machine from the rest). Partitions require an
+// explicit `+dur`: an unreachable-forever machine is a crash, not a
+// partition. Engines consult a FaultInjector — a resolved FaultSpec plus
+// its own forked RNG stream — so that fault decisions never perturb the
 // engine's RNG sequence: a fault-free spec leaves a run byte-identical.
 #pragma once
 
@@ -22,6 +29,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -34,9 +42,10 @@ enum class FaultKind {
   kSlowdown,  ///< scale core_work_per_sec by `factor` inside the window
   kNicDegrade,  ///< scale NIC drain rate by `factor`, lose sends with p=loss
   kSampleDrop,  ///< suppress the machine's monitoring samples in the window
+  kPartition,  ///< drop all traffic between two machines for a window
 };
 
-/// Returns the spec-grammar tag ("crash", "slow", "nic", "drop").
+/// Returns the spec-grammar tag ("crash", "slow", "nic", "drop", "part").
 std::string_view fault_kind_name(FaultKind kind);
 
 /// A time coordinate as written in a spec: either absolute seconds or a
@@ -44,11 +53,14 @@ std::string_view fault_kind_name(FaultKind kind);
 struct FaultTime {
   double value = 0.0;    ///< seconds, or fraction in [0,1]-ish when percent
   bool percent = false;  ///< true when written with a `%` suffix
+
+  bool operator==(const FaultTime&) const = default;
 };
 
 struct FaultEvent {
   FaultKind kind = FaultKind::kSlowdown;
   int machine = 0;  ///< target machine, or kAllMachines for window kinds
+  int machine_b = kNoMachine;  ///< partition peer (may be kAllMachines)
   FaultTime at;     ///< event time (window start for window kinds)
   FaultTime duration;        ///< window length; ignored for crashes
   bool open_ended = false;   ///< no `+dur` given: window lasts to end of run
@@ -56,6 +68,9 @@ struct FaultEvent {
   double loss = 0.0;         ///< per-send loss probability (nic only)
 
   static constexpr int kAllMachines = -1;
+  static constexpr int kNoMachine = -2;  ///< machine_b for non-partitions
+
+  bool operator==(const FaultEvent&) const = default;
 };
 
 /// A parsed, unresolved fault schedule. Attached to ClusterSpec so that a
@@ -76,6 +91,8 @@ struct FaultSpec {
 
   /// Checks machine indices against the cluster size. Throws CheckError.
   void validate(int machine_count) const;
+
+  bool operator==(const FaultSpec&) const = default;
 };
 
 /// A FaultSpec resolved against a concrete run: percent times converted to
@@ -118,6 +135,20 @@ class FaultInjector {
 
   /// True when a sampler-dropout window covers (machine, t).
   bool sample_dropped(int machine, TimeNs t) const;
+
+  /// True when some active partition window separates machines a and b at
+  /// time t. A `part:wA-w*` event isolates A from every other machine.
+  bool partitioned(int a, int b, TimeNs t) const;
+
+  /// Earliest time >= t at which no partition window separates a and b
+  /// (chained/overlapping windows are walked through). Returns t itself
+  /// when the pair is currently connected.
+  TimeNs partition_heal_time(int a, int b, TimeNs t) const;
+
+  /// Resolved [begin, end) windows of `part:wA-w*` events that isolate
+  /// `machine` from every peer (and from the coordinator; the failure
+  /// detector builds its suspicion windows from these). Sorted by start.
+  std::vector<std::pair<TimeNs, TimeNs>> isolation_windows(int machine) const;
 
   /// Sorted, deduplicated boundary times of all NIC-degradation windows;
   /// engines schedule drain-rate updates at these instants.

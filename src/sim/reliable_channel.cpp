@@ -1,0 +1,144 @@
+#include "sim/reliable_channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace g10::sim {
+namespace {
+
+// Stateless uniform-[0,1) hash of (src, dst, seq, attempt): the per-attempt
+// timeout jitter. Deterministic and independent of any run RNG.
+double jitter01(int src, int dst, std::uint64_t seq, int attempt) {
+  std::uint64_t state = 0x51f2cde3a98d164bULL;
+  state += static_cast<std::uint64_t>(src + 1) * 0x9e3779b97f4a7c15ULL;
+  state += static_cast<std::uint64_t>(dst + 1) * 0xbf58476d1ce4e5b9ULL;
+  state += (seq + 1) * 0x94d049bb133111ebULL;
+  state += static_cast<std::uint64_t>(attempt + 1) * 0xd6e8feb86659fd93ULL;
+  const std::uint64_t bits = splitmix64_next(state);
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+TimeNs to_ns(double seconds) {
+  return static_cast<TimeNs>(
+      std::llround(seconds * static_cast<double>(kSecond)));
+}
+
+}  // namespace
+
+ReliableChannel::ReliableChannel(ReliableChannelConfig config,
+                                 FaultInjector* faults, int machine_count)
+    : config_(config), faults_(faults), machines_(machine_count) {
+  G10_CHECK_MSG(machine_count > 0, "channel needs at least one machine");
+  G10_CHECK_MSG(config_.timeout_seconds > 0.0,
+                "retransmit timeout must be positive");
+  G10_CHECK_MSG(config_.backoff >= 1.0, "backoff base must be >= 1");
+  G10_CHECK_MSG(config_.jitter >= 0.0, "timeout jitter must be >= 0");
+  G10_CHECK_MSG(config_.max_attempts >= 1, "retry budget must be >= 1");
+  next_seq_.assign(
+      static_cast<std::size_t>(machines_) * static_cast<std::size_t>(machines_),
+      0);
+  dead_.assign(static_cast<std::size_t>(machines_), 0);
+  stats_.assign(static_cast<std::size_t>(machines_), ChannelStats{});
+}
+
+void ReliableChannel::set_dead(int machine, bool dead) {
+  G10_CHECK(machine >= 0 && machine < machines_);
+  dead_[static_cast<std::size_t>(machine)] = dead ? 1 : 0;
+}
+
+bool ReliableChannel::attempt_lost(int src, int dst, TimeNs t) {
+  // Deterministic failures first so no RNG is drawn for them.
+  if (dead_[static_cast<std::size_t>(dst)] != 0) return true;
+  if (faults_ != nullptr && faults_->partitioned(src, dst, t)) return true;
+  return faults_ != nullptr && faults_->send_fails(src, t);
+}
+
+ReliableChannel::SendPlan ReliableChannel::plan_send(int src, int dst,
+                                                     TimeNs now) {
+  G10_CHECK(src >= 0 && src < machines_ && dst >= 0 && dst < machines_);
+  G10_CHECK_MSG(src != dst, "loopback traffic bypasses the channel");
+  ChannelStats& st = stats_[static_cast<std::size_t>(src)];
+  SendPlan plan;
+  plan.seq = next_seq_[static_cast<std::size_t>(src) *
+                           static_cast<std::size_t>(machines_) +
+                       static_cast<std::size_t>(dst)]++;
+  ++st.sends;
+  plan.wait_begin = now;
+  plan.wait_end = now;
+
+  // Absolute backstop against pathological fault schedules (chains of
+  // partitions interleaved with loss windows).
+  const int hard_cap = config_.max_attempts * 8;
+
+  bool delivered = false;  // payload already applied at the receiver
+  TimeNs t = now;
+  for (int attempt = 0;; ++attempt) {
+    plan.attempts.push_back(Attempt{t, false});
+    ++st.attempts;
+    bool lost = attempt_lost(src, dst, t);
+    if (!lost) {
+      if (delivered) {
+        ++plan.duplicates;
+        ++st.duplicates_dropped;
+      }
+      delivered = true;
+      // The ack crosses dst -> src and can be lost too; the receiver keeps
+      // the payload either way and dedups the retransmit that follows.
+      if (faults_ == nullptr || !faults_->send_fails(dst, t)) {
+        plan.complete = t;
+        break;
+      }
+      lost = true;
+    }
+    plan.attempts.back().lost = true;
+    ++st.losses;
+
+    const double exponent = static_cast<double>(std::min(attempt, 16));
+    const double timeout = config_.timeout_seconds *
+                           std::pow(config_.backoff, exponent) *
+                           (1.0 + config_.jitter *
+                                      jitter01(src, dst, plan.seq, attempt));
+    TimeNs next = t + to_ns(timeout);
+    if (attempt + 1 >= config_.max_attempts) {
+      if (dead_[static_cast<std::size_t>(dst)] != 0) {
+        // A dead peer exhausts the real budget; recovery (triggered by the
+        // failure detector) re-executes from a snapshot, so the payload is
+        // abandoned rather than forced.
+        plan.gave_up = true;
+        plan.complete = next;
+        break;
+      }
+      if (attempt + 1 < hard_cap && faults_ != nullptr &&
+          faults_->partitioned(src, dst, next)) {
+        // Ride the partition out: hold the transfer open and retransmit
+        // as soon as the link heals.
+        next = faults_->partition_heal_time(src, dst, next);
+      } else {
+        // Plain loss exhausted the budget: force the payload through on a
+        // final attempt (the transport's reliable slow path), keeping
+        // algorithm output independent of the loss schedule.
+        plan.attempts.push_back(Attempt{next, false});
+        ++st.attempts;
+        ++st.forced;
+        if (delivered) {
+          ++plan.duplicates;
+          ++st.duplicates_dropped;
+        }
+        plan.complete = next;
+        break;
+      }
+    }
+    t = next;
+  }
+
+  if (plan.attempts.size() > 1) {
+    plan.wait_end = plan.complete;
+    st.backoff_wait += plan.wait_end - plan.wait_begin;
+  }
+  return plan;
+}
+
+}  // namespace g10::sim

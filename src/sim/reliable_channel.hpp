@@ -1,0 +1,110 @@
+// Reliable at-least-once messaging over the fluid-queue NIC model.
+//
+// The engines' data planes deliver message *payloads* logically (the
+// simulated algorithms exchange values in-memory); what the channel adds is
+// the reliability layer's timing and cost: per-(src,dst) sequence numbers,
+// positive acks, retransmission on loss with exponential backoff and
+// deterministic jitter, a bounded retry budget, and receiver-side dedup so
+// retransmitted payloads apply effectively once. A send is *planned*
+// synchronously against the fault injector: the plan lists every
+// transmission attempt (each costs the payload bytes on the sender's NIC
+// queue — retransmits are not free), the contiguous backoff wait the sender
+// blocks through (engines emit it as a `Retry` blocking event at the time
+// the wait completes, so a crash mid-wait never leaves a dangling block),
+// and the completion time at which the sender holds the ack.
+//
+// Determinism: with no fault events the channel plans every send as a
+// single immediate attempt with no wait and consumes no RNG, so attaching
+// an empty FaultSpec leaves the host run byte-identical. Loss draws
+// delegate to FaultInjector::send_fails, which draws only inside active
+// loss windows.
+//
+// Partitions and dead peers fail attempts deterministically (no RNG).
+// When the retry budget runs out while the link is partitioned, the sender
+// holds the transfer open and retransmits once the partition heals — the
+// extra wait is part of the plan, so `part:` windows are ridden out rather
+// than surfaced as errors. Against a peer marked dead the budget is real:
+// the plan ends unacked with `gave_up` set and the caller moves on (the
+// failure detector will fire recovery and the step is re-executed from a
+// snapshot, so the lost payload cannot corrupt the output). When the
+// budget runs out on plain loss the transfer is forced through on one
+// final attempt (modeling the transport escalating to a reliable slow
+// path), which keeps algorithm output independent of loss schedules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace g10::sim {
+
+struct ReliableChannelConfig {
+  double timeout_seconds = 0.02;  ///< first retransmit timeout
+  double backoff = 2.0;           ///< exponential backoff base
+  double jitter = 0.25;           ///< deterministic timeout jitter fraction
+  int max_attempts = 4;           ///< transmissions before the budget ends
+};
+
+/// Per-sender counters, for tests and reports.
+struct ChannelStats {
+  std::int64_t sends = 0;      ///< logical sends initiated
+  std::int64_t attempts = 0;   ///< transmissions including retransmits
+  std::int64_t losses = 0;     ///< attempts lost (loss window, partition,
+                               ///< dead peer)
+  std::int64_t duplicates_dropped = 0;  ///< receiver-side dedups (lost acks)
+  std::int64_t forced = 0;     ///< budget-exhausted forced deliveries
+  TimeNs backoff_wait = 0;     ///< total sender wait time
+};
+
+class ReliableChannel {
+ public:
+  struct Attempt {
+    TimeNs at = 0;     ///< transmission instant (enqueue on the src NIC)
+    bool lost = false; ///< data or ack lost; a retransmit follows
+  };
+
+  /// The resolved timing of one logical send.
+  struct SendPlan {
+    std::vector<Attempt> attempts;  ///< at least one; ordered by time
+    TimeNs wait_begin = 0;  ///< backoff wait interval; empty when
+    TimeNs wait_end = 0;    ///< wait_end == wait_begin (first-try ack)
+    TimeNs complete = 0;    ///< sender holds the ack (or gives up)
+    std::uint64_t seq = 0;  ///< per-(src,dst) sequence number
+    int duplicates = 0;     ///< payload copies the receiver deduped
+    bool gave_up = false;   ///< budget exhausted against a dead peer
+
+    bool waited() const { return wait_end > wait_begin; }
+  };
+
+  ReliableChannel() = default;
+  ReliableChannel(ReliableChannelConfig config, FaultInjector* faults,
+                  int machine_count);
+
+  /// True when no fault events exist: every plan is a single immediate
+  /// attempt and callers may skip per-destination bookkeeping entirely.
+  bool trivial() const { return faults_ == nullptr || faults_->empty(); }
+
+  /// Plans the delivery of one logical message from src to dst starting at
+  /// `now`. Each listed attempt costs the payload bytes on the src NIC.
+  SendPlan plan_send(int src, int dst, TimeNs now);
+
+  /// Marks a machine dead (crashed) / alive again after recovery. Sends to
+  /// a dead machine fail deterministically.
+  void set_dead(int machine, bool dead);
+
+  const ChannelStats& stats(int machine) const { return stats_[machine]; }
+
+ private:
+  bool attempt_lost(int src, int dst, TimeNs t);
+
+  ReliableChannelConfig config_;
+  FaultInjector* faults_ = nullptr;
+  int machines_ = 0;
+  std::vector<std::uint64_t> next_seq_;  ///< machines_^2, row-major (src,dst)
+  std::vector<char> dead_;
+  std::vector<ChannelStats> stats_;
+};
+
+}  // namespace g10::sim

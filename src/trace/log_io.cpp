@@ -38,17 +38,45 @@ void write_monitoring_sample(std::ostream& os,
      << '\t' << format_double(rec.value) << '\n';
 }
 
+void write_log_meta(std::ostream& os, const LogMeta& meta) {
+  os << "META\t" << meta.first << '\t' << meta.second << '\n';
+}
+
 void write_log(std::ostream& os,
                const std::vector<PhaseEventRecord>& phase_events,
                const std::vector<BlockingEventRecord>& blocking_events,
-               const std::vector<MonitoringSampleRecord>& samples) {
+               const std::vector<MonitoringSampleRecord>& samples,
+               const std::vector<LogMeta>& meta) {
   os << "# grade10 trace log v1\n";
+  for (const auto& rec : meta) write_log_meta(os, rec);
   for (const auto& rec : phase_events) write_phase_event(os, rec);
   for (const auto& rec : blocking_events) write_blocking_event(os, rec);
   for (const auto& rec : samples) write_monitoring_sample(os, rec);
 }
 
+std::optional<std::string> ParsedLog::meta_value(std::string_view key) const {
+  for (const auto& [k, v] : meta) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
 namespace {
+
+std::optional<std::string> parse_meta_line(
+    const std::vector<std::string_view>& fields, ParsedLog& out) {
+  if (fields.size() < 3) return "META record needs key and value";
+  if (fields[1].empty()) return "empty META key";
+  // The value is everything after the second tab (values never contain
+  // tabs in practice, but a split-happy reader must not lose data).
+  std::string value(fields[2]);
+  for (std::size_t i = 3; i < fields.size(); ++i) {
+    value += '\t';
+    value += fields[i];
+  }
+  out.meta.emplace_back(std::string(fields[1]), std::move(value));
+  return std::nullopt;
+}
 
 std::optional<std::string> parse_phase_line(
     const std::vector<std::string_view>& fields, ParsedLog& out) {
@@ -146,6 +174,8 @@ ChunkResult parse_chunk(std::string_view text, const ParseOptions& options) {
     std::optional<std::string> error;
     if (fields[0] == "PHASE") {
       error = parse_phase_line(fields, out.log);
+    } else if (fields[0] == "META") {
+      error = parse_meta_line(fields, out.log);
     } else if (fields[0] == "BLOCK") {
       error = parse_block_line(fields, out.log);
     } else if (fields[0] == "SAMPLE") {
@@ -235,6 +265,8 @@ ParseResult parse_log_text(std::string_view text,
 
   std::size_t line_offset = 0;
   for (ChunkResult& chunk : parsed) {
+    std::move(chunk.log.meta.begin(), chunk.log.meta.end(),
+              std::back_inserter(result.log.meta));
     std::move(chunk.log.phase_events.begin(), chunk.log.phase_events.end(),
               std::back_inserter(result.log.phase_events));
     std::move(chunk.log.blocking_events.begin(),

@@ -1,10 +1,13 @@
 // Text serialization of the trace record types.
 //
 // Format: one record per line, tab-separated, leading record-type token:
+//   META   <key>  <value>
 //   PHASE  <B|E>  <path>      <time_ns>  <machine>
 //   BLOCK  <resource>  <path>  <begin_ns>  <end_ns>  <machine>
 //   SAMPLE <resource>  <machine>  <time_ns>  <value>
-// Lines starting with '#' and blank lines are ignored. The parser reports
+// META records carry run provenance (e.g. the fault spec a run was injected
+// with, key "faults"); tools like the trace linter cross-check trace content
+// against them. Lines starting with '#' and blank lines are ignored. The parser reports
 // malformed lines with their line number and the offending text; in
 // recovery mode it skips bad lines and keeps going (collecting up to
 // ParseOptions::max_errors diagnostics) instead of stopping at the first —
@@ -23,28 +26,41 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "trace/records.hpp"
 
 namespace g10::trace {
 
+/// One META record: run provenance embedded in the log ("faults" carries
+/// the canonical fault-spec string the run was injected with).
+using LogMeta = std::pair<std::string, std::string>;
+
 void write_phase_event(std::ostream& os, const PhaseEventRecord& rec);
 void write_blocking_event(std::ostream& os, const BlockingEventRecord& rec);
 void write_monitoring_sample(std::ostream& os,
                              const MonitoringSampleRecord& rec);
+void write_log_meta(std::ostream& os, const LogMeta& meta);
 
 /// Writes all loggable records of a run (phase events, blocking events) plus
-/// the given monitoring samples, in a stable order.
+/// the given monitoring samples, in a stable order. META records, when
+/// given, come right after the header; the default keeps existing callers'
+/// output byte-identical.
 void write_log(std::ostream& os,
                const std::vector<PhaseEventRecord>& phase_events,
                const std::vector<BlockingEventRecord>& blocking_events,
-               const std::vector<MonitoringSampleRecord>& samples);
+               const std::vector<MonitoringSampleRecord>& samples,
+               const std::vector<LogMeta>& meta = {});
 
 struct ParsedLog {
+  std::vector<LogMeta> meta;
   std::vector<PhaseEventRecord> phase_events;
   std::vector<BlockingEventRecord> blocking_events;
   std::vector<MonitoringSampleRecord> samples;
+
+  /// Value of the first META record with `key`, if any.
+  std::optional<std::string> meta_value(std::string_view key) const;
 };
 
 struct ParseError {

@@ -240,13 +240,73 @@ TEST(GasFaultTest, SlowdownStretchesMakespanWithoutChangingOutput) {
   expect_values_near(slowed.vertex_values, baseline.vertex_values, 0.0);
 }
 
-TEST(GasFaultTest, RejectsUnsupportedFaultKinds) {
+TEST(GasFaultTest, CrashRecoveryConvergesToReference) {
+  const auto g = small_graph();
   auto cfg = small_config();
   const auto spec = sim::FaultSpec::parse("crash:w0@40%");
   ASSERT_TRUE(spec.has_value());
   cfg.cluster.faults = *spec;
   const GasEngine engine(cfg);
-  EXPECT_THROW(engine.run(small_graph(), PageRank(2)), CheckError);
+  const auto result = engine.run(g, PageRank(8));
+  // Snapshot restore + re-execution must not perturb algorithm output.
+  expect_values_near(result.vertex_values,
+                     algorithms::pagerank_reference(g, 8), 1e-9);
+
+  // The reconciled crash log stays balanced, has Recovery/Checkpoint
+  // phases, and reports the downtime as Recovery blocking events.
+  std::map<std::string, int> open;
+  bool saw_recovery_phase = false;
+  for (const auto& event : result.phase_events) {
+    open[event.path.to_string()] +=
+        event.kind == trace::PhaseEventRecord::Kind::Begin ? 1 : -1;
+    for (const auto& element : event.path.elements) {
+      if (element.type == "Recovery") saw_recovery_phase = true;
+    }
+  }
+  for (const auto& [key, count] : open) EXPECT_EQ(count, 0) << key;
+  EXPECT_TRUE(saw_recovery_phase);
+  bool saw_recovery_block = false;
+  for (const auto& block : result.blocking_events) {
+    if (block.resource == gas_names::kRecovery) saw_recovery_block = true;
+  }
+  EXPECT_TRUE(saw_recovery_block);
+}
+
+TEST(GasFaultTest, PartitionIsRiddenOutWithRetries) {
+  const auto g = small_graph();
+  const GasEngine baseline_engine(small_config());
+  const auto baseline = baseline_engine.run(g, PageRank(6));
+  auto cfg = small_config();
+  const auto spec = sim::FaultSpec::parse("part:w0-w1@20%+25%");
+  ASSERT_TRUE(spec.has_value());
+  cfg.cluster.faults = *spec;
+  const GasEngine engine(cfg);
+  const auto result = engine.run(g, PageRank(6));
+  bool saw_retry = false;
+  for (const auto& block : result.blocking_events) {
+    if (block.resource == gas_names::kRetry) saw_retry = true;
+  }
+  EXPECT_TRUE(saw_retry);
+  EXPECT_GT(result.makespan, baseline.makespan);
+  expect_values_near(result.vertex_values, baseline.vertex_values, 1e-12);
+}
+
+TEST(GasFaultTest, LossyNicCausesRetryBlocksWithoutChangingOutput) {
+  const auto g = small_graph();
+  const GasEngine baseline_engine(small_config());
+  const auto baseline = baseline_engine.run(g, PageRank(6));
+  auto cfg = small_config();
+  const auto spec = sim::FaultSpec::parse("nic:w*@0s:x0.5:loss=0.4");
+  ASSERT_TRUE(spec.has_value());
+  cfg.cluster.faults = *spec;
+  const GasEngine engine(cfg);
+  const auto result = engine.run(g, PageRank(6));
+  bool saw_retry = false;
+  for (const auto& block : result.blocking_events) {
+    if (block.resource == gas_names::kRetry) saw_retry = true;
+  }
+  EXPECT_TRUE(saw_retry);
+  expect_values_near(result.vertex_values, baseline.vertex_values, 1e-12);
 }
 
 }  // namespace

@@ -256,7 +256,9 @@ TEST(PregelFaultTest, CrashEmitsRecoveryBlocksAndTruncatedPhases) {
   const auto g = small_graph();
   const PregelEngine baseline_engine(small_config());
   const auto baseline = baseline_engine.run(g, PageRank(8));
-  const PregelEngine engine(faulted_config("crash:w1@40%"));
+  PregelConfig cfg = faulted_config("crash:w1@40%");
+  cfg.crash_log = CrashLogStyle::kTruncated;
+  const PregelEngine engine(cfg);
   const auto result = engine.run(g, PageRank(8));
   // The recovery window shows up as blocked time.
   bool has_recovery = false;
@@ -275,6 +277,52 @@ TEST(PregelFaultTest, CrashEmitsRecoveryBlocksAndTruncatedPhases) {
   EXPECT_GT(truncated, 0);
   // Recovery + re-execution costs time.
   EXPECT_GT(result.makespan, baseline.makespan);
+}
+
+TEST(PregelFaultTest, ReconciledCrashLogStaysBalanced) {
+  // With the default CrashLogStyle::kReconciled, a crash run still emits a
+  // balanced log (every BEGIN has an END) so strict analysis succeeds, and
+  // the lost time is visible as Recovery blocking instead.
+  const auto g = small_graph();
+  const PregelEngine engine(faulted_config("crash:w1@40%"));
+  const auto result = engine.run(g, PageRank(8));
+  std::map<std::string, int> open;
+  for (const auto& event : result.phase_events) {
+    open[event.path.to_string()] +=
+        event.kind == trace::PhaseEventRecord::Kind::Begin ? 1 : -1;
+  }
+  for (const auto& [key, count] : open) EXPECT_EQ(count, 0) << key;
+  bool has_recovery = false;
+  for (const auto& block : result.blocking_events) {
+    if (block.resource == pregel_names::kRecovery) has_recovery = true;
+  }
+  EXPECT_TRUE(has_recovery);
+  expect_values_near(result.vertex_values,
+                     algorithms::pagerank_reference(g, 8), 1e-9);
+}
+
+TEST(PregelFaultTest, PartitionIsRiddenOutWithRetries) {
+  // A temporary network partition between two workers delays their traffic
+  // (Retry blocking while the channel waits for the link to heal) but the
+  // output and the log stay intact.
+  const auto g = small_graph();
+  const PregelEngine baseline_engine(small_config());
+  const auto baseline = baseline_engine.run(g, PageRank(6));
+  const PregelEngine engine(faulted_config("part:w0-w1@20%+25%"));
+  const auto result = engine.run(g, PageRank(6));
+  bool has_retry = false;
+  for (const auto& block : result.blocking_events) {
+    if (block.resource == pregel_names::kRetry) has_retry = true;
+  }
+  EXPECT_TRUE(has_retry);
+  EXPECT_GT(result.makespan, baseline.makespan);
+  std::map<std::string, int> open;
+  for (const auto& event : result.phase_events) {
+    open[event.path.to_string()] +=
+        event.kind == trace::PhaseEventRecord::Kind::Begin ? 1 : -1;
+  }
+  for (const auto& [key, count] : open) EXPECT_EQ(count, 0) << key;
+  expect_values_near(result.vertex_values, baseline.vertex_values, 1e-12);
 }
 
 TEST(PregelFaultTest, FaultScheduleIsDeterministic) {

@@ -226,6 +226,8 @@ INSTANTIATE_TEST_SUITE_P(
                     "trace-blocking-unknown-resource", true},
         FixtureCase{"trace-blocking-consumable-resource.log",
                     "trace-blocking-consumable-resource", false},
+        FixtureCase{"trace-fault-blocking-without-spec.log",
+                    "trace-fault-blocking-without-spec", false},
         FixtureCase{"trace-orphan-machine.log", "trace-orphan-machine",
                     false},
         FixtureCase{"trace-sample-nonmonotonic.log",
@@ -239,6 +241,23 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"trace-sample-blocking-resource.log",
                     "trace-sample-blocking-resource", true},
         FixtureCase{"trace-sample-gap.log", "trace-sample-gap", false}));
+
+// The fault-provenance rule is silenced by a META faults record: the same
+// trace as the fixture, plus provenance, lints clean.
+TEST(TraceLintTest, FaultBlockingWithSpecIsClean) {
+  std::istringstream is(slurp(fixture_path("trace-model.g10")));
+  core::ModelParseResult model = core::parse_model(is);
+  ASSERT_TRUE(model.ok());
+  const trace::ParseResult parsed = trace::parse_log_text(
+      "META\tfaults\tcrash:w1@40%\n"
+      "PHASE\tB\tJob.0\t0\t-1\n"
+      "PHASE\tE\tJob.0\t100\t-1\n"
+      "BLOCK\tRetry\tJob.0\t10\t20\t-1\n");
+  ASSERT_TRUE(parsed.ok());
+  const LintReport report = lint_trace(model.model, parsed.log, {}, "<mem>");
+  EXPECT_FALSE(report.has_rule("trace-fault-blocking-without-spec"));
+  EXPECT_TRUE(report.clean());
+}
 
 // ---------------------------------------------------------------------------
 // Clean corpus: the shipped example models and a real engine run must not

@@ -64,18 +64,27 @@ TEST(GasModelTest, StructureIsValidAndComplete) {
        {"Job", "LoadGraph", "Execute", "Iteration", "GatherStep",
         "WorkerGather", "GatherThread", "ApplyStep", "WorkerApply",
         "ApplyThread", "ScatterStep", "WorkerScatter", "ScatterThread",
-        "ExchangeStep", "WorkerExchange", "StoreResults", "StoreWorker"}) {
+        "ExchangeStep", "WorkerExchange", "Checkpoint", "CheckpointWorker",
+        "Recovery", "RecoveryWorker", "StoreResults", "StoreWorker"}) {
     EXPECT_NE(m.execution.find(name), kNoPhaseType) << name;
   }
   EXPECT_TRUE(m.execution.type(m.execution.find("Iteration")).repeated);
+  EXPECT_TRUE(m.execution.type(m.execution.find("Recovery")).repeated);
+  EXPECT_TRUE(m.execution.type(m.execution.find("RecoveryWorker")).wait);
 }
 
-TEST(GasModelTest, NoBlockingResources) {
-  // PowerGraph is native C++: no GC, no queue stalls (paper §IV-C).
+TEST(GasModelTest, OnlyFaultHandlingBlockingResources) {
+  // PowerGraph is native C++: no GC, no queue stalls (paper §IV-C). The
+  // only blocking resources are the fault-handling pair shared with the
+  // Pregel model (Retry retransmit backoff, Recovery restart downtime).
   const FrameworkModel m = make_gas_model({});
-  EXPECT_TRUE(m.resources.blockings().empty());
   EXPECT_EQ(m.gc, kNoResource);
   EXPECT_EQ(m.message_queue, kNoResource);
+  EXPECT_NE(m.recovery, kNoResource);
+  EXPECT_NE(m.retry, kNoResource);
+  EXPECT_EQ(m.resources.blockings().size(), 2u);
+  EXPECT_EQ(m.resources.resource(m.recovery).kind, ResourceKind::kBlocking);
+  EXPECT_EQ(m.resources.resource(m.retry).kind, ResourceKind::kBlocking);
 }
 
 TEST(GasModelTest, StepsAreOrdered) {

@@ -174,25 +174,21 @@ TEST(PipelineTest, CheckedReportsMissingInputsWithoutThrowing) {
   EXPECT_FALSE(checked.result.has_value());
 }
 
-TEST(PipelineTest, FaultedPregelNeedsLenientAndReportsRecoveryIssue) {
+engine::PregelConfig crashed_pregel_config() {
   engine::PregelConfig cfg;
   cfg.cluster.machine_count = 2;
   cfg.cluster.machine.cores = 4;
   cfg.seed = 9;
   const auto spec = sim::FaultSpec::parse("crash:w1@40%");
-  ASSERT_TRUE(spec.has_value());
-  cfg.cluster.faults = *spec;
-  const engine::PregelEngine engine(cfg);
-  const auto artifacts = engine.run(workload_graph(), algorithms::PageRank(6));
-  const auto samples = monitor::sample_ground_truth(
-      artifacts.ground_truth, 50 * kMillisecond, artifacts.makespan);
+  EXPECT_TRUE(spec.has_value());
+  if (spec) cfg.cluster.faults = *spec;
+  return cfg;
+}
 
-  PregelModelParams params;
-  params.cores = cfg.cluster.machine.cores;
-  params.threads = cfg.effective_threads();
-  params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
-  const FrameworkModel model = make_pregel_model(params);
-
+CharacterizationInput pregel_input(const engine::PregelConfig& cfg,
+                                   const trace::RunArtifacts& artifacts,
+                                   const std::vector<trace::MonitoringSampleRecord>& samples,
+                                   const FrameworkModel& model) {
   CharacterizationInput input;
   input.model = &model.execution;
   input.resources = &model.resources;
@@ -202,6 +198,56 @@ TEST(PipelineTest, FaultedPregelNeedsLenientAndReportsRecoveryIssue) {
   input.samples = samples;
   input.config.timeslice = 10 * kMillisecond;
   input.config.min_issue_impact = 0.0;
+  return input;
+}
+
+FrameworkModel crashed_pregel_model(const engine::PregelConfig& cfg) {
+  PregelModelParams params;
+  params.cores = cfg.cluster.machine.cores;
+  params.threads = cfg.effective_threads();
+  params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
+  return make_pregel_model(params);
+}
+
+TEST(PipelineTest, FaultedPregelStrictSucceedsAndReportsRecoveryIssue) {
+  // With the default reconciled crash log the trace stays balanced, so
+  // STRICT ingestion succeeds and recovery is attributed, no repair needed.
+  const engine::PregelConfig cfg = crashed_pregel_config();
+  const engine::PregelEngine engine(cfg);
+  const auto artifacts = engine.run(workload_graph(), algorithms::PageRank(6));
+  const auto samples = monitor::sample_ground_truth(
+      artifacts.ground_truth, 50 * kMillisecond, artifacts.makespan);
+  const FrameworkModel model = crashed_pregel_model(cfg);
+  CharacterizationInput input = pregel_input(cfg, artifacts, samples, model);
+
+  const CheckedCharacterization strict = characterize_checked(input);
+  ASSERT_TRUE(strict.status.ok())
+      << (strict.status.errors.empty() ? "" : strict.status.errors.front());
+  ASSERT_TRUE(strict.result.has_value());
+  EXPECT_EQ(strict.result->trace.degraded_count(), 0u);
+
+  // Crash recovery shows up as its own detected issue with real impact.
+  bool found_fault_issue = false;
+  for (const auto& issue : strict.result->issues) {
+    if (issue.kind == IssueKind::kFaultRecovery) {
+      found_fault_issue = true;
+      EXPECT_GT(issue.impact, 0.0);
+    }
+  }
+  EXPECT_TRUE(found_fault_issue);
+}
+
+TEST(PipelineTest, TruncatedCrashLogNeedsLenientAndReportsRecoveryIssue) {
+  // CrashLogStyle::kTruncated reproduces a raw crashed logger; only the
+  // lenient repair path can characterize such a trace.
+  engine::PregelConfig cfg = crashed_pregel_config();
+  cfg.crash_log = engine::CrashLogStyle::kTruncated;
+  const engine::PregelEngine engine(cfg);
+  const auto artifacts = engine.run(workload_graph(), algorithms::PageRank(6));
+  const auto samples = monitor::sample_ground_truth(
+      artifacts.ground_truth, 50 * kMillisecond, artifacts.makespan);
+  const FrameworkModel model = crashed_pregel_model(cfg);
+  CharacterizationInput input = pregel_input(cfg, artifacts, samples, model);
 
   // Strict ingestion fails on the truncated phases the crash left behind.
   const CheckedCharacterization strict = characterize_checked(input);
@@ -217,7 +263,6 @@ TEST(PipelineTest, FaultedPregelNeedsLenientAndReportsRecoveryIssue) {
   EXPECT_GT(lenient.result->trace.degraded_count(), 0u);
   EXPECT_FALSE(lenient.status.warnings.empty());
 
-  // Crash recovery shows up as its own detected issue with real impact.
   bool found_fault_issue = false;
   for (const auto& issue : lenient.result->issues) {
     if (issue.kind == IssueKind::kFaultRecovery) {

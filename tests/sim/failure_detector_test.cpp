@@ -1,0 +1,93 @@
+#include "sim/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_injector.hpp"
+
+namespace g10::sim {
+namespace {
+
+FailureDetectorConfig config_with_seed(std::uint64_t seed) {
+  FailureDetectorConfig cfg;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(FailureDetectorTest, HeartbeatsAreStrictlyIncreasing) {
+  const FailureDetector fd(config_with_seed(3), nullptr);
+  for (int m = 0; m < 3; ++m) {
+    TimeNs prev = -1;
+    for (int k = 0; k < 200; ++k) {
+      const TimeNs t = fd.heartbeat_time(m, k);
+      EXPECT_GT(t, prev) << "machine " << m << " beat " << k;
+      prev = t;
+    }
+  }
+}
+
+TEST(FailureDetectorTest, HeartbeatScheduleIsDeterministicPerSeed) {
+  const FailureDetector a(config_with_seed(7), nullptr);
+  const FailureDetector b(config_with_seed(7), nullptr);
+  const FailureDetector c(config_with_seed(8), nullptr);
+  bool any_differs = false;
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_EQ(a.heartbeat_time(0, k), b.heartbeat_time(0, k));
+    if (a.heartbeat_time(0, k) != c.heartbeat_time(0, k)) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(FailureDetectorTest, LastHeartbeatLookupMatchesSchedule) {
+  const FailureDetector fd(config_with_seed(5), nullptr);
+  const TimeNs t3 = fd.heartbeat_time(1, 3);
+  const TimeNs t4 = fd.heartbeat_time(1, 4);
+  EXPECT_EQ(fd.last_heartbeat_at_or_before(1, t3), t3);
+  EXPECT_EQ(fd.last_heartbeat_at_or_before(1, t4 - 1), t3);
+  EXPECT_EQ(fd.last_heartbeat_at_or_before(1, fd.heartbeat_time(1, 0) - 1), 0);
+}
+
+TEST(FailureDetectorTest, DetectionLagsCrashByBoundedSilenceWindow) {
+  FailureDetectorConfig cfg = config_with_seed(11);
+  const FailureDetector fd(cfg, nullptr);
+  const TimeNs timeout =
+      static_cast<TimeNs>(cfg.timeout_seconds * static_cast<double>(kSecond));
+  const TimeNs max_gap = static_cast<TimeNs>(
+      cfg.interval_seconds * (1.0 + cfg.jitter) * static_cast<double>(kSecond));
+  for (TimeNs crash = kSecond / 10; crash < 2 * kSecond;
+       crash += kSecond / 7) {
+    const TimeNs detect = fd.detect_time(0, crash);
+    // The coordinator cannot know before the crash, and must notice within
+    // one heartbeat gap plus the timeout.
+    EXPECT_GE(detect, crash);
+    EXPECT_LE(detect, crash + max_gap + timeout);
+  }
+}
+
+TEST(FailureDetectorTest, PairwisePartitionRaisesNoSuspicion) {
+  const auto spec = FaultSpec::parse("part:w0-w2@1s+2s");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  const FailureDetector fd(config_with_seed(3), &inj);
+  EXPECT_TRUE(fd.suspicion_windows(0).empty());
+  EXPECT_TRUE(fd.suspicion_windows(2).empty());
+}
+
+TEST(FailureDetectorTest, IsolationPartitionOpensSuspicionUntilHeal) {
+  const auto spec = FaultSpec::parse("part:w1-w*@2s+1s");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  const FailureDetector fd(config_with_seed(3), &inj);
+  const auto windows = fd.suspicion_windows(1);
+  ASSERT_EQ(windows.size(), 1u);
+  // Suspicion opens a timeout after the last pre-partition heartbeat and is
+  // refuted by the first post-heal heartbeat.
+  EXPECT_GT(windows[0].first, 2 * kSecond);
+  EXPECT_GE(windows[0].second, 3 * kSecond);
+  EXPECT_LT(windows[0].first, windows[0].second);
+  EXPECT_TRUE(fd.suspicion_windows(0).empty());
+}
+
+}  // namespace
+}  // namespace g10::sim

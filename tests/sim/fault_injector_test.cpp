@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/check.hpp"
+#include "common/rng.hpp"
 
 namespace g10::sim {
 namespace {
@@ -76,6 +80,118 @@ TEST(FaultSpecTest, ValidateChecksMachineIndices) {
   ASSERT_TRUE(spec.has_value());
   EXPECT_NO_THROW(spec->validate(6));
   EXPECT_THROW(spec->validate(4), CheckError);
+}
+
+TEST(FaultSpecTest, ParsesPartitionEvents) {
+  const auto spec = FaultSpec::parse("part:w0-w2@30%+20%,part:w1-w*@2s+1s");
+  ASSERT_TRUE(spec.has_value());
+  ASSERT_EQ(spec->events.size(), 2u);
+  EXPECT_EQ(spec->events[0].kind, FaultKind::kPartition);
+  EXPECT_EQ(spec->events[0].machine, 0);
+  EXPECT_EQ(spec->events[0].machine_b, 2);
+  EXPECT_TRUE(spec->events[0].at.percent);
+  EXPECT_EQ(spec->events[1].machine, 1);
+  EXPECT_EQ(spec->events[1].machine_b, FaultEvent::kAllMachines);
+  EXPECT_TRUE(spec->has_kind(FaultKind::kPartition));
+}
+
+TEST(FaultSpecTest, RejectsMalformedPartitions) {
+  // A partition needs two endpoints, a bounded window, and a concrete
+  // first endpoint; an endpoint cannot be partitioned from itself.
+  EXPECT_FALSE(FaultSpec::parse("part:w0@1s+1s").has_value());
+  EXPECT_FALSE(FaultSpec::parse("part:w0-w1@1s").has_value());
+  EXPECT_FALSE(FaultSpec::parse("part:w*-w1@1s+1s").has_value());
+  EXPECT_FALSE(FaultSpec::parse("part:w1-w1@1s+1s").has_value());
+  EXPECT_FALSE(FaultSpec::parse("part:w0-w1@1s+1s:x0.5").has_value());
+  EXPECT_FALSE(FaultSpec::parse("part:w0-w1@1s+1s:loss=0.5").has_value());
+}
+
+TEST(FaultSpecTest, PartitionValidateChecksBothEndpoints) {
+  const auto spec = FaultSpec::parse("part:w0-w5@1s+1s");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_NO_THROW(spec->validate(6));
+  EXPECT_THROW(spec->validate(5), CheckError);
+}
+
+// Property test: rendering a parsed spec and re-parsing it must reproduce
+// the spec exactly (operator==), across a generated grammar corpus.
+TEST(FaultSpecTest, ParseToStringRoundTripProperty) {
+  Rng rng(20260805);
+  const auto render_time = [&](bool percent, double value) {
+    std::string out = std::to_string(value);
+    out += percent ? "%" : "s";
+    return out;
+  };
+  for (int i = 0; i < 300; ++i) {
+    const int kind = static_cast<int>(rng.next_double() * 5.0);
+    const int a = static_cast<int>(rng.next_double() * 4.0);
+    const bool percent = rng.next_bool(0.5);
+    const double at = rng.next_double() * (percent ? 0.9 : 30.0);
+    const double dur = 0.1 + rng.next_double() * (percent ? 0.5 : 10.0);
+    const bool open_ended = rng.next_bool(0.3);
+    std::string text;
+    switch (kind) {
+      case 0:
+        text = "crash:w" + std::to_string(a) + "@" + render_time(percent, at);
+        break;
+      case 1:
+        text = "slow:w" + std::to_string(a) + "@" + render_time(percent, at);
+        if (!open_ended) text += "+" + render_time(percent, dur);
+        text += ":x0." + std::to_string(1 + static_cast<int>(
+                                                rng.next_double() * 8.0));
+        break;
+      case 2:
+        text = "nic:w" + std::to_string(a) + "@" + render_time(percent, at);
+        if (!open_ended) text += "+" + render_time(percent, dur);
+        text += ":x0.5";
+        if (rng.next_bool(0.5)) text += ":loss=0.25";
+        break;
+      case 3:
+        text = "drop:w" + std::to_string(a) + "@" + render_time(percent, at);
+        if (!open_ended) text += "+" + render_time(percent, dur);
+        break;
+      default: {
+        const int b = (a + 1 + static_cast<int>(rng.next_double() * 3.0)) % 8;
+        text = "part:w" + std::to_string(a) + "-w" + std::to_string(b) + "@" +
+               render_time(percent, at) + "+" + render_time(percent, dur);
+        break;
+      }
+    }
+    const auto spec = FaultSpec::parse(text);
+    ASSERT_TRUE(spec.has_value()) << text;
+    const auto again = FaultSpec::parse(spec->to_string());
+    ASSERT_TRUE(again.has_value()) << spec->to_string();
+    EXPECT_EQ(*spec, *again) << text << " -> " << spec->to_string();
+  }
+}
+
+TEST(FaultInjectorTest, PartitionQueriesAndHealTime) {
+  const auto spec = FaultSpec::parse("part:w0-w2@1s+2s,part:w0-w2@3s+1s");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  EXPECT_FALSE(inj.partitioned(0, 2, kSecond / 2));
+  EXPECT_TRUE(inj.partitioned(0, 2, 2 * kSecond));
+  EXPECT_TRUE(inj.partitioned(2, 0, 2 * kSecond));  // symmetric
+  EXPECT_FALSE(inj.partitioned(0, 1, 2 * kSecond));  // other pair
+  // Chained windows are walked through: [1s,3s) then [3s,4s).
+  EXPECT_EQ(inj.partition_heal_time(0, 2, 2 * kSecond), 4 * kSecond);
+  EXPECT_EQ(inj.partition_heal_time(0, 2, 5 * kSecond), 5 * kSecond);
+  EXPECT_FALSE(inj.partitioned(0, 2, 4 * kSecond));
+}
+
+TEST(FaultInjectorTest, IsolationWindowsComeFromWildcardPartitions) {
+  const auto spec = FaultSpec::parse("part:w1-w*@2s+1s,part:w0-w2@1s+1s");
+  ASSERT_TRUE(spec.has_value());
+  FaultInjector inj(*spec, 7);
+  inj.resolve(10 * kSecond);
+  const auto isolated = inj.isolation_windows(1);
+  ASSERT_EQ(isolated.size(), 1u);
+  EXPECT_EQ(isolated[0].first, 2 * kSecond);
+  EXPECT_EQ(isolated[0].second, 3 * kSecond);
+  // A pairwise partition does not isolate either endpoint.
+  EXPECT_TRUE(inj.isolation_windows(0).empty());
+  EXPECT_TRUE(inj.partitioned(1, 3, 2 * kSecond + 1));  // wildcard peer
 }
 
 TEST(FaultInjectorTest, ResolvesPercentTimesAgainstHorizon) {

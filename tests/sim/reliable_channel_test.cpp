@@ -1,0 +1,137 @@
+#include "sim/reliable_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/fault_injector.hpp"
+
+namespace g10::sim {
+namespace {
+
+FaultInjector make_injector(const char* spec_text, std::uint64_t seed = 7) {
+  const auto spec = FaultSpec::parse(spec_text);
+  EXPECT_TRUE(spec.has_value()) << spec_text;
+  FaultInjector inj(*spec, seed);
+  inj.resolve(10 * kSecond);
+  return inj;
+}
+
+TEST(ReliableChannelTest, TrivialWithoutFaultEvents) {
+  ReliableChannel none;
+  EXPECT_TRUE(none.trivial());
+  FaultInjector empty;
+  ReliableChannel ch(ReliableChannelConfig{}, &empty, 2);
+  EXPECT_TRUE(ch.trivial());
+  const auto plan = ch.plan_send(0, 1, kSecond);
+  ASSERT_EQ(plan.attempts.size(), 1u);
+  EXPECT_EQ(plan.attempts[0].at, kSecond);
+  EXPECT_FALSE(plan.attempts[0].lost);
+  EXPECT_EQ(plan.complete, kSecond);
+  EXPECT_FALSE(plan.waited());
+  EXPECT_FALSE(plan.gave_up);
+}
+
+TEST(ReliableChannelTest, SequenceNumbersArePerDirectedPair) {
+  FaultInjector empty;
+  ReliableChannel ch(ReliableChannelConfig{}, &empty, 3);
+  EXPECT_EQ(ch.plan_send(0, 1, 0).seq, 0u);
+  EXPECT_EQ(ch.plan_send(0, 1, 0).seq, 1u);
+  EXPECT_EQ(ch.plan_send(1, 0, 0).seq, 0u);
+  EXPECT_EQ(ch.plan_send(0, 2, 0).seq, 0u);
+}
+
+TEST(ReliableChannelTest, LossCausesBackoffRetransmits) {
+  // Near-total loss inside the window (the grammar caps loss below 1):
+  // some plan in a deterministic batch exhausts its budget, retries with
+  // growing gaps, and is finally forced through when the budget ends.
+  auto inj = make_injector("nic:w0@0s+10s:x1:loss=0.95");
+  ReliableChannelConfig cfg;
+  cfg.max_attempts = 3;
+  ReliableChannel ch(cfg, &inj, 2);
+  EXPECT_FALSE(ch.trivial());
+  ReliableChannel::SendPlan exhausted;
+  for (int i = 0; i < 200 && exhausted.attempts.empty(); ++i) {
+    const auto plan = ch.plan_send(0, 1, i * kMillisecond);
+    if (plan.attempts.size() == 4u) exhausted = plan;
+  }
+  // max_attempts lost transmissions plus the forced final delivery.
+  ASSERT_EQ(exhausted.attempts.size(), 4u);
+  EXPECT_TRUE(exhausted.attempts[0].lost);
+  EXPECT_TRUE(exhausted.waited());
+  EXPECT_EQ(exhausted.complete, exhausted.attempts.back().at);
+  EXPECT_FALSE(exhausted.gave_up);
+  // Exponential backoff: gaps grow monotonically.
+  const TimeNs gap1 = exhausted.attempts[1].at - exhausted.attempts[0].at;
+  const TimeNs gap2 = exhausted.attempts[2].at - exhausted.attempts[1].at;
+  EXPECT_GT(gap2, gap1);
+  EXPECT_GT(ch.stats(0).forced, 0);
+  EXPECT_GT(ch.stats(0).losses, 0);
+}
+
+TEST(ReliableChannelTest, PlansAreDeterministic) {
+  auto a = make_injector("nic:w*@0s+10s:x1:loss=0.5", 42);
+  auto b = make_injector("nic:w*@0s+10s:x1:loss=0.5", 42);
+  ReliableChannel ca(ReliableChannelConfig{}, &a, 2);
+  ReliableChannel cb(ReliableChannelConfig{}, &b, 2);
+  for (int i = 0; i < 50; ++i) {
+    const auto pa = ca.plan_send(0, 1, i * kMillisecond);
+    const auto pb = cb.plan_send(0, 1, i * kMillisecond);
+    ASSERT_EQ(pa.attempts.size(), pb.attempts.size());
+    EXPECT_EQ(pa.complete, pb.complete);
+    EXPECT_EQ(pa.duplicates, pb.duplicates);
+  }
+}
+
+TEST(ReliableChannelTest, PartitionIsRiddenOutPastTheBudget) {
+  auto inj = make_injector("part:w0-w1@1s+2s");
+  ReliableChannelConfig cfg;
+  cfg.max_attempts = 2;
+  ReliableChannel ch(cfg, &inj, 2);
+  const auto plan = ch.plan_send(0, 1, kSecond + 1);
+  // The transfer completes only after the partition heals at t=3s, without
+  // giving up, and the sender blocked the whole time.
+  EXPECT_FALSE(plan.gave_up);
+  EXPECT_GE(plan.complete, 3 * kSecond);
+  EXPECT_TRUE(plan.waited());
+  EXPECT_FALSE(plan.attempts.back().lost);
+  // Traffic on an unaffected pair is untouched (and draws no RNG).
+  ReliableChannel other(cfg, &inj, 3);
+  const auto fine = other.plan_send(0, 2, kSecond + 1);
+  EXPECT_EQ(fine.attempts.size(), 1u);
+  EXPECT_EQ(fine.complete, kSecond + 1);
+}
+
+TEST(ReliableChannelTest, DeadPeerExhaustsBudgetAndGivesUp) {
+  auto inj = make_injector("crash:w1@1s");
+  ReliableChannelConfig cfg;
+  cfg.max_attempts = 3;
+  ReliableChannel ch(cfg, &inj, 2);
+  ch.set_dead(1, true);
+  const auto plan = ch.plan_send(0, 1, 2 * kSecond);
+  EXPECT_TRUE(plan.gave_up);
+  EXPECT_EQ(plan.attempts.size(), 3u);
+  for (const auto& attempt : plan.attempts) EXPECT_TRUE(attempt.lost);
+  // Revived peer: sends succeed immediately again.
+  ch.set_dead(1, false);
+  const auto after = ch.plan_send(0, 1, 5 * kSecond);
+  EXPECT_FALSE(after.gave_up);
+  EXPECT_EQ(after.attempts.size(), 1u);
+}
+
+TEST(ReliableChannelTest, LostAckCausesDuplicateDelivery) {
+  // Loss applies to the receiver's outbound acks too (send_fails(dst, t)):
+  // the payload arrives (no loss window on w0), the ack from w1 is usually
+  // lost, and the retransmit that follows is deduped at the receiver.
+  auto inj = make_injector("nic:w1@0s+10s:x1:loss=0.95");
+  ReliableChannelConfig cfg;
+  cfg.max_attempts = 2;
+  ReliableChannel ch(cfg, &inj, 2);
+  int duplicates = 0;
+  for (int i = 0; i < 200; ++i) {
+    duplicates += ch.plan_send(0, 1, i * kMillisecond).duplicates;
+  }
+  EXPECT_GT(duplicates, 0);
+  EXPECT_EQ(ch.stats(0).duplicates_dropped, duplicates);
+}
+
+}  // namespace
+}  // namespace g10::sim

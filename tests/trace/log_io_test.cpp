@@ -52,6 +52,32 @@ TEST(LogIoTest, WriteParseRoundTrip) {
   EXPECT_DOUBLE_EQ(result.log.samples[1].value, 1.5e8);
 }
 
+TEST(LogIoTest, MetaRecordsRoundTripAndLookUp) {
+  std::vector<PhaseEventRecord> phases;
+  phases.push_back({PhaseEventRecord::Kind::Begin,
+                    PhasePath{}.child("Job", 0), 0, kGlobalMachine});
+  std::ostringstream os;
+  write_log(os, phases, {}, {},
+            {{"faults", "crash:w1@40%"}, {"engine", "pregel"}});
+  // META records follow the header, before any PHASE record.
+  EXPECT_EQ(os.str().find("META\tfaults\tcrash:w1@40%"),
+            os.str().find('\n') + 1);
+  const ParseResult result = parse_log_text(os.str());
+  ASSERT_TRUE(result.ok()) << result.error->message;
+  ASSERT_EQ(result.log.meta.size(), 2u);
+  EXPECT_EQ(result.log.meta_value("faults"), "crash:w1@40%");
+  EXPECT_EQ(result.log.meta_value("engine"), "pregel");
+  EXPECT_EQ(result.log.meta_value("absent"), std::nullopt);
+}
+
+TEST(LogIoTest, MetaValueKeepsEmbeddedTabsAndRejectsMissingFields) {
+  const ParseResult tabs = parse_log_text("META\tnote\ta\tb\tc\n");
+  ASSERT_TRUE(tabs.ok());
+  EXPECT_EQ(tabs.log.meta_value("note"), "a\tb\tc");
+  EXPECT_FALSE(parse_log_text("META\tonlykey\n").ok());
+  EXPECT_FALSE(parse_log_text("META\t\tvalue\n").ok());
+}
+
 TEST(LogIoTest, IgnoresCommentsAndBlankLines) {
   std::istringstream is("# comment\n\nPHASE\tB\tJob.0\t0\t-1\n");
   const ParseResult result = parse_log(is);

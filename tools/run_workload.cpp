@@ -6,14 +6,21 @@
 //           --dataset rmat:<scale>|datagen:<vertices> --out <dir>
 //           [--workers N] [--cores N] [--iterations K] [--seed S]
 //           [--monitor-ms MS] [--sync-bug] [--faults <spec>]
+//           [--retry-timeout-ms MS] [--retry-max-attempts N]
+//           [--heartbeat-ms MS] [--heartbeat-timeout-ms MS]
+//           [--crash-log reconciled|truncated]
 //
 // --faults injects failures from a deterministic schedule, e.g.
 //   crash:w2@40%              worker 2 crashes 40% into the nominal run
 //   slow:w1@2s+3s:x0.5        worker 1 at half speed for 3s starting at 2s
 //   nic:w0@10%+30%:x0.25:loss=0.2   NIC degraded + 20% message loss
+//   part:w0-w2@30%+20%        w0 and w2 cannot exchange messages for a while
 //   drop:w3@30%+20%           worker 3's monitoring samples dropped
-// Multiple events are comma- or semicolon-separated. The gas engine
-// supports only the slow/drop kinds.
+// Multiple events are comma- or semicolon-separated. Both engines ride out
+// every kind via the reliable channel (backoff retransmit), the heartbeat
+// failure detector, and checkpoint/restart recovery; the --retry-* and
+// --heartbeat-* knobs tune those substrates. The injected spec is recorded
+// in the log as a META record so offline tools can cross-check the trace.
 //
 // The dumped directory can be analyzed offline with g10_analyze.
 #include <filesystem>
@@ -50,6 +57,11 @@ struct Args {
   DurationNs monitor_interval = 400 * kMillisecond;
   bool sync_bug = false;
   std::string faults;
+  std::optional<double> retry_timeout_ms;
+  std::optional<int> retry_max_attempts;
+  std::optional<double> heartbeat_ms;
+  std::optional<double> heartbeat_timeout_ms;
+  engine::CrashLogStyle crash_log = engine::CrashLogStyle::kReconciled;
 };
 
 int usage() {
@@ -59,7 +71,12 @@ int usage() {
                "--out <dir>\n"
                "               [--workers N] [--cores N] [--iterations K]\n"
                "               [--seed S] [--monitor-ms MS] [--sync-bug]\n"
-               "               [--faults <spec>]  e.g. crash:w2@40%\n";
+               "               [--faults <spec>]  e.g. crash:w2@40%\n"
+               "               [--retry-timeout-ms MS] "
+               "[--retry-max-attempts N]\n"
+               "               [--heartbeat-ms MS] "
+               "[--heartbeat-timeout-ms MS]\n"
+               "               [--crash-log reconciled|truncated]\n";
   return 2;
 }
 
@@ -97,6 +114,30 @@ std::optional<Args> parse_args(int argc, char** argv) {
       args.monitor_interval = parse_int(*v).value_or(400) * kMillisecond;
     } else if (arg == "--faults") {
       args.faults = *v;
+    } else if (arg == "--retry-timeout-ms") {
+      const auto ms = parse_double(*v);
+      if (!ms || *ms <= 0.0) return std::nullopt;
+      args.retry_timeout_ms = *ms;
+    } else if (arg == "--retry-max-attempts") {
+      const auto n = parse_int(*v);
+      if (!n || *n < 1) return std::nullopt;
+      args.retry_max_attempts = static_cast<int>(*n);
+    } else if (arg == "--heartbeat-ms") {
+      const auto ms = parse_double(*v);
+      if (!ms || *ms <= 0.0) return std::nullopt;
+      args.heartbeat_ms = *ms;
+    } else if (arg == "--heartbeat-timeout-ms") {
+      const auto ms = parse_double(*v);
+      if (!ms || *ms <= 0.0) return std::nullopt;
+      args.heartbeat_timeout_ms = *ms;
+    } else if (arg == "--crash-log") {
+      if (*v == "reconciled") {
+        args.crash_log = engine::CrashLogStyle::kReconciled;
+      } else if (*v == "truncated") {
+        args.crash_log = engine::CrashLogStyle::kTruncated;
+      } else {
+        return std::nullopt;
+      }
     } else {
       return std::nullopt;
     }
@@ -105,6 +146,23 @@ std::optional<Args> parse_args(int argc, char** argv) {
     return std::nullopt;
   }
   return args;
+}
+
+/// Folds the retry/heartbeat command-line knobs into an engine config (both
+/// engine configs expose the same `retry`/`heartbeat`/`crash_log` members).
+template <typename Config>
+void apply_fault_knobs(const Args& args, Config& cfg) {
+  if (args.retry_timeout_ms) {
+    cfg.retry.timeout_seconds = *args.retry_timeout_ms / 1e3;
+  }
+  if (args.retry_max_attempts) cfg.retry.max_attempts = *args.retry_max_attempts;
+  if (args.heartbeat_ms) {
+    cfg.heartbeat.interval_seconds = *args.heartbeat_ms / 1e3;
+  }
+  if (args.heartbeat_timeout_ms) {
+    cfg.heartbeat.timeout_seconds = *args.heartbeat_timeout_ms / 1e3;
+  }
+  cfg.crash_log = args.crash_log;
 }
 
 graph::Graph make_dataset(const std::string& spec) {
@@ -163,6 +221,7 @@ int run(const Args& args) {
     cfg.cluster.machine.cores = args.cores;
     cfg.cluster.faults = fault_spec;
     cfg.seed = args.seed;
+    apply_fault_knobs(args, cfg);
     const engine::PregelEngine engine(cfg);
     const std::map<std::string, const algorithms::PregelProgram*> programs{
         {"pagerank", &pagerank}, {"bfs", &bfs}, {"wcc", &wcc},
@@ -177,17 +236,13 @@ int run(const Args& args) {
     params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
     framework = core::make_pregel_model(params);
   } else if (args.engine == "gas") {
-    if (fault_spec.has_kind(sim::FaultKind::kCrash) ||
-        fault_spec.has_kind(sim::FaultKind::kNicDegrade)) {
-      std::cerr << "the gas engine supports only slow/drop fault kinds\n";
-      return 2;
-    }
     engine::GasConfig cfg;
     cfg.cluster.machine_count = args.workers;
     cfg.cluster.machine.cores = args.cores;
     cfg.cluster.faults = fault_spec;
     cfg.seed = args.seed;
     cfg.sync_bug.enabled = args.sync_bug;
+    apply_fault_knobs(args, cfg);
     const engine::GasEngine engine(cfg);
     const std::map<std::string, const algorithms::GasProgram*> programs{
         {"pagerank", &pagerank}, {"bfs", &bfs}, {"wcc", &wcc},
@@ -225,8 +280,12 @@ int run(const Args& args) {
     log.rdbuf()->pubsetbuf(buffer.data(),
                            static_cast<std::streamsize>(buffer.size()));
     log.open(args.out + "/run.log");
+    std::vector<trace::LogMeta> meta;
+    if (!fault_spec.empty()) {
+      meta.emplace_back("faults", fault_spec.to_string());
+    }
     trace::write_log(log, artifacts.phase_events, artifacts.blocking_events,
-                     samples);
+                     samples, meta);
   }
   {
     std::ofstream model(args.out + "/model.g10");
@@ -241,8 +300,12 @@ int run(const Args& args) {
             << "/model.g10\n";
   std::cout << "analyze with: g10_analyze --model " << args.out
             << "/model.g10 --log " << args.out << "/run.log";
-  if (!fault_spec.empty()) {
+  if (args.crash_log == engine::CrashLogStyle::kTruncated) {
+    // A truncated crash log has BEGIN-without-END records by design; only
+    // the lenient parser repairs those.
     std::cout << " --lenient";
+  }
+  if (!fault_spec.empty()) {
     std::cout << "\nfaults injected: " << fault_spec.to_string();
   }
   std::cout << '\n';
