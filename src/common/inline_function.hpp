@@ -1,0 +1,151 @@
+// Move-only callable with small-buffer optimization.
+//
+// The DES kernel schedules millions of short-lived callbacks whose captures
+// are a handful of pointers and scalars; std::function heap-allocates most
+// of them (libstdc++ inlines only up to two words). InlineFunction keeps a
+// 64-byte inline buffer — enough for every callback the engines create —
+// and falls back to the heap only for oversized captures, so scheduling an
+// event normally touches no allocator at all.
+//
+// Unlike std::function it is move-only (captures need not be copyable,
+// which also lets callbacks own buffers) and supports only `void()`.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace g10 {
+
+class InlineFunction {
+ public:
+  static constexpr std::size_t kInlineSize = 64;
+
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { vtable_->invoke(buffer_); }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  /// Replaces the held callable, constructing the new one in place (no
+  /// temporary InlineFunction, no relocate).
+  template <typename F>
+  void assign(F&& fn) {
+    reset();
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Destroys the held callable (and frees any heap fallback) immediately.
+  void reset() {
+    if (vtable_ != nullptr) {
+      if (vtable_->destroy != nullptr) vtable_->destroy(buffer_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-constructs into dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);  // null for trivially destructible inline types
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename D>
+  static D* inline_target(void* buffer) {
+    return std::launder(reinterpret_cast<D*>(buffer));
+  }
+
+  template <typename D>
+  static D*& heap_target(void* buffer) {
+    return *std::launder(reinterpret_cast<D**>(buffer));
+  }
+
+  template <typename D>
+  static constexpr void (*inline_destroy())(void*) {
+    if constexpr (std::is_trivially_destructible_v<D>) {
+      return nullptr;
+    } else {
+      return [](void* buf) { inline_target<D>(buf)->~D(); };
+    }
+  }
+
+  template <typename D>
+  static const VTable* inline_vtable() {
+    static constexpr VTable table = {
+        [](void* buf) { (*inline_target<D>(buf))(); },
+        [](void* dst, void* src) {
+          ::new (dst) D(std::move(*inline_target<D>(src)));
+          inline_target<D>(src)->~D();
+        },
+        inline_destroy<D>(),
+    };
+    return &table;
+  }
+
+  template <typename D>
+  static const VTable* heap_vtable() {
+    static constexpr VTable table = {
+        [](void* buf) { (*heap_target<D>(buf))(); },
+        [](void* dst, void* src) {
+          ::new (dst) D*(heap_target<D>(src));
+        },
+        [](void* buf) { delete heap_target<D>(buf); },
+    };
+    return &table;
+  }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using D = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, D&>);
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buffer_)) D(std::forward<F>(fn));
+      vtable_ = inline_vtable<D>();
+    } else {
+      ::new (static_cast<void*>(buffer_)) D*(new D(std::forward<F>(fn)));
+      vtable_ = heap_vtable<D>();
+    }
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    if (other.vtable_ != nullptr) {
+      other.vtable_->relocate(buffer_, other.buffer_);
+      vtable_ = other.vtable_;
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buffer_[kInlineSize];
+  const VTable* vtable_ = nullptr;
+};
+
+}  // namespace g10

@@ -15,7 +15,26 @@ namespace g10::engine {
 
 namespace {
 
-using trace::PhasePath;
+using trace::PathRef;
+
+/// Phase-type names interned once per process; the engine then builds paths
+/// from symbols without touching the symbol table's mutex.
+struct DataflowSymbols {
+  trace::Symbol job, stage, task, shuffle_write;
+};
+
+const DataflowSymbols& dataflow_symbols() {
+  static const DataflowSymbols symbols = [] {
+    auto& table = trace::SymbolTable::global();
+    DataflowSymbols s;
+    s.job = table.intern("Job");
+    s.stage = table.intern("Stage");
+    s.task = table.intern("Task");
+    s.shuffle_write = table.intern("ShuffleWrite");
+    return s;
+  }();
+  return symbols;
+}
 
 class DataflowRun {
  public:
@@ -38,8 +57,8 @@ class DataflowRun {
   void schedule_next_task(int machine, int slot);
   void finish_stage_compute(int stage);
 
-  PhasePath stage_path(int stage) const {
-    return PhasePath{}.child("Job", 0).child("Stage", stage);
+  PathRef stage_path(int stage) const {
+    return job_path_.child(dataflow_symbols().stage, stage);
   }
 
   DataflowConfig cfg_;
@@ -47,10 +66,12 @@ class DataflowRun {
   Rng rng_;
   sim::Simulation sim_;
   PhaseLogger log_;
+  const PathRef job_path_ = PathRef{}.child(dataflow_symbols().job, 0);
   std::vector<Machine> machines_;
 
   // Current stage scheduling state.
   int stage_ = -1;
+  PathRef stage_path_;  ///< cached stage_path(stage_)
   int next_task_ = 0;
   int running_tasks_ = 0;
   bool stage_compute_done_ = false;
@@ -80,7 +101,7 @@ void DataflowRun::schedule_next_task(int machine, int slot) {
   const auto duration = static_cast<DurationNs>(
       skewed_work / (cfg_.cluster.machine.core_work_per_sec * intensity) *
       static_cast<double>(kSecond));
-  const PhasePath path = stage_path(stage_).child("Task", task);
+  const PathRef path = stage_path_.child(dataflow_symbols().task, task);
   log_.begin(path, now, machine);
   m.cpu->add(now, intensity);
   sim_.schedule_after(std::max<DurationNs>(duration, 1), [this, machine, slot,
@@ -98,17 +119,18 @@ void DataflowRun::schedule_next_task(int machine, int slot) {
 
 void DataflowRun::start_stage(int stage, TimeNs t) {
   if (stage >= static_cast<int>(job_.stages.size())) {
-    log_.end(PhasePath{}.child("Job", 0), t, trace::kGlobalMachine);
+    log_.end(job_path_, t, trace::kGlobalMachine);
     makespan_ = t;
     finished_ = true;
     return;
   }
   stage_ = stage;
+  stage_path_ = stage_path(stage);
   next_task_ = 0;
   running_tasks_ = 0;
   stage_compute_done_ = false;
   stage_begin_ = t;
-  log_.begin(stage_path(stage), t, trace::kGlobalMachine);
+  log_.begin(stage_path_, t, trace::kGlobalMachine);
   for (int machine = 0; machine < cfg_.cluster.machine_count; ++machine) {
     for (int slot = 0; slot < cfg_.effective_slots(); ++slot) {
       sim_.schedule_at(t, [this, machine, slot] {
@@ -125,7 +147,8 @@ void DataflowRun::finish_stage_compute(int stage) {
   for (int machine = 0; machine < cfg_.cluster.machine_count; ++machine) {
     auto& m = machines_[static_cast<std::size_t>(machine)];
     const TimeNs drained = m.nic->time_empty(now);
-    const PhasePath shuffle = stage_path(stage).child("ShuffleWrite", machine);
+    const PathRef shuffle =
+        stage_path(stage).child(dataflow_symbols().shuffle_write, machine);
     log_.begin(shuffle, stage_begin_, machine);
     log_.end(shuffle, drained, machine);
     done = std::max(done, drained);
@@ -143,7 +166,7 @@ trace::RunArtifacts DataflowRun::execute() {
     m.nic = std::make_unique<sim::FluidQueue>(
         cfg_.cluster.machine.nic_bytes_per_sec());
   }
-  log_.begin(PhasePath{}.child("Job", 0), 0, trace::kGlobalMachine);
+  log_.begin(job_path_, 0, trace::kGlobalMachine);
   start_stage(0, 0);
   sim_.run();
   G10_CHECK_MSG(finished_, "dataflow job did not finish");

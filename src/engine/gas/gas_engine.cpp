@@ -53,7 +53,48 @@ TimeNs gas_nominal_horizon(const GasConfig& cfg, const Graph& g,
       static_cast<TimeNs>(seconds * static_cast<double>(kSecond)));
 }
 using graph::VertexId;
-using trace::PhasePath;
+using trace::PathRef;
+
+/// Phase-type names interned once per process; the engine then builds paths
+/// from symbols without touching the symbol table's mutex.
+struct GasSymbols {
+  trace::Symbol job, load_graph, load_worker, execute, iteration, gather_step,
+      worker_gather, gather_thread, apply_step, worker_apply, apply_thread,
+      scatter_step, worker_scatter, scatter_thread, exchange_step,
+      worker_exchange, checkpoint, checkpoint_worker, recovery,
+      recovery_worker, store_results, store_worker;
+};
+
+const GasSymbols& gas_symbols() {
+  static const GasSymbols symbols = [] {
+    auto& table = trace::SymbolTable::global();
+    GasSymbols s;
+    s.job = table.intern("Job");
+    s.load_graph = table.intern("LoadGraph");
+    s.load_worker = table.intern("LoadWorker");
+    s.execute = table.intern("Execute");
+    s.iteration = table.intern("Iteration");
+    s.gather_step = table.intern("GatherStep");
+    s.worker_gather = table.intern("WorkerGather");
+    s.gather_thread = table.intern("GatherThread");
+    s.apply_step = table.intern("ApplyStep");
+    s.worker_apply = table.intern("WorkerApply");
+    s.apply_thread = table.intern("ApplyThread");
+    s.scatter_step = table.intern("ScatterStep");
+    s.worker_scatter = table.intern("WorkerScatter");
+    s.scatter_thread = table.intern("ScatterThread");
+    s.exchange_step = table.intern("ExchangeStep");
+    s.worker_exchange = table.intern("WorkerExchange");
+    s.checkpoint = table.intern("Checkpoint");
+    s.checkpoint_worker = table.intern("CheckpointWorker");
+    s.recovery = table.intern("Recovery");
+    s.recovery_worker = table.intern("RecoveryWorker");
+    s.store_results = table.intern("StoreResults");
+    s.store_worker = table.intern("StoreWorker");
+    return s;
+  }();
+  return symbols;
+}
 
 class GasRun {
  public:
@@ -86,9 +127,10 @@ class GasRun {
 
   /// One barriered compute step (gather/apply/scatter) in flight.
   struct StepRuntime {
-    PhasePath step_path;
-    std::string worker_type;
-    std::string thread_type;
+    PathRef step_path;
+    std::vector<PathRef> worker_paths;  ///< cached step_path/WorkerX.w
+    trace::Symbol worker_type = 0;
+    trace::Symbol thread_type = 0;
     std::vector<std::vector<DurationNs>> chunks;  ///< per-worker queues
     std::vector<std::size_t> next_chunk;
     std::vector<int> threads_left;
@@ -134,8 +176,8 @@ class GasRun {
   void load_graph();
   void start_iteration(TimeNs t);
   void compute_iteration_effects();  ///< correctness: apply + activation
-  void run_compute_step(TimeNs t, const char* step_type,
-                        const char* worker_type, const char* thread_type,
+  void run_compute_step(TimeNs t, trace::Symbol step_type,
+                        trace::Symbol worker_type, trace::Symbol thread_type,
                         std::vector<double> per_worker_work, bool allow_bug,
                         std::function<void(TimeNs)> on_done);
   void step_thread_continue(int w, int th);
@@ -156,17 +198,14 @@ class GasRun {
   void fire_crash();
   void detect_and_recover();
   void teardown_worker(int w, TimeNs now, bool truncate);
-  void close_or_abandon(const PhasePath& path, bool truncate, TimeNs now,
+  void close_or_abandon(const PathRef& path, bool truncate, TimeNs now,
                         trace::MachineId machine);
 
-  PhasePath iteration_path() const {
+  PathRef iteration_path() const {
     // Paths use the monotonic instance counter, not the logical iteration:
     // after a crash the re-executed iteration gets a fresh index, keeping
     // every path in the log unique. The two counters coincide fault-free.
-    return PhasePath{}
-        .child("Job", 0)
-        .child("Execute", 0)
-        .child("Iteration", iteration_instance_);
+    return exec_path_.child(gas_symbols().iteration, iteration_instance_);
   }
 
   GasConfig cfg_;
@@ -179,6 +218,8 @@ class GasRun {
 
   sim::Simulation sim_;
   PhaseLogger log_;
+  const PathRef job_path_ = PathRef{}.child(gas_symbols().job, 0);
+  const PathRef exec_path_ = job_path_.child(gas_symbols().execute, 0);
   graph::VertexCutPartition cut_;
   std::vector<WorkerState> ws_;
 
@@ -225,11 +266,11 @@ class GasRun {
   bool checkpoint_active_ = false;
   int checkpoint_seq_ = 0;
   int recovery_seq_ = 0;
-  PhasePath checkpoint_path_;
+  PathRef checkpoint_path_;
   std::vector<TimeNs> checkpoint_wend_;
 
   // ---- event-driven exchange (non-trivial channel only) ----
-  PhasePath exchange_path_;
+  PathRef exchange_path_;
   bool exchange_active_ = false;
   int exchange_left_ = 0;
   TimeNs exchange_latest_ = 0;
@@ -316,9 +357,8 @@ void GasRun::load_graph() {
     active_[v] = prog_.initially_active(v, g_) ? 1 : 0;
   }
 
-  const PhasePath job = PhasePath{}.child("Job", 0);
-  const PhasePath load = job.child("LoadGraph", 0);
-  log_.begin(job, 0, trace::kGlobalMachine);
+  const PathRef load = job_path_.child(gas_symbols().load_graph, 0);
+  log_.begin(job_path_, 0, trace::kGlobalMachine);
   log_.begin(load, 0, trace::kGlobalMachine);
   const auto per_worker_edges = cut_.edge_counts();
   worker_edges_.assign(static_cast<std::size_t>(workers_), 0.0);
@@ -335,14 +375,14 @@ void GasRun::load_graph() {
     state.nic->enqueue(0, edges * cfg_.costs.bytes_per_load_edge);
     state.cpu->add(0, cores);
     state.cpu->add(duration, -cores);
-    const PhasePath worker_load = load.child("LoadWorker", w);
+    const PathRef worker_load = load.child(gas_symbols().load_worker, w);
     log_.begin(worker_load, 0, w);
     const TimeNs done = std::max(duration, state.nic->time_empty(duration));
     log_.end(worker_load, done, w);
     load_end = std::max(load_end, done);
   }
   log_.end(load, load_end, trace::kGlobalMachine);
-  log_.begin(job.child("Execute", 0), load_end, trace::kGlobalMachine);
+  log_.begin(exec_path_, load_end, trace::kGlobalMachine);
   if (cfg_.noise.enabled) {
     for (int w = 0; w < workers_; ++w) {
       sim_.schedule_at(0, [this, w] { noise_tick(w); });
@@ -485,14 +525,17 @@ void GasRun::start_iteration(TimeNs t) {
   }
   compute_iteration_effects();
   log_.begin(iteration_path(), t, trace::kGlobalMachine);
+  const GasSymbols& sym = gas_symbols();
   run_compute_step(
-      t, "GatherStep", "WorkerGather", "GatherThread", gather_work_,
+      t, sym.gather_step, sym.worker_gather, sym.gather_thread, gather_work_,
       cfg_.sync_bug.enabled, [this](TimeNs t1) {
+        const GasSymbols& s = gas_symbols();
         run_compute_step(
-            t1, "ApplyStep", "WorkerApply", "ApplyThread", apply_work_, false,
-            [this](TimeNs t2) {
-              run_compute_step(t2, "ScatterStep", "WorkerScatter",
-                               "ScatterThread", scatter_work_, false,
+            t1, s.apply_step, s.worker_apply, s.apply_thread, apply_work_,
+            false, [this](TimeNs t2) {
+              const GasSymbols& s2 = gas_symbols();
+              run_compute_step(t2, s2.scatter_step, s2.worker_scatter,
+                               s2.scatter_thread, scatter_work_, false,
                                [this](TimeNs t3) {
                                  run_exchange(t3, [this](TimeNs t4) {
                                    finish_iteration(t4);
@@ -502,8 +545,9 @@ void GasRun::start_iteration(TimeNs t) {
       });
 }
 
-void GasRun::run_compute_step(TimeNs t, const char* step_type,
-                              const char* worker_type, const char* thread_type,
+void GasRun::run_compute_step(TimeNs t, trace::Symbol step_type,
+                              trace::Symbol worker_type,
+                              trace::Symbol thread_type,
                               std::vector<double> per_worker_work,
                               bool allow_bug,
                               std::function<void(TimeNs)> on_done) {
@@ -527,6 +571,7 @@ void GasRun::run_compute_step(TimeNs t, const char* step_type,
   log_.begin(step_.step_path, t, trace::kGlobalMachine);
   const double chunk_work = static_cast<double>(cfg_.chunk_edges) *
                             cfg_.costs.work_per_gather_edge;
+  step_.worker_paths.reserve(static_cast<std::size_t>(workers_));
   for (int w = 0; w < workers_; ++w) {
     step_.chunks[static_cast<std::size_t>(w)] =
         make_chunks(per_worker_work[static_cast<std::size_t>(w)], chunk_work);
@@ -534,11 +579,11 @@ void GasRun::run_compute_step(TimeNs t, const char* step_type,
       step_.bug_extra[static_cast<std::size_t>(w)] = rng_.next_double(
           cfg_.sync_bug.min_extra, cfg_.sync_bug.max_extra);
     }
-    log_.begin(step_.step_path.child(step_.worker_type, w), t, w);
+    step_.worker_paths.push_back(step_.step_path.child(worker_type, w));
+    const PathRef& worker = step_.worker_paths.back();
+    log_.begin(worker, t, w);
     for (int th = 0; th < threads_; ++th) {
-      log_.begin(
-          step_.step_path.child(step_.worker_type, w).child(thread_type, th),
-          t, w);
+      log_.begin(worker.child(thread_type, th), t, w);
       schedule_epoch(t, [this, w, th] { step_thread_continue(w, th); });
     }
   }
@@ -571,8 +616,9 @@ void GasRun::step_thread_continue(int w, int th) {
   }
   // No work left for this thread.
   auto& left = step_.threads_left[static_cast<std::size_t>(w)];
-  const PhasePath thread_path =
-      step_.step_path.child(step_.worker_type, w).child(step_.thread_type, th);
+  const PathRef thread_path =
+      step_.worker_paths[static_cast<std::size_t>(w)].child(step_.thread_type,
+                                                            th);
   const double bug = step_.bug_extra[static_cast<std::size_t>(w)];
   if (left == 1 && bug > 0.0) {
     // §IV-D bug: the last thread to reach the barrier finds a late message
@@ -599,7 +645,7 @@ void GasRun::step_thread_continue(int w, int th) {
 }
 
 void GasRun::step_worker_finished(int w, TimeNs t) {
-  log_.end(step_.step_path.child(step_.worker_type, w), t, w);
+  log_.end(step_.worker_paths[static_cast<std::size_t>(w)], t, w);
   step_.worker_open[static_cast<std::size_t>(w)] = 0;
   step_.worker_end[static_cast<std::size_t>(w)] = t;
   if (--step_.workers_left == 0) {
@@ -616,7 +662,7 @@ void GasRun::step_worker_finished(int w, TimeNs t) {
 }
 
 void GasRun::run_exchange(TimeNs t, std::function<void(TimeNs)> on_done) {
-  const PhasePath step = iteration_path().child("ExchangeStep", 0);
+  const PathRef step = iteration_path().child(gas_symbols().exchange_step, 0);
   log_.begin(step, t, trace::kGlobalMachine);
   if (channel_.trivial()) {
     // Fault-free fast path: the whole exchange resolves synchronously and
@@ -634,7 +680,7 @@ void GasRun::run_exchange(TimeNs t, std::function<void(TimeNs)> on_done) {
       state.nic->enqueue(t, bytes);
       const TimeNs end =
           std::max(t + serialize, state.nic->time_empty(t + serialize));
-      const PhasePath worker = step.child("WorkerExchange", w);
+      const PathRef worker = step.child(gas_symbols().worker_exchange, w);
       log_.begin(worker, t, w);
       log_.end(worker, end, w);
       latest = std::max(latest, end);
@@ -664,7 +710,7 @@ void GasRun::run_exchange(TimeNs t, std::function<void(TimeNs)> on_done) {
         values * cfg_.costs.work_per_exchange_value * jitter(0.05));
     state.cpu->add(t, 1.0);
     state.cpu->add(t + serialize, -1.0);
-    log_.begin(step.child("WorkerExchange", w), t, w);
+    log_.begin(step.child(gas_symbols().worker_exchange, w), t, w);
     TimeNs send_done = t;
     for (int dst = 0; dst < workers_; ++dst) {
       const double bytes = exchange_by_dst_[static_cast<std::size_t>(w)]
@@ -695,7 +741,7 @@ void GasRun::finalize_exchange_worker(int w, TimeNs begin, TimeNs send_done) {
   auto& state = ws_[static_cast<std::size_t>(w)];
   const TimeNs now = sim_.now();
   const TimeNs end = std::max(now, state.nic->time_empty(now));
-  const PhasePath worker = exchange_path_.child("WorkerExchange", w);
+  const PathRef worker = exchange_path_.child(gas_symbols().worker_exchange, w);
   if (send_done > begin) {
     log_.block(gas_names::kRetry, worker, begin, send_done, w);
   }
@@ -737,9 +783,8 @@ void GasRun::finish_iteration(TimeNs t) {
 }
 
 void GasRun::finish_execute(TimeNs t) {
-  const PhasePath job = PhasePath{}.child("Job", 0);
-  log_.end(job.child("Execute", 0), t, trace::kGlobalMachine);
-  const PhasePath store = job.child("StoreResults", 0);
+  log_.end(exec_path_, t, trace::kGlobalMachine);
+  const PathRef store = job_path_.child(gas_symbols().store_results, 0);
   log_.begin(store, t, trace::kGlobalMachine);
   TimeNs store_end = t;
   for (int w = 0; w < workers_; ++w) {
@@ -752,13 +797,13 @@ void GasRun::finish_execute(TimeNs t) {
         faults_.speed_factor(w, t));
     state.cpu->add(t, cores);
     state.cpu->add(t + duration, -cores);
-    const PhasePath worker_store = store.child("StoreWorker", w);
+    const PathRef worker_store = store.child(gas_symbols().store_worker, w);
     log_.begin(worker_store, t, w);
     log_.end(worker_store, t + duration, w);
     store_end = std::max(store_end, t + duration);
   }
   log_.end(store, store_end, trace::kGlobalMachine);
-  log_.end(job, store_end, trace::kGlobalMachine);
+  log_.end(job_path_, store_end, trace::kGlobalMachine);
   makespan_ = store_end;
   execute_finished_ = true;
 }
@@ -782,8 +827,8 @@ TimeNs GasRun::write_checkpoint(TimeNs t) {
   // completes (complete_checkpoint), so a crash landing inside the window
   // truncates them — the log shows an interrupted checkpoint, and the
   // snapshot falls back to the previous complete one.
-  const PhasePath exec = PhasePath{}.child("Job", 0).child("Execute", 0);
-  checkpoint_path_ = exec.child("Checkpoint", checkpoint_seq_++);
+  checkpoint_path_ = exec_path_.child(gas_symbols().checkpoint,
+                                      checkpoint_seq_++);
   log_.begin(checkpoint_path_, t, trace::kGlobalMachine);
   checkpoint_wend_.assign(static_cast<std::size_t>(workers_), t);
   TimeNs cp_end = t;
@@ -795,7 +840,8 @@ TimeNs GasRun::write_checkpoint(TimeNs t) {
                     cfg_.checkpoint.work_per_vertex);
     const TimeNs wend = t + duration;
     checkpoint_wend_[static_cast<std::size_t>(w)] = wend;
-    log_.begin(checkpoint_path_.child("CheckpointWorker", w), t, w);
+    log_.begin(checkpoint_path_.child(gas_symbols().checkpoint_worker, w), t,
+               w);
     // Serialization is single-threaded per worker.
     state.cpu->add(t, 1.0);
     cp_end = std::max(cp_end, wend);
@@ -809,7 +855,8 @@ void GasRun::complete_checkpoint() {
   for (int w = 0; w < workers_; ++w) {
     auto& state = ws_[static_cast<std::size_t>(w)];
     const TimeNs wend = checkpoint_wend_[static_cast<std::size_t>(w)];
-    log_.end(checkpoint_path_.child("CheckpointWorker", w), wend, w);
+    log_.end(checkpoint_path_.child(gas_symbols().checkpoint_worker, w), wend,
+             w);
     state.cpu->add(wend, -1.0);
     cp_end = std::max(cp_end, wend);
   }
@@ -825,7 +872,8 @@ void GasRun::abort_checkpoint(int victim, TimeNs now) {
   TimeNs cp_close = 0;
   for (int w = 0; w < workers_; ++w) {
     auto& state = ws_[static_cast<std::size_t>(w)];
-    const PhasePath worker_cp = checkpoint_path_.child("CheckpointWorker", w);
+    const PathRef worker_cp =
+        checkpoint_path_.child(gas_symbols().checkpoint_worker, w);
     const TimeNs wend = checkpoint_wend_[static_cast<std::size_t>(w)];
     const TimeNs stop =
         w == victim ? std::min(crash_time_, wend) : std::min(now, wend);
@@ -872,7 +920,7 @@ void GasRun::schedule_nic_changes() {
   }
 }
 
-void GasRun::close_or_abandon(const PhasePath& path, bool truncate, TimeNs now,
+void GasRun::close_or_abandon(const PathRef& path, bool truncate, TimeNs now,
                               trace::MachineId machine) {
   const auto begin = log_.open_begin(path);
   if (!begin) return;
@@ -886,7 +934,7 @@ void GasRun::close_or_abandon(const PhasePath& path, bool truncate, TimeNs now,
 void GasRun::teardown_worker(int w, TimeNs now, bool truncate) {
   auto& state = ws_[static_cast<std::size_t>(w)];
   if (step_.active) {
-    const PhasePath worker = step_.step_path.child(step_.worker_type, w);
+    const PathRef& worker = step_.worker_paths[static_cast<std::size_t>(w)];
     for (int th = 0; th < threads_; ++th) {
       const auto slot = static_cast<std::size_t>(w * threads_ + th);
       if (step_.running[slot] > 0.0) {
@@ -905,8 +953,8 @@ void GasRun::teardown_worker(int w, TimeNs now, bool truncate) {
     }
   }
   if (exchange_active_ && exchange_open_[static_cast<std::size_t>(w)]) {
-    close_or_abandon(exchange_path_.child("WorkerExchange", w), truncate, now,
-                     w);
+    close_or_abandon(exchange_path_.child(gas_symbols().worker_exchange, w),
+                     truncate, now, w);
     exchange_open_[static_cast<std::size_t>(w)] = 0;
   }
   // In-flight traffic of the aborted iteration is gone; the re-execution
@@ -970,8 +1018,7 @@ void GasRun::detect_and_recover() {
   // snapshot; the restarted victim additionally re-ingests its edge
   // partition from storage. The whole window is dead time, reported as
   // "Recovery" blocking events.
-  const PhasePath exec = PhasePath{}.child("Job", 0).child("Execute", 0);
-  const PhasePath rec = exec.child("Recovery", recovery_seq_++);
+  const PathRef rec = exec_path_.child(gas_symbols().recovery, recovery_seq_++);
   log_.begin(rec, now, trace::kGlobalMachine);
   const DurationNs restart = ns_from_seconds(cfg_.checkpoint.restart_seconds);
   const double cores = static_cast<double>(cfg_.cluster.machine.cores);
@@ -985,7 +1032,7 @@ void GasRun::detect_and_recover() {
                      cfg_.costs.work_per_load_edge;
     }
     const TimeNs wend = now + restart + ns_for_work(reload_work / cores);
-    const PhasePath worker_rec = rec.child("RecoveryWorker", w);
+    const PathRef worker_rec = rec.child(gas_symbols().recovery_worker, w);
     log_.begin(worker_rec, now, w);
     log_.end(worker_rec, wend, w);
     log_.block(gas_names::kRecovery, worker_rec, now, wend, w);

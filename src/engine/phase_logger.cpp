@@ -6,57 +6,75 @@ namespace g10::engine {
 
 using trace::PhaseEventRecord;
 
-void PhaseLogger::begin(const trace::PhasePath& path, TimeNs time,
+void PhaseLogger::begin(const trace::PathRef& path, TimeNs time,
                         trace::MachineId machine) {
-  const std::string key = path.to_string();
-  G10_CHECK_MSG(!open_.contains(key), "phase already open: " << key);
-  open_.emplace(key, time);
+  const auto [it, inserted] = open_.emplace(path, time);
+  G10_CHECK_MSG(inserted, "phase already open: " << path.to_string());
   phase_events_.push_back(
-      PhaseEventRecord{PhaseEventRecord::Kind::Begin, path, time, machine});
+      InternedPhaseEvent{PhaseEventRecord::Kind::Begin, path, time, machine});
 }
 
-void PhaseLogger::end(const trace::PhasePath& path, TimeNs time,
+void PhaseLogger::end(const trace::PathRef& path, TimeNs time,
                       trace::MachineId machine) {
-  const std::string key = path.to_string();
-  const auto it = open_.find(key);
-  G10_CHECK_MSG(it != open_.end(), "ending phase that is not open: " << key);
-  G10_CHECK_MSG(it->second <= time, "phase " << key << " ends before it begins");
+  const auto it = open_.find(path);
+  G10_CHECK_MSG(it != open_.end(),
+                "ending phase that is not open: " << path.to_string());
+  G10_CHECK_MSG(it->second <= time,
+                "phase " << path.to_string() << " ends before it begins");
   open_.erase(it);
   phase_events_.push_back(
-      PhaseEventRecord{PhaseEventRecord::Kind::End, path, time, machine});
+      InternedPhaseEvent{PhaseEventRecord::Kind::End, path, time, machine});
 }
 
-void PhaseLogger::block(const std::string& resource,
-                        const trace::PhasePath& path, TimeNs begin, TimeNs end,
-                        trace::MachineId machine) {
+void PhaseLogger::block(std::string_view resource, const trace::PathRef& path,
+                        TimeNs begin, TimeNs end, trace::MachineId machine) {
   G10_CHECK(end >= begin);
   if (end == begin) return;
-  blocking_events_.push_back(
-      trace::BlockingEventRecord{resource, path, begin, end, machine});
+  blocking_events_.push_back(InternedBlockingEvent{
+      trace::SymbolTable::global().intern(resource), path, begin, end,
+      machine});
 }
 
-bool PhaseLogger::abandon(const trace::PhasePath& path) {
-  return open_.erase(path.to_string()) > 0;
+bool PhaseLogger::abandon(const trace::PathRef& path) {
+  return open_.erase(path) > 0;
 }
 
-bool PhaseLogger::is_open(const trace::PhasePath& path) const {
-  return open_.contains(path.to_string());
+bool PhaseLogger::is_open(const trace::PathRef& path) const {
+  return open_.contains(path);
 }
 
 std::optional<TimeNs> PhaseLogger::open_begin(
-    const trace::PhasePath& path) const {
-  const auto it = open_.find(path.to_string());
+    const trace::PathRef& path) const {
+  const auto it = open_.find(path);
   if (it == open_.end()) return std::nullopt;
   return it->second;
 }
 
 std::vector<trace::PhaseEventRecord> PhaseLogger::take_phase_events() {
   G10_CHECK_MSG(open_.empty(), "phases still open at end of run");
-  return std::move(phase_events_);
+  std::vector<trace::PhaseEventRecord> records;
+  records.reserve(phase_events_.size());
+  for (const InternedPhaseEvent& event : phase_events_) {
+    records.push_back(PhaseEventRecord{event.kind, event.path.to_phase_path(),
+                                       event.time, event.machine});
+  }
+  phase_events_.clear();
+  phase_events_.shrink_to_fit();
+  return records;
 }
 
 std::vector<trace::BlockingEventRecord> PhaseLogger::take_blocking_events() {
-  return std::move(blocking_events_);
+  const trace::SymbolTable& table = trace::SymbolTable::global();
+  std::vector<trace::BlockingEventRecord> records;
+  records.reserve(blocking_events_.size());
+  for (const InternedBlockingEvent& event : blocking_events_) {
+    records.push_back(trace::BlockingEventRecord{
+        std::string(table.name(event.resource)), event.path.to_phase_path(),
+        event.begin, event.end, event.machine});
+  }
+  blocking_events_.clear();
+  blocking_events_.shrink_to_fit();
+  return records;
 }
 
 }  // namespace g10::engine

@@ -2,15 +2,24 @@
 //
 // Tracks open phases so unbalanced begin/end pairs are caught at the source
 // (inside the engine) instead of during later analysis.
+//
+// This is the hot edge of trace generation, so everything is interned: the
+// engines pass PathRef (inline (symbol, index) pairs with a precomputed
+// hash), open-phase tracking keys on that hash, and records are stored in
+// interned form. The string-typed PhaseEventRecord/BlockingEventRecord
+// forms are rendered exactly once, at take_*() time, in emission order —
+// which is what keeps logs byte-identical to the pre-interning ones.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/time.hpp"
 #include "trace/records.hpp"
+#include "trace/symbol_table.hpp"
 
 namespace g10::engine {
 
@@ -28,38 +37,53 @@ enum class CrashLogStyle {
 
 class PhaseLogger {
  public:
-  void begin(const trace::PhasePath& path, TimeNs time,
+  void begin(const trace::PathRef& path, TimeNs time,
              trace::MachineId machine);
-  void end(const trace::PhasePath& path, TimeNs time,
-           trace::MachineId machine);
+  void end(const trace::PathRef& path, TimeNs time, trace::MachineId machine);
 
   /// Records that `path` was blocked on `resource` over [begin, end).
-  void block(const std::string& resource, const trace::PhasePath& path,
+  void block(std::string_view resource, const trace::PathRef& path,
              TimeNs begin, TimeNs end, trace::MachineId machine);
 
   /// Drops an open phase WITHOUT emitting an End record, leaving a truncated
   /// BEGIN-without-END in the log — exactly what a crashed worker's logger
   /// would have produced. Returns false when the phase was not open.
-  bool abandon(const trace::PhasePath& path);
+  bool abandon(const trace::PathRef& path);
 
   /// True when `path` has a Begin without a matching End (or abandon) yet.
-  bool is_open(const trace::PhasePath& path) const;
+  bool is_open(const trace::PathRef& path) const;
 
   /// Begin time of an open phase; nullopt when not open. (Some phases are
   /// logged ahead of simulated time — e.g. WorkerCompute begins at t+prep —
   /// so crash handling clamps end times to at least the begin.)
-  std::optional<TimeNs> open_begin(const trace::PhasePath& path) const;
+  std::optional<TimeNs> open_begin(const trace::PathRef& path) const;
 
   std::size_t open_phase_count() const { return open_.size(); }
 
-  /// Moves the accumulated records out; the logger must have no open phases.
+  /// Renders and moves the accumulated records out; the logger must have no
+  /// open phases. Records appear in emission order.
   std::vector<trace::PhaseEventRecord> take_phase_events();
   std::vector<trace::BlockingEventRecord> take_blocking_events();
 
  private:
-  std::vector<trace::PhaseEventRecord> phase_events_;
-  std::vector<trace::BlockingEventRecord> blocking_events_;
-  std::unordered_map<std::string, TimeNs> open_;  // path -> begin time
+  struct InternedPhaseEvent {
+    trace::PhaseEventRecord::Kind kind;
+    trace::PathRef path;
+    TimeNs time;
+    trace::MachineId machine;
+  };
+  struct InternedBlockingEvent {
+    trace::Symbol resource;
+    trace::PathRef path;
+    TimeNs begin;
+    TimeNs end;
+    trace::MachineId machine;
+  };
+
+  std::vector<InternedPhaseEvent> phase_events_;
+  std::vector<InternedBlockingEvent> blocking_events_;
+  std::unordered_map<trace::PathRef, TimeNs, trace::PathRefHash>
+      open_;  // path -> begin time
 };
 
 }  // namespace g10::engine

@@ -27,7 +27,42 @@ using algorithms::PregelOutbox;
 using algorithms::PregelProgram;
 using graph::Graph;
 using graph::VertexId;
-using trace::PhasePath;
+using trace::PathRef;
+
+/// Phase-type names interned once per process; engines then build paths
+/// from symbols without touching the symbol table's mutex.
+struct PregelSymbols {
+  trace::Symbol job, load_graph, load_worker, execute, superstep,
+      worker_prepare, worker_compute, compute_thread, worker_communicate,
+      worker_barrier, gc_pause, checkpoint, checkpoint_worker, recovery,
+      recovery_worker, store_results, store_worker;
+};
+
+const PregelSymbols& pregel_symbols() {
+  static const PregelSymbols symbols = [] {
+    auto& table = trace::SymbolTable::global();
+    PregelSymbols s;
+    s.job = table.intern("Job");
+    s.load_graph = table.intern("LoadGraph");
+    s.load_worker = table.intern("LoadWorker");
+    s.execute = table.intern("Execute");
+    s.superstep = table.intern("Superstep");
+    s.worker_prepare = table.intern("WorkerPrepare");
+    s.worker_compute = table.intern("WorkerCompute");
+    s.compute_thread = table.intern("ComputeThread");
+    s.worker_communicate = table.intern("WorkerCommunicate");
+    s.worker_barrier = table.intern("WorkerBarrier");
+    s.gc_pause = table.intern("GcPause");
+    s.checkpoint = table.intern("Checkpoint");
+    s.checkpoint_worker = table.intern("CheckpointWorker");
+    s.recovery = table.intern("Recovery");
+    s.recovery_worker = table.intern("RecoveryWorker");
+    s.store_results = table.intern("StoreResults");
+    s.store_worker = table.intern("StoreWorker");
+    return s;
+  }();
+  return symbols;
+}
 
 // Seed offset for the fault injector's forked RNG stream: fault decisions
 // must not perturb the engine's own draw sequence.
@@ -93,7 +128,7 @@ class PregelRun {
     bool phase_open = false;
     double running_intensity = 0.0;  ///< CPU held by an in-flight chunk
     TimeNs gc_wait_begin = 0;  ///< when this thread started waiting on GC
-    PhasePath phase;  ///< ComputeThread path for the current superstep
+    PathRef phase;  ///< ComputeThread path for the current superstep
   };
 
   struct WorkerState {
@@ -107,7 +142,12 @@ class PregelRun {
     bool gc_active = false;
     TimeNs gc_end = 0;
     double gc_cores_taken = 0.0;
-    PhasePath gc_phase;
+    PathRef gc_phase;
+    // Cached per-superstep templates: set once in start_superstep, reused
+    // by worker_compute_done / finish_superstep / teardown_worker.
+    PathRef compute_phase;
+    PathRef communicate_phase;
+    PathRef barrier_phase;
 
     std::unique_ptr<sim::FluidQueue> nic;
     std::unique_ptr<sim::UsageRecorder> cpu;
@@ -196,18 +236,15 @@ class PregelRun {
   void fire_crash();
   void detect_and_recover();
   void teardown_worker(int w, TimeNs now, bool truncate);
-  void close_or_abandon(const PhasePath& path, bool truncate, TimeNs now,
+  void close_or_abandon(const PathRef& path, bool truncate, TimeNs now,
                         trace::MachineId machine);
   double worker_vertex_count(int w) const;
 
-  PhasePath superstep_path() const {
+  PathRef superstep_path() const {
     // Paths use the monotonic instance counter, not the logical superstep:
     // after a crash the re-executed superstep gets a fresh index, keeping
     // every path in the log unique.
-    return PhasePath{}
-        .child("Job", 0)
-        .child("Execute", 0)
-        .child("Superstep", superstep_instance_);
+    return exec_path_.child(pregel_symbols().superstep, superstep_instance_);
   }
 
   // ---- members --------------------------------------------------------------
@@ -222,6 +259,8 @@ class PregelRun {
 
   sim::Simulation sim_;
   PhaseLogger log_;
+  const PathRef job_path_ = PathRef{}.child(pregel_symbols().job, 0);
+  const PathRef exec_path_ = job_path_.child(pregel_symbols().execute, 0);
   graph::EdgeCutPartition owner_;
   std::vector<WorkerState> ws_;
 
@@ -251,7 +290,7 @@ class PregelRun {
   int recovery_seq_ = 0;
   int checkpoint_seq_ = 0;
   bool checkpoint_active_ = false;  ///< a checkpoint write is in flight
-  PhasePath checkpoint_path_;
+  PathRef checkpoint_path_;
   std::vector<TimeNs> checkpoint_wend_;  ///< per-worker write-finish times
   struct Snapshot {
     int superstep = 0;
@@ -317,8 +356,8 @@ void PregelRun::load_graph() {
   }
 
   // --- emit the load phase ---------------------------------------------------
-  const PhasePath job = PhasePath{}.child("Job", 0);
-  const PhasePath load = job.child("LoadGraph", 0);
+  const PathRef& job = job_path_;
+  const PathRef load = job.child(pregel_symbols().load_graph, 0);
   log_.begin(job, 0, trace::kGlobalMachine);
   log_.begin(load, 0, trace::kGlobalMachine);
   TimeNs load_end = 0;
@@ -335,14 +374,14 @@ void PregelRun::load_graph() {
     state.nic->enqueue(0, edges * cfg_.costs.bytes_per_load_edge);
     state.cpu->add(0, cores);
     state.cpu->add(duration, -cores);
-    const PhasePath worker_load = load.child("LoadWorker", w);
+    const PathRef worker_load = load.child(pregel_symbols().load_worker, w);
     log_.begin(worker_load, 0, w);
     const TimeNs done = std::max(duration, state.nic->time_empty(duration));
     log_.end(worker_load, done, w);
     load_end = std::max(load_end, done);
   }
   log_.end(load, load_end, trace::kGlobalMachine);
-  log_.begin(job.child("Execute", 0), load_end, trace::kGlobalMachine);
+  log_.begin(exec_path_, load_end, trace::kGlobalMachine);
   if (cfg_.noise.enabled) {
     for (int w = 0; w < workers_; ++w) {
       sim_.schedule_at(0, [this, w] { noise_tick(w); });
@@ -379,23 +418,27 @@ void PregelRun::start_superstep(TimeNs t) {
 
   gc_seq_ = 0;
   workers_done_ = 0;
-  const PhasePath step = superstep_path();
+  const PathRef step = superstep_path();
   log_.begin(step, t, trace::kGlobalMachine);
   const DurationNs prep = ns_from_seconds(cfg_.costs.prepare_seconds);
   for (int w = 0; w < workers_; ++w) {
     auto& state = ws_[static_cast<std::size_t>(w)];
-    const PhasePath prepare = step.child("WorkerPrepare", w);
+    const PathRef prepare = step.child(pregel_symbols().worker_prepare, w);
     log_.begin(prepare, t, w);
     log_.end(prepare, t + prep, w);
     // Prepare burns one core per worker (bookkeeping is single-threaded).
     state.cpu->add(t, 1.0);
     state.cpu->add(t + prep, -1.0);
-    log_.begin(step.child("WorkerCompute", w), t + prep, w);
-    log_.begin(step.child("WorkerCommunicate", w), t + prep, w);
+    state.compute_phase = step.child(pregel_symbols().worker_compute, w);
+    state.communicate_phase = step.child(pregel_symbols().worker_communicate, w);
+    state.barrier_phase = step.child(pregel_symbols().worker_barrier, w);
+    log_.begin(state.compute_phase, t + prep, w);
+    log_.begin(state.communicate_phase, t + prep, w);
     for (int th = 0; th < threads_; ++th) {
       auto& thread = state.threads[static_cast<std::size_t>(th)];
       thread = ThreadState{};
-      thread.phase = step.child("WorkerCompute", w).child("ComputeThread", th);
+      thread.phase =
+          state.compute_phase.child(pregel_symbols().compute_thread, th);
       schedule_epoch(t + prep, [this, w, th] { thread_continue(w, th); });
     }
   }
@@ -580,7 +623,7 @@ void PregelRun::send_chunk(int w, int th, double remote_bytes,
     resume = std::max(resume, plan.complete);
   }
   if (resume > now) {
-    const PhasePath phase = state.threads[static_cast<std::size_t>(th)].phase;
+    const PathRef phase = state.threads[static_cast<std::size_t>(th)].phase;
     schedule_epoch(resume, [this, w, th, phase, now, resume] {
       if (dead_[static_cast<std::size_t>(w)] != 0) return;
       log_.block(pregel_names::kRetry, phase, now, resume, w);
@@ -600,7 +643,7 @@ void PregelRun::start_gc(int w) {
   state.alloc_bytes = 0.0;
   state.gc_active = true;
   state.gc_end = now + ns_from_seconds(pause_seconds);
-  state.gc_phase = superstep_path().child("GcPause", gc_seq_++);
+  state.gc_phase = superstep_path().child(pregel_symbols().gc_pause, gc_seq_++);
   log_.begin(state.gc_phase, now, w);
   // The collector takes every core not currently finishing a compute chunk;
   // the remaining cores are absorbed one by one as chunks complete.
@@ -645,14 +688,13 @@ void PregelRun::worker_compute_done(int w) {
   auto& state = ws_[static_cast<std::size_t>(w)];
   const TimeNs now = sim_.now();
   state.compute_end = now;
-  const PhasePath step = superstep_path();
-  log_.end(step.child("WorkerCompute", w), now, w);
+  log_.end(state.compute_phase, now, w);
   const TimeNs drained = state.nic->time_empty(now);
-  log_.end(step.child("WorkerCommunicate", w), drained, w);
+  log_.end(state.communicate_phase, drained, w);
   // The END above is logged ahead of simulated time; remember it so a crash
   // teardown can close the Superstep at or after every logged child END.
   comm_end_[static_cast<std::size_t>(w)] = drained;
-  log_.begin(step.child("WorkerBarrier", w), now, w);
+  log_.begin(state.barrier_phase, now, w);
   state.ready = std::max(drained, state.gc_active ? state.gc_end : now);
   if (++workers_done_ == workers_) {
     TimeNs barrier = 0;
@@ -666,9 +708,9 @@ void PregelRun::finish_superstep(TimeNs barrier_time) {
   // A crash with a pending detection leaves the superstep to the recovery
   // path; the barrier must not retire it half-dead.
   if (any_dead_) return;
-  const PhasePath step = superstep_path();
+  const PathRef step = superstep_path();
   for (int w = 0; w < workers_; ++w) {
-    log_.end(step.child("WorkerBarrier", w), barrier_time, w);
+    log_.end(ws_[static_cast<std::size_t>(w)].barrier_phase, barrier_time, w);
   }
   log_.end(step, barrier_time, trace::kGlobalMachine);
 
@@ -700,9 +742,9 @@ void PregelRun::finish_superstep(TimeNs barrier_time) {
 }
 
 void PregelRun::finish_execute(TimeNs t) {
-  const PhasePath job = PhasePath{}.child("Job", 0);
-  log_.end(job.child("Execute", 0), t, trace::kGlobalMachine);
-  const PhasePath store = job.child("StoreResults", 0);
+  const PathRef& job = job_path_;
+  log_.end(exec_path_, t, trace::kGlobalMachine);
+  const PathRef store = job.child(pregel_symbols().store_results, 0);
   log_.begin(store, t, trace::kGlobalMachine);
   TimeNs store_end = t;
   for (int w = 0; w < workers_; ++w) {
@@ -717,7 +759,7 @@ void PregelRun::finish_execute(TimeNs t) {
         faults_.speed_factor(w, t));
     state.cpu->add(t, cores);
     state.cpu->add(t + duration, -cores);
-    const PhasePath worker_store = store.child("StoreWorker", w);
+    const PathRef worker_store = store.child(pregel_symbols().store_worker, w);
     log_.begin(worker_store, t, w);
     log_.end(worker_store, t + duration, w);
     store_end = std::max(store_end, t + duration);
@@ -765,8 +807,8 @@ TimeNs PregelRun::write_checkpoint(TimeNs t) {
   // completes (complete_checkpoint), so a crash landing inside the window
   // truncates them — the log shows an interrupted checkpoint, and the
   // snapshot falls back to the previous complete one.
-  const PhasePath exec = PhasePath{}.child("Job", 0).child("Execute", 0);
-  checkpoint_path_ = exec.child("Checkpoint", checkpoint_seq_++);
+  checkpoint_path_ =
+      exec_path_.child(pregel_symbols().checkpoint, checkpoint_seq_++);
   log_.begin(checkpoint_path_, t, trace::kGlobalMachine);
   checkpoint_wend_.assign(static_cast<std::size_t>(workers_), t);
   TimeNs cp_end = t;
@@ -777,7 +819,8 @@ TimeNs PregelRun::write_checkpoint(TimeNs t) {
         ns_for_work(worker_vertex_count(w) * cfg_.checkpoint.work_per_vertex);
     const TimeNs wend = t + duration;
     checkpoint_wend_[static_cast<std::size_t>(w)] = wend;
-    log_.begin(checkpoint_path_.child("CheckpointWorker", w), t, w);
+    log_.begin(checkpoint_path_.child(pregel_symbols().checkpoint_worker, w), t,
+               w);
     // Serialization is single-threaded per worker.
     state.cpu->add(t, 1.0);
     cp_end = std::max(cp_end, wend);
@@ -791,7 +834,8 @@ void PregelRun::complete_checkpoint() {
   for (int w = 0; w < workers_; ++w) {
     auto& state = ws_[static_cast<std::size_t>(w)];
     const TimeNs wend = checkpoint_wend_[static_cast<std::size_t>(w)];
-    log_.end(checkpoint_path_.child("CheckpointWorker", w), wend, w);
+    log_.end(checkpoint_path_.child(pregel_symbols().checkpoint_worker, w),
+             wend, w);
     state.cpu->add(wend, -1.0);
     cp_end = std::max(cp_end, wend);
   }
@@ -807,7 +851,8 @@ void PregelRun::abort_checkpoint(int victim, TimeNs now) {
   TimeNs cp_close = 0;
   for (int w = 0; w < workers_; ++w) {
     auto& state = ws_[static_cast<std::size_t>(w)];
-    const PhasePath worker_cp = checkpoint_path_.child("CheckpointWorker", w);
+    const PathRef worker_cp =
+        checkpoint_path_.child(pregel_symbols().checkpoint_worker, w);
     const TimeNs wend = checkpoint_wend_[static_cast<std::size_t>(w)];
     const TimeNs stop =
         w == victim ? std::min(crash_time_, wend) : std::min(now, wend);
@@ -854,7 +899,7 @@ void PregelRun::schedule_nic_changes() {
   }
 }
 
-void PregelRun::close_or_abandon(const PhasePath& path, bool truncate,
+void PregelRun::close_or_abandon(const PathRef& path, bool truncate,
                                  TimeNs now, trace::MachineId machine) {
   const auto begin = log_.open_begin(path);
   if (!begin) return;
@@ -869,7 +914,6 @@ void PregelRun::close_or_abandon(const PhasePath& path, bool truncate,
 
 void PregelRun::teardown_worker(int w, TimeNs now, bool truncate) {
   auto& state = ws_[static_cast<std::size_t>(w)];
-  const PhasePath step = superstep_path();
   for (int th = 0; th < threads_; ++th) {
     auto& thread = state.threads[static_cast<std::size_t>(th)];
     if (thread.running_intensity > 0.0) {
@@ -901,9 +945,9 @@ void PregelRun::teardown_worker(int w, TimeNs now, bool truncate) {
     close_or_abandon(state.gc_phase, truncate, now, w);
   }
   state.alloc_bytes = 0.0;
-  close_or_abandon(step.child("WorkerCompute", w), truncate, now, w);
-  close_or_abandon(step.child("WorkerCommunicate", w), truncate, now, w);
-  close_or_abandon(step.child("WorkerBarrier", w), truncate, now, w);
+  close_or_abandon(state.compute_phase, truncate, now, w);
+  close_or_abandon(state.communicate_phase, truncate, now, w);
+  close_or_abandon(state.barrier_phase, truncate, now, w);
   // In-flight traffic of the aborted superstep is gone; the re-execution
   // regenerates it.
   state.nic->clear(now);
@@ -941,7 +985,7 @@ void PregelRun::detect_and_recover() {
   // A new epoch invalidates every event of the aborted execution attempt.
   ++epoch_;
   const bool truncated = cfg_.crash_log == CrashLogStyle::kTruncated;
-  const PhasePath step = superstep_path();
+  const PathRef step = superstep_path();
   const bool step_open = log_.is_open(step);
   // Some WorkerCommunicate ENDs were logged ahead of time; the Superstep
   // must close at or after every logged child END.
@@ -963,8 +1007,8 @@ void PregelRun::detect_and_recover() {
   // Checkpoint-restart recovery: the master restarts the victim and every
   // worker reloads the last checkpoint. The whole window is dead time,
   // reported as "Recovery" blocking events.
-  const PhasePath exec = PhasePath{}.child("Job", 0).child("Execute", 0);
-  const PhasePath rec = exec.child("Recovery", recovery_seq_++);
+  const PathRef rec =
+      exec_path_.child(pregel_symbols().recovery, recovery_seq_++);
   log_.begin(rec, now, trace::kGlobalMachine);
   const DurationNs restart = ns_from_seconds(cfg_.checkpoint.restart_seconds);
   TimeNs rec_end = now + restart;
@@ -973,7 +1017,8 @@ void PregelRun::detect_and_recover() {
         worker_vertex_count(w) * cfg_.checkpoint.reload_work_per_vertex /
         static_cast<double>(cfg_.cluster.machine.cores));
     const TimeNs wend = now + restart + reload;
-    const PhasePath worker_rec = rec.child("RecoveryWorker", w);
+    const PathRef worker_rec =
+        rec.child(pregel_symbols().recovery_worker, w);
     log_.begin(worker_rec, now, w);
     log_.end(worker_rec, wend, w);
     log_.block(pregel_names::kRecovery, worker_rec, now, wend, w);

@@ -62,10 +62,14 @@ ExecutionTrace ExecutionTrace::build(
     InstanceId id = kNoInstance;
     bool ended = false;
   };
-  std::unordered_map<std::string, Pending> pending;
+  std::unordered_map<std::string, Pending, PathHash, std::equal_to<>> pending;
 
+  // One render buffer reused across all events: END events (half the log)
+  // only probe the maps and never need an owned key.
+  std::string key;
   for (const auto& event : phase_events) {
-    const std::string key = event.path.to_string();
+    key.clear();
+    event.path.append_to(key);
     if (event.kind == trace::PhaseEventRecord::Kind::Begin) {
       const PhaseTypeId type = model.find(event.path.leaf().type);
       if (type == kNoPhaseType) {
@@ -119,9 +123,9 @@ ExecutionTrace ExecutionTrace::build(
   // Every instance must have ended — a BEGIN without an END is the signature
   // of a crashed worker's log. Lenient mode repairs it below.
   std::vector<InstanceId> unended;
-  for (const auto& [key, state] : pending) {
+  for (const auto& [open_path, state] : pending) {
     if (state.ended) continue;
-    require_lenient("phase never ended: " + key);
+    require_lenient("phase never ended: " + open_path);
     unended.push_back(state.id);
   }
   std::sort(unended.begin(), unended.end());
@@ -138,7 +142,8 @@ ExecutionTrace ExecutionTrace::build(
       instance.parent = kNoInstance;
       continue;
     }
-    const std::string parent_path = instance.path.substr(0, slash);
+    const std::string_view parent_path =
+        std::string_view(instance.path).substr(0, slash);
     const auto it = trace.by_path_.find(parent_path);
     G10_CHECK_MSG(it != trace.by_path_.end(),
                   "parent instance missing for " << instance.path);
@@ -158,11 +163,17 @@ ExecutionTrace ExecutionTrace::build(
     // (the crash time). Top-down afterwards: a truncated child of a
     // truncated parent is stretched to the parent's synthesized end, so a
     // whole abandoned subtree closes at one consistent instant.
-    std::unordered_map<std::string, TimeNs> block_max;
+    std::unordered_map<std::string, TimeNs, PathHash, std::equal_to<>>
+        block_max;
     for (const auto& event : blocking_events) {
-      auto [it, inserted] = block_max.try_emplace(event.path.to_string(),
-                                                  event.end);
-      if (!inserted) it->second = std::max(it->second, event.end);
+      key.clear();
+      event.path.append_to(key);
+      const auto bit = block_max.find(key);
+      if (bit == block_max.end()) {
+        block_max.emplace(key, event.end);
+      } else {
+        bit->second = std::max(bit->second, event.end);
+      }
     }
     const auto depth_of = [](const PhaseInstance& instance) {
       return std::count(instance.path.begin(), instance.path.end(), '/');
@@ -235,7 +246,8 @@ ExecutionTrace ExecutionTrace::build(
   // Attach blocking events.
   for (const auto& event : blocking_events) {
     const ResourceId resource = resources.find(event.resource);
-    const std::string key = event.path.to_string();
+    key.clear();
+    event.path.append_to(key);
     if (resource == kNoResource) {
       if (options.ignore_unknown_blocking) continue;
       require_lenient("unknown blocking resource: " + event.resource);
@@ -300,7 +312,7 @@ const PhaseInstance& ExecutionTrace::instance(InstanceId id) const {
   return instances_[static_cast<std::size_t>(id)];
 }
 
-InstanceId ExecutionTrace::find(const std::string& path) const {
+InstanceId ExecutionTrace::find(std::string_view path) const {
   const auto it = by_path_.find(path);
   return it == by_path_.end() ? kNoInstance : it->second;
 }

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -90,7 +91,10 @@ class ExecutionTrace {
   const std::vector<BlockingSpan>& blocking() const { return blocking_; }
 
   InstanceId root() const { return instances_.empty() ? kNoInstance : 0; }
-  InstanceId find(const std::string& path) const;
+
+  /// Heterogeneous lookup: accepts string literals, std::string, and
+  /// string_view slices without materializing a temporary key.
+  InstanceId find(std::string_view path) const;
 
   /// Latest phase end in the trace.
   TimeNs end_time() const { return end_time_; }
@@ -106,10 +110,20 @@ class ExecutionTrace {
   std::size_t degraded_count() const;
 
  private:
+  /// Transparent hash so path lookups take string_view keys (substrings of
+  /// instance paths, reused render buffers) without allocating.
+  struct PathHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<PhaseInstance> instances_;
   std::vector<InstanceId> leaves_;
   std::vector<BlockingSpan> blocking_;
-  std::unordered_map<std::string, InstanceId> by_path_;
+  std::unordered_map<std::string, InstanceId, PathHash, std::equal_to<>>
+      by_path_;
   std::vector<trace::MachineId> machines_;
   std::vector<std::string> warnings_;
   TimeNs end_time_ = 0;

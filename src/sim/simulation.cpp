@@ -1,58 +1,29 @@
 #include "sim/simulation.hpp"
 
-#include <algorithm>
-
-#include "common/check.hpp"
+#include <limits>
 
 namespace g10::sim {
 
-EventId Simulation::schedule_at(TimeNs t, std::function<void()> fn) {
-  G10_CHECK_MSG(t >= now_, "cannot schedule in the past: t=" << t
-                                                             << " now=" << now_);
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  return id;
-}
-
-EventId Simulation::schedule_after(DurationNs delay, std::function<void()> fn) {
-  G10_CHECK(delay >= 0);
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
 void Simulation::cancel(EventId id) {
-  cancelled_.push_back(id);
-  ++cancelled_pending_;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= node_count_) return;
+  Node& node = this->node(slot);
+  if (!node.armed || node.generation != generation) return;
+  node.armed = false;
+  node.fn.reset();  // drop captured state now, not when the heap drains
+  --armed_;
+  // The heap entry stays behind and is discarded (and the slot recycled)
+  // when it reaches the top; with the callback already destroyed that
+  // leftover is 24 bytes, not an O(n) scan per pop.
 }
 
-bool Simulation::is_cancelled(EventId id) {
-  if (cancelled_.empty()) return false;
-  const auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-  if (it == cancelled_.end()) return false;
-  cancelled_.erase(it);
-  --cancelled_pending_;
-  return true;
-}
-
-bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (is_cancelled(ev.id)) continue;
-    now_ = ev.time;
-    ev.fn();
-    return true;
+std::uint32_t Simulation::grow_slab() {
+  G10_CHECK(node_count_ < std::numeric_limits<std::uint32_t>::max());
+  if (node_count_ == chunks_.size() * kChunkSize) {
+    chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
   }
-  return false;
-}
-
-TimeNs Simulation::run() {
-  while (step()) {
-  }
-  return now_;
-}
-
-std::size_t Simulation::pending_events() const {
-  return queue_.size() - cancelled_pending_;
+  return static_cast<std::uint32_t>(node_count_++);
 }
 
 }  // namespace g10::sim

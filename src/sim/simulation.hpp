@@ -4,17 +4,33 @@
 // at absolute simulated times; the kernel executes them in (time, insertion)
 // order, so runs are fully deterministic. There is no real concurrency —
 // "threads" and "machines" are modeled entities.
+//
+// The kernel is pooled: event nodes live in a chunked, freelist-recycled
+// slab (stable addresses — callbacks are invoked in place and may schedule
+// without relocating the running node) and callbacks are stored in
+// small-buffer-optimized InlineFunctions, so the steady-state schedule/fire
+// cycle performs no heap allocation. EventIds are (generation << 32 | slot)
+// handles — cancellation is an O(1) disarm of the slot, and a stale handle
+// (already fired, or slot since recycled) fails the generation check and is
+// a safe no-op. The ready queue is a 4-ary min-heap of 24-byte
+// (time, seq, slot) entries: half the sift depth of a binary heap, and a
+// node's four children share two cache lines.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "common/check.hpp"
+#include "common/inline_function.hpp"
 #include "common/time.hpp"
 
 namespace g10::sim {
 
+/// Opaque handle to a scheduled event: (generation << 32) | slot. The
+/// generation starts at 1, so every valid id is >= 2^32 and arbitrary small
+/// integers never name a live event.
 using EventId = std::uint64_t;
 
 /// Event-driven simulated clock.
@@ -23,43 +39,159 @@ class Simulation {
   TimeNs now() const { return now_; }
 
   /// Schedules fn at absolute time t (must be >= now).
-  EventId schedule_at(TimeNs t, std::function<void()> fn);
+  template <typename Fn>
+  EventId schedule_at(TimeNs t, Fn&& fn) {
+    G10_CHECK_MSG(t >= now_,
+                  "cannot schedule in the past: t=" << t << " now=" << now_);
+    const std::uint32_t slot = acquire_slot();
+    Node& node = this->node(slot);
+    node.armed = true;
+    node.fn.assign(std::forward<Fn>(fn));
+    heap_.push_back(HeapEntry{t, next_seq_++, slot});
+    sift_up(heap_.size() - 1);
+    ++armed_;
+    return make_id(node.generation, slot);
+  }
 
   /// Schedules fn `delay` after now.
-  EventId schedule_after(DurationNs delay, std::function<void()> fn);
+  template <typename Fn>
+  EventId schedule_after(DurationNs delay, Fn&& fn) {
+    G10_CHECK(delay >= 0);
+    return schedule_at(now_ + delay, std::forward<Fn>(fn));
+  }
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown id is
-  /// a no-op (lazy deletion).
+  /// Cancels a pending event and releases its callback immediately.
+  /// Cancelling an already-fired, already-cancelled, or unknown id is a
+  /// no-op: the handle's generation no longer matches the slot.
   void cancel(EventId id);
 
-  /// Runs events until the queue is empty. Returns the final clock value.
-  TimeNs run();
-
   /// Executes the single next event; false if the queue is empty.
-  bool step();
+  bool step() {
+    while (!heap_.empty()) {
+      const HeapEntry top = pop_heap_top();
+      // A slot is only recycled once its heap entry pops, so `top.slot`
+      // still refers to the scheduling that produced this entry.
+      Node& node = this->node(top.slot);
+      if (!node.armed) {
+        release_slot(top.slot);
+        continue;
+      }
+      node.armed = false;
+      --armed_;
+      now_ = top.time;
+      // Chunked storage keeps the node's address stable even if the
+      // callback schedules more events, so it runs in place; the slot is
+      // still held, so nothing can overwrite the executing callback.
+      node.fn();
+      release_slot(top.slot);
+      return true;
+    }
+    return false;
+  }
 
-  std::size_t pending_events() const;
+  /// Runs events until the queue is empty. Returns the final clock value.
+  TimeNs run() {
+    while (step()) {
+    }
+    return now_;
+  }
+
+  std::size_t pending_events() const { return armed_; }
 
  private:
-  struct Event {
-    TimeNs time;
-    EventId id;  // also the tiebreaker: earlier-scheduled runs first
-    std::function<void()> fn;
+  struct Node {
+    std::uint32_t generation = 1;  // bumped on slot recycle; never 0
+    bool armed = false;
+    InlineFunction fn;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
+  struct HeapEntry {
+    TimeNs time;
+    std::uint64_t seq;  // monotonic tiebreaker: earlier-scheduled runs first
+    std::uint32_t slot;
+
+    bool operator<(const HeapEntry& other) const {
+      if (time != other.time) return time < other.time;
+      return seq < other.seq;
     }
   };
 
-  TimeNs now_ = 0;
-  EventId next_id_ = 1;
-  std::size_t cancelled_pending_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<EventId> cancelled_;  // sorted lazily on lookup
+  static constexpr std::size_t kChunkShift = 9;  // 512 nodes per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kArity = 4;  // heap fan-out
 
-  bool is_cancelled(EventId id);
+  static EventId make_id(std::uint32_t generation, std::uint32_t slot) {
+    return (static_cast<EventId>(generation) << 32) | slot;
+  }
+
+  Node& node(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot() {
+    if (!free_slots_.empty()) {
+      const std::uint32_t slot = free_slots_.back();
+      free_slots_.pop_back();
+      return slot;
+    }
+    return grow_slab();
+  }
+
+  void release_slot(std::uint32_t slot) {
+    Node& node = this->node(slot);
+    node.fn.reset();
+    if (++node.generation == 0) node.generation = 1;  // ids stay >= 2^32
+    free_slots_.push_back(slot);
+  }
+
+  void sift_up(std::size_t index) {
+    const HeapEntry entry = heap_[index];
+    while (index > 0) {
+      const std::size_t parent = (index - 1) / kArity;
+      if (!(entry < heap_[parent])) break;
+      heap_[index] = heap_[parent];
+      index = parent;
+    }
+    heap_[index] = entry;
+  }
+
+  void sift_down(std::size_t index) {
+    const std::size_t size = heap_.size();
+    const HeapEntry entry = heap_[index];
+    while (true) {
+      const std::size_t first_child = index * kArity + 1;
+      if (first_child >= size) break;
+      const std::size_t last_child = std::min(first_child + kArity, size);
+      std::size_t best = first_child;
+      for (std::size_t child = first_child + 1; child < last_child; ++child) {
+        if (heap_[child] < heap_[best]) best = child;
+      }
+      if (!(heap_[best] < entry)) break;
+      heap_[index] = heap_[best];
+      index = best;
+    }
+    heap_[index] = entry;
+  }
+
+  HeapEntry pop_heap_top() {
+    const HeapEntry top = heap_.front();
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      heap_.front() = last;
+      sift_down(0);
+    }
+    return top;
+  }
+
+  std::uint32_t grow_slab();
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t armed_ = 0;
+  std::size_t node_count_ = 0;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap on (time, seq)
 };
 
 }  // namespace g10::sim

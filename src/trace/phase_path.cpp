@@ -20,13 +20,17 @@ PhasePath PhasePath::child(std::string type, std::int64_t index) const {
 
 std::string PhasePath::to_string() const {
   std::string out;
+  append_to(out);
+  return out;
+}
+
+void PhasePath::append_to(std::string& out) const {
   for (std::size_t i = 0; i < elements.size(); ++i) {
     if (i != 0) out += '/';
     out += elements[i].type;
     out += '.';
     out += std::to_string(elements[i].index);
   }
-  return out;
 }
 
 std::optional<PhasePath> parse_phase_path(std::string_view text) {

@@ -37,6 +37,10 @@ struct PhasePath {
 
   std::string to_string() const;
 
+  /// Appends the rendered path to `out` without intermediate allocations
+  /// (hot in analysis ingestion, where the buffer is reused across events).
+  void append_to(std::string& out) const;
+
   friend bool operator==(const PhasePath&, const PhasePath&) = default;
 };
 

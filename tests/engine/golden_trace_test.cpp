@@ -1,0 +1,79 @@
+// Golden-trace regression: the engines' logs must stay byte-identical to
+// committed fixtures across refactors of the trace-generation path. The
+// fixtures were produced by the string-based (pre-interning) pipeline, so a
+// pass here proves the interned fast path changes nothing observable.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/programs.hpp"
+#include "engine/dataflow/dataflow_engine.hpp"
+#include "engine/gas/gas_engine.hpp"
+#include "engine/pregel/pregel_engine.hpp"
+#include "graph/generators.hpp"
+#include "trace/log_io.hpp"
+
+namespace g10 {
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(G10_GOLDEN_TRACE_DIR) + "/" + name;
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "missing fixture: " << path;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+std::string render(const trace::RunArtifacts& artifacts) {
+  std::ostringstream os;
+  trace::write_log(os, artifacts.phase_events, artifacts.blocking_events, {});
+  return os.str();
+}
+
+graph::Graph make_graph() {
+  graph::DatagenParams params;
+  params.vertices = 512;
+  params.mean_degree = 8;
+  params.seed = 11;
+  return generate_datagen_like(params);
+}
+
+TEST(GoldenTraceTest, PregelPageRankMatchesFixture) {
+  engine::PregelConfig cfg;
+  cfg.cluster.machine_count = 3;
+  cfg.cluster.machine.cores = 8;
+  cfg.seed = 99;
+  const auto artifacts =
+      engine::PregelEngine(cfg).run(make_graph(), algorithms::PageRank(5));
+  EXPECT_EQ(render(artifacts), read_fixture("pregel_pagerank_d512_s99.log"));
+}
+
+TEST(GoldenTraceTest, GasPageRankMatchesFixture) {
+  engine::GasConfig cfg;
+  cfg.cluster.machine_count = 3;
+  cfg.cluster.machine.cores = 8;
+  cfg.seed = 99;
+  const auto artifacts =
+      engine::GasEngine(cfg).run(make_graph(), algorithms::PageRank(5));
+  EXPECT_EQ(render(artifacts), read_fixture("gas_pagerank_d512_s99.log"));
+}
+
+TEST(GoldenTraceTest, DataflowMatchesFixture) {
+  engine::DataflowConfig cfg;
+  cfg.cluster.machine_count = 3;
+  cfg.cluster.machine.cores = 8;
+  cfg.seed = 99;
+  engine::StageSpec stage;
+  stage.tasks = 48;
+  stage.skew = 0.3;
+  engine::DataflowJobSpec job;
+  job.stages = {stage, stage, stage};
+  const auto artifacts = engine::DataflowEngine(cfg).run(job);
+  EXPECT_EQ(render(artifacts), read_fixture("dataflow_3stage_s99.log"));
+}
+
+}  // namespace
+}  // namespace g10

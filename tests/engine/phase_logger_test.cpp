@@ -7,8 +7,8 @@
 namespace g10::engine {
 namespace {
 
-trace::PhasePath path(const std::string& type, std::int64_t index) {
-  return trace::PhasePath{}.child(type, index);
+trace::PathRef path(std::string_view type, std::int64_t index) {
+  return trace::PathRef{}.child(type, index);
 }
 
 TEST(PhaseLoggerTest, BalancedBeginEnd) {

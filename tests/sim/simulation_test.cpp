@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "common/check.hpp"
@@ -86,6 +88,95 @@ TEST(SimulationTest, PendingEventCountTracksCancels) {
   EXPECT_EQ(sim.pending_events(), 2u);
   sim.cancel(a);
   EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(SimulationTest, CancelHeavyWorkloadFiresOnlySurvivors) {
+  // Timer-wheel pattern the engines produce: arm many timeouts, cancel most
+  // of them before they fire. All survivors must run, in time order, and
+  // the pool must recycle cancelled slots without unbounded growth.
+  Simulation sim;
+  constexpr int kRounds = 64;
+  constexpr int kPerRound = 256;
+  std::vector<TimeNs> fired;
+  TimeNs base = 1;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<EventId> ids;
+    ids.reserve(kPerRound);
+    for (int i = 0; i < kPerRound; ++i) {
+      const TimeNs t = base + i;
+      ids.push_back(sim.schedule_at(t, [&fired, &sim] {
+        fired.push_back(sim.now());
+      }));
+    }
+    for (int i = 0; i < kPerRound; ++i) {
+      if (i % 16 != 0) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    base += kPerRound;
+  }
+  EXPECT_EQ(sim.pending_events(),
+            static_cast<std::size_t>(kRounds * kPerRound / 16));
+  sim.run();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(kRounds * kPerRound / 16));
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, StaleHandleAfterSlotReuseIsNoop) {
+  // A cancelled (or fired) event's slot is recycled for later schedulings.
+  // The old handle carries the old generation, so cancelling it again must
+  // not kill the new occupant of the slot.
+  Simulation sim;
+  const EventId stale = sim.schedule_at(1, [] {});
+  sim.cancel(stale);
+  sim.schedule_at(2, [] {});  // drains the lazily-deleted heap entry
+  sim.run();
+
+  // The freelist now holds the recycled slots; new events reuse them.
+  bool survivor_ran = false;
+  const EventId fresh = sim.schedule_at(10, [&] { survivor_ran = true; });
+  EXPECT_NE(fresh, stale);
+  sim.cancel(stale);  // stale generation: must not touch the new event
+  sim.run();
+  EXPECT_TRUE(survivor_ran);
+}
+
+TEST(SimulationTest, CancelAlreadyFiredIdIsNoop) {
+  Simulation sim;
+  int count = 0;
+  const EventId a = sim.schedule_at(1, [&] { ++count; });
+  sim.run();
+  sim.cancel(a);  // already fired
+  bool ran = false;
+  sim.schedule_at(2, [&] { ran = true; });  // likely reuses a's slot
+  sim.cancel(a);  // still stale after reuse
+  sim.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulationTest, CancelInsideCallbackCancelsPeer) {
+  Simulation sim;
+  bool peer_ran = false;
+  EventId peer = 0;
+  sim.schedule_at(1, [&] { sim.cancel(peer); });
+  peer = sim.schedule_at(2, [&] { peer_ran = true; });
+  sim.run();
+  EXPECT_FALSE(peer_ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, CancelledEventDropsCallbackState) {
+  // Cancellation must release the callback immediately (not at pop time):
+  // captured shared state is freed as soon as the event dies.
+  Simulation sim;
+  auto token = std::make_shared<int>(7);
+  std::weak_ptr<int> watch = token;
+  const EventId id = sim.schedule_at(5, [token] { (void)*token; });
+  token.reset();
+  EXPECT_FALSE(watch.expired());
+  sim.cancel(id);
+  EXPECT_TRUE(watch.expired());
+  sim.run();
 }
 
 }  // namespace
