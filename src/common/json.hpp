@@ -1,0 +1,120 @@
+// Minimal JSON support for the machine-readable artifacts this repo
+// produces and consumes: the ensemble run journal (JSONL, parsed back on
+// --resume), the ensemble report, and the lint --json emitter's escaping.
+//
+// Two halves:
+//  - JsonWriter: a streaming writer with automatic separators and string
+//    escaping. Doubles are rendered with shortest-round-trip to_chars, so a
+//    value written and re-parsed is bit-identical — the property the
+//    ensemble's byte-identical --resume guarantee rests on.
+//  - JsonValue: a tiny recursive-descent parser for trusted, well-formed
+//    input (our own journal lines). Object member order is preserved.
+//    Not a general-purpose validator: it accepts a superset of JSON in a
+//    few corners (e.g. lone surrogates pass through) but rejects anything
+//    structurally damaged, which is what torn journal tails look like.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g10 {
+
+/// Appends the JSON string literal for `s` (quotes included) to `out`.
+void json_escape(std::string& out, std::string_view s);
+
+/// Shortest decimal rendering of `v` that parses back to the same double
+/// (std::to_chars). Non-finite values render as null (JSON has no inf/nan).
+std::string json_double(double v);
+
+/// Streaming JSON writer. Usage:
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("runs").begin_array();
+///   w.value(1.5); w.value("ok");
+///   w.end_array();
+///   w.end_object();
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; the next value() / begin_*() is its value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+ private:
+  void separate();
+
+  std::ostream& os_;
+  /// Stack of container states: false = empty so far, true = needs comma.
+  std::vector<bool> stack_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value. Numbers are kept as doubles (plus the raw text, so
+/// integer-valued fields survive uint64 round-trips).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document; trailing garbage is an error. Returns
+  /// nullopt and a diagnostic on malformed input.
+  static std::optional<JsonValue> parse(std::string_view text,
+                                        std::string* error = nullptr);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; G10_CHECK-fail on kind mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Convenience typed lookups with defaults, for flat journal records.
+  double get_double(std::string_view key, double fallback = 0.0) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback = 0) const;
+  std::uint64_t get_uint(std::string_view key,
+                         std::uint64_t fallback = 0) const;
+  std::string get_string(std::string_view key,
+                         std::string_view fallback = "") const;
+  bool get_bool(std::string_view key, bool fallback = false) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string raw_number_;  ///< exact source text of a number
+  std::string string_;
+  std::vector<JsonValue> items_;                          ///< arrays
+  std::vector<std::pair<std::string, JsonValue>> members_;  ///< objects
+};
+
+}  // namespace g10

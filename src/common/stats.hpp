@@ -12,6 +12,11 @@ class RunningStats {
  public:
   void add(double x);
 
+  /// Folds another accumulator in (Chan's parallel combination); the result
+  /// matches feeding both sample streams into one accumulator, up to
+  /// floating-point association. Either side may be empty.
+  void merge(const RunningStats& other);
+
   std::size_t count() const { return n_; }
   double mean() const { return n_ == 0 ? 0.0 : mean_; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
@@ -36,6 +41,26 @@ double percentile(std::vector<double> values, double q);
 
 /// Median convenience wrapper.
 double median(std::vector<double> values);
+
+/// Several percentiles from one sort. Each q must be in [0, 1]; an empty
+/// input yields all zeros (matching percentile()).
+std::vector<double> quantiles(std::vector<double> values,
+                              const std::vector<double>& qs);
+
+/// A two-sided confidence interval, clamped to [0, 1] for proportions.
+struct ConfidenceInterval {
+  double low = 0.0;
+  double high = 1.0;
+
+  bool operator==(const ConfidenceInterval&) const = default;
+};
+
+/// Wilson score interval for a binomial proportion: `successes` hits out of
+/// `trials`, at critical value z (1.96 ~ 95%). Well-behaved at the extremes
+/// (0/n and n/n stay inside [0, 1], unlike the normal approximation).
+/// With trials == 0 there is no information: returns [0, 1].
+ConfidenceInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double z = 1.96);
 
 /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
 double coefficient_of_variation(const std::vector<double>& values);

@@ -1,0 +1,73 @@
+#include "ensemble/driver.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+#include "ensemble/run_report.hpp"
+
+namespace g10::ensemble {
+
+EnsembleOutcome run_ensemble(const ScenarioMatrix& matrix, const RunFn& fn,
+                             const EnsembleOptions& options) {
+  G10_CHECK_MSG(!options.journal_path.empty(), "ensemble needs a journal path");
+  const std::vector<Scenario> scenarios = matrix.expand();
+
+  const JournalReplay existing = read_journal(options.journal_path);
+  G10_CHECK_MSG(options.resume || (existing.entries.empty() &&
+                                   existing.dropped_lines == 0),
+                "journal '" + options.journal_path +
+                    "' already has entries; pass resume to continue it");
+
+  std::unordered_set<std::uint64_t> done;
+  done.reserve(existing.entries.size());
+  for (const JournalEntry& entry : existing.entries) done.insert(entry.key);
+
+  std::vector<const Scenario*> pending;
+  pending.reserve(scenarios.size());
+  EnsembleOutcome outcome;
+  for (const Scenario& s : scenarios) {
+    if (done.contains(s.hash())) {
+      ++outcome.reused;
+    } else {
+      pending.push_back(&s);
+    }
+  }
+  if (options.limit > 0 && pending.size() > options.limit) {
+    outcome.remaining = pending.size() - options.limit;
+    pending.resize(options.limit);
+  }
+
+  if (!pending.empty()) {
+    JournalWriter writer(options.journal_path);
+    Watchdog watchdog;
+    const RunExecutor executor(fn, options.retry, &watchdog);
+    ThreadPool pool(options.threads);
+    // Grain 1: scenarios vary wildly in cost (fault recovery can multiply a
+    // run's length), so work stealing needs single-run granularity.
+    parallel_for(&pool, pending.size(), 1, [&](std::size_t i) {
+      const Scenario& scenario = *pending[i];
+      const RunResult result = executor.execute(scenario);
+      JournalEntry entry;
+      entry.key = scenario.hash();
+      entry.scenario = scenario.key();
+      entry.outcome = result.outcome;
+      entry.attempts = result.attempts;
+      entry.wall_ms = result.wall_ms;
+      entry.error = result.error;
+      entry.report = result.report;
+      writer.append(entry);
+      if (options.on_run) options.on_run(entry);
+    });
+    outcome.executed = pending.size();
+  }
+
+  // The aggregate is always computed from a fresh read of the journal file,
+  // never from in-memory results: a resumed ensemble and an uninterrupted
+  // one reduce the exact same bytes, so their reports are byte-identical.
+  outcome.report = aggregate(scenarios, read_journal(options.journal_path));
+  return outcome;
+}
+
+}  // namespace g10::ensemble

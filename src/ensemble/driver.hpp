@@ -1,0 +1,56 @@
+// The ensemble driver: expands a ScenarioMatrix, fans the pending runs
+// across a work-stealing ThreadPool through the robust RunExecutor, journals
+// every completed run, and aggregates the (re-read) journal into the
+// distributional report.
+//
+// Resume semantics: the journal is the single source of truth. A fresh
+// start requires an absent/empty journal (refusing to silently mix fleets);
+// with `resume` set the existing entries are reused and only scenarios
+// without an entry are executed. Because the aggregate is always computed
+// from a fresh read of the journal file — never from in-memory state — a
+// resumed ensemble renders a byte-identical report to an uninterrupted one.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "ensemble/aggregate.hpp"
+#include "ensemble/executor.hpp"
+#include "ensemble/journal.hpp"
+#include "ensemble/scenario.hpp"
+
+namespace g10::ensemble {
+
+struct EnsembleOptions {
+  std::string journal_path;
+  /// Reuse existing journal entries and run only the missing scenarios.
+  /// Without it, a non-empty journal is an error (refuses to mix fleets).
+  bool resume = false;
+  /// Pool concurrency (0 = auto via ThreadPool::resolve_threads).
+  std::size_t threads = 0;
+  /// Per-run deadline/retry policy for the RunExecutor.
+  RetryPolicy retry;
+  /// Execute at most this many pending runs this invocation (0 = all);
+  /// the rest stay missing in the journal, resumable later. Gives tests
+  /// and the CI kill-and-resume check a deterministic partial journal.
+  std::size_t limit = 0;
+  /// Progress callback, invoked after each journaled run (may be called
+  /// from pool threads; null disables).
+  std::function<void(const JournalEntry&)> on_run;
+};
+
+struct EnsembleOutcome {
+  std::size_t executed = 0;  ///< runs computed by this invocation
+  std::size_t reused = 0;    ///< scenarios satisfied from the journal
+  std::size_t remaining = 0; ///< pending runs left unexecuted (limit)
+  AggregateReport report;    ///< aggregate over the full scenario list
+};
+
+/// Runs (or resumes) the ensemble. Throws CheckError on an invalid matrix,
+/// an unwritable journal, or a fresh start over a non-empty journal;
+/// individual run failures never throw — they are journaled outcomes.
+EnsembleOutcome run_ensemble(const ScenarioMatrix& matrix, const RunFn& fn,
+                             const EnsembleOptions& options);
+
+}  // namespace g10::ensemble

@@ -1,0 +1,208 @@
+#include "ensemble/executor.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/check.hpp"
+
+namespace g10::ensemble {
+
+std::string_view outcome_name(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kOk:
+      return "ok";
+    case RunOutcome::kTimeout:
+      return "timeout";
+    case RunOutcome::kRunFailed:
+      return "run_failed";
+    case RunOutcome::kAnalysisFailed:
+      return "analysis_failed";
+    case RunOutcome::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+std::optional<RunOutcome> parse_outcome(std::string_view name) {
+  if (name == "ok") return RunOutcome::kOk;
+  if (name == "timeout") return RunOutcome::kTimeout;
+  if (name == "run_failed") return RunOutcome::kRunFailed;
+  if (name == "analysis_failed") return RunOutcome::kAnalysisFailed;
+  if (name == "skipped") return RunOutcome::kSkipped;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+Watchdog::Watchdog() : thread_([this] { loop(); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    MutexLock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+Watchdog::Guard& Watchdog::Guard::operator=(Guard&& other) noexcept {
+  if (this != &other) {
+    disarm();
+    watchdog_ = other.watchdog_;
+    id_ = other.id_;
+    other.watchdog_ = nullptr;
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void Watchdog::Guard::disarm() {
+  if (watchdog_ != nullptr) {
+    watchdog_->remove(id_);
+    watchdog_ = nullptr;
+    id_ = 0;
+  }
+}
+
+Watchdog::Guard Watchdog::arm(std::shared_ptr<CancelToken> token,
+                              std::chrono::steady_clock::duration timeout) {
+  G10_CHECK(token != nullptr);
+  Guard guard;
+  guard.watchdog_ = this;
+  {
+    MutexLock lock(mutex_);
+    guard.id_ = next_id_++;
+    entries_[guard.id_] =
+        Entry{std::chrono::steady_clock::now() + timeout, std::move(token)};
+  }
+  cv_.notify_all();
+  return guard;
+}
+
+void Watchdog::remove(std::uint64_t id) {
+  MutexLock lock(mutex_);
+  entries_.erase(id);
+}
+
+void Watchdog::loop() {
+  MutexLock lock(mutex_);
+  while (!stop_) {
+    // Fire every expired deadline, then sleep until the next one (or until
+    // arm()/shutdown pokes the condition variable). Tokens are cancelled
+    // while the lock is held, so a disarmed entry is never fired: disarm
+    // removes it under the same mutex.
+    const auto now = std::chrono::steady_clock::now();
+    std::optional<std::chrono::steady_clock::time_point> next;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.deadline <= now) {
+        it->second.token->cancel();
+        it = entries_.erase(it);
+      } else {
+        if (!next || it->second.deadline < *next) next = it->second.deadline;
+        ++it;
+      }
+    }
+    if (next) {
+      cv_.wait_until(mutex_, *next);
+    } else {
+      cv_.wait(mutex_);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RetryPolicy / RunExecutor
+// ---------------------------------------------------------------------------
+
+bool RetryPolicy::retries(RunOutcome outcome) const {
+  switch (outcome) {
+    case RunOutcome::kTimeout:
+      return retry_timeout;
+    case RunOutcome::kRunFailed:
+      return retry_run_failed;
+    case RunOutcome::kAnalysisFailed:
+      return retry_analysis_failed;
+    case RunOutcome::kOk:
+    case RunOutcome::kSkipped:
+      return false;
+  }
+  return false;
+}
+
+double RetryPolicy::backoff_seconds(int next_attempt) const {
+  double backoff = backoff_initial_seconds;
+  for (int i = 2; i < next_attempt; ++i) {
+    backoff *= backoff_factor;
+    if (backoff >= backoff_max_seconds) break;
+  }
+  return std::min(backoff, backoff_max_seconds);
+}
+
+RunExecutor::RunExecutor(RunFn fn, RetryPolicy policy, Watchdog* watchdog)
+    : fn_(std::move(fn)), policy_(policy), watchdog_(watchdog) {
+  G10_CHECK_MSG(policy_.max_attempts >= 1, "need at least one attempt");
+  G10_CHECK_MSG(policy_.deadline_seconds <= 0.0 || watchdog_ != nullptr,
+                "a per-run deadline needs a watchdog");
+}
+
+RunResult RunExecutor::execute(const Scenario& scenario,
+                               const std::atomic<bool>* stop) const {
+  RunResult result;
+  if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+    result.outcome = RunOutcome::kSkipped;
+    result.error = "ensemble stopping";
+    return result;
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
+    // A fresh token per attempt: a deadline that fired during attempt k
+    // must not poison attempt k+1.
+    auto token = std::make_shared<CancelToken>();
+    Watchdog::Guard guard;
+    if (policy_.deadline_seconds > 0.0) {
+      guard = watchdog_->arm(
+          token, std::chrono::duration_cast<
+                     std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(policy_.deadline_seconds)));
+    }
+    RunAttempt attempt_result;
+    try {
+      attempt_result = fn_(scenario, *token);
+    } catch (const std::exception& e) {
+      attempt_result.outcome = RunOutcome::kRunFailed;
+      attempt_result.error = e.what();
+    } catch (...) {
+      attempt_result.outcome = RunOutcome::kRunFailed;
+      attempt_result.error = "unknown exception";
+    }
+    // The deadline verdict outranks whatever the run reported: a cancelled
+    // attempt's partial output is untrustworthy by definition.
+    const bool timed_out = token->cancelled();
+    guard.disarm();
+
+    result.outcome =
+        timed_out ? RunOutcome::kTimeout : attempt_result.outcome;
+    result.attempts = attempt;
+    result.error = timed_out ? "deadline exceeded" : attempt_result.error;
+    result.report = result.outcome == RunOutcome::kOk ? attempt_result.report
+                                                      : RunReport{};
+
+    if (!policy_.retries(result.outcome) ||
+        attempt >= policy_.max_attempts) {
+      break;
+    }
+    if (stop != nullptr && stop->load(std::memory_order_acquire)) break;
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        policy_.backoff_seconds(attempt + 1)));
+  }
+  result.wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  return result;
+}
+
+}  // namespace g10::ensemble

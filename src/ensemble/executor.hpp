@@ -1,0 +1,176 @@
+// Robust run execution for the ensemble driver: a per-run deadline watchdog
+// with cooperative cancellation, outcome classification, and retries with
+// capped exponential backoff.
+//
+// The run function is a plain callable — the Grade10 engine+analyze runner
+// in production, a synthetic one in tests — that receives a CancelToken and
+// is expected to poll it at stage boundaries. Cancellation is cooperative:
+// the watchdog never kills a thread (that would corrupt shared state and
+// wedge the ThreadPool); it flips the token, and the executor classifies
+// the attempt as a timeout when the flag was raised, regardless of what the
+// run reported. A run that ignores its token still gets classified
+// correctly once it returns; only a run that never returns can hold its
+// pool slot, which is why every built-in runner stage polls.
+//
+// Outcome taxonomy (journaled, documented in DESIGN.md §12):
+//   ok              run + analysis completed
+//   timeout         the per-run deadline fired before the run finished
+//   run_failed      the engine run threw / reported failure
+//   analysis_failed the run produced artifacts but characterization failed
+//   skipped         never attempted (ensemble stopping / --limit reached)
+//
+// Retry policy: timeouts and failed runs are transient in a real fleet and
+// are retried up to max_attempts with capped exponential backoff; analysis
+// failures are deterministic functions of the artifacts and are not retried
+// by default. A run that exhausts its attempts keeps its last outcome —
+// the ensemble aggregates partial fleets and stamps the coverage fraction
+// instead of failing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "ensemble/run_report.hpp"
+#include "ensemble/scenario.hpp"
+
+namespace g10::ensemble {
+
+enum class RunOutcome {
+  kOk,
+  kTimeout,
+  kRunFailed,
+  kAnalysisFailed,
+  kSkipped,
+};
+
+/// Journal/report tag ("ok", "timeout", "run_failed", ...).
+std::string_view outcome_name(RunOutcome outcome);
+std::optional<RunOutcome> parse_outcome(std::string_view name);
+
+/// Cooperative cancellation flag shared between a run and the watchdog.
+class CancelToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// One ensemble-wide deadline thread. arm() registers a token with an
+/// absolute deadline; if the deadline passes before the returned guard is
+/// disarmed, the token is cancelled. Guards disarm on destruction, so a
+/// throwing run function cannot leak an armed deadline.
+class Watchdog {
+ public:
+  Watchdog();
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept { *this = std::move(other); }
+    Guard& operator=(Guard&& other) noexcept;
+    ~Guard() { disarm(); }
+
+    /// Unregisters the deadline; idempotent. After disarm() returns the
+    /// watchdog will never touch the token again.
+    void disarm();
+
+   private:
+    friend class Watchdog;
+    Watchdog* watchdog_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+
+  Guard arm(std::shared_ptr<CancelToken> token,
+            std::chrono::steady_clock::duration timeout);
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point deadline;
+    std::shared_ptr<CancelToken> token;
+  };
+
+  void loop();
+  void remove(std::uint64_t id);
+
+  Mutex mutex_;
+  std::condition_variable_any cv_;
+  std::map<std::uint64_t, Entry> entries_ G10_GUARDED_BY(mutex_);
+  std::uint64_t next_id_ G10_GUARDED_BY(mutex_) = 1;
+  bool stop_ G10_GUARDED_BY(mutex_) = false;
+  std::thread thread_;
+};
+
+struct RetryPolicy {
+  int max_attempts = 2;
+  /// Per-attempt deadline; <= 0 disables the watchdog.
+  double deadline_seconds = 0.0;
+  /// Capped exponential backoff between attempts.
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+  double backoff_factor = 2.0;
+
+  bool retry_timeout = true;
+  bool retry_run_failed = true;
+  bool retry_analysis_failed = false;
+
+  bool retries(RunOutcome outcome) const;
+  /// Backoff before attempt `next_attempt` (2-based), capped.
+  double backoff_seconds(int next_attempt) const;
+};
+
+/// What one attempt of the run function reports back.
+struct RunAttempt {
+  RunOutcome outcome = RunOutcome::kRunFailed;
+  RunReport report;
+  std::string error;
+};
+
+using RunFn = std::function<RunAttempt(const Scenario&, const CancelToken&)>;
+
+/// Final classified result of a scenario after retries.
+struct RunResult {
+  RunOutcome outcome = RunOutcome::kSkipped;
+  int attempts = 0;
+  double wall_ms = 0.0;  ///< total across attempts; journaled, not aggregated
+  std::string error;
+  RunReport report;  ///< meaningful when outcome == kOk
+};
+
+class RunExecutor {
+ public:
+  /// `watchdog` may be null when policy.deadline_seconds <= 0.
+  RunExecutor(RunFn fn, RetryPolicy policy, Watchdog* watchdog);
+
+  /// Runs the scenario to a final classified outcome. When `stop` is set
+  /// before the first attempt the scenario is skipped; when it is raised
+  /// between attempts, remaining retries are abandoned and the last
+  /// attempt's outcome stands. Never throws for run-induced failures.
+  RunResult execute(const Scenario& scenario,
+                    const std::atomic<bool>* stop = nullptr) const;
+
+ private:
+  RunFn fn_;
+  RetryPolicy policy_;
+  Watchdog* watchdog_;
+};
+
+}  // namespace g10::ensemble

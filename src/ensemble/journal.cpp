@@ -1,0 +1,196 @@
+#include "ensemble/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/json.hpp"
+
+namespace g10::ensemble {
+namespace {
+
+std::string hex_key(std::uint64_t key) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[key & 0xF];
+    key >>= 4;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_hex_key(std::string_view text) {
+  if (text.size() != 16) return std::nullopt;
+  std::uint64_t key = 0;
+  for (const char c : text) {
+    key <<= 4;
+    if (c >= '0' && c <= '9') {
+      key |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      key |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string journal_line(const JournalEntry& entry) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("key").value(hex_key(entry.key));
+  w.key("scenario").value(entry.scenario);
+  w.key("outcome").value(outcome_name(entry.outcome));
+  w.key("attempts").value(entry.attempts);
+  w.key("wall_ms").value(entry.wall_ms);
+  if (!entry.error.empty()) w.key("error").value(entry.error);
+  w.key("report").begin_object();
+  w.key("makespan_s").value(entry.report.makespan_seconds);
+  w.key("phase_bottlenecks").begin_array();
+  for (const auto& pb : entry.report.phase_bottlenecks) {
+    w.begin_object();
+    w.key("phase").value(pb.phase);
+    w.key("resource").value(pb.resource);
+    w.key("s").value(pb.seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("issues").begin_array();
+  for (const auto& issue : entry.report.issues) {
+    w.begin_object();
+    w.key("label").value(issue.label);
+    w.key("impact").value(issue.impact);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("sync_bug").value(entry.report.sync_bug_rediscovered);
+  w.end_object();  // report
+  w.end_object();
+  return std::move(os).str();
+}
+
+std::optional<JournalEntry> parse_journal_line(std::string_view line,
+                                               std::string* error) {
+  const auto fail = [error](std::string_view message) {
+    if (error != nullptr) *error = std::string(message);
+    return std::nullopt;
+  };
+
+  const auto json = JsonValue::parse(line, error);
+  if (!json || !json->is_object()) return std::nullopt;
+
+  JournalEntry entry;
+  const auto key = parse_hex_key(json->get_string("key"));
+  if (!key) return fail("bad or missing scenario key");
+  entry.key = *key;
+  entry.scenario = json->get_string("scenario");
+  if (entry.scenario.empty()) return fail("missing scenario text");
+  const auto outcome = parse_outcome(json->get_string("outcome"));
+  if (!outcome) return fail("bad or missing outcome");
+  entry.outcome = *outcome;
+  entry.attempts = static_cast<int>(json->get_int("attempts"));
+  entry.wall_ms = json->get_double("wall_ms");
+  entry.error = json->get_string("error");
+
+  const JsonValue* report = json->find("report");
+  if (report == nullptr || !report->is_object()) {
+    return fail("missing report object");
+  }
+  entry.report.makespan_seconds = report->get_double("makespan_s");
+  entry.report.sync_bug_rediscovered = report->get_bool("sync_bug");
+  if (const JsonValue* pbs = report->find("phase_bottlenecks");
+      pbs != nullptr && pbs->is_array()) {
+    for (const JsonValue& pb : pbs->items()) {
+      if (!pb.is_object()) return fail("bad phase_bottleneck element");
+      RunReport::PhaseBottleneck out;
+      out.phase = pb.get_string("phase");
+      out.resource = pb.get_string("resource");
+      out.seconds = pb.get_double("s");
+      entry.report.phase_bottlenecks.push_back(std::move(out));
+    }
+  }
+  if (const JsonValue* issues = report->find("issues");
+      issues != nullptr && issues->is_array()) {
+    for (const JsonValue& issue : issues->items()) {
+      if (!issue.is_object()) return fail("bad issue element");
+      RunReport::Issue out;
+      out.label = issue.get_string("label");
+      out.impact = issue.get_double("impact");
+      entry.report.issues.push_back(std::move(out));
+    }
+  }
+  return entry;
+}
+
+JournalWriter::JournalWriter(const std::string& path) : path_(path) {
+  MutexLock lock(mutex_);
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  G10_CHECK_MSG(fd_ >= 0, "cannot open journal '" + path +
+                              "': " + std::strerror(errno));
+  // Heal a torn tail: a kill -9 mid-append can leave the file without a
+  // final newline. Terminate that fragment now so the next append starts a
+  // fresh line instead of fusing with (and destroying) the fragment — the
+  // fragment itself stays in place and is dropped as unparseable on read.
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size > 0) {
+    char last = '\n';
+    if (::pread(fd_, &last, 1, size - 1) == 1 && last != '\n') {
+      G10_CHECK_MSG(::write(fd_, "\n", 1) == 1,
+                    "cannot terminate torn journal line in '" + path + "'");
+    }
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  MutexLock lock(mutex_);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::append(const JournalEntry& entry) {
+  std::string line = journal_line(entry);
+  line += '\n';
+  MutexLock lock(mutex_);
+  G10_CHECK_MSG(fd_ >= 0, "journal is closed");
+  // One write(2) for the whole line: concurrent appenders interleave at
+  // line granularity (O_APPEND), and a crash tears at most the final line.
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd_, line.data() + written, line.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      G10_CHECK_MSG(false, "journal write failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  G10_CHECK_MSG(::fsync(fd_) == 0,
+                "journal fsync failed: " + std::string(std::strerror(errno)));
+}
+
+JournalReplay read_journal(const std::string& path) {
+  JournalReplay replay;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return replay;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto entry = parse_journal_line(line);
+    if (entry) {
+      replay.entries.push_back(std::move(*entry));
+    } else {
+      ++replay.dropped_lines;
+    }
+  }
+  return replay;
+}
+
+}  // namespace g10::ensemble

@@ -1,0 +1,135 @@
+#include "ensemble/scenario.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace g10::ensemble {
+namespace {
+
+// Renders a jitter factor exactly: factors are quantized to 4 decimals at
+// sampling time, so 4-decimal fixed rendering is lossless.
+std::string jitter_factor(double f) {
+  std::string s = format_fixed(f, 4);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+// Uniform factor in [1 - width, 1 + width], quantized to 4 decimals.
+double sample_factor(Rng& rng, double width) {
+  const double raw = rng.next_double(1.0 - width, 1.0 + width);
+  return std::round(raw * 1e4) / 1e4;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string Scenario::key() const {
+  std::string out;
+  out.reserve(160);
+  out += "engine=";
+  out += engine;
+  out += " algo=";
+  out += algorithm;
+  out += " dataset=";
+  out += dataset;
+  out += " workers=";
+  out += std::to_string(workers);
+  out += " cores=";
+  out += std::to_string(cores);
+  out += " iters=";
+  out += std::to_string(iterations);
+  out += " seed=";
+  out += std::to_string(seed);
+  out += " sync_bug=";
+  out += sync_bug ? '1' : '0';
+  out += " jitter=";
+  out += jitter_factor(jitter.core_speed);
+  out += 'x';
+  out += jitter_factor(jitter.nic_bandwidth);
+  out += " faults=";
+  const std::string faults_text = faults.to_string();
+  out += faults_text.empty() ? "none" : faults_text;
+  return out;
+}
+
+std::uint64_t Scenario::hash() const { return fnv1a64(key()); }
+
+void ScenarioMatrix::seed_range(std::uint64_t base, int count) {
+  G10_CHECK_MSG(count > 0, "seed count must be positive");
+  seeds.clear();
+  seeds.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    seeds.push_back(base + static_cast<std::uint64_t>(i));
+  }
+}
+
+std::vector<Scenario> ScenarioMatrix::expand() const {
+  G10_CHECK_MSG(!engines.empty(), "scenario matrix needs at least one engine");
+  G10_CHECK_MSG(!seeds.empty(), "scenario matrix needs at least one seed");
+  G10_CHECK_MSG(workers > 0 && cores > 0 && iterations > 0,
+                "scenario matrix needs a positive cluster shape");
+  G10_CHECK_MSG(jitter >= 0.0 && jitter < 1.0,
+                "cost-model jitter must be in [0, 1)");
+  G10_CHECK_MSG(sampled_fault_specs >= 0, "sampled fault count is negative");
+
+  std::vector<Scenario> out;
+  const std::size_t per_cell =
+      std::max<std::size_t>(1, fault_specs.size()) +
+      static_cast<std::size_t>(sampled_fault_specs);
+  out.reserve(engines.size() * seeds.size() * per_cell);
+
+  for (const std::string& engine : engines) {
+    for (const std::uint64_t seed : seeds) {
+      // The per-cell fault axis: the explicit specs, plus sampled ones
+      // derived from the seed alone (the same seed draws the same specs on
+      // every expansion, which --resume relies on).
+      std::vector<sim::FaultSpec> cell_faults = fault_specs;
+      if (cell_faults.empty()) cell_faults.emplace_back();
+      if (sampled_fault_specs > 0) {
+        sim::FaultSampleRanges ranges = sample_ranges;
+        ranges.machine_count = workers;
+        Rng sampler(fnv1a64("fault-axis") ^ seed);
+        for (int i = 0; i < sampled_fault_specs; ++i) {
+          cell_faults.push_back(sim::FaultSpec::sample(sampler, ranges));
+        }
+      }
+
+      for (const sim::FaultSpec& spec : cell_faults) {
+        Scenario s;
+        s.engine = engine;
+        s.algorithm = algorithm;
+        s.dataset = dataset;
+        s.workers = workers;
+        s.cores = cores;
+        s.iterations = iterations;
+        s.seed = seed;
+        s.faults = spec;
+        s.sync_bug = sync_bug;
+        if (jitter > 0.0) {
+          // Jitter depends on the seed only, not on the fault axis: the
+          // same simulated hardware runs every fault pattern, so shifts in
+          // the bottleneck distribution are attributable to the faults.
+          Rng jitter_rng(fnv1a64("cost-jitter") ^ seed);
+          s.jitter.core_speed = sample_factor(jitter_rng, jitter);
+          s.jitter.nic_bandwidth = sample_factor(jitter_rng, jitter);
+        }
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace g10::ensemble

@@ -1,0 +1,87 @@
+// Scenario matrix for the Monte-Carlo ensemble driver (g10_ensemble).
+//
+// A Scenario is one fully-specified engine-run-plus-analysis: engine,
+// algorithm, dataset, cluster shape, seed, fault schedule, sync-bug flag,
+// and a multiplicative cost-model jitter. ScenarioMatrix describes the axes
+// (engines × seeds × fault specs × jitter) and expands into the concrete
+// scenario list in a deterministic order.
+//
+// Every scenario has a canonical one-line key() — the complete recipe in
+// text — and a stable 64-bit hash of it. The journal stores both: the hash
+// keys resume lookups, the text makes journal lines self-describing and
+// guards against hash collisions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/fault_injector.hpp"
+
+namespace g10::ensemble {
+
+/// Multiplicative perturbation of the cluster's cost model. Factors are
+/// quantized to 4 decimals so the canonical key renders them exactly.
+struct CostJitter {
+  double core_speed = 1.0;     ///< scales MachineSpec::core_work_per_sec
+  double nic_bandwidth = 1.0;  ///< scales MachineSpec::nic_bandwidth_bps
+
+  bool identity() const { return core_speed == 1.0 && nic_bandwidth == 1.0; }
+  bool operator==(const CostJitter&) const = default;
+};
+
+struct Scenario {
+  std::string engine = "pregel";     ///< "pregel" | "gas"
+  std::string algorithm = "pagerank";
+  std::string dataset = "rmat:8";    ///< g10_run dataset grammar
+  int workers = 4;
+  int cores = 8;
+  int iterations = 10;
+  std::uint64_t seed = 1;
+  sim::FaultSpec faults;
+  bool sync_bug = false;
+  CostJitter jitter;
+
+  /// Canonical one-line description; equal scenarios render equal keys.
+  std::string key() const;
+
+  /// FNV-1a 64-bit hash of key(). Stable across processes and platforms.
+  std::uint64_t hash() const;
+};
+
+/// Stable FNV-1a 64-bit hash (journal keys; not for adversarial input).
+std::uint64_t fnv1a64(std::string_view text);
+
+struct ScenarioMatrix {
+  std::vector<std::string> engines = {"pregel"};
+  std::string algorithm = "pagerank";
+  std::string dataset = "rmat:8";
+  int workers = 4;
+  int cores = 8;
+  int iterations = 10;
+  /// Seed axis; expand() fails on an empty list.
+  std::vector<std::uint64_t> seeds;
+  /// Explicit fault-spec axis. An empty list means one fault-free run per
+  /// (engine, seed) cell; include an empty FaultSpec to mix clean runs into
+  /// a non-empty axis.
+  std::vector<sim::FaultSpec> fault_specs;
+  /// Additionally draw this many sampled fault specs per (engine, seed)
+  /// cell via FaultSpec::sample, derived deterministically from the seed.
+  int sampled_fault_specs = 0;
+  sim::FaultSampleRanges sample_ranges;
+  /// Relative half-width of the cost-model perturbation: core speed and NIC
+  /// bandwidth are scaled by factors drawn uniformly from [1 - jitter,
+  /// 1 + jitter], derived deterministically from the scenario seed.
+  double jitter = 0.0;
+  bool sync_bug = false;
+
+  /// Expands to the concrete scenario list (engines × seeds × fault axis),
+  /// deterministic in both content and order. Throws CheckError on an
+  /// empty/invalid matrix. Scenario keys are unique within one expansion.
+  std::vector<Scenario> expand() const;
+
+  /// Convenience: seeds = {base, base+1, ..., base+count-1}.
+  void seed_range(std::uint64_t base, int count);
+};
+
+}  // namespace g10::ensemble

@@ -307,6 +307,116 @@ std::string FaultSpec::to_string() const {
   return join(parts, ",");
 }
 
+FaultSpec FaultSpec::sample(Rng& rng, const FaultSampleRanges& ranges) {
+  G10_CHECK_MSG(ranges.machine_count >= 1, "need at least one machine");
+  G10_CHECK_MSG(ranges.min_events >= 0 &&
+                    ranges.max_events >= ranges.min_events,
+                "bad event-count range");
+  G10_CHECK_MSG(ranges.max_at >= 0.0 && ranges.max_at <= 1.0 &&
+                    ranges.min_duration > 0.0 &&
+                    ranges.max_duration >= ranges.min_duration,
+                "bad time ranges");
+  G10_CHECK_MSG(ranges.min_factor > 0.0 &&
+                    ranges.max_factor >= ranges.min_factor,
+                "bad factor range");
+  G10_CHECK_MSG(ranges.max_loss >= 0.0 && ranges.max_loss < 1.0,
+                "bad loss range");
+
+  std::vector<FaultKind> kinds = ranges.kinds;
+  if (kinds.empty()) {
+    kinds = {FaultKind::kCrash, FaultKind::kSlowdown, FaultKind::kNicDegrade,
+             FaultKind::kSampleDrop, FaultKind::kPartition};
+  }
+  if (ranges.machine_count < 2) {
+    std::erase(kinds, FaultKind::kPartition);
+  }
+  G10_CHECK_MSG(!kinds.empty(), "no fault kinds to sample from");
+
+  // Values are drawn in basis points / hundredths and rendered as decimal
+  // text, then the whole schedule is parsed back through the grammar. The
+  // sampled spec therefore IS a parsed spec — its doubles took the exact
+  // parse path — so to_string() round-trips to operator== equality instead
+  // of drifting by an ulp.
+  const auto percent = [&rng](double lo, double hi) {
+    // Two-decimal percent in [lo*100, hi*100], e.g. "37.25%".
+    const auto lo_bp = static_cast<std::int64_t>(std::ceil(lo * 1e4));
+    const auto hi_bp = static_cast<std::int64_t>(std::floor(hi * 1e4));
+    const std::int64_t bp = rng.next_int(lo_bp, std::max(lo_bp, hi_bp));
+    return trim_number(format_fixed(static_cast<double>(bp) / 100.0, 2)) +
+           "%";
+  };
+  const auto fraction = [&rng](double lo, double hi) {
+    // Two-decimal bare fraction in [lo, hi], e.g. "0.42".
+    const auto lo_c = static_cast<std::int64_t>(std::ceil(lo * 1e2));
+    const auto hi_c = static_cast<std::int64_t>(std::floor(hi * 1e2));
+    const std::int64_t c = rng.next_int(lo_c, std::max(lo_c, hi_c));
+    return trim_number(format_fixed(static_cast<double>(c) / 100.0, 2));
+  };
+
+  const int count = static_cast<int>(
+      rng.next_int(ranges.min_events, ranges.max_events));
+  std::vector<std::string> events;
+  events.reserve(static_cast<std::size_t>(count));
+  bool crashed = false;
+  for (int i = 0; i < count; ++i) {
+    FaultKind kind = kinds[rng.next_below(kinds.size())];
+    if (kind == FaultKind::kCrash && crashed) {
+      kind = FaultKind::kSlowdown;  // one crash victim per run
+    }
+    const int machine =
+        static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(ranges.machine_count)));
+    std::string e(fault_kind_name(kind));
+    e += ":w";
+    const bool open_ended = kind != FaultKind::kCrash &&
+                            kind != FaultKind::kPartition &&
+                            rng.next_bool(ranges.open_ended_probability);
+    switch (kind) {
+      case FaultKind::kCrash:
+        crashed = true;
+        e += std::to_string(machine);
+        e += '@' + percent(0.0, ranges.max_at);
+        break;
+      case FaultKind::kPartition: {
+        int peer = static_cast<int>(rng.next_below(
+            static_cast<std::uint64_t>(ranges.machine_count - 1)));
+        if (peer >= machine) ++peer;  // distinct endpoints
+        e += std::to_string(machine);
+        e += "-w";
+        // Occasionally isolate the endpoint from the whole fleet.
+        e += rng.next_bool(0.2) ? "*" : std::to_string(peer);
+        e += '@' + percent(0.0, ranges.max_at);
+        e += '+' + percent(ranges.min_duration, ranges.max_duration);
+        break;
+      }
+      default: {
+        // Window kinds may target every machine at once.
+        e += rng.next_bool(0.15) ? "*" : std::to_string(machine);
+        e += '@' + percent(0.0, ranges.max_at);
+        if (!open_ended) {
+          e += '+' + percent(ranges.min_duration, ranges.max_duration);
+        }
+        if (kind == FaultKind::kSlowdown || kind == FaultKind::kNicDegrade) {
+          e += ":x" + fraction(ranges.min_factor, ranges.max_factor);
+        }
+        if (kind == FaultKind::kNicDegrade && ranges.max_loss > 0.0 &&
+            rng.next_bool(0.7)) {
+          const std::string loss = fraction(0.01, ranges.max_loss);
+          if (loss != "0") e += ":loss=" + loss;
+        }
+        break;
+      }
+    }
+    events.push_back(std::move(e));
+  }
+
+  std::string error;
+  const auto spec = FaultSpec::parse(join(events, ","), &error);
+  G10_CHECK_MSG(spec.has_value(), "sampled spec failed to parse: " + error);
+  spec->validate(ranges.machine_count);
+  return *spec;
+}
+
 void FaultSpec::validate(int machine_count) const {
   const auto check_machine = [machine_count](int machine) {
     if (machine == FaultEvent::kAllMachines) return;

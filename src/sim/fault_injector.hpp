@@ -73,6 +73,28 @@ struct FaultEvent {
   bool operator==(const FaultEvent&) const = default;
 };
 
+/// Bounds for FaultSpec::sample(): how many events to draw, which kinds are
+/// allowed, and the windows/severities to jitter within. Times are sampled
+/// percent-based (fractions of the nominal horizon) so one set of ranges
+/// fits any workload size. All fractions are quantized to canonical grammar
+/// precision, so every sampled spec round-trips parse ↔ to_string exactly.
+struct FaultSampleRanges {
+  int machine_count = 4;  ///< sampled targets stay below this (validate-safe)
+  int min_events = 1;
+  int max_events = 3;
+  /// Kinds to draw from; empty means all five. Partitions are skipped when
+  /// machine_count < 2, and at most one crash is drawn per spec (the
+  /// engines recover a single victim per run).
+  std::vector<FaultKind> kinds;
+  double max_at = 0.85;         ///< event start in [0, max_at] of the run
+  double min_duration = 0.05;   ///< window length bounds (fraction of run)
+  double max_duration = 0.35;
+  double min_factor = 0.2;      ///< slow / nic severity bounds
+  double max_factor = 0.9;
+  double max_loss = 0.4;        ///< nic loss probability in [0, max_loss]
+  double open_ended_probability = 0.1;  ///< window kinds: no `+dur`
+};
+
 /// A parsed, unresolved fault schedule. Attached to ClusterSpec so that a
 /// single engine config carries its chaos plan.
 struct FaultSpec {
@@ -88,6 +110,12 @@ struct FaultSpec {
 
   /// Round-trips back to the spec grammar (canonical form).
   std::string to_string() const;
+
+  /// Draws a jittered-but-valid fault schedule from `ranges`, consuming
+  /// `rng`. The result always parses back from to_string() to an equal
+  /// spec and passes validate(ranges.machine_count). Used by the ensemble
+  /// driver's scenario matrix to explore the fault-pattern axis.
+  static FaultSpec sample(Rng& rng, const FaultSampleRanges& ranges);
 
   /// Checks machine indices against the cluster size. Throws CheckError.
   void validate(int machine_count) const;

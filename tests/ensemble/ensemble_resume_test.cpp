@@ -1,0 +1,197 @@
+// End-to-end driver tests with a synthetic (fast, deterministic) run
+// function: crash-resume byte-identity, partial-fleet degradation, and the
+// fresh-start-over-existing-journal guard.
+#include "ensemble/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace g10::ensemble {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("g10_ensemble_test_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+ScenarioMatrix test_matrix(int seeds = 12) {
+  ScenarioMatrix m;
+  m.engines = {"pregel", "gas"};
+  m.seed_range(1, seeds);
+  return m;
+}
+
+/// Deterministic synthetic runner: the report is a pure function of the
+/// scenario, like the real engine+analysis under a fixed seed.
+RunAttempt synthetic_run(const Scenario& scenario, const CancelToken&) {
+  RunAttempt attempt;
+  attempt.outcome = RunOutcome::kOk;
+  attempt.report.makespan_seconds =
+      0.5 + 0.01 * static_cast<double>(scenario.seed) +
+      (scenario.engine == "gas" ? 0.25 : 0.0);
+  attempt.report.sync_bug_rediscovered =
+      scenario.engine == "gas" && scenario.seed % 3 != 0;
+  attempt.report.issues.push_back(
+      {"imbalance:GatherThread", 0.01 * static_cast<double>(scenario.seed)});
+  attempt.report.phase_bottlenecks.push_back(
+      {"GatherStep", scenario.seed % 2 == 0 ? "cpu" : "network", 0.125});
+  return attempt;
+}
+
+TEST(EnsembleDriverTest, RunsEverythingAndAggregates) {
+  const TempDir dir("full");
+  EnsembleOptions options;
+  options.journal_path = dir.file("journal.jsonl");
+  options.threads = 4;
+  const EnsembleOutcome outcome =
+      run_ensemble(test_matrix(), synthetic_run, options);
+  EXPECT_EQ(outcome.executed, 24u);
+  EXPECT_EQ(outcome.reused, 0u);
+  EXPECT_EQ(outcome.remaining, 0u);
+  EXPECT_EQ(outcome.report.ok, 24u);
+  EXPECT_DOUBLE_EQ(outcome.report.coverage, 1.0);
+  // gas runs with seed % 3 != 0: seeds 1..12 -> 8 of 12.
+  EXPECT_EQ(outcome.report.sync_bug.hits, 8u);
+  EXPECT_EQ(outcome.report.sync_bug.trials, 24u);
+}
+
+TEST(EnsembleDriverTest, ResumeAfterKillIsByteIdentical) {
+  const TempDir dir("resume");
+
+  // The uninterrupted reference fleet.
+  EnsembleOptions full;
+  full.journal_path = dir.file("full.jsonl");
+  full.threads = 4;
+  const EnsembleOutcome reference =
+      run_ensemble(test_matrix(), synthetic_run, full);
+
+  // The "crashed" fleet: limit stops after 7 runs, then a torn final line
+  // simulates a kill -9 mid-append.
+  EnsembleOptions part;
+  part.journal_path = dir.file("part.jsonl");
+  part.threads = 4;
+  part.limit = 7;
+  const EnsembleOutcome first =
+      run_ensemble(test_matrix(), synthetic_run, part);
+  EXPECT_EQ(first.executed, 7u);
+  EXPECT_EQ(first.remaining, 17u);
+  EXPECT_EQ(first.report.missing, 17u);
+  EXPECT_LT(first.report.coverage, 1.0);
+  {
+    std::ofstream torn(part.journal_path, std::ios::app | std::ios::binary);
+    torn << "{\"key\":\"00";  // the write the crash interrupted
+  }
+
+  EnsembleOptions resume = part;
+  resume.limit = 0;
+  resume.resume = true;
+  const EnsembleOutcome second =
+      run_ensemble(test_matrix(), synthetic_run, resume);
+  EXPECT_EQ(second.reused, 7u);
+  EXPECT_EQ(second.executed, 17u);
+  EXPECT_EQ(second.report.ok, 24u);
+  EXPECT_EQ(second.report.dropped_lines, 1u);  // the torn line, skipped
+
+  // The aggregate (minus the journal-hygiene counters, which legitimately
+  // differ) is byte-identical: same JSON for the distributional body.
+  const std::string ref_json = render_json(reference.report);
+  const std::string res_json = render_json(second.report);
+  const auto strip_journal = [](std::string text) {
+    const auto begin = text.find("\"journal\":{");
+    const auto end = text.find('}', begin);
+    return text.erase(begin, end - begin + 1);
+  };
+  EXPECT_EQ(strip_journal(ref_json), strip_journal(res_json));
+
+  // And a resume of an already-complete fleet recomputes nothing and
+  // renders the exact same bytes end to end.
+  const EnsembleOutcome third =
+      run_ensemble(test_matrix(), synthetic_run, resume);
+  EXPECT_EQ(third.executed, 0u);
+  EXPECT_EQ(third.reused, 24u);
+  EXPECT_EQ(render_json(third.report), res_json);
+  EXPECT_EQ(render_text(third.report), render_text(second.report));
+}
+
+TEST(EnsembleDriverTest, FreshStartOverNonEmptyJournalIsRefused) {
+  const TempDir dir("guard");
+  EnsembleOptions options;
+  options.journal_path = dir.file("journal.jsonl");
+  options.limit = 2;
+  run_ensemble(test_matrix(), synthetic_run, options);
+  EXPECT_THROW(run_ensemble(test_matrix(), synthetic_run, options),
+               CheckError);
+  options.resume = true;
+  EXPECT_NO_THROW(run_ensemble(test_matrix(), synthetic_run, options));
+}
+
+TEST(EnsembleDriverTest, FailuresDegradeCoverageInsteadOfAborting) {
+  const TempDir dir("degraded");
+  EnsembleOptions options;
+  options.journal_path = dir.file("journal.jsonl");
+  options.threads = 4;
+  options.retry.max_attempts = 1;
+  const auto flaky = [](const Scenario& scenario,
+                        const CancelToken& token) -> RunAttempt {
+    if (scenario.seed % 4 == 0) throw std::runtime_error("engine crashed");
+    if (scenario.seed % 4 == 1) {
+      RunAttempt a;
+      a.outcome = RunOutcome::kAnalysisFailed;
+      a.error = "damaged trace";
+      return a;
+    }
+    return synthetic_run(scenario, token);
+  };
+  const EnsembleOutcome outcome =
+      run_ensemble(test_matrix(), flaky, options);
+  EXPECT_EQ(outcome.executed, 24u);
+  EXPECT_EQ(outcome.report.run_failed, 6u);       // seeds 4,8,12 x 2 engines
+  EXPECT_EQ(outcome.report.analysis_failed, 6u);  // seeds 1,5,9 x 2 engines
+  EXPECT_EQ(outcome.report.ok, 12u);
+  EXPECT_DOUBLE_EQ(outcome.report.coverage, 0.5);
+  // The distributional stats cover exactly the ok runs.
+  EXPECT_EQ(outcome.report.makespan_seconds.count, 12u);
+  EXPECT_EQ(outcome.report.sync_bug.trials, 12u);
+}
+
+TEST(EnsembleDriverTest, JournaledOutcomePreservesAttemptsAndError) {
+  const TempDir dir("forensics");
+  EnsembleOptions options;
+  options.journal_path = dir.file("journal.jsonl");
+  options.retry.max_attempts = 3;
+  options.retry.backoff_initial_seconds = 0.001;
+  ScenarioMatrix m = test_matrix(1);
+  m.engines = {"pregel"};
+  const auto broken = [](const Scenario&, const CancelToken&) -> RunAttempt {
+    throw std::runtime_error("persistent failure");
+  };
+  run_ensemble(m, broken, options);
+  const JournalReplay replay = read_journal(options.journal_path);
+  ASSERT_EQ(replay.entries.size(), 1u);
+  EXPECT_EQ(replay.entries[0].outcome, RunOutcome::kRunFailed);
+  EXPECT_EQ(replay.entries[0].attempts, 3);
+  EXPECT_EQ(replay.entries[0].error, "persistent failure");
+  EXPECT_GE(replay.entries[0].wall_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace g10::ensemble

@@ -1,0 +1,131 @@
+#include "ensemble/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.hpp"
+
+namespace g10::ensemble {
+namespace {
+
+ScenarioMatrix small_matrix() {
+  ScenarioMatrix m;
+  m.engines = {"pregel", "gas"};
+  m.dataset = "rmat:6";
+  m.workers = 4;
+  m.seed_range(10, 5);
+  return m;
+}
+
+TEST(ScenarioTest, KeyRendersTheFullRecipe) {
+  Scenario s;
+  s.engine = "gas";
+  s.algorithm = "cdlp";
+  s.dataset = "datagen:4096";
+  s.workers = 3;
+  s.cores = 6;
+  s.iterations = 7;
+  s.seed = 42;
+  s.sync_bug = true;
+  s.jitter.core_speed = 0.95;
+  s.jitter.nic_bandwidth = 1.025;
+  s.faults = *sim::FaultSpec::parse("crash:w2@40%");
+  EXPECT_EQ(s.key(),
+            "engine=gas algo=cdlp dataset=datagen:4096 workers=3 cores=6 "
+            "iters=7 seed=42 sync_bug=1 jitter=0.95x1.025 faults=crash:w2@40%");
+}
+
+TEST(ScenarioTest, EmptyFaultsRenderAsNone) {
+  Scenario s;
+  EXPECT_NE(s.key().find("faults=none"), std::string::npos);
+}
+
+TEST(ScenarioTest, HashIsPinnedFnv1a) {
+  // Pinned value: journals written by one build must resume under another,
+  // so the key hash can never silently change.
+  EXPECT_EQ(fnv1a64("grade10"), 0xc4efdc608b6d68ddull);
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  Scenario s;
+  EXPECT_EQ(s.hash(), fnv1a64(s.key()));
+}
+
+TEST(ScenarioMatrixTest, ExpandIsDeterministicAndUnique) {
+  const ScenarioMatrix m = small_matrix();
+  const auto a = m.expand();
+  const auto b = m.expand();
+  ASSERT_EQ(a.size(), 2u * 5u);  // engines x seeds, one clean run per cell
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key(), b[i].key());
+    keys.insert(a[i].key());
+  }
+  EXPECT_EQ(keys.size(), a.size());
+}
+
+TEST(ScenarioMatrixTest, SampledFaultsExtendTheAxisDeterministically) {
+  ScenarioMatrix m = small_matrix();
+  m.sampled_fault_specs = 2;
+  const auto a = m.expand();
+  const auto b = m.expand();
+  ASSERT_EQ(a.size(), 2u * 5u * 3u);  // clean + 2 sampled per cell
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key(), b[i].key());
+    keys.insert(a[i].key());
+    EXPECT_NO_THROW(a[i].faults.validate(m.workers));
+  }
+  EXPECT_EQ(keys.size(), a.size());
+}
+
+TEST(ScenarioMatrixTest, JitterDependsOnSeedNotFaultAxis) {
+  ScenarioMatrix m = small_matrix();
+  m.engines = {"gas"};
+  m.jitter = 0.2;
+  m.fault_specs.push_back({});
+  m.fault_specs.push_back(*sim::FaultSpec::parse("slow:w0@10%+20%:x0.5"));
+  const auto scenarios = m.expand();
+  ASSERT_EQ(scenarios.size(), 5u * 2u);
+  for (std::size_t i = 0; i < scenarios.size(); i += 2) {
+    // Same seed, different fault pattern -> same simulated hardware.
+    EXPECT_EQ(scenarios[i].seed, scenarios[i + 1].seed);
+    EXPECT_EQ(scenarios[i].jitter, scenarios[i + 1].jitter);
+    EXPECT_FALSE(scenarios[i].jitter.identity());
+    EXPECT_GE(scenarios[i].jitter.core_speed, 0.8);
+    EXPECT_LE(scenarios[i].jitter.core_speed, 1.2);
+  }
+  // Different seeds draw different hardware (with overwhelming probability).
+  EXPECT_NE(scenarios[0].jitter, scenarios[2].jitter);
+}
+
+TEST(ScenarioMatrixTest, JitteredKeysRoundTripExactly) {
+  ScenarioMatrix m = small_matrix();
+  m.jitter = 0.15;
+  for (const Scenario& s : m.expand()) {
+    // The key must render the quantized factors losslessly: two scenarios
+    // with different jitter must never collide on the same key text.
+    Scenario copy = s;
+    EXPECT_EQ(copy.key(), s.key());
+    copy.jitter.core_speed += 0.0001;
+    EXPECT_NE(copy.key(), s.key());
+  }
+}
+
+TEST(ScenarioMatrixTest, RejectsInvalidShapes) {
+  ScenarioMatrix empty_seeds = small_matrix();
+  empty_seeds.seeds.clear();
+  EXPECT_THROW(empty_seeds.expand(), CheckError);
+
+  ScenarioMatrix no_engines = small_matrix();
+  no_engines.engines.clear();
+  EXPECT_THROW(no_engines.expand(), CheckError);
+
+  ScenarioMatrix bad_jitter = small_matrix();
+  bad_jitter.jitter = 1.0;
+  EXPECT_THROW(bad_jitter.expand(), CheckError);
+
+  EXPECT_THROW(small_matrix().seed_range(1, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace g10::ensemble

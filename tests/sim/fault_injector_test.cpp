@@ -310,5 +310,81 @@ TEST(FaultInjectorTest, QueriesOnEmptySpecNeedNoResolve) {
   EXPECT_FALSE(inj.next_crash_time().has_value());
 }
 
+
+// Property corpus for FaultSpec::sample (the ensemble's fault axis): every
+// sampled spec must be non-empty, valid for the cluster it was drawn for,
+// and survive a parse <-> to_string round trip exactly. sample() builds
+// canonical grammar text and parses it, so sampled values take the same
+// code path as hand-written specs.
+TEST(FaultSpecSampleTest, SampledSpecsRoundTripAndValidate) {
+  Rng rng(20260808);
+  FaultSampleRanges ranges;
+  ranges.machine_count = 4;
+  ranges.min_events = 1;
+  ranges.max_events = 4;
+  for (int i = 0; i < 500; ++i) {
+    const FaultSpec spec = FaultSpec::sample(rng, ranges);
+    EXPECT_FALSE(spec.empty());
+    EXPECT_NO_THROW(spec.validate(ranges.machine_count));
+    const std::string text = spec.to_string();
+    const auto reparsed = FaultSpec::parse(text);
+    ASSERT_TRUE(reparsed.has_value()) << text;
+    EXPECT_EQ(*reparsed, spec) << text;
+    EXPECT_EQ(reparsed->to_string(), text);
+  }
+}
+
+TEST(FaultSpecSampleTest, IsDeterministicInTheRng) {
+  FaultSampleRanges ranges;
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(FaultSpec::sample(a, ranges), FaultSpec::sample(b, ranges));
+  }
+}
+
+TEST(FaultSpecSampleTest, SingleMachineClusterNeverDrawsPartitions) {
+  Rng rng(7);
+  FaultSampleRanges ranges;
+  ranges.machine_count = 1;
+  for (int i = 0; i < 200; ++i) {
+    const FaultSpec spec = FaultSpec::sample(rng, ranges);
+    EXPECT_FALSE(spec.has_kind(FaultKind::kPartition));
+    EXPECT_NO_THROW(spec.validate(1));
+  }
+}
+
+TEST(FaultSpecSampleTest, HonorsTheKindRestrictionAndEventBounds) {
+  Rng rng(11);
+  FaultSampleRanges ranges;
+  ranges.kinds = {FaultKind::kSlowdown, FaultKind::kNicDegrade};
+  ranges.min_events = 2;
+  ranges.max_events = 3;
+  for (int i = 0; i < 200; ++i) {
+    const FaultSpec spec = FaultSpec::sample(rng, ranges);
+    EXPECT_GE(spec.events.size(), 2u);
+    EXPECT_LE(spec.events.size(), 3u);
+    for (const FaultEvent& event : spec.events) {
+      EXPECT_TRUE(event.kind == FaultKind::kSlowdown ||
+                  event.kind == FaultKind::kNicDegrade);
+    }
+  }
+}
+
+TEST(FaultSpecSampleTest, AtMostOneCrashPerSpec) {
+  Rng rng(13);
+  FaultSampleRanges ranges;
+  ranges.min_events = 3;
+  ranges.max_events = 5;
+  for (int i = 0; i < 200; ++i) {
+    const FaultSpec spec = FaultSpec::sample(rng, ranges);
+    int crashes = 0;
+    for (const FaultEvent& event : spec.events) {
+      if (event.kind == FaultKind::kCrash) ++crashes;
+    }
+    EXPECT_LE(crashes, 1);
+  }
+}
+
 }  // namespace
 }  // namespace g10::sim

@@ -1,0 +1,165 @@
+// Pins the documented exit-code taxonomy (src/common/exit_codes.hpp) of the
+// shipped tools by spawning the real binaries:
+//   0 success, 1 internal, 2 bad arguments, 3 parse failure,
+//   4 fault abort, 5 analysis error.
+// Binary paths are injected at compile time (G10_RUN_BIN & co), so the test
+// always exercises the binaries from its own build tree.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/exit_codes.hpp"
+
+namespace g10 {
+namespace {
+
+/// Runs a shell command with stdout/stderr discarded; returns its exit code.
+int exit_code(const std::string& command) {
+  const int status = std::system((command + " >/dev/null 2>&1").c_str());
+  EXPECT_NE(status, -1);
+  EXPECT_TRUE(WIFEXITED(status)) << command << " did not exit normally";
+  return WEXITSTATUS(status);
+}
+
+std::filesystem::path test_root() {
+  static const std::filesystem::path root = [] {
+    auto path = std::filesystem::temp_directory_path() /
+                ("g10_exit_code_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+    return path;
+  }();
+  return root;
+}
+
+/// A tiny successful g10_run, produced once and shared by the analyze tests.
+const std::string& ok_artifacts() {
+  static const std::string dir = [] {
+    const std::string out = (test_root() / "run_ok").string();
+    const int code = exit_code(
+        std::string(G10_RUN_BIN) +
+        " --engine pregel --algorithm pagerank --dataset rmat:5"
+        " --workers 2 --cores 2 --iterations 2 --monitor-ms 20 --out " + out);
+    EXPECT_EQ(code, kExitOk);
+    return out;
+  }();
+  return dir;
+}
+
+TEST(RunExitCodeTest, SuccessIsZero) {
+  ASSERT_EQ(exit_code(std::string(G10_RUN_BIN) +
+                      " --engine gas --algorithm bfs --dataset rmat:5"
+                      " --workers 2 --cores 2 --iterations 2"
+                      " --monitor-ms 20 --out " +
+                      (test_root() / "run_gas").string()),
+            kExitOk);
+}
+
+TEST(RunExitCodeTest, UnknownFlagIsBadArgs) {
+  EXPECT_EQ(exit_code(std::string(G10_RUN_BIN) + " --bogus 1"), kExitBadArgs);
+  EXPECT_EQ(exit_code(std::string(G10_RUN_BIN) + " --workers 0"),
+            kExitBadArgs);
+}
+
+TEST(RunExitCodeTest, UnparseableFaultSpecIsParseFailure) {
+  EXPECT_EQ(exit_code(std::string(G10_RUN_BIN) +
+                      " --faults gremlins-everywhere --out " +
+                      (test_root() / "unused").string()),
+            kExitParseFailure);
+}
+
+TEST(RunExitCodeTest, UnknownDatasetIsParseFailure) {
+  EXPECT_EQ(exit_code(std::string(G10_RUN_BIN) +
+                      " --dataset mystery:9 --out " +
+                      (test_root() / "unused").string()),
+            kExitParseFailure);
+}
+
+TEST(RunExitCodeTest, FaultOutsideTheClusterIsFaultAbort) {
+  // Parses fine, but worker 7 does not exist in a 2-machine cluster.
+  EXPECT_EQ(exit_code(std::string(G10_RUN_BIN) +
+                      " --workers 2 --faults crash:w7@40% --out " +
+                      (test_root() / "unused").string()),
+            kExitFaultAbort);
+}
+
+TEST(AnalyzeExitCodeTest, MissingFlagsIsBadArgs) {
+  EXPECT_EQ(exit_code(std::string(G10_ANALYZE_BIN)), kExitBadArgs);
+  EXPECT_EQ(exit_code(std::string(G10_ANALYZE_BIN) + " --bogus 1"),
+            kExitBadArgs);
+}
+
+TEST(AnalyzeExitCodeTest, UnreadableModelIsParseFailure) {
+  EXPECT_EQ(exit_code(std::string(G10_ANALYZE_BIN) +
+                      " --model /nonexistent.g10 --log /nonexistent.log"),
+            kExitParseFailure);
+}
+
+TEST(AnalyzeExitCodeTest, GoodRunAnalyzesCleanly) {
+  const std::string& dir = ok_artifacts();
+  EXPECT_EQ(exit_code(std::string(G10_ANALYZE_BIN) + " --model " + dir +
+                      "/model.g10 --log " + dir + "/run.log"),
+            kExitOk);
+}
+
+TEST(AnalyzeExitCodeTest, DamagedLogIsParseFailureUnlessLenient) {
+  const std::string& dir = ok_artifacts();
+  const std::string damaged = (test_root() / "damaged.log").string();
+  std::filesystem::copy_file(dir + "/run.log", damaged,
+                             std::filesystem::copy_options::overwrite_existing);
+  {
+    std::ofstream out(damaged, std::ios::app);
+    out << "THIS IS NOT A LOG RECORD\n";
+  }
+  const std::string base = std::string(G10_ANALYZE_BIN) + " --model " + dir +
+                           "/model.g10 --log " + damaged;
+  EXPECT_EQ(exit_code(base), kExitParseFailure);  // strict is the default
+  EXPECT_EQ(exit_code(base + " --lenient"), kExitOk);
+}
+
+TEST(AnalyzeExitCodeTest, TruncatedCrashLogIsAnalysisError) {
+  // A crash with a truncated log leaves BEGIN-without-END records: every
+  // line parses, but strict characterization refuses the damaged trace.
+  const std::string dir = (test_root() / "run_truncated").string();
+  ASSERT_EQ(exit_code(std::string(G10_RUN_BIN) +
+                      " --engine pregel --algorithm pagerank --dataset rmat:5"
+                      " --workers 2 --cores 2 --iterations 4 --monitor-ms 20"
+                      " --faults crash:w1@40% --crash-log truncated --out " +
+                      dir),
+            kExitOk);
+  const std::string base = std::string(G10_ANALYZE_BIN) + " --model " + dir +
+                           "/model.g10 --log " + dir +
+                           "/run.log --no-preflight";
+  EXPECT_EQ(exit_code(base), kExitAnalysisError);
+  EXPECT_EQ(exit_code(base + " --lenient"), kExitOk);
+}
+
+TEST(EnsembleExitCodeTest, UnknownFlagIsBadArgs) {
+  EXPECT_EQ(exit_code(std::string(G10_ENSEMBLE_BIN) + " --bogus 1"),
+            kExitBadArgs);
+}
+
+TEST(EnsembleExitCodeTest, UnparseableFaultSpecIsParseFailure) {
+  EXPECT_EQ(exit_code(std::string(G10_ENSEMBLE_BIN) + " --out " +
+                      (test_root() / "unused").string() + " --faults junk"),
+            kExitParseFailure);
+}
+
+TEST(EnsembleExitCodeTest, FreshStartOverAJournalIsRefused) {
+  const std::string out = (test_root() / "fleet").string();
+  const std::string base = std::string(G10_ENSEMBLE_BIN) + " --out " + out +
+                           " --engines gas --dataset rmat:5 --workers 2"
+                           " --cores 2 --iterations 2 --seeds 1 --quiet";
+  ASSERT_EQ(exit_code(base), kExitOk);
+  EXPECT_EQ(exit_code(base), kExitBadArgs);  // would silently mix fleets
+  EXPECT_EQ(exit_code(base + " --resume"), kExitOk);
+}
+
+}  // namespace
+}  // namespace g10

@@ -22,12 +22,18 @@
 // --threads N caps the parse/characterization concurrency (0 = auto via
 // the G10_THREADS environment variable, else all hardware threads;
 // 1 = fully serial). Results are identical at every setting.
+//
+// Exit codes (src/common/exit_codes.hpp): 0 success, 2 bad arguments,
+// 3 parse failure (unreadable/malformed model or log, strict-mode lint or
+// preflight rejection), 5 analysis error (inputs parsed but the pipeline
+// produced no result), 1 internal.
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
 
+#include "common/exit_codes.hpp"
 #include "common/strings.hpp"
 #include "grade10/lint/model_lint.hpp"
 #include "grade10/lint/trace_lint.hpp"
@@ -58,7 +64,7 @@ int usage() {
                "                   [--timeslice-ms MS] [--min-impact FRAC]\n"
                "                   [--chrome-trace <out.json>] [--threads N]\n"
                "                   [--lenient | --strict] [--no-preflight]\n";
-  return 2;
+  return kExitBadArgs;
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -104,7 +110,7 @@ int run(const Args& args) {
   std::ifstream model_file(args.model_path, std::ios::binary);
   if (!model_file) {
     std::cerr << "cannot open model file: " << args.model_path << '\n';
-    return 1;
+    return kExitParseFailure;
   }
   std::ostringstream model_buffer;
   model_buffer << model_file.rdbuf();
@@ -114,7 +120,7 @@ int run(const Args& args) {
   if (!model.ok()) {
     std::cerr << args.model_path << ':' << model.error->line_number << ": "
               << model.error->message << '\n';
-    return 1;
+    return kExitParseFailure;
   }
 
   trace::ParseOptions parse_options;
@@ -124,7 +130,7 @@ int run(const Args& args) {
       trace::read_log_file(args.log_path, parse_options);
   if (log.error && log.error->line_number == 0) {
     std::cerr << log.error->message << '\n';
-    return 1;
+    return kExitParseFailure;
   }
   if (!log.ok()) {
     if (!args.lenient) {
@@ -139,7 +145,7 @@ int run(const Args& args) {
                   << " more)\n";
       }
       std::cerr << "re-run with --lenient to skip damaged lines\n";
-      return 1;
+      return kExitParseFailure;
     }
     std::cout << "lenient: skipped " << log.error_count
               << " malformed line(s)\n";
@@ -165,7 +171,7 @@ int run(const Args& args) {
         std::cerr << "preflight failed; fix the input, or re-run with "
                      "--lenient to analyze anyway (--no-preflight skips "
                      "the check)\n";
-        return 1;
+        return kExitParseFailure;
       }
       std::cout << "lenient: continuing past " << preflight.error_count()
                 << " preflight error(s)\n\n";
@@ -193,7 +199,7 @@ int run(const Args& args) {
     if (!args.lenient) {
       std::cerr << "re-run with --lenient to repair damaged traces\n";
     }
-    return 1;
+    return kExitAnalysisError;
   }
   const core::CharacterizationResult& result = *checked.result;
   if (!checked.status.warnings.empty()) {
@@ -232,13 +238,13 @@ int run(const Args& args) {
     std::ofstream trace_file(args.chrome_trace_path);
     if (!trace_file) {
       std::cerr << "cannot open " << args.chrome_trace_path << '\n';
-      return 1;
+      return kExitInternalError;
     }
     core::write_chrome_trace(trace_file, model.model.execution, result.trace);
     std::cout << "\nwrote chrome://tracing timeline to "
               << args.chrome_trace_path << '\n';
   }
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -251,6 +257,6 @@ int main(int argc, char** argv) {
     return g10::run(*args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return g10::kExitInternalError;
   }
 }

@@ -1,0 +1,233 @@
+// g10_ensemble — crash-safe Monte-Carlo scenario driver.
+//
+//   g10_ensemble --out <dir>
+//       [--engines pregel,gas] [--algorithm pagerank|bfs|wcc|cdlp|sssp]
+//       [--dataset rmat:<scale>|datagen:<vertices>]
+//       [--workers N] [--cores N] [--iterations K]
+//       [--seeds N] [--seed-base B]
+//       [--faults <spec>]...       explicit fault axis ("none" = clean run)
+//       [--sampled-faults N]       per-seed random-but-valid fault specs
+//       [--jitter F] [--sync-bug]
+//       [--threads N] [--deadline-s F] [--max-attempts N]
+//       [--limit N] [--resume] [--quiet]
+//
+// Expands (engines × seeds × fault axis) into concrete scenarios, fans them
+// across the thread pool, and journals every completed run to
+// <out>/journal.jsonl (fsync'd, one JSON line per run). The aggregate
+// report — outcome counts, coverage, sync-bug rediscovery rate with Wilson
+// CI, issue rates and impact quantiles, per-phase bottleneck frequencies —
+// is written to <out>/report.txt and <out>/report.json and printed.
+//
+// Crash safety: kill the process at any point and rerun with --resume; the
+// journal is replayed, only missing runs are recomputed, and the final
+// report is byte-identical to an uninterrupted execution's. Runs that
+// time out or fail do not fail the fleet: the report is stamped with the
+// coverage fraction instead. --limit N executes at most N pending runs and
+// exits (a deterministic way to produce a partial journal).
+//
+// Exit codes (src/common/exit_codes.hpp): 0 even for a degraded fleet,
+// 2 for bad arguments or a fresh start over a non-empty journal, 3 for an
+// unparseable --faults spec, 1 for internal errors.
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/exit_codes.hpp"
+#include "common/strings.hpp"
+#include "ensemble/driver.hpp"
+#include "ensemble/run_grade10.hpp"
+
+namespace g10 {
+namespace {
+
+struct Args {
+  ensemble::ScenarioMatrix matrix;
+  std::string out;
+  int seeds = 16;
+  std::uint64_t seed_base = 1;
+  std::size_t threads = 0;
+  ensemble::RetryPolicy retry;
+  std::size_t limit = 0;
+  bool resume = false;
+  bool quiet = false;
+};
+
+int usage() {
+  std::cerr
+      << "usage: g10_ensemble --out <dir>\n"
+         "           [--engines pregel,gas] "
+         "[--algorithm pagerank|bfs|wcc|cdlp|sssp]\n"
+         "           [--dataset rmat:<scale>|datagen:<vertices>]\n"
+         "           [--workers N] [--cores N] [--iterations K]\n"
+         "           [--seeds N] [--seed-base B]\n"
+         "           [--faults <spec>]... [--sampled-faults N]\n"
+         "           [--jitter F] [--sync-bug]\n"
+         "           [--threads N] [--deadline-s F] [--max-attempts N]\n"
+         "           [--limit N] [--resume] [--quiet]\n";
+  return kExitBadArgs;
+}
+
+std::optional<int> parse_faults_axis(const std::string& text, Args& args) {
+  if (text == "none") {
+    args.matrix.fault_specs.emplace_back();
+    return std::nullopt;
+  }
+  std::string error;
+  const auto spec = sim::FaultSpec::parse(text, &error);
+  if (!spec) {
+    std::cerr << "bad --faults spec '" << text << "': " << error << '\n';
+    return kExitParseFailure;
+  }
+  args.matrix.fault_specs.push_back(*spec);
+  return std::nullopt;
+}
+
+int run(const Args& args) {
+  ensemble::EnsembleOptions options;
+  options.journal_path = args.out + "/journal.jsonl";
+  options.resume = args.resume;
+  options.threads = args.threads;
+  options.retry = args.retry;
+  options.limit = args.limit;
+
+  std::filesystem::create_directories(args.out);
+
+  const std::vector<ensemble::Scenario> scenarios = args.matrix.expand();
+  std::atomic<std::size_t> done{0};
+  if (!args.quiet) {
+    std::cerr << "ensemble: " << scenarios.size() << " scenarios -> "
+              << options.journal_path << '\n';
+    options.on_run = [&](const ensemble::JournalEntry& entry) {
+      const std::size_t n = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::string line = "[" + std::to_string(n) + "] " +
+                         std::string(ensemble::outcome_name(entry.outcome)) +
+                         " " + entry.scenario + "\n";
+      std::cerr << line;  // one write per line: safe to interleave
+    };
+  }
+
+  const ensemble::EnsembleOutcome outcome = ensemble::run_ensemble(
+      args.matrix, ensemble::make_grade10_runner(), options);
+
+  const std::string text = ensemble::render_text(outcome.report);
+  const std::string json = ensemble::render_json(outcome.report);
+  {
+    std::ofstream out(args.out + "/report.txt", std::ios::binary);
+    out << text;
+  }
+  {
+    std::ofstream out(args.out + "/report.json", std::ios::binary);
+    out << json;
+  }
+  std::cout << text;
+  std::cout << "executed=" << outcome.executed << " reused=" << outcome.reused
+            << " remaining=" << outcome.remaining << "\n";
+  std::cout << "wrote " << args.out << "/report.txt and " << args.out
+            << "/report.json\n";
+  if (outcome.remaining > 0) {
+    std::cout << "rerun with --resume to finish the remaining "
+              << outcome.remaining << " runs\n";
+  }
+  return kExitOk;
+}
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--sync-bug") {
+      args.matrix.sync_bug = true;
+      continue;
+    }
+    if (arg == "--resume") {
+      args.resume = true;
+      continue;
+    }
+    if (arg == "--quiet") {
+      args.quiet = true;
+      continue;
+    }
+    if (i + 1 >= argc) return usage();
+    const std::string v = argv[++i];
+    if (arg == "--out") {
+      args.out = v;
+    } else if (arg == "--engines") {
+      args.matrix.engines.clear();
+      for (const auto part : split(v, ',')) {
+        if (part != "pregel" && part != "gas") return usage();
+        args.matrix.engines.emplace_back(part);
+      }
+      if (args.matrix.engines.empty()) return usage();
+    } else if (arg == "--algorithm") {
+      args.matrix.algorithm = v;
+    } else if (arg == "--dataset") {
+      args.matrix.dataset = v;
+    } else if (arg == "--workers") {
+      args.matrix.workers = static_cast<int>(parse_int(v).value_or(0));
+    } else if (arg == "--cores") {
+      args.matrix.cores = static_cast<int>(parse_int(v).value_or(0));
+    } else if (arg == "--iterations") {
+      args.matrix.iterations = static_cast<int>(parse_int(v).value_or(0));
+    } else if (arg == "--seeds") {
+      args.seeds = static_cast<int>(parse_int(v).value_or(0));
+    } else if (arg == "--seed-base") {
+      const auto base = parse_int(v);
+      if (!base) return usage();
+      args.seed_base = static_cast<std::uint64_t>(*base);
+    } else if (arg == "--faults") {
+      if (const auto code = parse_faults_axis(v, args)) return *code;
+    } else if (arg == "--sampled-faults") {
+      args.matrix.sampled_fault_specs =
+          static_cast<int>(parse_int(v).value_or(-1));
+      if (args.matrix.sampled_fault_specs < 0) return usage();
+    } else if (arg == "--jitter") {
+      const auto f = parse_double(v);
+      if (!f || *f < 0.0 || *f >= 1.0) return usage();
+      args.matrix.jitter = *f;
+    } else if (arg == "--threads") {
+      const auto n = parse_int(v);
+      if (!n || *n < 0) return usage();
+      args.threads = static_cast<std::size_t>(*n);
+    } else if (arg == "--deadline-s") {
+      const auto s = parse_double(v);
+      if (!s || *s <= 0.0) return usage();
+      args.retry.deadline_seconds = *s;
+    } else if (arg == "--max-attempts") {
+      const auto n = parse_int(v);
+      if (!n || *n < 1) return usage();
+      args.retry.max_attempts = static_cast<int>(*n);
+    } else if (arg == "--limit") {
+      const auto n = parse_int(v);
+      if (!n || *n < 1) return usage();
+      args.limit = static_cast<std::size_t>(*n);
+    } else {
+      return usage();
+    }
+  }
+  if (args.out.empty() || args.seeds <= 0 || args.matrix.workers <= 0 ||
+      args.matrix.cores <= 0 || args.matrix.iterations <= 0) {
+    return usage();
+  }
+  args.matrix.seed_range(args.seed_base, args.seeds);
+
+  try {
+    return run(args);
+  } catch (const CheckError& e) {
+    // Matrix/journal preconditions (e.g. a fresh start over a non-empty
+    // journal) are usage errors, not crashes.
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitBadArgs;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return kExitInternalError;
+  }
+}
+
+}  // namespace
+}  // namespace g10
+
+int main(int argc, char** argv) { return g10::main(argc, argv); }

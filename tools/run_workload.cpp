@@ -23,6 +23,10 @@
 // in the log as a META record so offline tools can cross-check the trace.
 //
 // The dumped directory can be analyzed offline with g10_analyze.
+//
+// Exit codes (src/common/exit_codes.hpp): 0 success, 2 bad arguments,
+// 3 unparseable --faults/--dataset spec, 4 fault abort (spec inconsistent
+// with the cluster, or the engine aborted under active faults), 1 internal.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -31,6 +35,7 @@
 
 #include "algorithms/programs.hpp"
 #include "common/check.hpp"
+#include "common/exit_codes.hpp"
 #include "common/strings.hpp"
 #include "engine/gas/gas_engine.hpp"
 #include "engine/pregel/pregel_engine.hpp"
@@ -77,7 +82,7 @@ int usage() {
                "               [--heartbeat-ms MS] "
                "[--heartbeat-timeout-ms MS]\n"
                "               [--crash-log reconciled|truncated]\n";
-  return 2;
+  return kExitBadArgs;
 }
 
 std::optional<Args> parse_args(int argc, char** argv) {
@@ -188,18 +193,27 @@ int run(const Args& args) {
     const auto parsed = sim::FaultSpec::parse(args.faults, &error);
     if (!parsed) {
       std::cerr << "bad --faults spec: " << error << '\n';
-      return 2;
+      return kExitParseFailure;
     }
     fault_spec = *parsed;
     try {
       fault_spec.validate(args.workers);
     } catch (const CheckError& e) {
-      std::cerr << "bad --faults spec: " << e.what() << '\n';
-      return 2;
+      // The spec parses but names faults the cluster cannot host (e.g. a
+      // crash on a machine the cluster doesn't have): a fault abort, not a
+      // syntax problem.
+      std::cerr << "fault spec rejected: " << e.what() << '\n';
+      return kExitFaultAbort;
     }
   }
 
-  graph::Graph graph = make_dataset(args.dataset);
+  graph::Graph graph;
+  try {
+    graph = make_dataset(args.dataset);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << '\n';
+    return kExitParseFailure;
+  }
   if (args.algorithm == "sssp") {
     graph::assign_random_weights(graph, 1.0, 10.0, args.seed);
   }
@@ -229,7 +243,16 @@ int run(const Args& args) {
     const auto it = programs.find(args.algorithm);
     if (it == programs.end()) return usage();
     fault_horizon = engine.estimate_horizon(graph, *it->second);
-    artifacts = engine.run(graph, *it->second);
+    try {
+      artifacts = engine.run(graph, *it->second);
+    } catch (const std::exception& e) {
+      if (!fault_spec.empty()) {
+        std::cerr << "engine aborted under injected faults: " << e.what()
+                  << '\n';
+        return kExitFaultAbort;
+      }
+      throw;
+    }
     core::PregelModelParams params;
     params.cores = args.cores;
     params.threads = cfg.effective_threads();
@@ -250,7 +273,16 @@ int run(const Args& args) {
     const auto it = programs.find(args.algorithm);
     if (it == programs.end()) return usage();
     fault_horizon = engine.estimate_horizon(graph, *it->second);
-    artifacts = engine.run(graph, *it->second);
+    try {
+      artifacts = engine.run(graph, *it->second);
+    } catch (const std::exception& e) {
+      if (!fault_spec.empty()) {
+        std::cerr << "engine aborted under injected faults: " << e.what()
+                  << '\n';
+        return kExitFaultAbort;
+      }
+      throw;
+    }
     core::GasModelParams params;
     params.cores = args.cores;
     params.threads = cfg.effective_threads();
@@ -309,7 +341,7 @@ int run(const Args& args) {
     std::cout << "\nfaults injected: " << fault_spec.to_string();
   }
   std::cout << '\n';
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace
@@ -322,6 +354,6 @@ int main(int argc, char** argv) {
     return g10::run(*args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
-    return 1;
+    return g10::kExitInternalError;
   }
 }
