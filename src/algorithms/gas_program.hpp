@@ -32,8 +32,9 @@ class GasProgram {
 
   /// New value of v from its current value and gathered neighbor values.
   /// `neighbors[i]` corresponds to `neighbor_values[i]` and, on weighted
-  /// graphs, to `neighbor_weights[i]` (the weight of the gathered edge);
-  /// on unweighted graphs every weight is 1.
+  /// graphs, to `neighbor_weights[i]` (the weight of the gathered edge).
+  /// On unweighted graphs `neighbor_weights` may be EMPTY — implementations
+  /// must treat an empty span as every edge weighing 1.
   virtual double apply(graph::VertexId v, double current,
                        std::span<const graph::VertexId> neighbors,
                        std::span<const double> neighbor_values,

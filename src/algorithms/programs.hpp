@@ -156,7 +156,10 @@ class Sssp : public PregelProgram, public GasProgram {
 };
 
 /// Most frequent value in `values`, ties to the smallest. Shared by CDLP's
-/// engine programs and the reference implementation's tests.
+/// engine programs and the reference implementation's tests. The span
+/// overload copies into reused thread-local scratch instead of allocating a
+/// fresh vector per call.
+double mode_smallest_label(std::span<const double> values);
 double mode_smallest_label(std::vector<double> values);
 
 }  // namespace g10::algorithms

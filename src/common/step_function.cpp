@@ -67,18 +67,18 @@ double StepFunction::integrate(TimeNs a, TimeNs b) const {
   TimeNs cursor = a;
   double current = i == npos ? 0.0 : values_[i];
   std::size_t next = i == npos ? 0 : i + 1;
-  while (cursor < b) {
-    const TimeNs seg_end =
-        next < times_.size() ? std::min<TimeNs>(times_[next], b) : b;
-    if (seg_end > cursor) {
-      total += current * static_cast<double>(seg_end - cursor);
-      cursor = seg_end;
+  // Walk breakpoints strictly inside (a, b) with a single bounds check per
+  // step; the same segments accumulate in the same order as the generic
+  // cursor loop, so the partial sums are bitwise identical.
+  while (next < times_.size() && times_[next] < b) {
+    if (times_[next] > cursor) {
+      total += current * static_cast<double>(times_[next] - cursor);
+      cursor = times_[next];
     }
-    if (next < times_.size() && cursor >= times_[next]) {
-      current = values_[next];
-      ++next;
-    }
+    current = values_[next];
+    ++next;
   }
+  if (b > cursor) total += current * static_cast<double>(b - cursor);
   return total;
 }
 
@@ -105,6 +105,8 @@ TimeNs StepFunction::last_change() const {
 StepFunction StepFunction::clamped_sum(const StepFunction& a,
                                        const StepFunction& b, double cap) {
   StepFunction out;
+  out.times_.reserve(a.times_.size() + b.times_.size());
+  out.values_.reserve(a.times_.size() + b.times_.size());
   std::size_t ia = 0;
   std::size_t ib = 0;
   double va = 0.0;

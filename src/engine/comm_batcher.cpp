@@ -1,0 +1,82 @@
+#include "engine/comm_batcher.hpp"
+
+#include "common/check.hpp"
+
+namespace g10::engine {
+
+CommBatcher::CommBatcher(const CommBatcherConfig& config, int workers)
+    : config_(config), workers_(workers) {
+  G10_CHECK(workers >= 0);
+  G10_CHECK(config.max_batch_bytes >= 0.0);
+  const auto n = static_cast<std::size_t>(workers);
+  buffers_.assign(n * n, 0.0);
+  pending_.assign(n, 0.0);
+}
+
+CommBatcher::Deposit CommBatcher::deposit(int src, int dst, double bytes) {
+  G10_CHECK(bytes >= 0.0);
+  Deposit result;
+  if (bytes == 0.0) return result;
+  result.first_pending = pending_[static_cast<std::size_t>(src)] == 0.0;
+  double& buf = buffer(src, dst);
+  buf += bytes;
+  pending_[static_cast<std::size_t>(src)] += bytes;
+  ++stats_.deposits;
+  stats_.bytes_deposited += bytes;
+  result.crossed = buf >= config_.max_batch_bytes;
+  return result;
+}
+
+double CommBatcher::take(int src, int dst, FlushCause cause) {
+  double& buf = buffer(src, dst);
+  const double bytes = buf;
+  if (bytes == 0.0) return 0.0;
+  buf = 0.0;
+  // Recompute the per-src total rather than subtracting: mixed-order
+  // add/subtract could otherwise leave pending() at a stray epsilon when
+  // every buffer is empty, and pending() == 0 gates the flush timers.
+  double total = 0.0;
+  for (int d = 0; d < workers_; ++d) total += buffer(src, d);
+  pending_[static_cast<std::size_t>(src)] = total;
+  count_flush(cause, bytes);
+  return bytes;
+}
+
+void CommBatcher::take_all(int src, FlushCause cause,
+                           std::vector<Flush>& out) {
+  out.clear();
+  for (int dst = 0; dst < workers_; ++dst) {
+    double& buf = buffer(src, dst);
+    if (buf == 0.0) continue;
+    out.push_back(Flush{dst, buf});
+    count_flush(cause, buf);
+    buf = 0.0;
+  }
+  pending_[static_cast<std::size_t>(src)] = 0.0;
+}
+
+void CommBatcher::clear(int src) {
+  for (int dst = 0; dst < workers_; ++dst) {
+    double& buf = buffer(src, dst);
+    if (buf != 0.0) ++stats_.dropped_buffers;
+    buf = 0.0;
+  }
+  pending_[static_cast<std::size_t>(src)] = 0.0;
+}
+
+void CommBatcher::count_flush(FlushCause cause, double bytes) {
+  switch (cause) {
+    case FlushCause::kSize:
+      ++stats_.size_flushes;
+      break;
+    case FlushCause::kTimer:
+      ++stats_.timer_flushes;
+      break;
+    case FlushCause::kBarrier:
+      ++stats_.barrier_flushes;
+      break;
+  }
+  stats_.bytes_flushed += bytes;
+}
+
+}  // namespace g10::engine

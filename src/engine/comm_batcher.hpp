@@ -1,0 +1,120 @@
+// Per-worker, per-destination communication coalescing (DESIGN.md §13).
+//
+// Both engines used to hand every compute chunk's remote traffic to the
+// substrate as one transfer per (chunk, destination): with a live
+// sim::ReliableChannel that means one ack'd plan — timeout draws, backoff,
+// retransmit bookkeeping — per chunk per destination, so retransmit cost
+// scales with chunk count. Real systems (Dorylus' CommManager framing,
+// GraphLab's buffered remote updates) instead coalesce small sends into
+// bounded per-destination buffers and flush a buffer when it reaches a
+// frame-size limit or a flush deadline expires. CommBatcher is that layer:
+// a dense workers x workers byte matrix the engines deposit into, with the
+// engines deciding *when* a returned threshold crossing or a deadline turns
+// into an actual NIC handoff / channel plan.
+//
+// The batcher itself is simulation-agnostic: it tracks bytes and flush
+// statistics only. Time never enters this class — the engines own the
+// simulated-time flush timers so crash epochs can cancel them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace g10::engine {
+
+/// Tuning knobs for communication batching. Batching is on by default;
+/// `max_batch_bytes = 0` disables it entirely (the `--batch-bytes 0` escape
+/// hatch), restoring the one-transfer-per-chunk-per-destination behavior
+/// byte-for-byte.
+struct CommBatcherConfig {
+  /// Frame size: a (worker, destination) buffer that reaches this many
+  /// bytes is flushed immediately. 0 disables batching.
+  double max_batch_bytes = 262144.0;
+  /// Simulated-time flush deadline: traffic must not sit in a buffer longer
+  /// than this even if the size threshold is never reached.
+  DurationNs flush_after = kMillisecond;
+
+  bool enabled() const { return max_batch_bytes > 0.0; }
+};
+
+/// Why a buffer was drained; recorded per flush in CommBatcherStats.
+enum class FlushCause {
+  kSize,     ///< buffer crossed max_batch_bytes
+  kTimer,    ///< flush_after deadline expired
+  kBarrier,  ///< end of the compute phase / exchange step drains everything
+};
+
+struct CommBatcherStats {
+  std::int64_t deposits = 0;
+  std::int64_t size_flushes = 0;
+  std::int64_t timer_flushes = 0;
+  std::int64_t barrier_flushes = 0;
+  std::int64_t dropped_buffers = 0;  ///< non-empty buffers lost to a crash
+  double bytes_deposited = 0.0;
+  double bytes_flushed = 0.0;
+
+  std::int64_t total_flushes() const {
+    return size_flushes + timer_flushes + barrier_flushes;
+  }
+};
+
+class CommBatcher {
+ public:
+  /// What a deposit did to the (src, dst) buffer; the engine turns these
+  /// into flushes and timer arms.
+  struct Deposit {
+    bool crossed = false;        ///< buffer reached max_batch_bytes
+    bool first_pending = false;  ///< src went from idle to holding bytes
+  };
+
+  /// One drained buffer from take_all().
+  struct Flush {
+    int dst = 0;
+    double bytes = 0.0;
+  };
+
+  CommBatcher() = default;
+  CommBatcher(const CommBatcherConfig& config, int workers);
+
+  bool enabled() const { return workers_ > 0 && config_.enabled(); }
+  DurationNs flush_after() const { return config_.flush_after; }
+
+  Deposit deposit(int src, int dst, double bytes);
+
+  /// Total buffered bytes awaiting flush on `src`.
+  double pending(int src) const {
+    return pending_[static_cast<std::size_t>(src)];
+  }
+
+  /// Drains the (src, dst) buffer; returns its bytes (0 if already empty).
+  double take(int src, int dst, FlushCause cause);
+
+  /// Drains every non-empty buffer of `src` into `out` (cleared first),
+  /// ascending by destination — the same deterministic order the unbatched
+  /// per-destination planning loops use.
+  void take_all(int src, FlushCause cause, std::vector<Flush>& out);
+
+  /// Crash teardown: the worker's buffered traffic is simply lost, exactly
+  /// like its in-flight NIC queue. No flush is recorded.
+  void clear(int src);
+
+  const CommBatcherStats& stats() const { return stats_; }
+
+ private:
+  double& buffer(int src, int dst) {
+    return buffers_[static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(workers_) +
+                    static_cast<std::size_t>(dst)];
+  }
+  void count_flush(FlushCause cause, double bytes);
+
+  CommBatcherConfig config_;
+  int workers_ = 0;
+  std::vector<double> buffers_;  ///< workers x workers, row-major by src
+  std::vector<double> pending_;  ///< per-src totals
+  CommBatcherStats stats_;
+};
+
+}  // namespace g10::engine

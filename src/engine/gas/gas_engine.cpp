@@ -236,6 +236,31 @@ class GasRun {
   std::vector<double> exchange_bytes_;
   std::vector<double> exchange_values_;
 
+  /// Per-vertex edge-ownership CSR: for each vertex, the distinct owning
+  /// partitions of its out- (or in-) edges and how many edges each owns.
+  /// Built once at load — edge placement is static — so the per-iteration
+  /// work aggregation walks one entry per (vertex, partition) instead of
+  /// resolving edge_owner per edge.
+  struct OwnerCsr {
+    std::vector<std::uint64_t> off;  ///< size n+1
+    std::vector<std::uint32_t> part;
+    std::vector<std::uint32_t> cnt;
+  };
+  OwnerCsr out_owner_;
+  OwnerCsr in_owner_;  ///< built only when the program gathers over in-edges
+
+  // Reused gather scratch for compute_iteration_effects (values always,
+  // ids/weights only when a span over graph storage cannot be used).
+  std::vector<VertexId> nbr_id_buf_;
+  std::vector<double> nbr_val_buf_;
+  std::vector<double> nbr_wt_buf_;
+
+  // Per-destination exchange coalescing (DESIGN.md §13) plus the run's
+  // logical communication counters reported through RunArtifacts::comm.
+  CommBatcher batcher_;
+  std::vector<CommBatcher::Flush> flush_scratch_;
+  trace::CommStats comm_;
+
   StepRuntime step_;
   int iteration_ = 0;
   int iteration_instance_ = 0;  ///< monotonic Iteration path index
@@ -276,9 +301,17 @@ class GasRun {
   TimeNs exchange_latest_ = 0;
   std::vector<char> exchange_open_;
   std::function<void(TimeNs)> exchange_on_done_;
-  /// Per-(src,dst) exchange bytes; filled only when sends travel through
-  /// the reliable channel (otherwise the aggregate per-src totals suffice).
-  std::vector<std::vector<double>> exchange_by_dst_;
+  /// Per-(src,dst) exchange bytes, row-major workers x workers; filled when
+  /// sends travel through the reliable channel or feed the batcher
+  /// (otherwise the aggregate per-src totals suffice). Flat and reused
+  /// across iterations instead of a per-iteration vector-of-vectors.
+  std::vector<double> exchange_by_dst_;
+
+  double& exchange_to(int src, int dst) {
+    return exchange_by_dst_[static_cast<std::size_t>(src) *
+                                static_cast<std::size_t>(workers_) +
+                            static_cast<std::size_t>(dst)];
+  }
 };
 
 std::vector<DurationNs> GasRun::make_chunks(double total_work,
@@ -347,6 +380,40 @@ void GasRun::load_graph() {
     }
   }
 
+  // Edge-ownership CSRs: resolve each edge's owning partition once, here,
+  // instead of per edge per iteration in the work aggregation.
+  out_owner_.off.assign(static_cast<std::size_t>(n) + 1, 0);
+  out_owner_.part.clear();
+  out_owner_.cnt.clear();
+  const bool need_in = prog_.gather_edges() != GatherEdges::kOut;
+  in_owner_.off.assign(need_in ? static_cast<std::size_t>(n) + 1 : 0, 0);
+  in_owner_.part.clear();
+  in_owner_.cnt.clear();
+  std::vector<std::uint32_t> owner_count(static_cast<std::size_t>(workers_),
+                                         0);
+  const auto emit_owner_row = [&](OwnerCsr& csr, VertexId v) {
+    for (std::uint32_t p = 0; p < static_cast<std::uint32_t>(workers_); ++p) {
+      if (owner_count[p] == 0) continue;
+      csr.part.push_back(p);
+      csr.cnt.push_back(owner_count[p]);
+      owner_count[p] = 0;
+    }
+    csr.off[static_cast<std::size_t>(v) + 1] = csr.part.size();
+  };
+  for (VertexId v = 0; v < n; ++v) {
+    const EdgeIndex deg = g_.out_degree(v);
+    for (EdgeIndex i = 0; i < deg; ++i) {
+      ++owner_count[cut_.edge_owner[g_.edge_id(v, i)]];
+    }
+    emit_owner_row(out_owner_, v);
+    if (need_in) {
+      for (const EdgeIndex id : g_.in_edge_ids(v)) {
+        ++owner_count[cut_.edge_owner[id]];
+      }
+      emit_owner_row(in_owner_, v);
+    }
+  }
+
   value_.resize(n);
   for (VertexId v = 0; v < n; ++v) value_[v] = prog_.initial_value(v, g_);
   new_value_ = value_;
@@ -398,83 +465,117 @@ void GasRun::compute_iteration_effects() {
   const VertexId n = g_.vertex_count();
   std::fill(changed_.begin(), changed_.end(), 0);
   std::fill(next_active_.begin(), next_active_.end(), 0);
-  std::vector<VertexId> nbr_ids;
-  std::vector<double> nbr_values;
-  std::vector<double> nbr_weights;
+  const GatherEdges mode = prog_.gather_edges();
+  const bool weighted = g_.weighted();
   for (VertexId v = 0; v < n; ++v) {
     if (!active_[v]) {
       new_value_[v] = value_[v];
       continue;
     }
-    nbr_ids.clear();
-    nbr_values.clear();
-    nbr_weights.clear();
-    const auto push_in = [&] {
-      const auto nbrs = g_.in_neighbors(v);
-      for (EdgeIndex i = 0; i < nbrs.size(); ++i) {
-        nbr_ids.push_back(nbrs[i]);
-        nbr_values.push_back(value_[nbrs[i]]);
-        nbr_weights.push_back(g_.in_weight(v, i));
+    // Gather directly over graph storage: neighbor ids and (out-)weights are
+    // spans into the CSR arrays; only values — and, on weighted graphs,
+    // in-edge weights — are copied into reused scratch. An empty weight span
+    // means every edge weighs 1 (see GasProgram::apply).
+    std::span<const VertexId> ids;
+    std::span<const double> values;
+    std::span<const double> weights;
+    switch (mode) {
+      case GatherEdges::kIn: {
+        ids = g_.in_neighbors(v);
+        nbr_val_buf_.clear();
+        for (const VertexId u : ids) nbr_val_buf_.push_back(value_[u]);
+        values = nbr_val_buf_;
+        if (weighted) {
+          nbr_wt_buf_.clear();
+          for (const EdgeIndex id : g_.in_edge_ids(v)) {
+            nbr_wt_buf_.push_back(g_.edge_weight(id));
+          }
+          weights = nbr_wt_buf_;
+        }
+        break;
       }
-    };
-    const auto push_out = [&] {
-      const auto nbrs = g_.out_neighbors(v);
-      for (EdgeIndex i = 0; i < nbrs.size(); ++i) {
-        nbr_ids.push_back(nbrs[i]);
-        nbr_values.push_back(value_[nbrs[i]]);
-        nbr_weights.push_back(g_.edge_weight(g_.edge_id(v, i)));
+      case GatherEdges::kOut: {
+        ids = g_.out_neighbors(v);
+        nbr_val_buf_.clear();
+        for (const VertexId u : ids) nbr_val_buf_.push_back(value_[u]);
+        values = nbr_val_buf_;
+        weights = g_.out_weights(v);
+        break;
       }
-    };
-    switch (prog_.gather_edges()) {
-      case GatherEdges::kIn:
-        push_in();
+      case GatherEdges::kBoth: {
+        const auto in = g_.in_neighbors(v);
+        const auto out = g_.out_neighbors(v);
+        nbr_id_buf_.clear();
+        nbr_id_buf_.insert(nbr_id_buf_.end(), in.begin(), in.end());
+        nbr_id_buf_.insert(nbr_id_buf_.end(), out.begin(), out.end());
+        nbr_val_buf_.clear();
+        for (const VertexId u : nbr_id_buf_) {
+          nbr_val_buf_.push_back(value_[u]);
+        }
+        if (weighted) {
+          nbr_wt_buf_.clear();
+          for (const EdgeIndex id : g_.in_edge_ids(v)) {
+            nbr_wt_buf_.push_back(g_.edge_weight(id));
+          }
+          const auto wts = g_.out_weights(v);
+          nbr_wt_buf_.insert(nbr_wt_buf_.end(), wts.begin(), wts.end());
+          weights = nbr_wt_buf_;
+        }
+        ids = nbr_id_buf_;
+        values = nbr_val_buf_;
         break;
-      case GatherEdges::kOut:
-        push_out();
-        break;
-      case GatherEdges::kBoth:
-        push_in();
-        push_out();
-        break;
+      }
     }
-    new_value_[v] = prog_.apply(v, value_[v], nbr_ids, nbr_values,
-                                nbr_weights, iteration_, g_);
+    new_value_[v] =
+        prog_.apply(v, value_[v], ids, values, weights, iteration_, g_);
     if (prog_.scatter_activates(v, value_[v], new_value_[v], iteration_)) {
       changed_[v] = 1;
-      for (VertexId u : g_.out_neighbors(v)) next_active_[u] = 1;
+      for (const VertexId u : g_.out_neighbors(v)) next_active_[u] = 1;
     }
   }
 
-  // Per-worker work aggregates for the timed steps.
+  // Per-worker work aggregates for the timed steps, computed from the
+  // ownership CSRs: one entry per (vertex, owning partition) instead of an
+  // edge_owner lookup per edge. The default work constants are exact binary
+  // integers, so count * cost regroups the old per-edge sums bit-for-bit.
   gather_work_.assign(static_cast<std::size_t>(workers_), 0.0);
   apply_work_.assign(static_cast<std::size_t>(workers_), 0.0);
   scatter_work_.assign(static_cast<std::size_t>(workers_), 0.0);
   exchange_bytes_.assign(static_cast<std::size_t>(workers_), 0.0);
   exchange_values_.assign(static_cast<std::size_t>(workers_), 0.0);
-  // Per-destination breakdown is needed only when exchange traffic travels
-  // through the reliable channel (any fault events present).
-  const bool track_dst = !channel_.trivial();
-  if (track_dst) {
-    exchange_by_dst_.assign(
-        static_cast<std::size_t>(workers_),
-        std::vector<double>(static_cast<std::size_t>(workers_), 0.0));
+  // Per-destination breakdown is needed when exchange traffic travels
+  // through the reliable channel or feeds the coalescing buffers.
+  const bool split_dst = !channel_.trivial() || batcher_.enabled();
+  if (split_dst) {
+    exchange_by_dst_.assign(static_cast<std::size_t>(workers_) *
+                                static_cast<std::size_t>(workers_),
+                            0.0);
   }
 
-  const bool gather_in = prog_.gather_edges() != GatherEdges::kOut;
-  const bool gather_out = prog_.gather_edges() != GatherEdges::kIn;
-  for (VertexId u = 0; u < n; ++u) {
-    const auto nbrs = g_.out_neighbors(u);
-    for (EdgeIndex i = 0; i < nbrs.size(); ++i) {
-      const VertexId v = nbrs[i];
-      const auto owner = cut_.edge_owner[g_.edge_id(u, i)];
-      if (gather_in && active_[v]) {
-        gather_work_[owner] += cfg_.costs.work_per_gather_edge;
+  const bool gather_in = mode != GatherEdges::kOut;
+  const bool gather_out = mode != GatherEdges::kIn;
+  for (VertexId v = 0; v < n; ++v) {
+    if (gather_in && active_[v]) {
+      for (std::uint64_t k = in_owner_.off[v]; k < in_owner_.off[v + 1];
+           ++k) {
+        gather_work_[in_owner_.part[k]] +=
+            cfg_.costs.work_per_gather_edge *
+            static_cast<double>(in_owner_.cnt[k]);
       }
-      if (gather_out && active_[u]) {
-        gather_work_[owner] += cfg_.costs.work_per_gather_edge;
-      }
-      if (changed_[u]) {
-        scatter_work_[owner] += cfg_.costs.work_per_scatter_edge;
+    }
+    const bool out_gathers = gather_out && active_[v];
+    if (out_gathers || changed_[v]) {
+      for (std::uint64_t k = out_owner_.off[v]; k < out_owner_.off[v + 1];
+           ++k) {
+        const double cnt = static_cast<double>(out_owner_.cnt[k]);
+        if (out_gathers) {
+          gather_work_[out_owner_.part[k]] +=
+              cfg_.costs.work_per_gather_edge * cnt;
+        }
+        if (changed_[v]) {
+          scatter_work_[out_owner_.part[k]] +=
+              cfg_.costs.work_per_scatter_edge * cnt;
+        }
       }
     }
   }
@@ -486,8 +587,10 @@ void GasRun::compute_iteration_effects() {
         if (r != cut_.master[v]) {
           exchange_bytes_[r] += cfg_.costs.bytes_per_value;
           exchange_values_[r] += 1.0;
-          if (track_dst) {
-            exchange_by_dst_[r][cut_.master[v]] += cfg_.costs.bytes_per_value;
+          if (split_dst) {
+            exchange_to(static_cast<int>(r),
+                        static_cast<int>(cut_.master[v])) +=
+                cfg_.costs.bytes_per_value;
           }
         }
       }
@@ -498,12 +601,25 @@ void GasRun::compute_iteration_effects() {
           static_cast<double>(cut_.replicas[v].size()) - 1.0;
       exchange_bytes_[cut_.master[v]] += mirrors * cfg_.costs.bytes_per_value;
       exchange_values_[cut_.master[v]] += mirrors;
-      if (track_dst) {
+      if (split_dst) {
         for (const auto r : cut_.replicas[v]) {
           if (r != cut_.master[v]) {
-            exchange_by_dst_[cut_.master[v]][r] += cfg_.costs.bytes_per_value;
+            exchange_to(static_cast<int>(cut_.master[v]),
+                        static_cast<int>(r)) += cfg_.costs.bytes_per_value;
           }
         }
+      }
+    }
+  }
+
+  // Exchange traffic enters the coalescing buffers now; the exchange step
+  // drains them as one barriered flush per destination. The exchange is
+  // already a bulk transfer, so size crossings never flush early here.
+  if (batcher_.enabled()) {
+    for (int w = 0; w < workers_; ++w) {
+      for (int dst = 0; dst < workers_; ++dst) {
+        const double bytes = exchange_to(w, dst);
+        if (bytes > 0.0 && dst != w) batcher_.deposit(w, dst, bytes);
       }
     }
   }
@@ -671,7 +787,14 @@ void GasRun::run_exchange(TimeNs t, std::function<void(TimeNs)> on_done) {
     TimeNs latest = t;
     for (int w = 0; w < workers_; ++w) {
       auto& state = ws_[static_cast<std::size_t>(w)];
-      const auto bytes = exchange_bytes_[static_cast<std::size_t>(w)];
+      double bytes = exchange_bytes_[static_cast<std::size_t>(w)];
+      if (batcher_.enabled()) {
+        // Drain the coalescing buffers instead; with the default exact
+        // byte costs the drained total regroups to the same value.
+        batcher_.take_all(w, FlushCause::kBarrier, flush_scratch_);
+        bytes = 0.0;
+        for (const auto& f : flush_scratch_) bytes += f.bytes;
+      }
       const auto values = exchange_values_[static_cast<std::size_t>(w)];
       const DurationNs serialize = ns_for_work(
           values * cfg_.costs.work_per_exchange_value * jitter(0.05));
@@ -712,11 +835,9 @@ void GasRun::run_exchange(TimeNs t, std::function<void(TimeNs)> on_done) {
     state.cpu->add(t + serialize, -1.0);
     log_.begin(step.child(gas_symbols().worker_exchange, w), t, w);
     TimeNs send_done = t;
-    for (int dst = 0; dst < workers_; ++dst) {
-      const double bytes = exchange_by_dst_[static_cast<std::size_t>(w)]
-                                           [static_cast<std::size_t>(dst)];
-      if (bytes <= 0.0) continue;
+    const auto plan_one = [&](int dst, double bytes) {
       const auto plan = channel_.plan_send(w, dst, t);
+      ++comm_.channel_plans;
       for (const auto& attempt : plan.attempts) {
         if (attempt.at <= t) {
           state.nic->enqueue(t, bytes);
@@ -728,6 +849,18 @@ void GasRun::run_exchange(TimeNs t, std::function<void(TimeNs)> on_done) {
         }
       }
       send_done = std::max(send_done, plan.complete);
+    };
+    if (batcher_.enabled()) {
+      // Drained ascending by destination — the same deterministic order as
+      // the unbatched loop below, so the plan sequence is identical.
+      batcher_.take_all(w, FlushCause::kBarrier, flush_scratch_);
+      for (const auto& f : flush_scratch_) plan_one(f.dst, f.bytes);
+    } else {
+      for (int dst = 0; dst < workers_; ++dst) {
+        const double bytes = exchange_to(w, dst);
+        if (bytes <= 0.0) continue;
+        plan_one(dst, bytes);
+      }
     }
     const TimeNs finalize_at = std::max(send_done, t + serialize);
     schedule_epoch(finalize_at, [this, w, t, send_done] {
@@ -764,7 +897,18 @@ void GasRun::finalize_exchange_worker(int w, TimeNs begin, TimeNs send_done) {
 
 void GasRun::finish_iteration(TimeNs t) {
   log_.end(iteration_path(), t, trace::kGlobalMachine);
-  value_ = new_value_;
+  double step_values = 0.0;
+  double step_bytes = 0.0;
+  for (int w = 0; w < workers_; ++w) {
+    step_values += exchange_values_[static_cast<std::size_t>(w)];
+    step_bytes += exchange_bytes_[static_cast<std::size_t>(w)];
+  }
+  comm_.messages_per_step.push_back(static_cast<std::uint64_t>(step_values));
+  comm_.remote_bytes_total += step_bytes;
+  // Every entry of new_value_ is written each iteration (inactive vertices
+  // copy their old value), so promoting it by swap is safe and skips the
+  // full O(n) copy.
+  value_.swap(new_value_);
   active_.swap(next_active_);
   ++iteration_;
   ++iteration_instance_;
@@ -957,9 +1101,11 @@ void GasRun::teardown_worker(int w, TimeNs now, bool truncate) {
                      truncate, now, w);
     exchange_open_[static_cast<std::size_t>(w)] = 0;
   }
-  // In-flight traffic of the aborted iteration is gone; the re-execution
+  // In-flight traffic of the aborted iteration is gone — both the NIC queue
+  // and anything still sitting in the coalescing buffers; the re-execution
   // regenerates it.
   state.nic->clear(now);
+  if (batcher_.enabled()) batcher_.clear(w);
 }
 
 void GasRun::fire_crash() {
@@ -1065,6 +1211,7 @@ trace::RunArtifacts GasRun::execute() {
   channel.jitter = cfg_.retry.jitter;
   channel.max_attempts = std::max(1, cfg_.retry.max_attempts);
   channel_ = sim::ReliableChannel(channel, &faults_, workers_);
+  batcher_ = CommBatcher(cfg_.batch, workers_);
   dead_.assign(static_cast<std::size_t>(workers_), 0);
   load_graph();
   sim_.run();
@@ -1073,6 +1220,9 @@ trace::RunArtifacts GasRun::execute() {
   trace::RunArtifacts artifacts;
   artifacts.makespan = makespan_;
   artifacts.vertex_values = value_;
+  comm_.batch_flushes =
+      static_cast<std::int64_t>(batcher_.stats().total_flushes());
+  artifacts.comm = std::move(comm_);
   artifacts.phase_events = log_.take_phase_events();
   artifacts.blocking_events = log_.take_blocking_events();
   for (int w = 0; w < workers_; ++w) {

@@ -42,6 +42,7 @@
 #include <cstdint>
 
 #include "algorithms/gas_program.hpp"
+#include "engine/comm_batcher.hpp"
 #include "engine/fault_tolerance.hpp"
 #include "engine/phase_logger.hpp"
 #include "graph/graph.hpp"
@@ -103,6 +104,10 @@ struct GasConfig {
   int threads_per_worker = 0;  ///< 0 = one per core
   int chunk_edges = 2048;      ///< gather/scatter work per scheduling chunk
   GasCostModel costs;
+  /// Per-destination exchange coalescing (on by default; max_batch_bytes = 0
+  /// disables it). The exchange step is already one bulk barrier, so here
+  /// batching only changes how the drained buffers reach the channel.
+  CommBatcherConfig batch;
   GasNoiseConfig noise;
   SyncBugConfig sync_bug;
   VertexCutStrategy partitioning = VertexCutStrategy::kHashSource;

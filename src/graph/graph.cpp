@@ -64,6 +64,12 @@ EdgeIndex Graph::in_degree(VertexId v) const {
   return in_offsets_[v + 1] - in_offsets_[v];
 }
 
+std::span<const EdgeIndex> Graph::in_edge_ids(VertexId v) const {
+  ensure_in_index();
+  return {in_edge_ids_.data() + in_offsets_[v],
+          in_edge_ids_.data() + in_offsets_[v + 1]};
+}
+
 bool Graph::has_edge(VertexId u, VertexId v) const {
   const auto nbrs = out_neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);

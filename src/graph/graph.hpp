@@ -65,6 +65,11 @@ class Graph {
   std::span<const VertexId> in_neighbors(VertexId v) const;
   EdgeIndex in_degree(VertexId v) const;
 
+  /// Global edge ids aligned with in_neighbors(v): in_edge_ids(v)[i] is the
+  /// CSR id of the edge (in_neighbors(v)[i], v). Lets callers batch-resolve
+  /// in-edge weights and edge ownership without per-edge in_weight() calls.
+  std::span<const EdgeIndex> in_edge_ids(VertexId v) const;
+
   /// Global edge id of the e-th out-edge of v (CSR position).
   EdgeIndex edge_id(VertexId v, EdgeIndex e_local) const {
     return out_offsets_[v] + e_local;

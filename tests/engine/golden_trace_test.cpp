@@ -1,7 +1,13 @@
 // Golden-trace regression: the engines' logs must stay byte-identical to
 // committed fixtures across refactors of the trace-generation path. The
-// fixtures were produced by the string-based (pre-interning) pipeline, so a
-// pass here proves the interned fast path changes nothing observable.
+// original fixtures were produced by the pre-batching delivery path, so the
+// batch-off runs pin that path byte-for-byte; the `_batched` fixtures pin
+// the default coalesced delivery schedule (DESIGN.md §13).
+//
+// Set G10_REGEN_GOLDEN=1 (or use the `regen-golden` CMake target /
+// tools/regen_golden.sh) to rewrite every fixture from the current build
+// instead of comparing.
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -18,13 +24,32 @@
 namespace g10 {
 namespace {
 
+std::string fixture_path(const std::string& name) {
+  return std::string(G10_GOLDEN_TRACE_DIR) + "/" + name;
+}
+
 std::string read_fixture(const std::string& name) {
-  const std::string path = std::string(G10_GOLDEN_TRACE_DIR) + "/" + name;
+  const std::string path = fixture_path(name);
   std::ifstream is(path, std::ios::binary);
   EXPECT_TRUE(is.good()) << "missing fixture: " << path;
   std::ostringstream buffer;
   buffer << is.rdbuf();
   return buffer.str();
+}
+
+/// Compares `rendered` to the committed fixture, or rewrites the fixture
+/// when G10_REGEN_GOLDEN is set in the environment.
+void check_or_regen(const std::string& name, const std::string& rendered) {
+  if (std::getenv("G10_REGEN_GOLDEN") != nullptr) {
+    const std::string path = fixture_path(name);
+    std::ofstream os(path, std::ios::binary);
+    ASSERT_TRUE(os.good()) << "cannot write fixture: " << path;
+    os << rendered;
+    std::cout << "[regen] wrote " << path << " (" << rendered.size()
+              << " bytes)\n";
+    return;
+  }
+  EXPECT_EQ(rendered, read_fixture(name));
 }
 
 std::string render(const trace::RunArtifacts& artifacts) {
@@ -41,24 +66,48 @@ graph::Graph make_graph() {
   return generate_datagen_like(params);
 }
 
-TEST(GoldenTraceTest, PregelPageRankMatchesFixture) {
+engine::PregelConfig pregel_config() {
   engine::PregelConfig cfg;
   cfg.cluster.machine_count = 3;
   cfg.cluster.machine.cores = 8;
   cfg.seed = 99;
-  const auto artifacts =
-      engine::PregelEngine(cfg).run(make_graph(), algorithms::PageRank(5));
-  EXPECT_EQ(render(artifacts), read_fixture("pregel_pagerank_d512_s99.log"));
+  return cfg;
 }
 
-TEST(GoldenTraceTest, GasPageRankMatchesFixture) {
+engine::GasConfig gas_config() {
   engine::GasConfig cfg;
   cfg.cluster.machine_count = 3;
   cfg.cluster.machine.cores = 8;
   cfg.seed = 99;
+  return cfg;
+}
+
+TEST(GoldenTraceTest, PregelPageRankUnbatchedMatchesFixture) {
+  auto cfg = pregel_config();
+  cfg.batch.max_batch_bytes = 0.0;  // pre-batching delivery path
+  const auto artifacts =
+      engine::PregelEngine(cfg).run(make_graph(), algorithms::PageRank(5));
+  check_or_regen("pregel_pagerank_d512_s99.log", render(artifacts));
+}
+
+TEST(GoldenTraceTest, PregelPageRankBatchedMatchesFixture) {
+  const auto artifacts = engine::PregelEngine(pregel_config())
+                             .run(make_graph(), algorithms::PageRank(5));
+  check_or_regen("pregel_pagerank_d512_s99_batched.log", render(artifacts));
+}
+
+TEST(GoldenTraceTest, GasPageRankUnbatchedMatchesFixture) {
+  auto cfg = gas_config();
+  cfg.batch.max_batch_bytes = 0.0;
   const auto artifacts =
       engine::GasEngine(cfg).run(make_graph(), algorithms::PageRank(5));
-  EXPECT_EQ(render(artifacts), read_fixture("gas_pagerank_d512_s99.log"));
+  check_or_regen("gas_pagerank_d512_s99.log", render(artifacts));
+}
+
+TEST(GoldenTraceTest, GasPageRankBatchedMatchesFixture) {
+  const auto artifacts = engine::GasEngine(gas_config())
+                             .run(make_graph(), algorithms::PageRank(5));
+  check_or_regen("gas_pagerank_d512_s99_batched.log", render(artifacts));
 }
 
 TEST(GoldenTraceTest, DataflowMatchesFixture) {
@@ -72,7 +121,7 @@ TEST(GoldenTraceTest, DataflowMatchesFixture) {
   engine::DataflowJobSpec job;
   job.stages = {stage, stage, stage};
   const auto artifacts = engine::DataflowEngine(cfg).run(job);
-  EXPECT_EQ(render(artifacts), read_fixture("dataflow_3stage_s99.log"));
+  check_or_regen("dataflow_3stage_s99.log", render(artifacts));
 }
 
 }  // namespace

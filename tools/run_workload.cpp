@@ -9,6 +9,12 @@
 //           [--retry-timeout-ms MS] [--retry-max-attempts N]
 //           [--heartbeat-ms MS] [--heartbeat-timeout-ms MS]
 //           [--crash-log reconciled|truncated]
+//           [--batch-bytes B] [--batch-flush-us US]
+//
+// --batch-bytes sets the per-destination coalescing threshold for remote
+// message delivery (0 disables batching entirely and restores per-chunk
+// sends); --batch-flush-us bounds how long a partial batch may sit before
+// the time-based flush pushes it out.
 //
 // --faults injects failures from a deterministic schedule, e.g.
 //   crash:w2@40%              worker 2 crashes 40% into the nominal run
@@ -66,6 +72,8 @@ struct Args {
   std::optional<int> retry_max_attempts;
   std::optional<double> heartbeat_ms;
   std::optional<double> heartbeat_timeout_ms;
+  std::optional<double> batch_bytes;
+  std::optional<double> batch_flush_us;
   engine::CrashLogStyle crash_log = engine::CrashLogStyle::kReconciled;
 };
 
@@ -81,7 +89,8 @@ int usage() {
                "[--retry-max-attempts N]\n"
                "               [--heartbeat-ms MS] "
                "[--heartbeat-timeout-ms MS]\n"
-               "               [--crash-log reconciled|truncated]\n";
+               "               [--crash-log reconciled|truncated]\n"
+               "               [--batch-bytes B] [--batch-flush-us US]\n";
   return kExitBadArgs;
 }
 
@@ -135,6 +144,14 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const auto ms = parse_double(*v);
       if (!ms || *ms <= 0.0) return std::nullopt;
       args.heartbeat_timeout_ms = *ms;
+    } else if (arg == "--batch-bytes") {
+      const auto b = parse_double(*v);
+      if (!b || *b < 0.0) return std::nullopt;
+      args.batch_bytes = *b;  // 0 disables batching
+    } else if (arg == "--batch-flush-us") {
+      const auto us = parse_double(*v);
+      if (!us || *us <= 0.0) return std::nullopt;
+      args.batch_flush_us = *us;
     } else if (arg == "--crash-log") {
       if (*v == "reconciled") {
         args.crash_log = engine::CrashLogStyle::kReconciled;
@@ -166,6 +183,11 @@ void apply_fault_knobs(const Args& args, Config& cfg) {
   }
   if (args.heartbeat_timeout_ms) {
     cfg.heartbeat.timeout_seconds = *args.heartbeat_timeout_ms / 1e3;
+  }
+  if (args.batch_bytes) cfg.batch.max_batch_bytes = *args.batch_bytes;
+  if (args.batch_flush_us) {
+    cfg.batch.flush_after =
+        static_cast<DurationNs>(*args.batch_flush_us * 1e3);
   }
   cfg.crash_log = args.crash_log;
 }
@@ -325,6 +347,10 @@ int run(const Args& args) {
                       framework.tuned_rules);
   }
   std::cout << "makespan: " << to_seconds(artifacts.makespan) << " s\n";
+  std::cout << "comm: " << artifacts.comm.remote_bytes_total
+            << " remote bytes, " << artifacts.comm.channel_plans
+            << " channel plans, " << artifacts.comm.batch_flushes
+            << " batch flushes\n";
   std::cout << "wrote " << args.out << "/run.log ("
             << artifacts.phase_events.size() << " phase events, "
             << artifacts.blocking_events.size() << " blocking events, "
