@@ -117,6 +117,7 @@ CharacterizedRun characterize_gas(const engine::GasConfig& cfg,
 }
 
 std::string results_dir() {
+  // srclint: entropy-ok(G10_RESULTS_DIR picks where bench output lands, not what it contains)
   const char* env = std::getenv("G10_RESULTS_DIR");
   const std::string dir = env != nullptr ? env : "bench_results";
   std::filesystem::create_directories(dir);

@@ -1,0 +1,76 @@
+#include "common/det_hash.hpp"
+
+namespace g10 {
+
+std::uint64_t fnv1a64(std::uint64_t hash, const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+void DetHasher::fold(std::string_view path, const void* data,
+                     std::size_t size) {
+  const auto it = index_.find(path);
+  DetSummary::Entry* entry;
+  if (it == index_.end()) {
+    index_.emplace(std::string(path), summary_.phases.size());
+    summary_.phases.push_back(DetSummary::Entry{std::string(path),
+                                                kFnvOffsetBasis, 0});
+    entry = &summary_.phases.back();
+  } else {
+    entry = &summary_.phases[it->second];
+  }
+  entry->hash = fnv1a64(entry->hash, data, size);
+  ++entry->count;
+  // The overall hash covers the path too, so the same bytes folded under a
+  // different path (or in a different cross-path order) still diverge.
+  summary_.overall = fnv1a64(summary_.overall, path.data(), path.size());
+  summary_.overall = fnv1a64(summary_.overall, data, size);
+  ++summary_.total_folds;
+}
+
+DetSummary DetHasher::summary() const { return summary_; }
+
+std::optional<DetDivergence> first_divergence(const DetSummary& lhs,
+                                              const DetSummary& rhs) {
+  const std::size_t common = std::min(lhs.phases.size(), rhs.phases.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const DetSummary::Entry& a = lhs.phases[i];
+    const DetSummary::Entry& b = rhs.phases[i];
+    if (a.path != b.path) {
+      return DetDivergence{a.path,
+                           "stream order diverged: position " +
+                               std::to_string(i) + " is '" + a.path +
+                               "' vs '" + b.path + "'",
+                           a.hash, b.hash};
+    }
+    if (a.count != b.count) {
+      return DetDivergence{a.path,
+                           "fold count " + std::to_string(a.count) + " vs " +
+                               std::to_string(b.count),
+                           a.hash, b.hash};
+    }
+    if (a.hash != b.hash) {
+      return DetDivergence{a.path, "per-phase hash differs", a.hash, b.hash};
+    }
+  }
+  if (lhs.phases.size() != rhs.phases.size()) {
+    const DetSummary& longer =
+        lhs.phases.size() > rhs.phases.size() ? lhs : rhs;
+    const DetSummary::Entry& extra = longer.phases[common];
+    return DetDivergence{extra.path,
+                         "present in only one execution",
+                         lhs.phases.size() > common ? extra.hash : 0,
+                         rhs.phases.size() > common ? extra.hash : 0};
+  }
+  if (lhs.overall != rhs.overall) {
+    return DetDivergence{"", "overall stream hash differs", lhs.overall,
+                         rhs.overall};
+  }
+  return std::nullopt;
+}
+
+}  // namespace g10

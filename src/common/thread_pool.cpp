@@ -10,6 +10,7 @@ namespace g10 {
 namespace {
 
 std::size_t env_threads() {
+  // srclint: entropy-ok(documented G10_THREADS override; selects parallelism, never results)
   const char* raw = std::getenv("G10_THREADS");
   if (raw == nullptr || *raw == '\0') return 0;
   char* end = nullptr;

@@ -121,14 +121,15 @@ ExecutionTrace ExecutionTrace::build(
   }
 
   // Every instance must have ended — a BEGIN without an END is the signature
-  // of a crashed worker's log. Lenient mode repairs it below.
+  // of a crashed worker's log. Lenient mode repairs it below. Walk the
+  // instances in begin order (not `pending`, whose hash order would make the
+  // strict-mode error message pick an arbitrary victim).
   std::vector<InstanceId> unended;
-  for (const auto& [open_path, state] : pending) {
-    if (state.ended) continue;
-    require_lenient("phase never ended: " + open_path);
-    unended.push_back(state.id);
+  for (const auto& instance : trace.instances_) {
+    if (instance.end >= 0) continue;
+    require_lenient("phase never ended: " + instance.path);
+    unended.push_back(instance.id);
   }
-  std::sort(unended.begin(), unended.end());
 
   // Resolve parents and verify model linkage. Model violations stay hard
   // errors even in lenient mode: they mean the wrong model, not a damaged

@@ -1,0 +1,237 @@
+#include "srclint/source_lexer.hpp"
+
+#include <cctype>
+
+namespace g10::srclint {
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Two-character punctuators the rules distinguish. Longer ones (<<=, ...)
+/// lex as two tokens, which no rule cares about.
+bool is_two_char_punct(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '=' || b == '-';
+    case '+': return b == '=' || b == '+';
+    case '*': case '/': case '%': case '!': case '^': return b == '=';
+    case '=': return b == '=';
+    case '<': return b == '=' || b == '<';
+    case '>': return b == '=' || b == '>';
+    case '&': return b == '&' || b == '=';
+    case '|': return b == '|' || b == '=';
+    default: return false;
+  }
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  LexedSource run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        line_has_token_ = false;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '/') {
+          line_comment();
+          continue;
+        }
+        if (src_[pos_ + 1] == '*') {
+          block_comment();
+          continue;
+        }
+      }
+      if (c == '#' && !line_has_token_) {
+        preprocessor_line();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        identifier();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number();
+        continue;
+      }
+      if (c == '"') {
+        string_literal();
+        continue;
+      }
+      if (c == '\'') {
+        char_literal();
+        continue;
+      }
+      punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void add_token(TokenKind kind, std::size_t begin, std::size_t end,
+                 std::size_t line) {
+    out_.tokens.push_back(Token{kind, src_.substr(begin, end - begin), line});
+    line_has_token_ = true;
+  }
+
+  void line_comment() {
+    const std::size_t line = line_;
+    const bool code_before = line_has_token_;
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+    out_.comments.push_back(Comment{src_.substr(begin, pos_ - begin), line,
+                                    line, code_before});
+  }
+
+  void block_comment() {
+    const std::size_t line = line_;
+    const bool code_before = line_has_token_;
+    pos_ += 2;
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '/') {
+        end = pos_;
+        pos_ += 2;
+        break;
+      }
+      ++pos_;
+    }
+    out_.comments.push_back(Comment{src_.substr(begin, end - begin), line,
+                                    line_, code_before});
+  }
+
+  /// Skips a whole preprocessor directive, including backslash-continued
+  /// lines — `#include <mutex>` must not leak a `mutex` identifier.
+  void preprocessor_line() {
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] == '\n') {
+        ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;  // main loop counts the newline
+      ++pos_;
+    }
+  }
+
+  void identifier() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+    const std::string_view text = src_.substr(begin, pos_ - begin);
+    // Raw string literal: R"delim(...)delim" (also u8R", LR", uR", UR").
+    if (pos_ < src_.size() && src_[pos_] == '"' &&
+        (text == "R" || text == "u8R" || text == "LR" || text == "uR" ||
+         text == "UR")) {
+      raw_string_literal();
+      return;
+    }
+    add_token(TokenKind::kIdentifier, begin, pos_, line_);
+  }
+
+  void number() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() &&
+           (is_ident_char(src_[pos_]) || src_[pos_] == '.' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > begin &&
+             (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E' ||
+              src_[pos_ - 1] == 'p' || src_[pos_ - 1] == 'P')))) {
+      ++pos_;
+    }
+    add_token(TokenKind::kNumber, begin, pos_, line_);
+  }
+
+  void string_literal() {
+    const std::size_t line = line_;
+    ++pos_;  // opening quote
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      if (src_[pos_] == '\n') ++line_;  // unterminated; keep line count sane
+      ++pos_;
+    }
+    add_token(TokenKind::kString, begin, pos_, line);
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+  }
+
+  void raw_string_literal() {
+    const std::size_t line = line_;
+    ++pos_;  // opening quote
+    const std::size_t delim_begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '(') ++pos_;
+    const std::string_view delim = src_.substr(delim_begin,
+                                               pos_ - delim_begin);
+    if (pos_ < src_.size()) ++pos_;  // opening paren
+    const std::size_t begin = pos_;
+    std::size_t end = src_.size();
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == ')' &&
+          src_.compare(pos_ + 1, delim.size(), delim) == 0 &&
+          pos_ + 1 + delim.size() < src_.size() &&
+          src_[pos_ + 1 + delim.size()] == '"') {
+        end = pos_;
+        pos_ += 2 + delim.size();
+        break;
+      }
+      ++pos_;
+    }
+    add_token(TokenKind::kString, begin, end, line);
+  }
+
+  void char_literal() {
+    const std::size_t line = line_;
+    ++pos_;  // opening quote
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      ++pos_;
+    }
+    add_token(TokenKind::kChar, begin, pos_, line);
+    if (pos_ < src_.size()) ++pos_;  // closing quote
+  }
+
+  void punct() {
+    const std::size_t begin = pos_;
+    if (pos_ + 1 < src_.size() && is_two_char_punct(src_[pos_],
+                                                    src_[pos_ + 1])) {
+      pos_ += 2;
+    } else {
+      ++pos_;
+    }
+    add_token(TokenKind::kPunct, begin, pos_, line_);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  bool line_has_token_ = false;
+  LexedSource out_;
+};
+
+}  // namespace
+
+LexedSource lex_source(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace g10::srclint

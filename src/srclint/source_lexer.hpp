@@ -1,0 +1,56 @@
+// A lightweight C++ lexer for the source-level lint pass (DESIGN.md §14).
+//
+// srclint's rules are token-shape rules ("a range-for over a variable
+// declared as std::unordered_map", "the identifier getenv outside its
+// sanctioned homes"), so a full parser — let alone a compiler frontend — is
+// not needed. This lexer produces exactly what the rules consume:
+//
+//  - a token stream (identifiers, numbers, literals, punctuators) with
+//    1-based line numbers, comments and preprocessor lines stripped;
+//  - the comment list, preserved verbatim with line extents, because
+//    suppression waivers (`// srclint: unordered-ok(<reason>)`) live there.
+//
+// Handled: //- and /**/-comments, string/char literals with escapes, raw
+// string literals with custom delimiters, line continuations inside
+// preprocessor directives, and the two-character punctuators the rules care
+// about (::, ->, +=, -=, and friends). Not handled (not needed): trigraphs,
+// UCNs, digraphs.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace g10::srclint {
+
+enum class TokenKind {
+  kIdentifier,  ///< identifiers and keywords (no distinction needed)
+  kNumber,
+  kString,  ///< string literal, including raw strings (text excludes quotes)
+  kChar,
+  kPunct,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::string_view text;  ///< view into the lexed buffer
+  std::size_t line = 0;   ///< 1-based line of the token's first character
+};
+
+struct Comment {
+  std::string_view text;        ///< contents without the // or /* */ markers
+  std::size_t line = 0;         ///< 1-based line the comment starts on
+  std::size_t end_line = 0;     ///< 1-based line the comment ends on
+  bool code_before = false;     ///< a token precedes it on its start line
+};
+
+struct LexedSource {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. The returned views alias `source`, which must
+/// outlive the result.
+LexedSource lex_source(std::string_view source);
+
+}  // namespace g10::srclint

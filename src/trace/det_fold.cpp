@@ -1,0 +1,64 @@
+#include "trace/det_fold.hpp"
+
+#include <string>
+
+namespace g10::trace {
+namespace {
+
+void fold_phase_events(DetHasher& hasher,
+                       std::span<const PhaseEventRecord> events,
+                       std::string& key) {
+  for (const PhaseEventRecord& event : events) {
+    key.clear();
+    event.path.append_to(key);
+    hasher.fold_u64(key, event.kind == PhaseEventRecord::Kind::Begin ? 1 : 2);
+    hasher.fold_i64(key, event.time);
+    hasher.fold_i64(key, event.machine);
+  }
+}
+
+void fold_blocking_events(DetHasher& hasher,
+                          std::span<const BlockingEventRecord> events,
+                          std::string& key) {
+  for (const BlockingEventRecord& event : events) {
+    key.clear();
+    event.path.append_to(key);
+    hasher.fold_bytes(key, event.resource);
+    hasher.fold_i64(key, event.begin);
+    hasher.fold_i64(key, event.end);
+    hasher.fold_i64(key, event.machine);
+  }
+}
+
+}  // namespace
+
+void fold_run(DetHasher& hasher, const RunArtifacts& artifacts) {
+  std::string key;
+  fold_phase_events(hasher, artifacts.phase_events, key);
+  fold_blocking_events(hasher, artifacts.blocking_events, key);
+  hasher.fold_i64("run/makespan", artifacts.makespan);
+  hasher.fold_double("run/comm", artifacts.comm.remote_bytes_total);
+  hasher.fold_i64("run/comm", artifacts.comm.channel_plans);
+  hasher.fold_i64("run/comm", artifacts.comm.batch_flushes);
+  for (const std::uint64_t messages : artifacts.comm.messages_per_step) {
+    hasher.fold_u64("run/comm", messages);
+  }
+  for (const double value : artifacts.vertex_values) {
+    hasher.fold_double("run/vertex_values", value);
+  }
+}
+
+void fold_samples(DetHasher& hasher,
+                  std::span<const MonitoringSampleRecord> samples) {
+  std::string key;
+  for (const MonitoringSampleRecord& sample : samples) {
+    key = "monitor/";
+    key += sample.resource;
+    key += "/m";
+    key += std::to_string(sample.machine);
+    hasher.fold_i64(key, sample.time);
+    hasher.fold_double(key, sample.value);
+  }
+}
+
+}  // namespace g10::trace

@@ -1,0 +1,120 @@
+// DetHasher / DetSummary: the determinism oracle's digest layer
+// (DESIGN.md §14). Folding the same stream twice must be bit-identical;
+// any reorder, drop, or value change must surface as a first_divergence
+// that names the right phase path.
+#include <gtest/gtest.h>
+
+#include "common/det_hash.hpp"
+
+namespace g10 {
+namespace {
+
+DetSummary fold_abc() {
+  DetHasher hasher;
+  hasher.fold_u64("phase/a", 1);
+  hasher.fold_u64("phase/b", 2);
+  hasher.fold_double("phase/a", 3.5);
+  hasher.fold_bytes("phase/c", "payload");
+  return hasher.summary();
+}
+
+TEST(DetHasher, IdenticalStreamsFoldIdentically) {
+  const DetSummary lhs = fold_abc();
+  const DetSummary rhs = fold_abc();
+  EXPECT_EQ(lhs.overall, rhs.overall);
+  EXPECT_EQ(lhs.total_folds, rhs.total_folds);
+  ASSERT_EQ(lhs.phases.size(), rhs.phases.size());
+  for (std::size_t i = 0; i < lhs.phases.size(); ++i) {
+    EXPECT_EQ(lhs.phases[i].path, rhs.phases[i].path);
+    EXPECT_EQ(lhs.phases[i].hash, rhs.phases[i].hash);
+    EXPECT_EQ(lhs.phases[i].count, rhs.phases[i].count);
+  }
+  EXPECT_FALSE(first_divergence(lhs, rhs).has_value());
+}
+
+TEST(DetHasher, PhasesKeepFirstSeenOrder) {
+  const DetSummary summary = fold_abc();
+  ASSERT_EQ(summary.phases.size(), 3u);
+  EXPECT_EQ(summary.phases[0].path, "phase/a");
+  EXPECT_EQ(summary.phases[1].path, "phase/b");
+  EXPECT_EQ(summary.phases[2].path, "phase/c");
+  EXPECT_EQ(summary.phases[0].count, 2u);
+  EXPECT_EQ(summary.total_folds, 4u);
+}
+
+TEST(DetHasher, ValueChangePinpointsThePhase) {
+  DetHasher hasher;
+  hasher.fold_u64("phase/a", 1);
+  hasher.fold_u64("phase/b", 99);  // differs from fold_abc
+  hasher.fold_double("phase/a", 3.5);
+  hasher.fold_bytes("phase/c", "payload");
+  const auto divergence = first_divergence(fold_abc(), hasher.summary());
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->path, "phase/b");
+  EXPECT_NE(divergence->lhs, divergence->rhs);
+}
+
+TEST(DetHasher, FoldOrderWithinAPhaseMatters) {
+  DetHasher forward;
+  forward.fold_u64("p", 1);
+  forward.fold_u64("p", 2);
+  DetHasher backward;
+  backward.fold_u64("p", 2);
+  backward.fold_u64("p", 1);
+  const auto divergence =
+      first_divergence(forward.summary(), backward.summary());
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->path, "p");
+}
+
+TEST(DetHasher, StreamOrderMatters) {
+  DetHasher ab;
+  ab.fold_u64("a", 1);
+  ab.fold_u64("b", 1);
+  DetHasher ba;
+  ba.fold_u64("b", 1);
+  ba.fold_u64("a", 1);
+  const auto divergence = first_divergence(ab.summary(), ba.summary());
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->path, "a");  // first entry in stream order
+}
+
+TEST(DetHasher, MissingPhaseIsReported) {
+  DetHasher full;
+  full.fold_u64("a", 1);
+  full.fold_u64("b", 1);
+  DetHasher partial;
+  partial.fold_u64("a", 1);
+  const auto divergence = first_divergence(full.summary(),
+                                           partial.summary());
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->path, "b");
+}
+
+TEST(DetHasher, ExtraFoldOnAPhaseIsReported) {
+  DetHasher once;
+  once.fold_u64("a", 1);
+  DetHasher twice;
+  twice.fold_u64("a", 1);
+  twice.fold_u64("a", 1);
+  const auto divergence = first_divergence(once.summary(), twice.summary());
+  ASSERT_TRUE(divergence.has_value());
+  EXPECT_EQ(divergence->path, "a");
+}
+
+TEST(DetHasher, SignedZeroAndNanPayloadsAreDistinguished) {
+  DetHasher pos;
+  pos.fold_double("p", 0.0);
+  DetHasher neg;
+  neg.fold_double("p", -0.0);
+  EXPECT_TRUE(first_divergence(pos.summary(), neg.summary()).has_value());
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors) {
+  // Classic FNV-1a test vectors ("a", "foobar") from the reference spec.
+  EXPECT_EQ(fnv1a64(kFnvOffsetBasis, "a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64(kFnvOffsetBasis, "foobar", 6), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace g10

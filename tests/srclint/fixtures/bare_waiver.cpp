@@ -1,0 +1,6 @@
+// Bare-waiver fixture: a reasonless suppression is malformed input.
+#include <cstdlib>
+
+int bare() {
+  return std::rand();  // srclint: entropy-ok
+}

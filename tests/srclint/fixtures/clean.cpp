@@ -1,0 +1,13 @@
+// Clean fixture: nothing here may fire.
+#include <map>
+#include <string>
+
+int clean_lookup() {
+  std::map<std::string, int> ranks;
+  ranks["a"] = 1;
+  int total = 0;
+  for (const auto& [key, value] : ranks) {
+    total += value;
+  }
+  return total;
+}

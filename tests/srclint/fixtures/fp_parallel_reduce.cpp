@@ -1,0 +1,18 @@
+// D5 fixture: floating-point accumulation inside parallel_for must fire.
+#include <cstddef>
+#include <vector>
+
+template <typename Body>
+void parallel_for(std::size_t n, Body body) {
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+double unsafe_sum(const std::vector<double>& values) {
+  double total = 0.0;
+  std::vector<double> partial(4, 0.0);
+  parallel_for(values.size(), [&](std::size_t i) {
+    total += values[i];
+    partial[i % 4] += values[i];
+  });
+  return total + partial[0];
+}

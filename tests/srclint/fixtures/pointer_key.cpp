@@ -1,0 +1,11 @@
+// D4 fixture: pointer-typed keys in ordered containers must fire.
+#include <map>
+#include <set>
+
+struct Node {};
+
+int pointer_keys() {
+  std::map<Node*, int> ranks;
+  std::set<const Node*> seen;
+  return static_cast<int>(ranks.size() + seen.size());
+}

@@ -1,0 +1,10 @@
+// D2 fixture: ambient entropy/time/environment sources must fire.
+#include <cstdlib>
+#include <ctime>
+
+long seed_from_environment() {
+  long seed = std::rand();
+  seed += std::time(nullptr);
+  const char* env = std::getenv("SEED");
+  return seed + (env != nullptr ? env[0] : 0);
+}

@@ -1,0 +1,9 @@
+// D3 fixture: raw standard mutexes and locks must fire.
+#include <mutex>
+
+int locked_increment() {
+  static std::mutex guard;
+  const std::lock_guard<std::mutex> lock(guard);
+  static int counter = 0;
+  return ++counter;
+}

@@ -1,0 +1,13 @@
+// D1 fixture: range-for over an unordered container must fire.
+#include <string>
+#include <unordered_map>
+
+int count_entries() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  int total = 0;
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  return total;
+}

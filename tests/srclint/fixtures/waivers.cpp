@@ -1,0 +1,35 @@
+// Waiver fixture: every finding below is suppressed with a reasoned
+// waiver; the final waiver is stale and must be reported unused.
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+template <typename Body>
+void parallel_for(int n, Body body) {
+  for (int i = 0; i < n; ++i) body(i);
+}
+
+struct Node {};
+
+int all_waived() {
+  std::unordered_map<std::string, int> counts;
+  int total = 0;
+  // srclint: unordered-ok(totals are order-independent sums)
+  for (const auto& [key, value] : counts) {
+    total += value;
+  }
+  total += std::rand();  // srclint: entropy-ok(fixture exercises inline waivers)
+  static std::mutex guard;  // srclint: mutex-ok(fixture; no guarded state)
+  guard.lock();
+  guard.unlock();
+  // srclint: pointer-key-ok(keys are never iterated in order)
+  std::map<Node*, int> ranks;
+  double sum = 0.0;
+  // srclint: fp-ok(single-threaded test double)
+  parallel_for(3, [&](int i) { sum += static_cast<double>(i); });
+  // srclint: unordered-ok(stale waiver, nothing to suppress)
+  return total + static_cast<int>(sum) + static_cast<int>(ranks.size());
+}

@@ -140,6 +140,66 @@ TEST(AnalyzeExitCodeTest, TruncatedCrashLogIsAnalysisError) {
   EXPECT_EQ(exit_code(base + " --lenient"), kExitOk);
 }
 
+TEST(DetCheckExitCodeTest, IdenticalExecutionsAreZero) {
+  EXPECT_EQ(exit_code(std::string(G10_RUN_BIN) +
+                      " --engine pregel --algorithm pagerank --dataset rmat:5"
+                      " --workers 2 --cores 2 --iterations 2 --det-check 2"),
+            kExitOk);
+}
+
+TEST(DetCheckExitCodeTest, InjectedDivergenceIsAnalysisError) {
+  // The G10_DET_INJECT hook perturbs the named phase's hash in the second
+  // execution; the oracle must flag it and exit 5.
+  EXPECT_EQ(exit_code("G10_DET_INJECT=Superstep " + std::string(G10_RUN_BIN) +
+                      " --engine pregel --algorithm pagerank --dataset rmat:5"
+                      " --workers 2 --cores 2 --iterations 2 --det-check 2"),
+            kExitAnalysisError);
+}
+
+TEST(DetCheckExitCodeTest, SingleExecutionCountIsBadArgs) {
+  EXPECT_EQ(exit_code(std::string(G10_RUN_BIN) + " --det-check 1"),
+            kExitBadArgs);
+}
+
+TEST(DetCheckExitCodeTest, AnalyzeThreadSweepIsZero) {
+  const std::string& dir = ok_artifacts();
+  EXPECT_EQ(exit_code(std::string(G10_ANALYZE_BIN) + " --model " + dir +
+                      "/model.g10 --log " + dir + "/run.log --det-check 4"),
+            kExitOk);
+}
+
+TEST(SrclintExitCodeTest, NoPathsIsBadArgs) {
+  EXPECT_EQ(exit_code(std::string(G10_SRCLINT_BIN)), kExitBadArgs);
+  EXPECT_EQ(exit_code(std::string(G10_SRCLINT_BIN) + " --bogus"),
+            kExitBadArgs);
+  EXPECT_EQ(exit_code(std::string(G10_SRCLINT_BIN) + " /nonexistent.cpp"),
+            kExitBadArgs);
+}
+
+TEST(SrclintExitCodeTest, CleanFixtureIsZeroFindingsAreOne) {
+  const std::string fixtures = G10_SRCLINT_FIXTURE_DIR;
+  EXPECT_EQ(exit_code(std::string(G10_SRCLINT_BIN) + " --werror " + fixtures +
+                      "/clean.cpp"),
+            kExitOk);
+  EXPECT_EQ(exit_code(std::string(G10_SRCLINT_BIN) + " " + fixtures +
+                      "/unordered_iter.cpp"),
+            1);
+  // Warnings only: zero by default, nonzero under --werror.
+  EXPECT_EQ(exit_code(std::string(G10_SRCLINT_BIN) + " " + fixtures +
+                      "/waivers.cpp"),
+            kExitOk);
+  EXPECT_EQ(exit_code(std::string(G10_SRCLINT_BIN) + " --werror " + fixtures +
+                      "/waivers.cpp"),
+            1);
+}
+
+TEST(SrclintExitCodeTest, BareWaiverIsBadArgs) {
+  EXPECT_EQ(exit_code(std::string(G10_SRCLINT_BIN) + " " +
+                      std::string(G10_SRCLINT_FIXTURE_DIR) +
+                      "/bare_waiver.cpp"),
+            kExitBadArgs);
+}
+
 TEST(EnsembleExitCodeTest, UnknownFlagIsBadArgs) {
   EXPECT_EQ(exit_code(std::string(G10_ENSEMBLE_BIN) + " --bogus 1"),
             kExitBadArgs);

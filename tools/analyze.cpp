@@ -3,6 +3,7 @@
 //   g10_analyze --model <model.g10> --log <run.log>
 //               [--timeslice-ms MS] [--min-impact PCT]
 //               [--threads N] [--lenient | --strict] [--no-preflight]
+//               [--det-check N]
 //
 // Parses the declarative model file and the run's log (phase events,
 // blocking events, monitoring samples), executes the full characterization
@@ -23,18 +24,28 @@
 // the G10_THREADS environment variable, else all hardware threads;
 // 1 = fully serial). Results are identical at every setting.
 //
+// --det-check N is the runtime determinism oracle for that promise
+// (DESIGN.md §14): instead of printing reports, it parses and characterizes
+// the same input at thread counts 1, 2, and N, folds every characterization
+// output (instance tree, attribution, bottlenecks, issues) into
+// per-phase-path FNV hashes, and compares. On divergence it names the first
+// divergent phase path and exits 5 (analysis error).
+//
 // Exit codes (src/common/exit_codes.hpp): 0 success, 2 bad arguments,
 // 3 parse failure (unreadable/malformed model or log, strict-mode lint or
 // preflight rejection), 5 analysis error (inputs parsed but the pipeline
 // produced no result), 1 internal.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/exit_codes.hpp"
 #include "common/strings.hpp"
+#include "grade10/det_fold.hpp"
 #include "grade10/lint/model_lint.hpp"
 #include "grade10/lint/trace_lint.hpp"
 #include "grade10/model/model_io.hpp"
@@ -57,13 +68,15 @@ struct Args {
   int threads = 0;  ///< 0 = auto (G10_THREADS, else hardware)
   bool lenient = false;
   bool preflight = true;
+  int det_check = 0;  ///< 0 = off; otherwise max thread count to sweep
 };
 
 int usage() {
   std::cerr << "usage: g10_analyze --model <model.g10> --log <run.log>\n"
                "                   [--timeslice-ms MS] [--min-impact FRAC]\n"
                "                   [--chrome-trace <out.json>] [--threads N]\n"
-               "                   [--lenient | --strict] [--no-preflight]\n";
+               "                   [--lenient | --strict] [--no-preflight]\n"
+               "                   [--det-check N]\n";
   return kExitBadArgs;
 }
 
@@ -98,12 +111,85 @@ std::optional<Args> parse_args(int argc, char** argv) {
       if (args.threads < 0) return std::nullopt;
     } else if (arg == "--chrome-trace") {
       args.chrome_trace_path = value;
+    } else if (arg == "--det-check") {
+      const auto n = parse_int(value);
+      if (!n || *n < 1) return std::nullopt;
+      args.det_check = static_cast<int>(*n);
     } else {
       return std::nullopt;
     }
   }
   if (args.model_path.empty() || args.log_path.empty()) return std::nullopt;
   return args;
+}
+
+/// The determinism oracle: parse + characterize the same input at thread
+/// counts 1, 2, and N, fold each characterization into per-phase-path
+/// hashes, and compare against the serial baseline.
+int det_check(const Args& args, const core::ModelParseResult& model) {
+  std::vector<int> counts{1, 2, args.det_check};
+  std::sort(counts.begin(), counts.end());
+  counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
+
+  std::vector<DetSummary> summaries;
+  for (const int threads : counts) {
+    trace::ParseOptions parse_options;
+    parse_options.recover = true;
+    parse_options.threads = threads;
+    const trace::ParseResult log =
+        trace::read_log_file(args.log_path, parse_options);
+    if (log.error && log.error->line_number == 0) {
+      std::cerr << log.error->message << '\n';
+      return kExitParseFailure;
+    }
+    if (!log.ok() && !args.lenient) {
+      std::cerr << args.log_path << ": " << log.error_count
+                << " malformed line(s); re-run with --lenient\n";
+      return kExitParseFailure;
+    }
+
+    core::CharacterizationInput input;
+    input.model = &model.model.execution;
+    input.resources = &model.model.resources;
+    input.rules = &model.model.rules;
+    input.phase_events = log.log.phase_events;
+    input.blocking_events = log.log.blocking_events;
+    input.samples = log.log.samples;
+    input.config.timeslice = args.timeslice;
+    input.config.min_issue_impact = args.min_impact;
+    input.config.threads = threads;
+    input.trace_options.lenient = args.lenient;
+
+    core::CheckedCharacterization checked = core::characterize_checked(input);
+    if (!checked.status.ok() || !checked.result.has_value()) {
+      std::cerr << "characterization failed at " << threads
+                << " thread(s):\n";
+      for (const auto& error : checked.status.errors) {
+        std::cerr << "  " << error << '\n';
+      }
+      return kExitAnalysisError;
+    }
+    summaries.push_back(
+        core::fold_characterization(*checked.result, model.model.resources));
+  }
+
+  const DetSummary& baseline = summaries.front();
+  std::cout << "det-check: characterized at";
+  for (const int threads : counts) std::cout << ' ' << threads;
+  std::cout << " thread(s), " << baseline.phases.size() << " phase paths, "
+            << baseline.total_folds << " folds per characterization\n";
+  for (std::size_t i = 1; i < summaries.size(); ++i) {
+    const auto divergence = first_divergence(baseline, summaries[i]);
+    if (!divergence) continue;
+    std::cout << "det-check: DIVERGENCE at " << counts[i]
+              << " thread(s) vs 1: phase '" << divergence->path << "': "
+              << divergence->detail << " (0x" << std::hex << divergence->lhs
+              << " vs 0x" << divergence->rhs << std::dec << ")\n";
+    return kExitAnalysisError;
+  }
+  std::cout << "det-check: identical per-phase hashes, overall 0x"
+            << std::hex << baseline.overall << std::dec << '\n';
+  return kExitOk;
 }
 
 int run(const Args& args) {
@@ -122,6 +208,8 @@ int run(const Args& args) {
               << model.error->message << '\n';
     return kExitParseFailure;
   }
+
+  if (args.det_check > 0) return det_check(args, model);
 
   trace::ParseOptions parse_options;
   parse_options.recover = true;  // always collect the full error list

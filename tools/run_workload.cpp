@@ -10,6 +10,7 @@
 //           [--heartbeat-ms MS] [--heartbeat-timeout-ms MS]
 //           [--crash-log reconciled|truncated]
 //           [--batch-bytes B] [--batch-flush-us US]
+//           [--det-check N]
 //
 // --batch-bytes sets the per-destination coalescing threshold for remote
 // message delivery (0 disables batching entirely and restores per-chunk
@@ -30,9 +31,20 @@
 //
 // The dumped directory can be analyzed offline with g10_analyze.
 //
+// --det-check N is the runtime determinism oracle (DESIGN.md §14): instead
+// of dumping logs, it executes the workload N times in one process, folds
+// every artifact stream of each execution into per-phase-path FNV hashes
+// (trace/det_fold.hpp), and compares. The engines are serial discrete-event
+// simulators, so repeated in-process executions catch entropy, ambient
+// time, and address/allocation-order nondeterminism (heap layout differs
+// between executions) — anything that makes a "deterministic" run disagree
+// with itself. On divergence it names the first divergent phase path and
+// exits 5 (analysis error).
+//
 // Exit codes (src/common/exit_codes.hpp): 0 success, 2 bad arguments,
 // 3 unparseable --faults/--dataset spec, 4 fault abort (spec inconsistent
 // with the cluster, or the engine aborted under active faults), 1 internal.
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -41,6 +53,7 @@
 
 #include "algorithms/programs.hpp"
 #include "common/check.hpp"
+#include "common/det_hash.hpp"
 #include "common/exit_codes.hpp"
 #include "common/strings.hpp"
 #include "engine/gas/gas_engine.hpp"
@@ -51,6 +64,7 @@
 #include "graph/generators.hpp"
 #include "monitor/sampler.hpp"
 #include "sim/fault_injector.hpp"
+#include "trace/det_fold.hpp"
 #include "trace/log_io.hpp"
 
 namespace g10 {
@@ -75,6 +89,7 @@ struct Args {
   std::optional<double> batch_bytes;
   std::optional<double> batch_flush_us;
   engine::CrashLogStyle crash_log = engine::CrashLogStyle::kReconciled;
+  int det_check = 0;  ///< 0 = off; otherwise number of executions (>= 2)
 };
 
 int usage() {
@@ -90,7 +105,8 @@ int usage() {
                "               [--heartbeat-ms MS] "
                "[--heartbeat-timeout-ms MS]\n"
                "               [--crash-log reconciled|truncated]\n"
-               "               [--batch-bytes B] [--batch-flush-us US]\n";
+               "               [--batch-bytes B] [--batch-flush-us US]\n"
+               "               [--det-check N]\n";
   return kExitBadArgs;
 }
 
@@ -152,6 +168,10 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const auto us = parse_double(*v);
       if (!us || *us <= 0.0) return std::nullopt;
       args.batch_flush_us = *us;
+    } else if (arg == "--det-check") {
+      const auto n = parse_int(*v);
+      if (!n || *n < 2) return std::nullopt;
+      args.det_check = static_cast<int>(*n);
     } else if (arg == "--crash-log") {
       if (*v == "reconciled") {
         args.crash_log = engine::CrashLogStyle::kReconciled;
@@ -208,6 +228,163 @@ graph::Graph make_dataset(const std::string& spec) {
   throw std::runtime_error("unknown dataset spec: " + spec);
 }
 
+/// One engine execution's outputs, shared by the normal dump path and the
+/// --det-check repetition loop.
+struct EngineRun {
+  trace::RunArtifacts artifacts;
+  core::FrameworkModel framework;
+  TimeNs fault_horizon = 0;
+};
+
+/// Runs the configured engine once. Returns kExitOk and fills `out`, or the
+/// exit code to terminate with.
+int execute_engine(const Args& args, const sim::FaultSpec& fault_spec,
+                   const graph::Graph& graph, EngineRun& out) {
+  const algorithms::PageRank pagerank(args.iterations);
+  const algorithms::Bfs bfs(1);
+  const algorithms::Wcc wcc;
+  const algorithms::Cdlp cdlp(args.iterations);
+  const algorithms::Sssp sssp(1);
+
+  if (args.engine == "pregel") {
+    engine::PregelConfig cfg;
+    cfg.cluster.machine_count = args.workers;
+    cfg.cluster.machine.cores = args.cores;
+    cfg.cluster.faults = fault_spec;
+    cfg.seed = args.seed;
+    apply_fault_knobs(args, cfg);
+    const engine::PregelEngine engine(cfg);
+    const std::map<std::string, const algorithms::PregelProgram*> programs{
+        {"pagerank", &pagerank}, {"bfs", &bfs}, {"wcc", &wcc},
+        {"cdlp", &cdlp}, {"sssp", &sssp}};
+    const auto it = programs.find(args.algorithm);
+    if (it == programs.end()) return usage();
+    out.fault_horizon = engine.estimate_horizon(graph, *it->second);
+    try {
+      out.artifacts = engine.run(graph, *it->second);
+    } catch (const std::exception& e) {
+      if (!fault_spec.empty()) {
+        std::cerr << "engine aborted under injected faults: " << e.what()
+                  << '\n';
+        return kExitFaultAbort;
+      }
+      throw;
+    }
+    core::PregelModelParams params;
+    params.cores = args.cores;
+    params.threads = cfg.effective_threads();
+    params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
+    out.framework = core::make_pregel_model(params);
+  } else if (args.engine == "gas") {
+    engine::GasConfig cfg;
+    cfg.cluster.machine_count = args.workers;
+    cfg.cluster.machine.cores = args.cores;
+    cfg.cluster.faults = fault_spec;
+    cfg.seed = args.seed;
+    cfg.sync_bug.enabled = args.sync_bug;
+    apply_fault_knobs(args, cfg);
+    const engine::GasEngine engine(cfg);
+    const std::map<std::string, const algorithms::GasProgram*> programs{
+        {"pagerank", &pagerank}, {"bfs", &bfs}, {"wcc", &wcc},
+        {"cdlp", &cdlp}, {"sssp", &sssp}};
+    const auto it = programs.find(args.algorithm);
+    if (it == programs.end()) return usage();
+    out.fault_horizon = engine.estimate_horizon(graph, *it->second);
+    try {
+      out.artifacts = engine.run(graph, *it->second);
+    } catch (const std::exception& e) {
+      if (!fault_spec.empty()) {
+        std::cerr << "engine aborted under injected faults: " << e.what()
+                  << '\n';
+        return kExitFaultAbort;
+      }
+      throw;
+    }
+    core::GasModelParams params;
+    params.cores = args.cores;
+    params.threads = cfg.effective_threads();
+    params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
+    out.framework = core::make_gas_model(params);
+  } else {
+    return usage();
+  }
+  return kExitOk;
+}
+
+/// Derives the monitoring samples the normal dump path would write,
+/// including the seeded sampler dropout when the spec injects it.
+std::vector<trace::MonitoringSampleRecord> derive_samples(
+    const Args& args, const sim::FaultSpec& fault_spec, const EngineRun& run,
+    bool verbose) {
+  auto samples = monitor::sample_ground_truth(run.artifacts.ground_truth,
+                                              args.monitor_interval,
+                                              run.artifacts.makespan);
+  if (fault_spec.has_kind(sim::FaultKind::kSampleDrop)) {
+    sim::FaultInjector dropout(fault_spec, args.seed);
+    dropout.resolve(run.fault_horizon);
+    const std::size_t before = samples.size();
+    samples = monitor::apply_sampler_dropout(samples, dropout);
+    if (verbose) {
+      std::cout << "sampler dropout: " << (before - samples.size()) << " of "
+                << before << " samples lost\n";
+    }
+  }
+  return samples;
+}
+
+/// Test hook for the determinism oracle: when G10_DET_INJECT=<substring> is
+/// set, the hash of the first phase path containing the substring is
+/// perturbed in the second execution only, so tests can verify the oracle
+/// names the right phase and exits 5. (Tool mains are srclint's sanctioned
+/// home for getenv.)
+void maybe_inject_divergence(DetSummary& summary, int execution) {
+  const char* target = std::getenv("G10_DET_INJECT");
+  if (target == nullptr || *target == '\0' || execution != 1) return;
+  for (DetSummary::Entry& entry : summary.phases) {
+    if (entry.path.find(target) != std::string::npos) {
+      entry.hash ^= 1;
+      summary.overall ^= 1;
+      return;
+    }
+  }
+}
+
+int det_check(const Args& args, const sim::FaultSpec& fault_spec,
+              const graph::Graph& graph) {
+  std::vector<DetSummary> summaries;
+  for (int execution = 0; execution < args.det_check; ++execution) {
+    EngineRun run;
+    const int rc = execute_engine(args, fault_spec, graph, run);
+    if (rc != kExitOk) return rc;
+    DetHasher hasher;
+    trace::fold_run(hasher, run.artifacts);
+    const auto samples =
+        derive_samples(args, fault_spec, run, /*verbose=*/false);
+    trace::fold_samples(hasher, samples);
+    DetSummary summary = hasher.summary();
+    maybe_inject_divergence(summary, execution);
+    summaries.push_back(std::move(summary));
+  }
+
+  const DetSummary& baseline = summaries.front();
+  std::cout << "det-check: " << args.det_check << " executions of "
+            << args.engine << '/' << args.algorithm << ", "
+            << baseline.phases.size() << " phase paths, "
+            << baseline.total_folds << " folds per execution\n";
+  for (std::size_t i = 1; i < summaries.size(); ++i) {
+    const auto divergence = first_divergence(baseline, summaries[i]);
+    if (!divergence) continue;
+    std::cout << "det-check: DIVERGENCE in execution " << (i + 1)
+              << ": phase '" << divergence->path << "': "
+              << divergence->detail << " (0x" << std::hex << divergence->lhs
+              << " vs 0x" << divergence->rhs << std::dec << ")\n";
+    return kExitAnalysisError;
+  }
+  std::cout << "det-check: identical per-phase hashes, overall 0x"
+            << std::hex << baseline.overall << std::dec << '\n';
+  return kExitOk;
+}
+
 int run(const Args& args) {
   sim::FaultSpec fault_spec;
   if (!args.faults.empty()) {
@@ -242,88 +419,16 @@ int run(const Args& args) {
   std::cout << "dataset: " << graph.vertex_count() << " vertices, "
             << graph.edge_count() << " edges\n";
 
-  const algorithms::PageRank pagerank(args.iterations);
-  const algorithms::Bfs bfs(1);
-  const algorithms::Wcc wcc;
-  const algorithms::Cdlp cdlp(args.iterations);
-  const algorithms::Sssp sssp(1);
+  if (args.det_check > 0) return det_check(args, fault_spec, graph);
 
-  trace::RunArtifacts artifacts;
-  core::FrameworkModel framework;
-  TimeNs fault_horizon = 0;
-  if (args.engine == "pregel") {
-    engine::PregelConfig cfg;
-    cfg.cluster.machine_count = args.workers;
-    cfg.cluster.machine.cores = args.cores;
-    cfg.cluster.faults = fault_spec;
-    cfg.seed = args.seed;
-    apply_fault_knobs(args, cfg);
-    const engine::PregelEngine engine(cfg);
-    const std::map<std::string, const algorithms::PregelProgram*> programs{
-        {"pagerank", &pagerank}, {"bfs", &bfs}, {"wcc", &wcc},
-        {"cdlp", &cdlp}, {"sssp", &sssp}};
-    const auto it = programs.find(args.algorithm);
-    if (it == programs.end()) return usage();
-    fault_horizon = engine.estimate_horizon(graph, *it->second);
-    try {
-      artifacts = engine.run(graph, *it->second);
-    } catch (const std::exception& e) {
-      if (!fault_spec.empty()) {
-        std::cerr << "engine aborted under injected faults: " << e.what()
-                  << '\n';
-        return kExitFaultAbort;
-      }
-      throw;
-    }
-    core::PregelModelParams params;
-    params.cores = args.cores;
-    params.threads = cfg.effective_threads();
-    params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
-    framework = core::make_pregel_model(params);
-  } else if (args.engine == "gas") {
-    engine::GasConfig cfg;
-    cfg.cluster.machine_count = args.workers;
-    cfg.cluster.machine.cores = args.cores;
-    cfg.cluster.faults = fault_spec;
-    cfg.seed = args.seed;
-    cfg.sync_bug.enabled = args.sync_bug;
-    apply_fault_knobs(args, cfg);
-    const engine::GasEngine engine(cfg);
-    const std::map<std::string, const algorithms::GasProgram*> programs{
-        {"pagerank", &pagerank}, {"bfs", &bfs}, {"wcc", &wcc},
-        {"cdlp", &cdlp}, {"sssp", &sssp}};
-    const auto it = programs.find(args.algorithm);
-    if (it == programs.end()) return usage();
-    fault_horizon = engine.estimate_horizon(graph, *it->second);
-    try {
-      artifacts = engine.run(graph, *it->second);
-    } catch (const std::exception& e) {
-      if (!fault_spec.empty()) {
-        std::cerr << "engine aborted under injected faults: " << e.what()
-                  << '\n';
-        return kExitFaultAbort;
-      }
-      throw;
-    }
-    core::GasModelParams params;
-    params.cores = args.cores;
-    params.threads = cfg.effective_threads();
-    params.network_capacity = cfg.cluster.machine.nic_bytes_per_sec();
-    framework = core::make_gas_model(params);
-  } else {
-    return usage();
-  }
+  EngineRun engine_run;
+  const int rc = execute_engine(args, fault_spec, graph, engine_run);
+  if (rc != kExitOk) return rc;
+  trace::RunArtifacts& artifacts = engine_run.artifacts;
+  const core::FrameworkModel& framework = engine_run.framework;
 
-  auto samples = monitor::sample_ground_truth(
-      artifacts.ground_truth, args.monitor_interval, artifacts.makespan);
-  if (fault_spec.has_kind(sim::FaultKind::kSampleDrop)) {
-    sim::FaultInjector dropout(fault_spec, args.seed);
-    dropout.resolve(fault_horizon);
-    const std::size_t before = samples.size();
-    samples = monitor::apply_sampler_dropout(samples, dropout);
-    std::cout << "sampler dropout: " << (before - samples.size()) << " of "
-              << before << " samples lost\n";
-  }
+  const auto samples =
+      derive_samples(args, fault_spec, engine_run, /*verbose=*/true);
 
   std::filesystem::create_directories(args.out);
   {
