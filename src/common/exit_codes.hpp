@@ -12,9 +12,13 @@
 //      aborted while injected faults were active)
 //   5  analysis error (inputs parsed but the characterization pipeline
 //      could not produce a result)
+//   6  interrupted (SIGTERM/SIGINT: in-flight work was cancelled at the
+//      next stage boundary and the journal / partial trace was flushed
+//      before exiting — an ensemble journal left behind is resumable, and
+//      an orphaned ensemble worker whose supervisor died exits with this)
 //
 // Tools map their failure paths onto these; tests/tools/exit_code_test.cpp
-// pins each one. Codes above 5 are reserved.
+// pins each one. Codes above 6 are reserved.
 #pragma once
 
 namespace g10 {
@@ -26,6 +30,7 @@ enum ExitCode : int {
   kExitParseFailure = 3,
   kExitFaultAbort = 4,
   kExitAnalysisError = 5,
+  kExitInterrupted = 6,
 };
 
 }  // namespace g10

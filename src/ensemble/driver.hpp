@@ -11,9 +11,12 @@
 // resumed ensemble renders a byte-identical report to an uninterrupted one.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "ensemble/aggregate.hpp"
 #include "ensemble/executor.hpp"
@@ -35,15 +38,37 @@ struct EnsembleOptions {
   /// the rest stay missing in the journal, resumable later. Gives tests
   /// and the CI kill-and-resume check a deterministic partial journal.
   std::size_t limit = 0;
+  /// Deterministic sharding for multi-process fan-out: when shard_count is
+  /// nonzero, only pending scenarios with hash() % shard_count ==
+  /// shard_index are executed here; the rest are someone else's and count
+  /// as remaining. The split keys off the canonical scenario hash, so every
+  /// worker derives the same partition independently.
+  std::size_t shard_count = 0;
+  std::size_t shard_index = 0;
+  /// Scenario keys moved to the back of this invocation's queue (relative
+  /// order otherwise preserved). The supervisor defers scenarios that
+  /// crashed a worker so a replacement makes progress on the healthy rest
+  /// of the shard before retrying the suspect.
+  std::vector<std::uint64_t> defer_keys;
+  /// Cooperative shutdown (SIGTERM handler, orphaned-worker detector).
+  /// Once raised: unstarted scenarios are not attempted, in-flight runs are
+  /// cancelled via their CancelToken, and anything that did not finish ok
+  /// stays *missing* in the journal (resumable) instead of being journaled
+  /// with a shutdown-tainted outcome.
+  const std::atomic<bool>* stop = nullptr;
+  /// Invoked from the executing pool thread just before a scenario's first
+  /// attempt (the worker announces `start` on its status channel here).
+  std::function<void(const Scenario&)> on_start;
   /// Progress callback, invoked after each journaled run (may be called
   /// from pool threads; null disables).
   std::function<void(const JournalEntry&)> on_run;
 };
 
 struct EnsembleOutcome {
-  std::size_t executed = 0;  ///< runs computed by this invocation
+  std::size_t executed = 0;  ///< runs computed and journaled here
   std::size_t reused = 0;    ///< scenarios satisfied from the journal
-  std::size_t remaining = 0; ///< pending runs left unexecuted (limit)
+  std::size_t remaining = 0; ///< pending runs left unexecuted (limit,
+                             ///< foreign shards, or a raised stop flag)
   AggregateReport report;    ///< aggregate over the full scenario list
 };
 

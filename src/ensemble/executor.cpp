@@ -159,8 +159,10 @@ RunResult RunExecutor::execute(const Scenario& scenario,
   const auto started = std::chrono::steady_clock::now();
   for (int attempt = 1; attempt <= policy_.max_attempts; ++attempt) {
     // A fresh token per attempt: a deadline that fired during attempt k
-    // must not poison attempt k+1.
+    // must not poison attempt k+1. The ensemble-wide stop flag is linked in
+    // so a SIGTERM also cancels the in-flight attempt at its next poll.
     auto token = std::make_shared<CancelToken>();
+    if (stop != nullptr) token->link(stop);
     Watchdog::Guard guard;
     if (policy_.deadline_seconds > 0.0) {
       guard = watchdog_->arm(
@@ -179,8 +181,10 @@ RunResult RunExecutor::execute(const Scenario& scenario,
       attempt_result.error = "unknown exception";
     }
     // The deadline verdict outranks whatever the run reported: a cancelled
-    // attempt's partial output is untrustworthy by definition.
-    const bool timed_out = token->cancelled();
+    // attempt's partial output is untrustworthy by definition. fired()
+    // deliberately excludes a linked stop flag — a shutdown is not a
+    // timeout, and the driver discards non-ok results once stop is raised.
+    const bool timed_out = token->fired();
     guard.disarm();
 
     result.outcome =

@@ -59,15 +59,26 @@ std::string_view outcome_name(RunOutcome outcome);
 std::optional<RunOutcome> parse_outcome(std::string_view name);
 
 /// Cooperative cancellation flag shared between a run and the watchdog.
+/// A token may additionally be linked to an external stop flag (a SIGTERM
+/// handler's, a worker's orphan detector's): cancelled() then reports both,
+/// so an in-flight run winds down at its next poll, while fired() keeps
+/// reporting only the watchdog's own deadline verdict — the executor must
+/// not classify a shutdown as a timeout.
 class CancelToken {
  public:
   void cancel() { cancelled_.store(true, std::memory_order_release); }
+  void link(const std::atomic<bool>* external) { external_ = external; }
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_acquire);
+    return fired() || (external_ != nullptr &&
+                       external_->load(std::memory_order_acquire));
   }
+  /// The watchdog deadline (or an explicit cancel()) fired — excludes the
+  /// linked external stop.
+  bool fired() const { return cancelled_.load(std::memory_order_acquire); }
 
  private:
   std::atomic<bool> cancelled_{false};
+  const std::atomic<bool>* external_ = nullptr;
 };
 
 /// One ensemble-wide deadline thread. arm() registers a token with an

@@ -12,9 +12,8 @@
 #include "common/json.hpp"
 
 namespace g10::ensemble {
-namespace {
 
-std::string hex_key(std::uint64_t key) {
+std::string format_key(std::uint64_t key) {
   static constexpr char kDigits[] = "0123456789abcdef";
   std::string out(16, '0');
   for (int i = 15; i >= 0; --i) {
@@ -24,7 +23,7 @@ std::string hex_key(std::uint64_t key) {
   return out;
 }
 
-std::optional<std::uint64_t> parse_hex_key(std::string_view text) {
+std::optional<std::uint64_t> parse_key(std::string_view text) {
   if (text.size() != 16) return std::nullopt;
   std::uint64_t key = 0;
   for (const char c : text) {
@@ -40,13 +39,11 @@ std::optional<std::uint64_t> parse_hex_key(std::string_view text) {
   return key;
 }
 
-}  // namespace
-
 std::string journal_line(const JournalEntry& entry) {
   std::ostringstream os;
   JsonWriter w(os);
   w.begin_object();
-  w.key("key").value(hex_key(entry.key));
+  w.key("key").value(format_key(entry.key));
   w.key("scenario").value(entry.scenario);
   w.key("outcome").value(outcome_name(entry.outcome));
   w.key("attempts").value(entry.attempts);
@@ -88,7 +85,7 @@ std::optional<JournalEntry> parse_journal_line(std::string_view line,
   if (!json || !json->is_object()) return std::nullopt;
 
   JournalEntry entry;
-  const auto key = parse_hex_key(json->get_string("key"));
+  const auto key = parse_key(json->get_string("key"));
   if (!key) return fail("bad or missing scenario key");
   entry.key = *key;
   entry.scenario = json->get_string("scenario");
@@ -159,19 +156,25 @@ void JournalWriter::append(const JournalEntry& entry) {
   line += '\n';
   MutexLock lock(mutex_);
   G10_CHECK_MSG(fd_ >= 0, "journal is closed");
-  // One write(2) for the whole line: concurrent appenders interleave at
-  // line granularity (O_APPEND), and a crash tears at most the final line.
-  std::size_t written = 0;
-  while (written < line.size()) {
-    const ssize_t n =
-        ::write(fd_, line.data() + written, line.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      G10_CHECK_MSG(false, "journal write failed: " +
-                               std::string(std::strerror(errno)));
-    }
-    written += static_cast<std::size_t>(n);
-  }
+  // Exactly one write(2) for the whole line, never a resumed remainder:
+  // under O_APPEND each write lands atomically at the current end of file,
+  // so concurrent writer *processes* interleave at line granularity. If a
+  // first write were short (disk full, RLIMIT_FSIZE) and we issued the rest
+  // as a second write, another writer's complete line could land in between
+  // and both records would be destroyed — cross-writer corruption the
+  // resume path could not heal. A short write therefore aborts this writer:
+  // the fragment is a torn line, terminated by the next reopen and dropped
+  // by the reader, exactly like a kill -9 mid-append.
+  ssize_t n;
+  do {
+    n = ::write(fd_, line.data(), line.size());
+  } while (n < 0 && errno == EINTR);
+  G10_CHECK_MSG(n >= 0, "journal write failed: " +
+                            std::string(std::strerror(errno)));
+  G10_CHECK_MSG(static_cast<std::size_t>(n) == line.size(),
+                "short journal append (" + std::to_string(n) + " of " +
+                    std::to_string(line.size()) +
+                    " bytes); the fragment will be healed as a torn line");
   G10_CHECK_MSG(::fsync(fd_) == 0,
                 "journal fsync failed: " + std::string(std::strerror(errno)));
 }

@@ -44,6 +44,11 @@ struct JournalEntry {
   RunReport report;
 };
 
+/// 16-digit lowercase-hex rendering of a scenario key — the journal's and
+/// the worker status protocol's shared key encoding.
+std::string format_key(std::uint64_t key);
+std::optional<std::uint64_t> parse_key(std::string_view text);
+
 /// Serializes one journal line (no trailing newline).
 std::string journal_line(const JournalEntry& entry);
 

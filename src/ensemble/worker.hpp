@@ -1,0 +1,102 @@
+// Worker side of the supervisor/worker protocol (DESIGN.md §15).
+//
+// A worker process talks to its supervisor over a single inherited pipe fd
+// with a newline-delimited text protocol; every message is far below
+// PIPE_BUF, so concurrent writes from the worker's main thread (start/done)
+// and its heartbeat thread never interleave mid-line:
+//
+//   hb                       liveness heartbeat (every interval)
+//   start <hex16-key>        about to attempt this scenario
+//   done <hex16-key> <outcome>   scenario journaled with this outcome
+//
+// `start` is what makes crash containment attributable: when the process
+// dies between a `start` and its `done`, the supervisor knows exactly which
+// scenario was in flight and charges the crash to it.
+//
+// The pipe doubles as an orphan detector. If the supervisor dies, the read
+// end closes and the next write fails with EPIPE; the channel latches
+// peer_gone and the heartbeat thread raises the worker's stop flag, so an
+// orphaned worker cancels in-flight work and exits (kExitInterrupted)
+// instead of running on unsupervised. Workers must ignore SIGPIPE for the
+// EPIPE path to be reachable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "ensemble/executor.hpp"
+
+namespace g10::ensemble {
+
+struct StatusEvent {
+  enum class Kind { kHeartbeat, kStart, kDone };
+  Kind kind = Kind::kHeartbeat;
+  std::uint64_t key = 0;                    ///< start/done
+  RunOutcome outcome = RunOutcome::kSkipped; ///< done only
+};
+
+/// One protocol line, no trailing newline.
+std::string format_status(const StatusEvent& event);
+/// Parses one protocol line; nullopt on anything malformed (a supervisor
+/// never trusts a crashing worker's last gasp).
+std::optional<StatusEvent> parse_status_line(std::string_view line);
+
+/// Worker-side writer for the status pipe. Thread-safe by construction:
+/// each send is a single write(2) of one short line. Never throws on a
+/// dead peer — it latches peer_gone instead.
+class StatusChannel {
+ public:
+  /// fd < 0 disables the channel (a worker run by hand, not a supervisor).
+  /// Takes ownership of the fd.
+  explicit StatusChannel(int fd);
+  ~StatusChannel();
+
+  StatusChannel(const StatusChannel&) = delete;
+  StatusChannel& operator=(const StatusChannel&) = delete;
+
+  void send(const StatusEvent& event);
+  void heartbeat() { send({StatusEvent::Kind::kHeartbeat, 0, {}}); }
+  void start(std::uint64_t key) {
+    send({StatusEvent::Kind::kStart, key, {}});
+  }
+  void done(std::uint64_t key, RunOutcome outcome) {
+    send({StatusEvent::Kind::kDone, key, outcome});
+  }
+
+  bool enabled() const { return fd_ >= 0; }
+  /// The supervisor's read end is gone (EPIPE/EBADF on a send).
+  bool peer_gone() const {
+    return peer_gone_.load(std::memory_order_acquire);
+  }
+
+ private:
+  int fd_ = -1;
+  std::atomic<bool> peer_gone_{false};
+};
+
+/// Background liveness beacon: sends `hb` on the channel every interval
+/// until destroyed. When the channel reports the peer gone, raises
+/// `stop_on_orphan` (once) so the worker winds down cooperatively.
+class Heartbeat {
+ public:
+  Heartbeat(StatusChannel* channel, double interval_seconds,
+            std::atomic<bool>* stop_on_orphan);
+  ~Heartbeat();
+
+  Heartbeat(const Heartbeat&) = delete;
+  Heartbeat& operator=(const Heartbeat&) = delete;
+
+ private:
+  void loop(double interval_seconds);
+
+  StatusChannel* channel_;
+  std::atomic<bool>* stop_on_orphan_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace g10::ensemble

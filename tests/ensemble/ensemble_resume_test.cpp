@@ -7,9 +7,11 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -191,6 +193,111 @@ TEST(EnsembleDriverTest, JournaledOutcomePreservesAttemptsAndError) {
   EXPECT_EQ(replay.entries[0].attempts, 3);
   EXPECT_EQ(replay.entries[0].error, "persistent failure");
   EXPECT_GE(replay.entries[0].wall_ms, 0.0);
+}
+
+TEST(EnsembleDriverTest, ShardsPartitionPendingAndUnionIsByteIdentical) {
+  const TempDir dir("shards");
+
+  EnsembleOptions reference;
+  reference.journal_path = dir.file("reference.jsonl");
+  reference.threads = 2;
+  const EnsembleOutcome ref =
+      run_ensemble(test_matrix(), synthetic_run, reference);
+
+  // Three shard invocations against one shared journal — the multi-process
+  // fan-out's access pattern, here in one process. Shards are disjoint and
+  // exhaustive by construction (hash % shard_count), so executed counts sum
+  // to the fleet and the final aggregate is byte-identical.
+  constexpr std::size_t kShards = 3;
+  std::size_t executed_total = 0;
+  EnsembleOutcome last;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    EnsembleOptions options;
+    options.journal_path = dir.file("sharded.jsonl");
+    options.resume = true;  // the shared journal grows shard by shard
+    options.threads = 2;
+    options.shard_count = kShards;
+    options.shard_index = shard;
+    last = run_ensemble(test_matrix(), synthetic_run, options);
+    executed_total += last.executed;
+  }
+  EXPECT_EQ(executed_total, 24u);
+  EXPECT_EQ(last.report.ok, 24u);
+  EXPECT_EQ(render_json(last.report), render_json(ref.report));
+  EXPECT_EQ(render_text(last.report), render_text(ref.report));
+}
+
+TEST(EnsembleDriverTest, ShardIndexOutOfRangeIsRefused) {
+  const TempDir dir("shard_range");
+  EnsembleOptions options;
+  options.journal_path = dir.file("journal.jsonl");
+  options.shard_count = 2;
+  options.shard_index = 2;
+  EXPECT_THROW(run_ensemble(test_matrix(), synthetic_run, options),
+               CheckError);
+}
+
+TEST(EnsembleDriverTest, DeferredKeysRunAfterTheHealthyRest) {
+  const TempDir dir("defer");
+  const std::vector<Scenario> scenarios = test_matrix().expand();
+  // Defer two scenarios from the middle of the queue (the supervisor does
+  // this for scenarios that crashed a worker).
+  const std::uint64_t suspect_a = scenarios[3].hash();
+  const std::uint64_t suspect_b = scenarios[10].hash();
+
+  EnsembleOptions options;
+  options.journal_path = dir.file("journal.jsonl");
+  options.threads = 1;  // deterministic execution order
+  options.defer_keys = {suspect_a, suspect_b};
+  std::vector<std::uint64_t> order;
+  options.on_start = [&order](const Scenario& s) {
+    order.push_back(s.hash());
+  };
+  const EnsembleOutcome outcome =
+      run_ensemble(test_matrix(), synthetic_run, options);
+  EXPECT_EQ(outcome.executed, 24u);
+  ASSERT_EQ(order.size(), 24u);
+  // The two suspects are the final two starts, in their original relative
+  // order; everyone else keeps theirs too (stable partition).
+  EXPECT_EQ(order[22], suspect_a);
+  EXPECT_EQ(order[23], suspect_b);
+}
+
+TEST(EnsembleDriverTest, RaisedStopFlagLeavesTheFleetResumable) {
+  const TempDir dir("stop");
+  std::atomic<bool> stop{true};  // SIGTERM arrived before the fleet started
+
+  EnsembleOptions options;
+  options.journal_path = dir.file("journal.jsonl");
+  options.threads = 2;
+  options.stop = &stop;
+  std::atomic<std::size_t> started{0};
+  options.on_start = [&started](const Scenario&) {
+    started.fetch_add(1, std::memory_order_relaxed);
+  };
+  const EnsembleOutcome outcome =
+      run_ensemble(test_matrix(), synthetic_run, options);
+  // Nothing attempted, nothing journaled, everything still missing.
+  EXPECT_EQ(outcome.executed, 0u);
+  EXPECT_EQ(outcome.remaining, 24u);
+  EXPECT_EQ(started.load(), 0u);
+  EXPECT_TRUE(read_journal(options.journal_path).entries.empty());
+
+  // The interrupted fleet resumes to the same bytes as a clean one.
+  EnsembleOptions resume;
+  resume.journal_path = options.journal_path;
+  resume.resume = true;
+  resume.threads = 2;
+  const EnsembleOutcome second =
+      run_ensemble(test_matrix(), synthetic_run, resume);
+  EXPECT_EQ(second.executed, 24u);
+
+  EnsembleOptions reference;
+  reference.journal_path = dir.file("reference.jsonl");
+  reference.threads = 2;
+  const EnsembleOutcome ref =
+      run_ensemble(test_matrix(), synthetic_run, reference);
+  EXPECT_EQ(render_json(second.report), render_json(ref.report));
 }
 
 }  // namespace

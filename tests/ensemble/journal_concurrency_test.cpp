@@ -1,0 +1,215 @@
+// Property tests for the journal under concurrent writer *processes*: the
+// supervisor/worker mode has several processes appending to one journal
+// file under O_APPEND. Each append is a single write(2) of one full line,
+// so (1) concurrent writers interleave at line granularity — never inside a
+// line, (2) a SIGKILL mid-fleet tears at most the final line per killed
+// writer, (3) a short write (RLIMIT_FSIZE) aborts the writer and leaves a
+// torn tail the next reopen heals — no cross-writer corruption in any case.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ensemble/journal.hpp"
+
+namespace g10::ensemble {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("g10_journal_conc_test_" + tag + "_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path_);
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+/// Deterministic, distinctive entry: any byte-level corruption or
+/// cross-writer fusion changes the serialization and is caught by the
+/// membership check against the expected-line set.
+JournalEntry make_entry(int writer, int seq) {
+  JournalEntry entry;
+  entry.key = static_cast<std::uint64_t>(writer) * 100000u +
+              static_cast<std::uint64_t>(seq);
+  entry.scenario = "writer=" + std::to_string(writer) +
+                   " seq=" + std::to_string(seq);
+  entry.outcome = RunOutcome::kOk;
+  entry.attempts = 1;
+  entry.wall_ms = static_cast<double>(seq);
+  entry.report.makespan_seconds = 1.0 + 0.001 * static_cast<double>(seq);
+  entry.report.issues.push_back(
+      {"imbalance:writer" + std::to_string(writer),
+       0.01 * static_cast<double>(writer)});
+  return entry;
+}
+
+/// Forks a writer process that appends `count` entries and exits. The
+/// child only _exits, never returns into gtest.
+pid_t fork_writer(const std::string& path, int writer, int count) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  try {
+    JournalWriter out(path);
+    for (int seq = 0; seq < count; ++seq) {
+      out.append(make_entry(writer, seq));
+    }
+  } catch (...) {
+    ::_exit(1);  // never unwind into gtest from the forked child
+  }
+  ::_exit(0);
+}
+
+/// Every parsed entry must reserialize to a line some writer legitimately
+/// produced — the no-cross-writer-corruption property.
+void expect_all_entries_legitimate(const JournalReplay& replay, int writers,
+                                   int count) {
+  std::set<std::string> expected;
+  for (int w = 0; w < writers; ++w) {
+    for (int s = 0; s < count; ++s) {
+      expected.insert(journal_line(make_entry(w, s)));
+    }
+  }
+  for (const JournalEntry& entry : replay.entries) {
+    EXPECT_TRUE(expected.contains(journal_line(entry)))
+        << "corrupt or fused line resurfaced as: " << entry.scenario;
+  }
+}
+
+TEST(JournalConcurrencyTest, WritersInterleaveAtLineGranularity) {
+  const TempDir dir("interleave");
+  const std::string path = dir.file("journal.jsonl");
+  constexpr int kWriters = 4;
+  constexpr int kCount = 120;
+
+  std::vector<pid_t> pids;
+  for (int w = 0; w < kWriters; ++w) {
+    pids.push_back(fork_writer(path, w, kCount));
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+
+  const JournalReplay replay = read_journal(path);
+  EXPECT_EQ(replay.entries.size(),
+            static_cast<std::size_t>(kWriters * kCount));
+  EXPECT_EQ(replay.dropped_lines, 0u);
+  expect_all_entries_legitimate(replay, kWriters, kCount);
+}
+
+TEST(JournalConcurrencyTest, KilledWritersTearAtMostOneLineEach) {
+  const TempDir dir("killed");
+  const std::string path = dir.file("journal.jsonl");
+  constexpr int kWriters = 4;
+  constexpr int kCount = 400;
+  constexpr int kKilled = 2;
+
+  std::vector<pid_t> pids;
+  for (int w = 0; w < kWriters; ++w) {
+    pids.push_back(fork_writer(path, w, kCount));
+  }
+  // Let the fleet write for a moment, then kill two writers mid-append.
+  ::usleep(20000);
+  for (int w = 0; w < kKilled; ++w) ::kill(pids[w], SIGKILL);
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  }
+
+  const JournalReplay replay = read_journal(path);
+  // Each killed writer can tear at most its one in-flight line.
+  EXPECT_LE(replay.dropped_lines, static_cast<std::size_t>(kKilled));
+  expect_all_entries_legitimate(replay, kWriters, kCount);
+  // The surviving writers' records all landed intact.
+  for (int w = kKilled; w < kWriters; ++w) {
+    std::size_t from_writer = 0;
+    const std::string tag = "writer=" + std::to_string(w) + " ";
+    for (const JournalEntry& entry : replay.entries) {
+      if (entry.scenario.find(tag) == 0) ++from_writer;
+    }
+    EXPECT_EQ(from_writer, static_cast<std::size_t>(kCount))
+        << "writer " << w << " lost entries";
+  }
+
+  // Reopening heals any torn tail: a fresh append must land as its own
+  // parseable line, not fuse with a fragment.
+  const std::size_t before = replay.entries.size();
+  {
+    JournalWriter heal(path);
+    heal.append(make_entry(99, 0));
+  }
+  const JournalReplay after = read_journal(path);
+  EXPECT_EQ(after.entries.size(), before + 1);
+  EXPECT_LE(after.dropped_lines, replay.dropped_lines);
+  bool found = false;
+  for (const JournalEntry& entry : after.entries) {
+    found = found || journal_line(entry) == journal_line(make_entry(99, 0));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(JournalConcurrencyTest, ShortWriteBecomesAHealableTornTail) {
+  const TempDir dir("fsize");
+  const std::string path = dir.file("journal.jsonl");
+
+  // The child caps its own file size, so some append eventually gets a
+  // short write. The writer must abort (single-write discipline: never
+  // resume a remainder) leaving a torn tail, not a fused record.
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::signal(SIGXFSZ, SIG_IGN);  // make the over-limit write return short
+    struct rlimit limit {};
+    limit.rlim_cur = 700;
+    limit.rlim_max = 700;
+    ::setrlimit(RLIMIT_FSIZE, &limit);
+    // The expected CheckError must not escape into gtest inside the
+    // child: unwinding would run this TEST's destructors (including the
+    // parent's TempDir) in the child process. Catch and _exit instead.
+    try {
+      JournalWriter out(path);
+      for (int seq = 0; seq < 64; ++seq) {
+        out.append(make_entry(0, seq));  // aborts on the short write
+      }
+      ::_exit(0);  // not reached: the short write raises CheckError
+    } catch (...) {
+      ::_exit(42);
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 42)
+      << "the child should have aborted on the short write";
+
+  const JournalReplay torn = read_journal(path);
+  EXPECT_LE(torn.dropped_lines, 1u);  // exactly the truncated fragment
+  expect_all_entries_legitimate(torn, 1, 64);
+
+  // Reopen heals the fragment; the next append is cleanly parseable.
+  {
+    JournalWriter heal(path);
+    heal.append(make_entry(7, 7));
+  }
+  const JournalReplay healed = read_journal(path);
+  EXPECT_EQ(healed.entries.size(), torn.entries.size() + 1);
+  EXPECT_LE(healed.dropped_lines, 1u);
+}
+
+}  // namespace
+}  // namespace g10::ensemble

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #include "common/exit_codes.hpp"
@@ -219,6 +220,98 @@ TEST(EnsembleExitCodeTest, FreshStartOverAJournalIsRefused) {
   ASSERT_EQ(exit_code(base), kExitOk);
   EXPECT_EQ(exit_code(base), kExitBadArgs);  // would silently mix fleets
   EXPECT_EQ(exit_code(base + " --resume"), kExitOk);
+}
+
+/// Shared prefix for a tiny real fleet in supervisor mode.
+std::string tiny_fleet(const std::string& out) {
+  return std::string(G10_ENSEMBLE_BIN) + " --out " + out +
+         " --engines pregel --dataset rmat:5 --workers 2 --cores 2"
+         " --iterations 2 --seeds 3 --quiet";
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(EnsembleExitCodeTest, BadJobsIsolateCombosAreBadArgs) {
+  const std::string out = (test_root() / "combos").string();
+  EXPECT_EQ(exit_code(tiny_fleet(out) + " --jobs 0"), kExitBadArgs);
+  // --isolate only sandboxes worker processes; without --jobs there are
+  // no workers to sandbox.
+  EXPECT_EQ(exit_code(tiny_fleet(out) + " --isolate"), kExitBadArgs);
+  // --threads and --limit configure the in-process pool --jobs replaces.
+  EXPECT_EQ(exit_code(tiny_fleet(out) + " --jobs 2 --threads 2"),
+            kExitBadArgs);
+  EXPECT_EQ(exit_code(tiny_fleet(out) + " --jobs 2 --limit 1"),
+            kExitBadArgs);
+}
+
+TEST(EnsembleExitCodeTest, SegfaultingWorkerSurfacesRunFailedWithSignal) {
+  const std::string out = (test_root() / "segv_fleet").string();
+  // The test-crash hook makes any worker that starts a seed=2 scenario die
+  // by SIGSEGV; with a 1-attempt budget the supervisor journals run_failed
+  // with the signal name, and the rest of the fleet completes: exit 0.
+  ASSERT_EQ(exit_code("G10_ENSEMBLE_TEST_CRASH=segv:seed=2 " +
+                      tiny_fleet(out) + " --jobs 2 --max-attempts 1"),
+            kExitOk);
+  const std::string journal = slurp(out + "/journal.jsonl");
+  EXPECT_NE(journal.find("\"outcome\":\"run_failed\""), std::string::npos);
+  EXPECT_NE(journal.find("SIGSEGV"), std::string::npos);
+  EXPECT_NE(journal.find("\"outcome\":\"ok\""), std::string::npos);
+  // Reports were still written: a crashed scenario degrades coverage, it
+  // does not fail the fleet.
+  EXPECT_FALSE(slurp(out + "/report.json").empty());
+}
+
+TEST(EnsembleExitCodeTest, SigkilledWorkerSurfacesRunFailedWithSignal) {
+  const std::string out = (test_root() / "kill_fleet").string();
+  // SIGKILL is what the OOM killer delivers: same containment path.
+  ASSERT_EQ(exit_code("G10_ENSEMBLE_TEST_CRASH=kill:seed=3 " +
+                      tiny_fleet(out) + " --jobs 2 --max-attempts 1"),
+            kExitOk);
+  const std::string journal = slurp(out + "/journal.jsonl");
+  EXPECT_NE(journal.find("\"outcome\":\"run_failed\""), std::string::npos);
+  EXPECT_NE(journal.find("SIGKILL"), std::string::npos);
+}
+
+TEST(EnsembleExitCodeTest, JobsAndInProcessReportsAreByteIdentical) {
+  const std::string in_process = (test_root() / "ip_fleet").string();
+  const std::string supervised = (test_root() / "sv_fleet").string();
+  ASSERT_EQ(exit_code(tiny_fleet(in_process)), kExitOk);
+  ASSERT_EQ(exit_code(tiny_fleet(supervised) + " --jobs 2 --isolate"),
+            kExitOk);
+  EXPECT_EQ(slurp(in_process + "/report.json"),
+            slurp(supervised + "/report.json"));
+  EXPECT_EQ(slurp(in_process + "/report.txt"),
+            slurp(supervised + "/report.txt"));
+}
+
+TEST(InterruptExitCodeTest, SigtermedEnsembleExitsInterrupted) {
+  const std::string out = (test_root() / "interrupted_fleet").string();
+  // A fleet big enough to still be running when the SIGTERM lands; the
+  // handler cancels at the next stage boundary and exits 6 with the
+  // journal flushed and resumable.
+  const std::string fleet =
+      std::string(G10_ENSEMBLE_BIN) + " --out " + out +
+      " --engines pregel,gas --dataset rmat:14 --workers 4 --cores 4"
+      " --iterations 10 --seeds 30 --quiet";
+  EXPECT_EQ(exit_code(fleet + " >/dev/null 2>&1 & pid=$!; sleep 0.3;"
+                      " kill -TERM $pid; wait $pid"),
+            kExitInterrupted);
+  // The interrupted journal resumes cleanly.
+  EXPECT_EQ(exit_code(fleet + " --resume"), kExitOk);
+}
+
+TEST(InterruptExitCodeTest, SigtermedRunExitsInterrupted) {
+  const std::string cmd =
+      std::string(G10_RUN_BIN) +
+      " --engine pregel --algorithm pagerank --dataset rmat:16"
+      " --workers 4 --cores 4 --iterations 20 --det-check 8";
+  EXPECT_EQ(exit_code(cmd + " >/dev/null 2>&1 & pid=$!; sleep 0.3;"
+                      " kill -TERM $pid; wait $pid"),
+            kExitInterrupted);
 }
 
 }  // namespace
