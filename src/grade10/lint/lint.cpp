@@ -150,6 +150,9 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"model-unreachable-phase", Severity::kError,
        "a phase's ancestor chain never reaches the root, so no instance of "
        "it can be placed in the trace tree"},
+      {"trace-binary-corrupt-block", Severity::kError,
+       "a .g10t block failed its payload hash or decode; the block's "
+       "records are unavailable (re-convert the trace from its text log)"},
       {"trace-blocking-consumable-resource", Severity::kWarning,
        "a blocking event names a consumable resource; blocked time is only "
        "accounted for blocking resources"},

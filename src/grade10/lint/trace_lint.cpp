@@ -361,22 +361,27 @@ LintReport lint_trace(const core::ModelDescription& model,
 }
 
 LintReport lint_parse_errors(const trace::ParseResult& result,
-                             std::string_view filename) {
+                             std::string_view filename, bool binary_trace) {
   LintReport report;
   const std::string file(filename);
+  const char* rule = binary_trace ? "trace-binary-corrupt-block"
+                                  : "trace-syntax";
   for (const trace::ParseError& error : result.errors) {
-    report.add("trace-syntax", Severity::kError,
+    report.add(rule, Severity::kError,
                Location{file, error.line_number, error.line}, error.message);
   }
   if (result.errors.empty() && result.error) {
-    report.add("trace-syntax", Severity::kError,
+    report.add(rule, Severity::kError,
                Location{file, result.error->line_number, result.error->line},
                result.error->message);
   }
   if (result.error_count > result.errors.size()) {
-    report.add("trace-syntax", Severity::kError, Location{file, 0, ""},
+    report.add(rule, Severity::kError, Location{file, 0, ""},
                std::to_string(result.error_count - result.errors.size()) +
-                   " additional malformed line(s) beyond the error cap");
+                   (binary_trace
+                        ? " additional corrupt block(s) beyond the error cap"
+                        : " additional malformed line(s) beyond the error "
+                          "cap"));
   }
   return report;
 }

@@ -35,8 +35,12 @@ LintReport lint_trace(const core::ModelDescription& model,
                       const TraceLintOptions& options = {},
                       std::string_view filename = "<log>");
 
-/// Maps log-parser diagnostics to trace-syntax findings (with line numbers).
+/// Maps log-parser diagnostics to trace-syntax findings (with line
+/// numbers). With binary_trace=true the diagnostics came from a `.g10t`
+/// reader, so they surface as trace-binary-corrupt-block findings whose
+/// "line" is the 1-based block ordinal.
 LintReport lint_parse_errors(const trace::ParseResult& result,
-                             std::string_view filename);
+                             std::string_view filename,
+                             bool binary_trace = false);
 
 }  // namespace g10::lint

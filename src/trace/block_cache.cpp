@@ -1,0 +1,99 @@
+#include "trace/block_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace g10::trace {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(n, 1));
+}
+
+}  // namespace
+
+namespace {
+
+/// Below this per-shard budget, sharding stops buying concurrency and
+/// starts costing memory: every shard retains its most recent entry, so N
+/// shards can pin N blocks regardless of budget. Collapse to fewer shards
+/// until each one's share is at least a typical decoded block.
+constexpr std::size_t kMinShardBudget = std::size_t{64} << 10;
+
+}  // namespace
+
+BlockCache::BlockCache(const Options& options)
+    : budget_bytes_(options.budget_bytes) {
+  std::size_t shard_count = round_up_pow2(options.shards);
+  while (shard_count > 1 && budget_bytes_ / shard_count < kMinShardBudget) {
+    shard_count /= 2;
+  }
+  mask_ = shard_count - 1;
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  shard_budget_ = budget_bytes_ / shard_count;
+}
+
+std::shared_ptr<const DecodedBlock> BlockCache::get(std::uint64_t key) {
+  Shard& shard = shard_of(key);
+  MutexLock lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  // Move to the front (most recently used).
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->block;
+}
+
+void BlockCache::put(std::uint64_t key,
+                     std::shared_ptr<const DecodedBlock> block) {
+  if (budget_bytes_ == 0 || block == nullptr) return;
+  const std::size_t bytes = block->approx_bytes();
+  Shard& shard = shard_of(key);
+  MutexLock lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Refresh: same key decoded twice (e.g. prefetch raced the consumer).
+    shard.bytes -= it->second->bytes;
+    it->second->block = std::move(block);
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(block), bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += bytes;
+    ++shard.insertions;
+  }
+  // Evict from the tail until under budget, but never the entry just
+  // touched (size > 1), so put-then-get always hits.
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+BlockCache::Stats BlockCache::stats() const {
+  Stats out;
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mutex);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.insertions += shard->insertions;
+    out.evictions += shard->evictions;
+    out.resident_bytes += shard->bytes;
+    out.resident_blocks += shard->lru.size();
+  }
+  return out;
+}
+
+}  // namespace g10::trace

@@ -1,0 +1,103 @@
+// Byte-budgeted sharded LRU cache of decoded trace blocks.
+//
+// Decoding a columnar block is the expensive step of binary ingestion
+// (varint/delta expansion plus string materialization); the cache keeps
+// recently decoded blocks resident so repeated reads of the same trace —
+// warm `g10_analyze` re-runs, the det-check thread sweep, overlapping
+// filtered queries — skip the decode entirely. The budget bounds *decoded*
+// bytes (DecodedBlock::approx_bytes), which is what actually occupies RAM;
+// the encoded file stays demand-paged behind mmap and is the kernel's
+// problem.
+//
+// Sharded by key hash so the prefetcher's decode threads and the consumer
+// do not serialize on one mutex. Each shard owns budget/shards bytes and
+// evicts from its own LRU tail; eviction never removes a shard's most
+// recently inserted entry, so a block larger than the whole budget is still
+// usable for the get() that follows its put() (it just evicts everything
+// else and is evicted next). Small budgets collapse to fewer shards —
+// otherwise N shards each retaining their newest block could pin N blocks
+// and quietly stand above a tiny budget.
+//
+// Values are shared_ptr<const DecodedBlock>: an evicted block stays alive
+// while any reader still holds it, so eviction is never a use-after-free,
+// just a future re-decode.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "trace/g10t_io.hpp"
+
+namespace g10::trace {
+
+class BlockCache {
+ public:
+  struct Options {
+    /// Total decoded-byte budget across all shards. 0 = cache nothing
+    /// (every get misses; puts are dropped) — the forced-eviction path CI
+    /// exercises still works because readers fall back to direct decode.
+    std::size_t budget_bytes = std::size_t{256} << 20;
+    std::size_t shards = 8;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t resident_bytes = 0;
+    std::size_t resident_blocks = 0;
+  };
+
+  explicit BlockCache(const Options& options);
+
+  /// The cached block for `key`, or nullptr (counting a miss).
+  std::shared_ptr<const DecodedBlock> get(std::uint64_t key);
+
+  /// Inserts (or refreshes) `key`, then evicts LRU entries until the shard
+  /// is back under its budget share.
+  void put(std::uint64_t key, std::shared_ptr<const DecodedBlock> block);
+
+  /// Aggregated over all shards.
+  Stats stats() const;
+
+  std::size_t budget_bytes() const { return budget_bytes_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const DecodedBlock> block;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable Mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru G10_GUARDED_BY(mutex);
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index
+        G10_GUARDED_BY(mutex);
+    std::size_t bytes G10_GUARDED_BY(mutex) = 0;
+    std::uint64_t hits G10_GUARDED_BY(mutex) = 0;
+    std::uint64_t misses G10_GUARDED_BY(mutex) = 0;
+    std::uint64_t insertions G10_GUARDED_BY(mutex) = 0;
+    std::uint64_t evictions G10_GUARDED_BY(mutex) = 0;
+  };
+
+  Shard& shard_of(std::uint64_t key) {
+    // Golden-ratio scramble so strided block ids still spread over shards.
+    const std::uint64_t scrambled = key * 0x9e3779b97f4a7c15ull;
+    return *shards_[(scrambled ^ (scrambled >> 32)) & mask_];
+  }
+
+  std::size_t budget_bytes_;
+  std::size_t shard_budget_;
+  std::uint64_t mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace g10::trace

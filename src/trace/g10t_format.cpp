@@ -1,0 +1,217 @@
+#include "trace/g10t_format.hpp"
+
+#include <cstring>
+
+#include "common/det_hash.hpp"
+
+namespace g10::trace {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+std::uint64_t name_bloom_bit(std::string_view name) {
+  const std::uint64_t hash = fnv1a64(kFnvOffsetBasis, name.data(), name.size());
+  return std::uint64_t{1} << (hash % 64);
+}
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+void put_zigzag(std::string& out, std::int64_t value) {
+  const auto u = static_cast<std::uint64_t>(value);
+  put_varint(out, (u << 1) ^ static_cast<std::uint64_t>(value >> 63));
+}
+
+bool ByteCursor::read_varint(std::uint64_t& out) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (pos_ < size_) {
+    const auto byte = static_cast<std::uint8_t>(data_[pos_++]);
+    if (shift == 63 && (byte & 0x7e) != 0) return false;  // > 64 bits
+    if (shift > 63) return false;
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      out = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated varint
+}
+
+bool ByteCursor::read_zigzag(std::int64_t& out) {
+  std::uint64_t u = 0;
+  if (!read_varint(u)) return false;
+  out = static_cast<std::int64_t>((u >> 1) ^ (~(u & 1) + 1));
+  return true;
+}
+
+bool ByteCursor::read_bytes(std::size_t n, std::string_view& out) {
+  if (remaining() < n) return false;
+  out = std::string_view(data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+bool ByteCursor::read_u32(std::uint32_t& out) {
+  if (remaining() < 4) return false;
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 4;
+  out = value;
+  return true;
+}
+
+bool ByteCursor::read_u64(std::uint64_t& out) {
+  if (remaining() < 8) return false;
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(data_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += 8;
+  out = value;
+  return true;
+}
+
+std::string encode_header(const FileHeader& header) {
+  std::string out;
+  out.reserve(kG10tHeaderSize);
+  out.append(kG10tMagic, sizeof(kG10tMagic));
+  put_u32(out, header.version);
+  put_u32(out, header.flags);
+  put_u64(out, header.symtab_offset);
+  put_u64(out, header.symtab_size);
+  put_u64(out, header.meta_offset);
+  put_u64(out, header.meta_size);
+  put_u64(out, header.index_offset);
+  put_u64(out, header.index_size);
+  put_u64(out, header.block_count);
+  put_u64(out, header.file_size);
+  const std::uint64_t checksum =
+      fnv1a64(kFnvOffsetBasis, out.data(), out.size());
+  put_u64(out, checksum);
+  return out;
+}
+
+HeaderParse decode_header(std::string_view file_prefix,
+                          std::uint64_t actual_file_size) {
+  HeaderParse out;
+  if (file_prefix.size() < kG10tHeaderSize) {
+    out.error = "truncated header (" + std::to_string(file_prefix.size()) +
+                " of " + std::to_string(kG10tHeaderSize) + " bytes)";
+    return out;
+  }
+  if (std::memcmp(file_prefix.data(), kG10tMagic, sizeof(kG10tMagic)) != 0) {
+    out.error = "bad magic (not a .g10t file)";
+    return out;
+  }
+  const std::uint64_t stored_checksum = fnv1a64(
+      kFnvOffsetBasis, file_prefix.data(), kG10tHeaderSize - 8);
+  ByteCursor cursor(file_prefix.data() + sizeof(kG10tMagic),
+                    kG10tHeaderSize - sizeof(kG10tMagic));
+  FileHeader& h = out.header;
+  std::uint64_t checksum = 0;
+  // Reads below cannot fail: the prefix is long enough by the check above.
+  cursor.read_u32(h.version);
+  cursor.read_u32(h.flags);
+  cursor.read_u64(h.symtab_offset);
+  cursor.read_u64(h.symtab_size);
+  cursor.read_u64(h.meta_offset);
+  cursor.read_u64(h.meta_size);
+  cursor.read_u64(h.index_offset);
+  cursor.read_u64(h.index_size);
+  cursor.read_u64(h.block_count);
+  cursor.read_u64(h.file_size);
+  cursor.read_u64(checksum);
+  if (checksum != stored_checksum) {
+    out.error = "header checksum mismatch (corrupt header)";
+    return out;
+  }
+  if (h.version > kG10tVersion) {
+    out.error = "unsupported .g10t version " + std::to_string(h.version) +
+                " (this build reads up to " + std::to_string(kG10tVersion) +
+                ")";
+    return out;
+  }
+  if ((h.flags & ~kG10tKnownFlags) != 0) {
+    out.error = "unknown .g10t flags " + std::to_string(h.flags);
+    return out;
+  }
+  if (h.file_size != actual_file_size) {
+    out.error = "file is " + std::to_string(actual_file_size) +
+                " bytes but the header says " + std::to_string(h.file_size) +
+                " (truncated or corrupt)";
+    return out;
+  }
+  const auto section_ok = [&](std::uint64_t offset, std::uint64_t size) {
+    return offset >= kG10tHeaderSize && offset <= h.file_size &&
+           size <= h.file_size - offset;
+  };
+  if (!section_ok(h.symtab_offset, h.symtab_size) ||
+      !section_ok(h.meta_offset, h.meta_size) ||
+      !section_ok(h.index_offset, h.index_size)) {
+    out.error = "section table points outside the file (corrupt header)";
+    return out;
+  }
+  return out;
+}
+
+void encode_index_entry(std::string& out, const IndexEntry& entry) {
+  out.push_back(static_cast<char>(entry.kind));
+  put_varint(out, entry.offset);
+  put_varint(out, entry.encoded_size);
+  put_varint(out, entry.record_count);
+  put_zigzag(out, entry.machine_min);
+  put_zigzag(out, entry.machine_max);
+  put_zigzag(out, entry.time_min);
+  put_zigzag(out, entry.time_max);
+  put_u64(out, entry.name_bloom);
+  put_u64(out, entry.payload_hash);
+}
+
+bool decode_index_entry(ByteCursor& cursor, IndexEntry& out) {
+  std::string_view kind_byte;
+  if (!cursor.read_bytes(1, kind_byte)) return false;
+  const auto kind = static_cast<std::uint8_t>(kind_byte[0]);
+  if (kind > static_cast<std::uint8_t>(BlockKind::kSample)) return false;
+  out.kind = static_cast<BlockKind>(kind);
+  std::int64_t machine_min = 0;
+  std::int64_t machine_max = 0;
+  if (!cursor.read_varint(out.offset) ||
+      !cursor.read_varint(out.encoded_size) ||
+      !cursor.read_varint(out.record_count) ||
+      !cursor.read_zigzag(machine_min) || !cursor.read_zigzag(machine_max) ||
+      !cursor.read_zigzag(out.time_min) || !cursor.read_zigzag(out.time_max) ||
+      !cursor.read_u64(out.name_bloom) || !cursor.read_u64(out.payload_hash)) {
+    return false;
+  }
+  out.machine_min = static_cast<MachineId>(machine_min);
+  out.machine_max = static_cast<MachineId>(machine_max);
+  return true;
+}
+
+}  // namespace g10::trace

@@ -1,0 +1,159 @@
+// The `.g10t` binary columnar trace format (DESIGN.md §16).
+//
+// A `.g10t` file is a seekable, block-structured serialization of one run's
+// trace records — the same phase events, blocking events, and monitoring
+// samples the text log carries, re-parseable to the byte-identical record
+// stream. The text log is the interchange format; `.g10t` is the analysis
+// format: converting once (g10_convert) lets every later `g10_analyze`
+// decode only the blocks it needs instead of re-parsing the whole text.
+//
+// Layout (all integers little-endian; varint = unsigned LEB128,
+// zigzag(v) = (v << 1) ^ (v >> 63) for signed values):
+//
+//   [FileHeader]        fixed 88 bytes, FNV-1a checksummed
+//   [symbol table]      varint count, then per symbol varint len + bytes.
+//                       Persists the run's SymbolTable: path-element type
+//                       names and resource names, referenced by ordinal.
+//   [meta section]      varint count, then per record varint-length key and
+//                       value (the text format's META lines).
+//   [blocks ...]        columnar payloads, one record kind each
+//   [block index]       one IndexEntry per block, in file order
+//
+// Records are blocked in stream order: phase events first, then blocking
+// events, then samples — exactly the order write_log() emits — so decoding
+// every block in index order reproduces the text log byte for byte.
+//
+// Each block holds up to `block_records` records of one kind, stored as
+// struct-of-arrays columns with per-column lightweight compression:
+//   - timestamps: zigzag delta varint (monotonic streams shrink to ~1
+//     byte/record);
+//   - paths: per-block dictionary of distinct paths (depth + per-element
+//     (symbol, zigzag index)), then one varint dictionary ordinal per
+//     record;
+//   - machines: zigzag varint;
+//   - resources: symbol-table ordinal varint;
+//   - sample values: raw IEEE-754 bit patterns (8 bytes), so the shortest
+//     round-trip text rendering is reproduced exactly;
+//   - phase kinds (B/E): one bit per record.
+//
+// The index entry carries everything seek-by-block filtering needs without
+// touching the payload: record kind and count, machine min/max, time
+// min/max, and a 64-bit bloom filter over the path-element type names (or
+// resource names, for sample blocks). It also carries an FNV-1a hash of the
+// encoded payload, so corruption is detected per block — a damaged block
+// fails decode cleanly while the rest of the file stays readable.
+//
+// Versioning rules: the major version in the header bumps on any layout
+// change a v1 reader cannot skip; readers refuse newer majors with a clear
+// error (never an assert). Unknown header flag bits are an error too —
+// flags gate format features, not hints.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/records.hpp"
+
+namespace g10::trace {
+
+inline constexpr char kG10tMagic[8] = {'G', '1', '0', 'T', 'R', 'C', '\r', '\n'};
+inline constexpr std::uint32_t kG10tVersion = 1;
+/// Bits a v1 reader understands; any other set bit is a hard error.
+inline constexpr std::uint32_t kG10tKnownFlags = 0;
+
+inline constexpr std::size_t kG10tHeaderSize = 88;
+/// Default records per block. Small enough that a filtered read touching a
+/// few blocks decodes little; large enough that varint/delta columns
+/// amortize (a 4096-record phase block is typically ~6-10 KiB encoded).
+inline constexpr std::size_t kG10tDefaultBlockRecords = 4096;
+
+enum class BlockKind : std::uint8_t {
+  kPhase = 0,
+  kBlocking = 1,
+  kSample = 2,
+};
+
+struct FileHeader {
+  std::uint32_t version = kG10tVersion;
+  std::uint32_t flags = 0;
+  std::uint64_t symtab_offset = 0;
+  std::uint64_t symtab_size = 0;
+  std::uint64_t meta_offset = 0;
+  std::uint64_t meta_size = 0;
+  std::uint64_t index_offset = 0;
+  std::uint64_t index_size = 0;
+  std::uint64_t block_count = 0;
+  std::uint64_t file_size = 0;  ///< total bytes; truncation is detected early
+};
+
+/// Per-block metadata, stored in the index section (never in the payload).
+struct IndexEntry {
+  BlockKind kind = BlockKind::kPhase;
+  std::uint64_t offset = 0;        ///< absolute payload offset
+  std::uint64_t encoded_size = 0;  ///< payload bytes
+  std::uint64_t record_count = 0;
+  MachineId machine_min = 0;
+  MachineId machine_max = 0;
+  TimeNs time_min = 0;  ///< BLOCK records contribute both begin and end
+  TimeNs time_max = 0;
+  /// Bloom over path-element type names (phase/blocking) or resource names
+  /// (samples); bit fnv1a(name) % 64. Zero record_count blocks store 0.
+  std::uint64_t name_bloom = 0;
+  std::uint64_t payload_hash = 0;  ///< FNV-1a of the encoded payload
+};
+
+/// Bloom bit for one name, matching the writer's hashing.
+std::uint64_t name_bloom_bit(std::string_view name);
+
+// --- low-level codec (exposed for tests) ---------------------------------
+
+void put_varint(std::string& out, std::uint64_t value);
+void put_zigzag(std::string& out, std::int64_t value);
+
+/// Bounds-checked cursor over an encoded byte range. All reads return false
+/// (and leave the cursor valid) on truncation or malformed varints instead
+/// of asserting; callers surface the failure as a corrupt-file error.
+class ByteCursor {
+ public:
+  ByteCursor(const char* data, std::size_t size) : data_(data), size_(size) {}
+  explicit ByteCursor(std::string_view bytes)
+      : ByteCursor(bytes.data(), bytes.size()) {}
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  bool read_varint(std::uint64_t& out);
+  bool read_zigzag(std::int64_t& out);
+  bool read_bytes(std::size_t n, std::string_view& out);
+  bool read_u32(std::uint32_t& out);
+  bool read_u64(std::uint64_t& out);
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Serializes the 88-byte header, including its trailing checksum.
+std::string encode_header(const FileHeader& header);
+
+/// Parses and validates a header: magic, checksum, version, flags, and that
+/// every section lies inside `file_size` bytes. Returns an error message
+/// ("truncated header", "bad magic", ...) instead of a header on failure.
+struct HeaderParse {
+  FileHeader header;
+  std::optional<std::string> error;
+  bool ok() const { return !error.has_value(); }
+};
+HeaderParse decode_header(std::string_view file_prefix,
+                          std::uint64_t actual_file_size);
+
+void encode_index_entry(std::string& out, const IndexEntry& entry);
+bool decode_index_entry(ByteCursor& cursor, IndexEntry& out);
+
+}  // namespace g10::trace

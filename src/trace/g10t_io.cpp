@@ -1,0 +1,569 @@
+#include "trace/g10t_io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/det_hash.hpp"
+
+namespace g10::trace {
+
+namespace {
+
+void put_u64_raw(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+/// Per-file symbol interning: name -> ordinal in first-use order.
+class FileSymbols {
+ public:
+  std::uint64_t intern(std::string_view name) {
+    const auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+    names_.emplace_back(name);
+    // Key the map by the stored string so the view stays valid.
+    return index_.emplace(names_.back(), names_.size() - 1).first->second;
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::vector<std::string> names_;
+  std::unordered_map<std::string_view, std::uint64_t, Hash, std::equal_to<>>
+      index_;
+};
+
+/// Per-block dictionary of distinct phase paths, in first-use order.
+class PathDict {
+ public:
+  std::uint64_t intern(const PhasePath& path) {
+    key_.clear();
+    path.append_to(key_);
+    const auto it = index_.find(key_);
+    if (it != index_.end()) return it->second;
+    paths_.push_back(&path);
+    return index_.emplace(key_, paths_.size() - 1).first->second;
+  }
+
+  const std::vector<const PhasePath*>& paths() const { return paths_; }
+
+ private:
+  std::string key_;
+  std::vector<const PhasePath*> paths_;
+  std::unordered_map<std::string, std::uint64_t> index_;
+};
+
+void encode_path_dict(std::string& out, const PathDict& dict,
+                      FileSymbols& symbols, std::uint64_t& bloom) {
+  put_varint(out, dict.paths().size());
+  for (const PhasePath* path : dict.paths()) {
+    put_varint(out, path->elements.size());
+    for (const PathElement& element : path->elements) {
+      put_varint(out, symbols.intern(element.type));
+      put_zigzag(out, element.index);
+      bloom |= name_bloom_bit(element.type);
+    }
+  }
+}
+
+struct EncodedBlock {
+  std::string payload;
+  IndexEntry entry;
+};
+
+template <typename Record>
+void fill_common_entry(EncodedBlock& block, const Record* records,
+                       std::size_t count) {
+  IndexEntry& entry = block.entry;
+  entry.record_count = count;
+  entry.machine_min = records[0].machine;
+  entry.machine_max = records[0].machine;
+  for (std::size_t i = 1; i < count; ++i) {
+    entry.machine_min = std::min(entry.machine_min, records[i].machine);
+    entry.machine_max = std::max(entry.machine_max, records[i].machine);
+  }
+  entry.encoded_size = block.payload.size();
+  entry.payload_hash =
+      fnv1a64(kFnvOffsetBasis, block.payload.data(), block.payload.size());
+}
+
+EncodedBlock encode_phase_block(const PhaseEventRecord* records,
+                                std::size_t count, FileSymbols& symbols) {
+  EncodedBlock block;
+  block.entry.kind = BlockKind::kPhase;
+  std::string& out = block.payload;
+
+  PathDict dict;
+  std::vector<std::uint64_t> path_ids(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    path_ids[i] = dict.intern(records[i].path);
+  }
+  encode_path_dict(out, dict, symbols, block.entry.name_bloom);
+  for (const std::uint64_t id : path_ids) put_varint(out, id);
+
+  for (std::size_t i = 0; i < count; i += 8) {
+    std::uint8_t bits = 0;
+    for (std::size_t j = i; j < std::min(count, i + 8); ++j) {
+      if (records[j].kind == PhaseEventRecord::Kind::End) {
+        bits |= static_cast<std::uint8_t>(1u << (j - i));
+      }
+    }
+    out.push_back(static_cast<char>(bits));
+  }
+
+  TimeNs previous = 0;
+  block.entry.time_min = records[0].time;
+  block.entry.time_max = records[0].time;
+  for (std::size_t i = 0; i < count; ++i) {
+    put_zigzag(out, records[i].time - previous);
+    previous = records[i].time;
+    block.entry.time_min = std::min(block.entry.time_min, records[i].time);
+    block.entry.time_max = std::max(block.entry.time_max, records[i].time);
+  }
+  for (std::size_t i = 0; i < count; ++i) put_zigzag(out, records[i].machine);
+
+  fill_common_entry(block, records, count);
+  return block;
+}
+
+EncodedBlock encode_blocking_block(const BlockingEventRecord* records,
+                                   std::size_t count, FileSymbols& symbols) {
+  EncodedBlock block;
+  block.entry.kind = BlockKind::kBlocking;
+  std::string& out = block.payload;
+
+  PathDict dict;
+  std::vector<std::uint64_t> path_ids(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    path_ids[i] = dict.intern(records[i].path);
+  }
+  encode_path_dict(out, dict, symbols, block.entry.name_bloom);
+  for (const std::uint64_t id : path_ids) put_varint(out, id);
+  for (std::size_t i = 0; i < count; ++i) {
+    put_varint(out, symbols.intern(records[i].resource));
+  }
+
+  TimeNs previous = 0;
+  block.entry.time_min = std::min(records[0].begin, records[0].end);
+  block.entry.time_max = std::max(records[0].begin, records[0].end);
+  for (std::size_t i = 0; i < count; ++i) {
+    put_zigzag(out, records[i].begin - previous);
+    previous = records[i].begin;
+    put_zigzag(out, records[i].end - records[i].begin);
+    block.entry.time_min = std::min(
+        block.entry.time_min, std::min(records[i].begin, records[i].end));
+    block.entry.time_max = std::max(
+        block.entry.time_max, std::max(records[i].begin, records[i].end));
+  }
+  for (std::size_t i = 0; i < count; ++i) put_zigzag(out, records[i].machine);
+
+  fill_common_entry(block, records, count);
+  return block;
+}
+
+EncodedBlock encode_sample_block(const MonitoringSampleRecord* records,
+                                 std::size_t count, FileSymbols& symbols) {
+  EncodedBlock block;
+  block.entry.kind = BlockKind::kSample;
+  std::string& out = block.payload;
+
+  for (std::size_t i = 0; i < count; ++i) {
+    put_varint(out, symbols.intern(records[i].resource));
+    block.entry.name_bloom |= name_bloom_bit(records[i].resource);
+  }
+  for (std::size_t i = 0; i < count; ++i) put_zigzag(out, records[i].machine);
+
+  TimeNs previous = 0;
+  block.entry.time_min = records[0].time;
+  block.entry.time_max = records[0].time;
+  for (std::size_t i = 0; i < count; ++i) {
+    put_zigzag(out, records[i].time - previous);
+    previous = records[i].time;
+    block.entry.time_min = std::min(block.entry.time_min, records[i].time);
+    block.entry.time_max = std::max(block.entry.time_max, records[i].time);
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(records[i].value));
+    std::memcpy(&bits, &records[i].value, sizeof(bits));
+    put_u64_raw(out, bits);
+  }
+
+  fill_common_entry(block, records, count);
+  return block;
+}
+
+template <typename Record, typename Encoder>
+void encode_stream(const std::vector<Record>& records,
+                   std::size_t block_records, FileSymbols& symbols,
+                   Encoder&& encoder, std::vector<EncodedBlock>& out) {
+  for (std::size_t start = 0; start < records.size();
+       start += block_records) {
+    const std::size_t count =
+        std::min(block_records, records.size() - start);
+    out.push_back(encoder(records.data() + start, count, symbols));
+  }
+}
+
+// --- decode helpers ------------------------------------------------------
+
+std::optional<std::string> decode_path_dict(
+    ByteCursor& cursor, const std::vector<std::string>& symbols,
+    std::vector<PhasePath>& dict) {
+  std::uint64_t dict_count = 0;
+  if (!cursor.read_varint(dict_count)) return "truncated path dictionary";
+  if (dict_count > cursor.remaining()) return "path dictionary overruns block";
+  dict.reserve(dict_count);
+  for (std::uint64_t i = 0; i < dict_count; ++i) {
+    std::uint64_t depth = 0;
+    if (!cursor.read_varint(depth)) return "truncated path dictionary";
+    if (depth > cursor.remaining()) return "path depth overruns block";
+    PhasePath path;
+    path.elements.reserve(depth);
+    for (std::uint64_t d = 0; d < depth; ++d) {
+      std::uint64_t symbol = 0;
+      std::int64_t index = 0;
+      if (!cursor.read_varint(symbol) || !cursor.read_zigzag(index)) {
+        return "truncated path element";
+      }
+      if (symbol >= symbols.size()) {
+        return "path element references symbol " + std::to_string(symbol) +
+               " of " + std::to_string(symbols.size());
+      }
+      path.elements.push_back(PathElement{symbols[symbol], index});
+    }
+    dict.push_back(std::move(path));
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> decode_phase_block(
+    ByteCursor& cursor, std::uint64_t count,
+    const std::vector<std::string>& symbols, DecodedBlock& out) {
+  std::vector<PhasePath> dict;
+  if (auto error = decode_path_dict(cursor, symbols, dict)) return error;
+
+  out.phase_events.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t path_id = 0;
+    if (!cursor.read_varint(path_id)) return "truncated path ids";
+    if (path_id >= dict.size()) return "path id out of range";
+    out.phase_events[i].path = dict[path_id];
+  }
+  for (std::uint64_t i = 0; i < count; i += 8) {
+    std::string_view byte;
+    if (!cursor.read_bytes(1, byte)) return "truncated kind bits";
+    const auto bits = static_cast<std::uint8_t>(byte[0]);
+    for (std::uint64_t j = i; j < std::min(count, i + 8); ++j) {
+      out.phase_events[j].kind = (bits >> (j - i)) & 1
+                                     ? PhaseEventRecord::Kind::End
+                                     : PhaseEventRecord::Kind::Begin;
+    }
+  }
+  TimeNs previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t delta = 0;
+    if (!cursor.read_zigzag(delta)) return "truncated time column";
+    previous += delta;
+    out.phase_events[i].time = previous;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t machine = 0;
+    if (!cursor.read_zigzag(machine)) return "truncated machine column";
+    out.phase_events[i].machine = static_cast<MachineId>(machine);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> decode_blocking_block(
+    ByteCursor& cursor, std::uint64_t count,
+    const std::vector<std::string>& symbols, DecodedBlock& out) {
+  std::vector<PhasePath> dict;
+  if (auto error = decode_path_dict(cursor, symbols, dict)) return error;
+
+  out.blocking_events.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t path_id = 0;
+    if (!cursor.read_varint(path_id)) return "truncated path ids";
+    if (path_id >= dict.size()) return "path id out of range";
+    out.blocking_events[i].path = dict[path_id];
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t symbol = 0;
+    if (!cursor.read_varint(symbol)) return "truncated resource column";
+    if (symbol >= symbols.size()) return "resource symbol out of range";
+    out.blocking_events[i].resource = symbols[symbol];
+  }
+  TimeNs previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t begin_delta = 0;
+    std::int64_t duration = 0;
+    if (!cursor.read_zigzag(begin_delta) || !cursor.read_zigzag(duration)) {
+      return "truncated interval column";
+    }
+    previous += begin_delta;
+    out.blocking_events[i].begin = previous;
+    out.blocking_events[i].end = previous + duration;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t machine = 0;
+    if (!cursor.read_zigzag(machine)) return "truncated machine column";
+    out.blocking_events[i].machine = static_cast<MachineId>(machine);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> decode_sample_block(
+    ByteCursor& cursor, std::uint64_t count,
+    const std::vector<std::string>& symbols, DecodedBlock& out) {
+  out.samples.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t symbol = 0;
+    if (!cursor.read_varint(symbol)) return "truncated resource column";
+    if (symbol >= symbols.size()) return "resource symbol out of range";
+    out.samples[i].resource = symbols[symbol];
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t machine = 0;
+    if (!cursor.read_zigzag(machine)) return "truncated machine column";
+    out.samples[i].machine = static_cast<MachineId>(machine);
+  }
+  TimeNs previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::int64_t delta = 0;
+    if (!cursor.read_zigzag(delta)) return "truncated time column";
+    previous += delta;
+    out.samples[i].time = previous;
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t bits = 0;
+    if (!cursor.read_u64(bits)) return "truncated value column";
+    std::memcpy(&out.samples[i].value, &bits, sizeof(bits));
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void write_g10t(std::ostream& os, const ParsedLog& log,
+                const G10tWriteOptions& options) {
+  const std::size_t block_records = std::max<std::size_t>(1,
+                                                          options.block_records);
+  FileSymbols symbols;
+  std::vector<EncodedBlock> blocks;
+  encode_stream(log.phase_events, block_records, symbols, encode_phase_block,
+                blocks);
+  encode_stream(log.blocking_events, block_records, symbols,
+                encode_blocking_block, blocks);
+  encode_stream(log.samples, block_records, symbols, encode_sample_block,
+                blocks);
+
+  // The symbol table is finalized only after every block encoded (blocks
+  // intern lazily), so sections serialize back to front.
+  std::string symtab;
+  put_varint(symtab, symbols.names().size());
+  for (const std::string& name : symbols.names()) {
+    put_varint(symtab, name.size());
+    symtab.append(name);
+  }
+
+  std::string meta;
+  put_varint(meta, log.meta.size());
+  for (const auto& [key, value] : log.meta) {
+    put_varint(meta, key.size());
+    meta.append(key);
+    put_varint(meta, value.size());
+    meta.append(value);
+  }
+
+  FileHeader header;
+  header.symtab_offset = kG10tHeaderSize;
+  header.symtab_size = symtab.size();
+  header.meta_offset = header.symtab_offset + symtab.size();
+  header.meta_size = meta.size();
+  header.block_count = blocks.size();
+
+  std::uint64_t offset = header.meta_offset + meta.size();
+  for (EncodedBlock& block : blocks) {
+    block.entry.offset = offset;
+    offset += block.payload.size();
+  }
+
+  std::string index;
+  for (const EncodedBlock& block : blocks) {
+    encode_index_entry(index, block.entry);
+  }
+  header.index_offset = offset;
+  header.index_size = index.size();
+  header.file_size = offset + index.size();
+
+  const std::string header_bytes = encode_header(header);
+  os.write(header_bytes.data(),
+           static_cast<std::streamsize>(header_bytes.size()));
+  os.write(symtab.data(), static_cast<std::streamsize>(symtab.size()));
+  os.write(meta.data(), static_cast<std::streamsize>(meta.size()));
+  for (const EncodedBlock& block : blocks) {
+    os.write(block.payload.data(),
+             static_cast<std::streamsize>(block.payload.size()));
+  }
+  os.write(index.data(), static_cast<std::streamsize>(index.size()));
+}
+
+bool write_g10t_file(const std::string& path, const ParsedLog& log,
+                     const G10tWriteOptions& options, std::string* error) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    if (error) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  write_g10t(file, log, options);
+  file.flush();
+  if (!file) {
+    if (error) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+bool looks_like_g10t(std::string_view prefix) {
+  return prefix.size() >= sizeof(kG10tMagic) &&
+         std::memcmp(prefix.data(), kG10tMagic, sizeof(kG10tMagic)) == 0;
+}
+
+G10tStructureParse parse_g10t_structure(std::string_view bytes) {
+  G10tStructureParse out;
+  HeaderParse header = decode_header(bytes, bytes.size());
+  if (!header.ok()) {
+    out.error = std::move(header.error);
+    return out;
+  }
+  G10tStructure& structure = out.structure;
+  structure.header = header.header;
+
+  {
+    ByteCursor cursor(bytes.data() + structure.header.symtab_offset,
+                      structure.header.symtab_size);
+    std::uint64_t count = 0;
+    if (!cursor.read_varint(count) || count > cursor.remaining()) {
+      out.error = "corrupt symbol table";
+      return out;
+    }
+    structure.symbols.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t length = 0;
+      std::string_view name;
+      if (!cursor.read_varint(length) || !cursor.read_bytes(length, name)) {
+        out.error = "corrupt symbol table entry " + std::to_string(i);
+        return out;
+      }
+      structure.symbols.emplace_back(name);
+    }
+  }
+
+  {
+    ByteCursor cursor(bytes.data() + structure.header.meta_offset,
+                      structure.header.meta_size);
+    std::uint64_t count = 0;
+    if (!cursor.read_varint(count) || count > cursor.remaining()) {
+      out.error = "corrupt meta section";
+      return out;
+    }
+    structure.meta.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t key_length = 0;
+      std::uint64_t value_length = 0;
+      std::string_view key;
+      std::string_view value;
+      if (!cursor.read_varint(key_length) ||
+          !cursor.read_bytes(key_length, key) ||
+          !cursor.read_varint(value_length) ||
+          !cursor.read_bytes(value_length, value)) {
+        out.error = "corrupt meta record " + std::to_string(i);
+        return out;
+      }
+      structure.meta.emplace_back(std::string(key), std::string(value));
+    }
+  }
+
+  {
+    ByteCursor cursor(bytes.data() + structure.header.index_offset,
+                      structure.header.index_size);
+    structure.index.reserve(structure.header.block_count);
+    for (std::uint64_t i = 0; i < structure.header.block_count; ++i) {
+      IndexEntry entry;
+      if (!decode_index_entry(cursor, entry)) {
+        out.error = "corrupt block index entry " + std::to_string(i);
+        return out;
+      }
+      if (entry.offset > bytes.size() ||
+          entry.encoded_size > bytes.size() - entry.offset) {
+        out.error = "block " + std::to_string(i) + " payload overruns file";
+        return out;
+      }
+      structure.index.push_back(entry);
+    }
+  }
+  return out;
+}
+
+std::size_t DecodedBlock::approx_bytes() const {
+  std::size_t bytes = sizeof(DecodedBlock);
+  for (const PhaseEventRecord& rec : phase_events) {
+    bytes += sizeof(rec) + rec.path.elements.size() * sizeof(PathElement);
+    for (const PathElement& element : rec.path.elements) {
+      bytes += element.type.size();
+    }
+  }
+  for (const BlockingEventRecord& rec : blocking_events) {
+    bytes += sizeof(rec) + rec.resource.size() +
+             rec.path.elements.size() * sizeof(PathElement);
+    for (const PathElement& element : rec.path.elements) {
+      bytes += element.type.size();
+    }
+  }
+  for (const MonitoringSampleRecord& rec : samples) {
+    bytes += sizeof(rec) + rec.resource.size();
+  }
+  return bytes;
+}
+
+std::optional<std::string> decode_block(
+    std::string_view payload, const IndexEntry& entry,
+    const std::vector<std::string>& symbols, DecodedBlock& out) {
+  if (payload.size() != entry.encoded_size) {
+    return "payload size mismatch (" + std::to_string(payload.size()) +
+           " vs indexed " + std::to_string(entry.encoded_size) + ")";
+  }
+  const std::uint64_t hash =
+      fnv1a64(kFnvOffsetBasis, payload.data(), payload.size());
+  if (hash != entry.payload_hash) {
+    return "payload hash mismatch (corrupt block)";
+  }
+  if (entry.record_count > payload.size()) {
+    // Every record costs at least one encoded byte per column; a count
+    // above the payload size is corruption, caught before resize() tries
+    // to allocate it.
+    return "record count exceeds payload size";
+  }
+  ByteCursor cursor(payload);
+  switch (entry.kind) {
+    case BlockKind::kPhase:
+      return decode_phase_block(cursor, entry.record_count, symbols, out);
+    case BlockKind::kBlocking:
+      return decode_blocking_block(cursor, entry.record_count, symbols, out);
+    case BlockKind::kSample:
+      return decode_sample_block(cursor, entry.record_count, symbols, out);
+  }
+  return "unknown block kind";
+}
+
+}  // namespace g10::trace

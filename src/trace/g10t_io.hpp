@@ -1,0 +1,90 @@
+// Writing and block-level decoding of `.g10t` files (format in
+// g10t_format.hpp, demand-paged reading in trace_reader.hpp).
+//
+// The writer takes a fully parsed log (the text parser's output — or an
+// engine's artifacts assembled into one) and serializes it; the block
+// decoder turns one encoded payload back into records. Both are lossless
+// for every value the record types can hold: timestamps and machine ids are
+// zigzag-coded (negative values survive even though the text parser rejects
+// them), and sample values keep their exact IEEE-754 bits, so re-rendering
+// a decoded trace through write_log() reproduces the original text log byte
+// for byte.
+//
+// Every decode path is bounds-checked and returns an error string on
+// corruption — a damaged file must never assert or read out of bounds
+// (the reader is routinely pointed at truncated files from crashed runs).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/g10t_format.hpp"
+#include "trace/log_io.hpp"
+
+namespace g10::trace {
+
+struct G10tWriteOptions {
+  /// Records per block; the seek granularity. Smaller blocks mean finer
+  /// filtering but more index entries and worse compression.
+  std::size_t block_records = kG10tDefaultBlockRecords;
+};
+
+/// Serializes `log` as a complete `.g10t` stream.
+void write_g10t(std::ostream& os, const ParsedLog& log,
+                const G10tWriteOptions& options = {});
+
+/// write_g10t to a file; on failure returns false and fills `error`.
+bool write_g10t_file(const std::string& path, const ParsedLog& log,
+                     const G10tWriteOptions& options, std::string* error);
+
+/// The sniff used by tools and the reader: does this byte prefix (or file)
+/// start with the .g10t magic?
+bool looks_like_g10t(std::string_view prefix);
+
+/// Parsed file structure: header, persisted symbol table, META records, and
+/// the block index — everything except block payloads, which are decoded on
+/// demand (decode_block) so a reader touches only the blocks it needs.
+struct G10tStructure {
+  FileHeader header;
+  std::vector<std::string> symbols;
+  std::vector<LogMeta> meta;
+  std::vector<IndexEntry> index;
+};
+
+struct G10tStructureParse {
+  G10tStructure structure;
+  std::optional<std::string> error;
+  bool ok() const { return !error.has_value(); }
+};
+
+/// Parses header + sections from the whole file's bytes (typically an mmap
+/// view). Never throws; corruption comes back as `error`.
+G10tStructureParse parse_g10t_structure(std::string_view bytes);
+
+/// One decoded block's records (only the vector matching the block's kind
+/// is populated).
+struct DecodedBlock {
+  std::vector<PhaseEventRecord> phase_events;
+  std::vector<BlockingEventRecord> blocking_events;
+  std::vector<MonitoringSampleRecord> samples;
+
+  std::size_t record_count() const {
+    return phase_events.size() + blocking_events.size() + samples.size();
+  }
+  /// Approximate decoded footprint, the block cache's cost metric.
+  std::size_t approx_bytes() const;
+};
+
+/// Decodes the payload of `entry` (sliced from the file by the caller).
+/// Verifies the payload hash first, then every column; returns an error
+/// message on any corruption, nullopt on success.
+std::optional<std::string> decode_block(std::string_view payload,
+                                        const IndexEntry& entry,
+                                        const std::vector<std::string>& symbols,
+                                        DecodedBlock& out);
+
+}  // namespace g10::trace

@@ -1,7 +1,9 @@
 #include "trace/log_io.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -293,10 +295,16 @@ ParseResult parse_log_text(std::string_view text,
 
 ParseResult read_log_file(const std::string& path,
                           const ParseOptions& options) {
+  errno = 0;
   std::ifstream file(path, std::ios::binary);
   if (!file) {
+    // Name the file and the OS reason: a bare "parse failure" on a typo'd
+    // path or a permission problem sends people debugging the wrong layer.
     ParseResult result;
-    ParseError error{0, "cannot open log file: " + path, ""};
+    ParseError error{0,
+                     "cannot open log file: " + path + ": " +
+                         (errno != 0 ? std::strerror(errno) : "open failed"),
+                     ""};
     result.error = error;
     result.error_count = 1;
     if (options.max_errors > 0) result.errors.push_back(std::move(error));

@@ -1,0 +1,119 @@
+#include "trace/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace g10::trace {
+
+namespace {
+
+std::string errno_message(const std::string& path, const char* action) {
+  return std::string(action) + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+MappedFile::MappedFile(MappedFile&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  reset();
+  buffer_ = std::move(other.buffer_);
+  data_ = other.data_;
+  size_ = other.size_;
+  opened_ = other.opened_;
+  mapped_ = other.mapped_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.opened_ = false;
+  other.mapped_ = false;
+  return *this;
+}
+
+void MappedFile::reset() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  data_ = nullptr;
+  size_ = 0;
+  opened_ = false;
+  mapped_ = false;
+  buffer_.clear();
+}
+
+std::optional<std::string> MappedFile::open(const std::string& path,
+                                            const Options& options,
+                                            MappedFile& out) {
+  out.reset();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return errno_message(path, "cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const std::string error = errno_message(path, "cannot stat");
+    ::close(fd);
+    return error;
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    out.opened_ = true;
+    return std::nullopt;
+  }
+
+  if (options.use_mmap) {
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      ::close(fd);
+      out.data_ = static_cast<const char*>(map);
+      out.size_ = size;
+      out.opened_ = true;
+      out.mapped_ = true;
+      return std::nullopt;
+    }
+    // Fall through to the buffered path (e.g. filesystems without mmap).
+  }
+
+  out.buffer_.resize(size);
+  std::size_t total = 0;
+  while (total < size) {
+    const ssize_t n =
+        ::read(fd, out.buffer_.data() + total, size - total);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string error = errno_message(path, "cannot read");
+      ::close(fd);
+      out.reset();
+      return error;
+    }
+    if (n == 0) break;  // file shrank underneath us; size check catches it
+    total += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  out.buffer_.resize(total);
+  out.data_ = out.buffer_.data();
+  out.size_ = total;
+  out.opened_ = true;
+  return std::nullopt;
+}
+
+void MappedFile::advise_will_need(std::size_t offset,
+                                  std::size_t length) const {
+  if (!mapped_ || data_ == nullptr || offset >= size_) return;
+  length = std::min(length, size_ - offset);
+  // Align down to the page containing `offset`; madvise wants page-aligned
+  // starts.
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t start = offset & ~(page - 1);
+  ::madvise(const_cast<char*>(data_) + start, length + (offset - start),
+            MADV_WILLNEED);
+}
+
+}  // namespace g10::trace

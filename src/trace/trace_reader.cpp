@@ -1,0 +1,414 @@
+#include "trace/trace_reader.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <fstream>
+#include <future>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "trace/mapped_file.hpp"
+
+namespace g10::trace {
+
+namespace {
+
+bool time_window_active(const TraceFilter& f) {
+  return f.time_min != 0 || f.time_max != std::numeric_limits<TimeNs>::max();
+}
+
+}  // namespace
+
+bool TraceFilter::matches_machine(MachineId machine) const {
+  if (machines.empty() || machine == kGlobalMachine) return true;
+  return std::find(machines.begin(), machines.end(), machine) !=
+         machines.end();
+}
+
+bool TraceFilter::matches_path(const PhasePath& path) const {
+  if (phase_types.empty()) return true;
+  for (const PathElement& element : path.elements) {
+    for (const std::string& type : phase_types) {
+      if (element.type == type) return true;
+    }
+  }
+  // The enclosing chain: only the innermost element may be an ancestor
+  // type, otherwise sibling subtrees under a shared ancestor would leak in.
+  if (!path.elements.empty()) {
+    const std::string& last = path.elements.back().type;
+    for (const std::string& type : ancestor_types) {
+      if (last == type) return true;
+    }
+  }
+  return false;
+}
+
+bool TraceFilter::matches(const PhaseEventRecord& rec) const {
+  return rec.time >= time_min && rec.time <= time_max &&
+         matches_machine(rec.machine) && matches_path(rec.path);
+}
+
+bool TraceFilter::matches(const BlockingEventRecord& rec) const {
+  return rec.end >= time_min && rec.begin <= time_max &&
+         matches_machine(rec.machine) && matches_path(rec.path);
+}
+
+bool TraceFilter::matches(const MonitoringSampleRecord& rec) const {
+  return rec.time >= time_min && rec.time <= time_max &&
+         matches_machine(rec.machine);
+}
+
+SniffResult sniff_trace_format(const std::string& path) {
+  SniffResult out;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    out.error = "cannot open " + path;
+    return out;
+  }
+  char prefix[sizeof(kG10tMagic)] = {};
+  file.read(prefix, sizeof(prefix));
+  const auto got = static_cast<std::size_t>(file.gcount());
+  out.format = looks_like_g10t(std::string_view(prefix, got))
+                   ? TraceFormat::kBinary
+                   : TraceFormat::kText;
+  return out;
+}
+
+namespace {
+
+void filter_log(const TraceFilter& filter, ParsedLog& log) {
+  if (filter.empty()) return;
+  std::erase_if(log.phase_events, [&](const PhaseEventRecord& rec) {
+    return !filter.matches(rec);
+  });
+  std::erase_if(log.blocking_events, [&](const BlockingEventRecord& rec) {
+    return !filter.matches(rec);
+  });
+  std::erase_if(log.samples, [&](const MonitoringSampleRecord& rec) {
+    return !filter.matches(rec);
+  });
+}
+
+// --- text ---------------------------------------------------------------
+
+class TextTraceReader final : public TraceReader {
+ public:
+  TextTraceReader(std::string path, MappedFile file, TraceReadOptions options)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        options_(std::move(options)) {}
+
+  ParseResult read(const TraceFilter& filter) override {
+    ParseOptions parse_options;
+    parse_options.recover = options_.recover;
+    parse_options.max_errors = options_.max_errors;
+    parse_options.threads = options_.threads;
+    parse_options.min_chunk_bytes = options_.min_chunk_bytes;
+    ParseResult result = parse_log_text(file_.bytes(), parse_options);
+    filter_log(filter, result.log);
+    return result;
+  }
+
+  TraceReadStats stats() const override {
+    TraceReadStats out;
+    out.binary = false;
+    out.bytes_mapped = file_.size();
+    return out;
+  }
+
+  bool is_binary() const override { return false; }
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  MappedFile file_;
+  TraceReadOptions options_;
+};
+
+// --- binary -------------------------------------------------------------
+
+struct DecodeOutcome {
+  std::shared_ptr<const DecodedBlock> block;
+  std::string error;  ///< empty = success
+};
+
+class BinaryTraceReader final : public TraceReader {
+ public:
+  BinaryTraceReader(std::string path, MappedFile file, G10tStructure structure,
+                    TraceReadOptions options)
+      : path_(std::move(path)),
+        file_(std::move(file)),
+        structure_(std::move(structure)),
+        options_(std::move(options)),
+        cache_(BlockCache::Options{options_.cache_budget_bytes, 8}) {}
+
+  ParseResult read(const TraceFilter& filter) override;
+
+  TraceReadStats stats() const override {
+    TraceReadStats out;
+    out.binary = true;
+    out.blocks_total = structure_.index.size();
+    out.blocks_read = blocks_read_.load(std::memory_order_relaxed);
+    out.blocks_skipped = blocks_skipped_.load(std::memory_order_relaxed);
+    out.blocks_decoded = blocks_decoded_.load(std::memory_order_relaxed);
+    out.bytes_mapped = file_.size();
+    out.cache = cache_.stats();
+    return out;
+  }
+
+  bool is_binary() const override { return true; }
+  const std::string& path() const override { return path_; }
+  const G10tStructure* structure() const override { return &structure_; }
+
+ private:
+  /// Do filter + index entry admit any record overlap? Conservative: a
+  /// true may still yield zero records, a false never loses one.
+  bool block_matches(const TraceFilter& filter,
+                     const std::vector<std::uint64_t>& filter_blooms,
+                     const IndexEntry& entry) const {
+    if (entry.record_count == 0) return false;
+    if (entry.time_max < filter.time_min || entry.time_min > filter.time_max) {
+      return false;
+    }
+    if (!filter.machines.empty()) {
+      bool any = entry.machine_min <= kGlobalMachine &&
+                 kGlobalMachine <= entry.machine_max;
+      for (const MachineId machine : filter.machines) {
+        if (any) break;
+        any = entry.machine_min <= machine && machine <= entry.machine_max;
+      }
+      if (!any) return false;
+    }
+    if (!filter_blooms.empty() && entry.kind != BlockKind::kSample) {
+      bool any = false;
+      for (const std::uint64_t bit : filter_blooms) {
+        if ((entry.name_bloom & bit) != 0) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+    return true;
+  }
+
+  DecodeOutcome decode_one(std::size_t ordinal) {
+    const IndexEntry& entry = structure_.index[ordinal];
+    DecodeOutcome outcome;
+    const std::string_view payload =
+        file_.bytes().substr(entry.offset, entry.encoded_size);
+    auto block = std::make_shared<DecodedBlock>();
+    try {
+      if (auto error = decode_block(payload, entry, structure_.symbols,
+                                    *block)) {
+        outcome.error =
+            "block " + std::to_string(ordinal) + ": " + *error;
+        return outcome;
+      }
+    } catch (const std::exception& e) {
+      outcome.error =
+          "block " + std::to_string(ordinal) + ": decode failed: " + e.what();
+      return outcome;
+    }
+    blocks_decoded_.fetch_add(1, std::memory_order_relaxed);
+    outcome.block = std::move(block);
+    cache_.put(ordinal, outcome.block);
+    return outcome;
+  }
+
+  std::string path_;
+  MappedFile file_;
+  G10tStructure structure_;
+  TraceReadOptions options_;
+  BlockCache cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<std::uint64_t> blocks_read_{0};
+  std::atomic<std::uint64_t> blocks_skipped_{0};
+  std::atomic<std::uint64_t> blocks_decoded_{0};
+};
+
+ParseResult BinaryTraceReader::read(const TraceFilter& filter) {
+  ParseResult result;
+  result.log.meta = structure_.meta;
+
+  // Seek: reject blocks via the index alone.
+  std::vector<std::uint64_t> filter_blooms;
+  if (!filter.phase_types.empty()) {
+    filter_blooms.reserve(filter.phase_types.size() +
+                          filter.ancestor_types.size());
+    for (const std::string& type : filter.phase_types) {
+      filter_blooms.push_back(name_bloom_bit(type));
+    }
+    for (const std::string& type : filter.ancestor_types) {
+      filter_blooms.push_back(name_bloom_bit(type));
+    }
+  }
+  std::vector<std::size_t> selected;
+  selected.reserve(structure_.index.size());
+  for (std::size_t i = 0; i < structure_.index.size(); ++i) {
+    if (block_matches(filter, filter_blooms, structure_.index[i])) {
+      selected.push_back(i);
+    } else {
+      blocks_skipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  blocks_read_.fetch_add(selected.size(), std::memory_order_relaxed);
+
+  // Async prefetch: keep the next few blocks decoding on the pool while
+  // the consumer appends the current one downstream.
+  const std::size_t pool_threads =
+      ThreadPool::resolve_threads(options_.threads > 0
+                                      ? static_cast<std::size_t>(
+                                            options_.threads)
+                                      : 0);
+  const std::size_t prefetch_depth =
+      pool_threads > 1 ? options_.prefetch_blocks : 0;
+  if (prefetch_depth > 0 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(
+        ThreadPool::Options{pool_threads, 4096});
+  }
+
+  struct InFlight {
+    std::size_t ordinal = 0;
+    std::future<DecodeOutcome> future;
+  };
+  std::deque<InFlight> in_flight;
+  std::size_t next_prefetch = 0;  // index into `selected`
+
+  const auto drain = [&] {
+    for (InFlight& flight : in_flight) flight.future.wait();
+    in_flight.clear();
+  };
+
+  const bool record_filter_active = !filter.machines.empty() ||
+                                    !filter.phase_types.empty() ||
+                                    time_window_active(filter);
+
+  for (std::size_t k = 0; k < selected.size(); ++k) {
+    if (prefetch_depth > 0) {
+      if (next_prefetch <= k) next_prefetch = k + 1;
+      while (next_prefetch < selected.size() &&
+             in_flight.size() < prefetch_depth) {
+        const std::size_t ordinal = selected[next_prefetch++];
+        const IndexEntry& entry = structure_.index[ordinal];
+        file_.advise_will_need(entry.offset, entry.encoded_size);
+        auto promise = std::make_shared<std::promise<DecodeOutcome>>();
+        InFlight flight;
+        flight.ordinal = ordinal;
+        flight.future = promise->get_future();
+        in_flight.push_back(std::move(flight));
+        pool_->submit([this, ordinal, promise] {
+          if (auto cached = cache_.get(ordinal)) {
+            promise->set_value(DecodeOutcome{std::move(cached), {}});
+            return;
+          }
+          promise->set_value(decode_one(ordinal));
+        });
+      }
+    }
+
+    const std::size_t ordinal = selected[k];
+    DecodeOutcome outcome;
+    if (!in_flight.empty() && in_flight.front().ordinal == ordinal) {
+      outcome = in_flight.front().future.get();
+      in_flight.pop_front();
+    } else if (auto cached = cache_.get(ordinal)) {
+      outcome.block = std::move(cached);
+    } else {
+      outcome = decode_one(ordinal);
+    }
+
+    if (!outcome.error.empty()) {
+      // Corrupt block: 1-based block ordinal in the "line" slot so strict
+      // and lenient consumers treat it like a damaged line, while
+      // file-level failures keep line 0.
+      ++result.error_count;
+      ParseError diagnostic{ordinal + 1, outcome.error, ""};
+      if (!result.error) result.error = diagnostic;
+      if (result.errors.size() < options_.max_errors) {
+        result.errors.push_back(std::move(diagnostic));
+      }
+      if (!options_.recover) {
+        drain();
+        return result;
+      }
+      continue;
+    }
+
+    const DecodedBlock& block = *outcome.block;
+    if (!record_filter_active) {
+      result.log.phase_events.insert(result.log.phase_events.end(),
+                                     block.phase_events.begin(),
+                                     block.phase_events.end());
+      result.log.blocking_events.insert(result.log.blocking_events.end(),
+                                        block.blocking_events.begin(),
+                                        block.blocking_events.end());
+      result.log.samples.insert(result.log.samples.end(),
+                                block.samples.begin(), block.samples.end());
+      continue;
+    }
+    for (const PhaseEventRecord& rec : block.phase_events) {
+      if (filter.matches(rec)) result.log.phase_events.push_back(rec);
+    }
+    for (const BlockingEventRecord& rec : block.blocking_events) {
+      if (filter.matches(rec)) result.log.blocking_events.push_back(rec);
+    }
+    for (const MonitoringSampleRecord& rec : block.samples) {
+      if (filter.matches(rec)) result.log.samples.push_back(rec);
+    }
+  }
+  drain();
+  return result;
+}
+
+}  // namespace
+
+TraceReader::OpenResult TraceReader::open(const std::string& path,
+                                          const TraceReadOptions& options) {
+  OpenResult out;
+  MappedFile file;
+  if (auto error =
+          MappedFile::open(path, MappedFile::Options{options.use_mmap},
+                           file)) {
+    out.error = std::move(*error);
+    return out;
+  }
+
+  TraceFormat format = options.format;
+  if (format == TraceFormat::kAuto) {
+    format = looks_like_g10t(file.bytes()) ? TraceFormat::kBinary
+                                           : TraceFormat::kText;
+  }
+  if (format == TraceFormat::kText) {
+    out.reader = std::make_unique<TextTraceReader>(path, std::move(file),
+                                                   options);
+    return out;
+  }
+
+  G10tStructureParse structure = parse_g10t_structure(file.bytes());
+  if (!structure.ok()) {
+    out.error = path + ": " + *structure.error;
+    return out;
+  }
+  out.reader = std::make_unique<BinaryTraceReader>(
+      path, std::move(file), std::move(structure.structure), options);
+  return out;
+}
+
+ParseResult read_trace_file(const std::string& path,
+                            const TraceReadOptions& options,
+                            const TraceFilter& filter) {
+  TraceReader::OpenResult opened = TraceReader::open(path, options);
+  if (!opened.ok()) {
+    ParseResult result;
+    ParseError error{0, *opened.error, ""};
+    result.error = error;
+    result.error_count = 1;
+    if (options.max_errors > 0) result.errors.push_back(std::move(error));
+    return result;
+  }
+  return opened.reader->read(filter);
+}
+
+}  // namespace g10::trace

@@ -3,7 +3,10 @@
 // render what the report holds, and the rule catalog stays consistent.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -18,7 +21,9 @@
 #include "grade10/models/pregel_model.hpp"
 #include "graph/generators.hpp"
 #include "monitor/sampler.hpp"
+#include "trace/g10t_io.hpp"
 #include "trace/log_io.hpp"
+#include "trace/trace_reader.hpp"
 
 namespace g10::lint {
 namespace {
@@ -328,6 +333,65 @@ TEST(CleanCorpusTest, EngineRunLintsClean) {
   std::ostringstream os;
   render_text(os, report);
   EXPECT_TRUE(report.clean()) << os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Binary traces lint through the same preflight; a corrupt `.g10t` block
+// surfaces as its own rule so the finding names the damaged block, not a
+// phantom "syntax error" in a file with no lines.
+
+TEST(BinaryTraceLintTest, CorruptBlockYieldsItsOwnFinding) {
+  const std::string model_text = slurp(fixture_path("trace-model.g10"));
+  std::istringstream model_stream(model_text);
+  core::ModelParseResult model = core::parse_model(model_stream);
+  ASSERT_TRUE(model.ok());
+
+  trace::ParsedLog log;
+  log.phase_events.push_back({trace::PhaseEventRecord::Kind::Begin,
+                              trace::PhasePath{}.child("Job", 0), 0,
+                              trace::kGlobalMachine});
+  log.phase_events.push_back({trace::PhaseEventRecord::Kind::End,
+                              trace::PhasePath{}.child("Job", 0), 1000,
+                              trace::kGlobalMachine});
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("g10_lint_corrupt_" + std::to_string(::getpid()) + ".g10t"))
+          .string();
+  std::string error;
+  ASSERT_TRUE(trace::write_g10t_file(path, log, {}, &error)) << error;
+
+  // Flip one payload byte; header and index stay valid.
+  std::string bytes = slurp(path);
+  const trace::G10tStructureParse structure =
+      trace::parse_g10t_structure(bytes);
+  ASSERT_TRUE(structure.ok());
+  ASSERT_EQ(structure.structure.index.size(), 1u);
+  bytes[structure.structure.index[0].offset] ^= 0x11;
+  std::ofstream(path, std::ios::binary) << bytes;
+
+  trace::TraceReadOptions options;
+  options.recover = true;
+  trace::TraceReader::OpenResult opened = trace::TraceReader::open(path,
+                                                                   options);
+  ASSERT_TRUE(opened.ok()) << *opened.error;
+  ASSERT_TRUE(opened.reader->is_binary());
+  const trace::ParseResult damaged = opened.reader->read();
+  EXPECT_EQ(damaged.error_count, 1u);
+
+  const LintReport report =
+      preflight(model_text, "trace-model.g10", model.model, damaged, path,
+                {}, /*binary_trace=*/true);
+  EXPECT_TRUE(report.has_rule("trace-binary-corrupt-block"));
+  EXPECT_FALSE(report.ok());
+  // The finding's location is the 1-based block ordinal, not a text line.
+  bool found = false;
+  for (const LintFinding& finding : report.findings()) {
+    if (finding.rule_id != "trace-binary-corrupt-block") continue;
+    found = true;
+    EXPECT_EQ(finding.location.line, 1u);
+  }
+  EXPECT_TRUE(found);
+  std::filesystem::remove(path);
 }
 
 // ---------------------------------------------------------------------------

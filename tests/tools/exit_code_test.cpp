@@ -141,6 +141,99 @@ TEST(AnalyzeExitCodeTest, TruncatedCrashLogIsAnalysisError) {
   EXPECT_EQ(exit_code(base + " --lenient"), kExitOk);
 }
 
+/// A small valid `.g10t`, converted once from the shared run artifacts.
+const std::string& ok_binary_trace() {
+  static const std::string path = [] {
+    const std::string out = (test_root() / "run_ok.g10t").string();
+    EXPECT_EQ(exit_code(std::string(G10_CONVERT_BIN) + " --in " +
+                        ok_artifacts() + "/run.log --out " + out +
+                        " --verify"),
+              kExitOk);
+    return out;
+  }();
+  return path;
+}
+
+/// Copies the valid binary trace and flips one header byte.
+std::string corrupt_header_trace() {
+  const std::string out = (test_root() / "corrupt_header.g10t").string();
+  std::ifstream in(ok_binary_trace(), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  EXPECT_GT(bytes.size(), 40u);
+  bytes[24] ^= 0x5c;
+  std::ofstream(out, std::ios::binary) << bytes;
+  return out;
+}
+
+TEST(ConvertExitCodeTest, MissingOrUnknownFlagsAreBadArgs) {
+  EXPECT_EQ(exit_code(std::string(G10_CONVERT_BIN)), kExitBadArgs);
+  EXPECT_EQ(exit_code(std::string(G10_CONVERT_BIN) + " --in a --out b"
+                      " --to protobuf"),
+            kExitBadArgs);
+  EXPECT_EQ(exit_code(std::string(G10_CONVERT_BIN) + " --in a --out b"
+                      " --block-records 0"),
+            kExitBadArgs);
+}
+
+TEST(ConvertExitCodeTest, MissingInputIsParseFailure) {
+  EXPECT_EQ(exit_code(std::string(G10_CONVERT_BIN) +
+                      " --in /nonexistent.log --out " +
+                      (test_root() / "x.g10t").string()),
+            kExitParseFailure);
+}
+
+TEST(ConvertExitCodeTest, RoundTripBothDirectionsIsZero) {
+  const std::string back = (test_root() / "back.log").string();
+  EXPECT_EQ(exit_code(std::string(G10_CONVERT_BIN) + " --in " +
+                      ok_binary_trace() + " --out " + back + " --verify"),
+            kExitOk);
+}
+
+TEST(ConvertExitCodeTest, TruncatedHeaderIsParseFailure) {
+  const std::string truncated = (test_root() / "truncated.g10t").string();
+  {
+    std::ifstream in(ok_binary_trace(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream(truncated, std::ios::binary) << bytes.substr(0, 40);
+  }
+  EXPECT_EQ(exit_code(std::string(G10_CONVERT_BIN) + " --in " + truncated +
+                      " --out " + (test_root() / "y.log").string()),
+            kExitParseFailure);
+}
+
+TEST(ConvertExitCodeTest, CorruptHeaderIsParseFailure) {
+  EXPECT_EQ(exit_code(std::string(G10_CONVERT_BIN) + " --in " +
+                      corrupt_header_trace() + " --out " +
+                      (test_root() / "z.log").string()),
+            kExitParseFailure);
+}
+
+TEST(AnalyzeExitCodeTest, BinaryTraceAnalyzesCleanly) {
+  EXPECT_EQ(exit_code(std::string(G10_ANALYZE_BIN) + " --model " +
+                      ok_artifacts() + "/model.g10 --log " +
+                      ok_binary_trace()),
+            kExitOk);
+}
+
+TEST(AnalyzeExitCodeTest, CorruptBinaryHeaderIsParseFailure) {
+  EXPECT_EQ(exit_code(std::string(G10_ANALYZE_BIN) + " --model " +
+                      ok_artifacts() + "/model.g10 --log " +
+                      corrupt_header_trace()),
+            kExitParseFailure);
+}
+
+TEST(AnalyzeExitCodeTest, BadFilterSyntaxIsBadArgs) {
+  const std::string base = std::string(G10_ANALYZE_BIN) + " --model " +
+                           ok_artifacts() + "/model.g10 --log " +
+                           ok_binary_trace();
+  EXPECT_EQ(exit_code(base + " --trace-format parquet"), kExitBadArgs);
+  EXPECT_EQ(exit_code(base + " --time-range 10"), kExitBadArgs);
+  EXPECT_EQ(exit_code(base + " --time-range 50:10"), kExitBadArgs);
+  EXPECT_EQ(exit_code(base + " --machines 1,x"), kExitBadArgs);
+}
+
 TEST(DetCheckExitCodeTest, IdenticalExecutionsAreZero) {
   EXPECT_EQ(exit_code(std::string(G10_RUN_BIN) +
                       " --engine pregel --algorithm pagerank --dataset rmat:5"

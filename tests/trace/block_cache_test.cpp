@@ -1,0 +1,132 @@
+// The byte-budgeted LRU block cache: eviction order, the budget invariant
+// under a deliberately tiny budget (the forced-eviction regime the CI job
+// also runs end to end), and stats bookkeeping.
+#include "trace/block_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace g10::trace {
+namespace {
+
+/// A decoded block whose approx_bytes() is dominated by `samples` entries;
+/// each sample is a few dozen bytes, so `n` scales the footprint.
+std::shared_ptr<const DecodedBlock> make_block(std::size_t n) {
+  auto block = std::make_shared<DecodedBlock>();
+  block->samples.resize(n, MonitoringSampleRecord{"cpu", 0, 0, 1.0});
+  return block;
+}
+
+TEST(BlockCacheTest, HitAfterPut) {
+  BlockCache cache({1 << 20, 4});
+  EXPECT_EQ(cache.get(1), nullptr);
+  auto block = make_block(4);
+  cache.put(1, block);
+  EXPECT_EQ(cache.get(1), block);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.resident_blocks, 1u);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // One shard so the LRU order is global and observable.
+  const std::size_t block_bytes = make_block(8)->approx_bytes();
+  BlockCache cache({3 * block_bytes, 1});
+  cache.put(1, make_block(8));
+  cache.put(2, make_block(8));
+  cache.put(3, make_block(8));
+  ASSERT_NE(cache.get(1), nullptr);  // refresh 1; 2 is now the LRU tail
+  cache.put(4, make_block(8));       // must push something out
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_NE(cache.get(4), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(BlockCacheTest, TinyBudgetNeverExceedsItExceptForTheNewestEntry) {
+  // Property test: under a budget that fits ~2 blocks, a long mixed
+  // put/get workload keeps resident bytes within budget (the documented
+  // exception: a shard always retains its most recent insertion, so a
+  // single oversized block may stand above budget alone).
+  const std::size_t block_bytes = make_block(16)->approx_bytes();
+  BlockCache cache({2 * block_bytes, 1});
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    cache.put(i % 17, make_block(16));
+    cache.get((i * 7) % 17);
+    const auto stats = cache.stats();
+    EXPECT_LE(stats.resident_bytes,
+              std::max(cache.budget_bytes(), block_bytes))
+        << "after step " << i;
+    EXPECT_LE(stats.resident_blocks, 2u);
+  }
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 200u);
+  EXPECT_GE(stats.evictions, 198u - stats.resident_blocks);
+}
+
+TEST(BlockCacheTest, OversizedBlockSurvivesUntilNextInsert) {
+  BlockCache cache({16, 1});  // smaller than any real block
+  auto huge = make_block(64);
+  cache.put(7, huge);
+  EXPECT_EQ(cache.get(7), huge);  // most recent entry is never evicted...
+  cache.put(8, make_block(64));
+  EXPECT_EQ(cache.get(7), nullptr);  // ...until something newer arrives
+  EXPECT_NE(cache.get(8), nullptr);
+}
+
+TEST(BlockCacheTest, ZeroBudgetCachesNothing) {
+  BlockCache cache({0, 4});
+  cache.put(1, make_block(4));
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(cache.stats().resident_blocks, 0u);
+}
+
+TEST(BlockCacheTest, RefreshingAKeyReplacesItsValue) {
+  BlockCache cache({1 << 20, 2});
+  cache.put(5, make_block(2));
+  auto replacement = make_block(3);
+  cache.put(5, replacement);
+  EXPECT_EQ(cache.get(5), replacement);
+  EXPECT_EQ(cache.stats().resident_blocks, 1u);
+}
+
+TEST(BlockCacheTest, EvictedBlockStaysAliveWhileHeld) {
+  const std::size_t block_bytes = make_block(8)->approx_bytes();
+  BlockCache cache({block_bytes, 1});
+  auto held = make_block(8);
+  cache.put(1, held);
+  cache.put(2, make_block(8));  // evicts key 1
+  EXPECT_EQ(cache.get(1), nullptr);
+  EXPECT_EQ(held->samples.size(), 8u);  // still valid through our reference
+}
+
+TEST(BlockCacheTest, SmallBudgetCollapsesShardsSoTheBudgetHolds) {
+  // A sub-64KiB budget over 8 requested shards must behave like one shard:
+  // resident bytes stay within max(budget, one block), not 8 pinned blocks.
+  const std::size_t block_bytes = make_block(16)->approx_bytes();
+  BlockCache cache({48 << 10, 8});
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    cache.put(i, make_block(16));
+    EXPECT_LE(cache.stats().resident_bytes,
+              std::max(cache.budget_bytes(), block_bytes));
+  }
+}
+
+TEST(BlockCacheTest, ShardsPartitionKeys) {
+  // Across many shards the per-shard budgets still bound the total.
+  const std::size_t block_bytes = make_block(8)->approx_bytes();
+  BlockCache cache({8 * block_bytes, 8});
+  for (std::uint64_t i = 0; i < 64; ++i) cache.put(i, make_block(8));
+  const auto stats = cache.stats();
+  // Each shard keeps at least its most recent entry.
+  EXPECT_GE(stats.resident_blocks, 1u);
+  EXPECT_LE(stats.resident_bytes, 8 * block_bytes + 8 * block_bytes);
+}
+
+}  // namespace
+}  // namespace g10::trace

@@ -1,0 +1,265 @@
+// The format-independent TraceReader: text-vs-binary identity over the
+// golden engine traces, mmap-vs-buffered identity, warm-cache re-reads,
+// filter equivalence across formats, corrupt-block strict/lenient
+// semantics, and prefetch-on/off determinism.
+#include "trace/trace_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/g10t_io.hpp"
+
+namespace g10::trace {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(G10_GOLDEN_TRACE_DIR) + "/" + name;
+}
+
+const std::vector<std::string>& golden_logs() {
+  static const std::vector<std::string> logs = {
+      "pregel_pagerank_d512_s99.log",
+      "gas_pagerank_d512_s99.log",
+      "dataflow_3stage_s99.log",
+  };
+  return logs;
+}
+
+std::filesystem::path test_root() {
+  static const std::filesystem::path root = [] {
+    auto path = std::filesystem::temp_directory_path() /
+                ("g10_trace_reader_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+    return path;
+  }();
+  return root;
+}
+
+std::string render(const ParsedLog& log) {
+  std::ostringstream os;
+  write_log(os, log.phase_events, log.blocking_events, log.samples, log.meta);
+  return os.str();
+}
+
+/// Converts a text golden to .g10t once; cached across tests.
+std::string binary_of(const std::string& name,
+                      std::size_t block_records = 64) {
+  const std::string out =
+      (test_root() / (name + "." + std::to_string(block_records) + ".g10t"))
+          .string();
+  if (!std::filesystem::exists(out)) {
+    const ParseResult parsed = read_log_file(golden_path(name), {});
+    EXPECT_TRUE(parsed.ok());
+    G10tWriteOptions options;
+    options.block_records = block_records;  // several blocks per kind
+    std::string error;
+    EXPECT_TRUE(write_g10t_file(out, parsed.log, options, &error)) << error;
+  }
+  return out;
+}
+
+TEST(TraceReaderTest, SniffsFormatsFromBytes) {
+  const SniffResult text = sniff_trace_format(golden_path(golden_logs()[0]));
+  EXPECT_EQ(text.format, TraceFormat::kText);
+  const SniffResult binary =
+      sniff_trace_format(binary_of(golden_logs()[0]));
+  EXPECT_EQ(binary.format, TraceFormat::kBinary);
+}
+
+TEST(TraceReaderTest, BinaryReadIsByteIdenticalToTextForEveryGolden) {
+  for (const std::string& name : golden_logs()) {
+    const ParseResult text = read_trace_file(golden_path(name));
+    ASSERT_TRUE(text.ok()) << name;
+    const ParseResult binary = read_trace_file(binary_of(name));
+    ASSERT_TRUE(binary.ok()) << name;
+    EXPECT_EQ(render(binary.log), render(text.log)) << name;
+  }
+}
+
+TEST(TraceReaderTest, BufferedReadMatchesMmapForBothFormats) {
+  TraceReadOptions buffered;
+  buffered.use_mmap = false;
+  for (const std::string& path :
+       {golden_path(golden_logs()[0]), binary_of(golden_logs()[0])}) {
+    const ParseResult mapped = read_trace_file(path);
+    const ParseResult plain = read_trace_file(path, buffered);
+    ASSERT_TRUE(mapped.ok()) << path;
+    ASSERT_TRUE(plain.ok()) << path;
+    EXPECT_EQ(render(mapped.log), render(plain.log)) << path;
+  }
+}
+
+TEST(TraceReaderTest, WarmReadDecodesNothingAndStaysIdentical) {
+  TraceReader::OpenResult opened =
+      TraceReader::open(binary_of(golden_logs()[1]), {});
+  ASSERT_TRUE(opened.ok()) << *opened.error;
+  const ParseResult cold = opened.reader->read();
+  ASSERT_TRUE(cold.ok());
+  const auto cold_stats = opened.reader->stats();
+  EXPECT_GT(cold_stats.blocks_decoded, 0u);
+  EXPECT_EQ(cold_stats.blocks_total,
+            cold_stats.blocks_read + cold_stats.blocks_skipped);
+
+  const ParseResult warm = opened.reader->read();
+  const auto warm_stats = opened.reader->stats();
+  EXPECT_EQ(warm_stats.blocks_decoded, cold_stats.blocks_decoded)
+      << "warm read re-decoded blocks despite the cache";
+  EXPECT_GT(warm_stats.cache.hits, 0u);
+  EXPECT_EQ(render(warm.log), render(cold.log));
+}
+
+TEST(TraceReaderTest, PrefetchOnAndOffProduceIdenticalResults) {
+  TraceReadOptions serial;
+  serial.threads = 1;
+  serial.prefetch_blocks = 0;
+  TraceReadOptions prefetching;
+  prefetching.threads = 4;
+  prefetching.prefetch_blocks = 3;
+  for (const std::string& name : golden_logs()) {
+    const std::string path = binary_of(name, 16);  // many small blocks
+    const ParseResult a = read_trace_file(path, serial);
+    const ParseResult b = read_trace_file(path, prefetching);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(render(a.log), render(b.log)) << name;
+  }
+}
+
+TEST(TraceReaderTest, FiltersMatchAcrossFormats) {
+  TraceFilter machines;
+  machines.machines = {0, 2};
+  TraceFilter window;
+  window.time_min = 1'000'000;
+  window.time_max = 50'000'000;
+  TraceFilter typed;
+  typed.phase_types = {"Superstep"};
+  typed.ancestor_types = {"Execute", "Job"};
+  for (const TraceFilter& filter : {machines, window, typed}) {
+    for (const std::string& name : golden_logs()) {
+      const ParseResult text = read_trace_file(golden_path(name), {}, filter);
+      const ParseResult binary =
+          read_trace_file(binary_of(name), {}, filter);
+      ASSERT_TRUE(text.ok());
+      ASSERT_TRUE(binary.ok());
+      EXPECT_EQ(render(binary.log), render(text.log)) << name;
+    }
+  }
+}
+
+TEST(TraceReaderTest, PhaseFilterKeepsSubtreePlusAncestorChainOnly) {
+  TraceFilter filter;
+  filter.phase_types = {"Superstep"};
+  filter.ancestor_types = {"Execute", "Job"};
+  const ParseResult sliced = read_trace_file(
+      golden_path("pregel_pagerank_d512_s99.log"), {}, filter);
+  ASSERT_TRUE(sliced.ok());
+  ASSERT_FALSE(sliced.log.phase_events.empty());
+  bool saw_superstep = false;
+  for (const PhaseEventRecord& rec : sliced.log.phase_events) {
+    // Sibling subtrees under the kept ancestors must not leak in.
+    EXPECT_EQ(rec.path.to_string().find("LoadGraph"), std::string::npos);
+    EXPECT_EQ(rec.path.to_string().find("StoreResults"), std::string::npos);
+    for (const PathElement& element : rec.path.elements) {
+      saw_superstep |= element.type == "Superstep";
+    }
+  }
+  EXPECT_TRUE(saw_superstep);
+}
+
+TEST(TraceReaderTest, FilteredBinaryReadSkipsBlocks) {
+  const std::string path = binary_of(golden_logs()[0], 16);
+  TraceReader::OpenResult opened = TraceReader::open(path, {});
+  ASSERT_TRUE(opened.ok());
+  TraceFilter filter;
+  filter.time_min = 0;
+  filter.time_max = 1;  // virtually nothing overlaps
+  const ParseResult result = opened.reader->read(filter);
+  ASSERT_TRUE(result.ok());
+  const auto stats = opened.reader->stats();
+  EXPECT_GT(stats.blocks_total, 1u);
+  EXPECT_GT(stats.blocks_skipped, 0u)
+      << "index-based seek never rejected a block";
+}
+
+TEST(TraceReaderTest, MissingFileReportsErrnoText) {
+  const ParseResult result =
+      read_trace_file((test_root() / "nope.g10t").string());
+  ASSERT_FALSE(result.ok());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->line_number, 0u);
+  EXPECT_NE(result.error->message.find("nope.g10t"), std::string::npos);
+  EXPECT_NE(result.error->message.find("No such file"), std::string::npos);
+}
+
+TEST(TraceReaderTest, CorruptHeaderIsAnOpenError) {
+  const std::string path = (test_root() / "corrupt_header.g10t").string();
+  std::string bytes;
+  {
+    std::ifstream in(binary_of(golden_logs()[0]), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  bytes[30] ^= 0x7f;
+  std::ofstream(path, std::ios::binary) << bytes;
+  TraceReader::OpenResult opened = TraceReader::open(path, {});
+  EXPECT_FALSE(opened.ok());
+  EXPECT_NE(opened.error->find(path), std::string::npos);
+}
+
+/// Corrupts the payload of one middle block; the header and index stay
+/// intact so only that block fails to decode.
+std::string corrupt_one_block(const std::string& name) {
+  const std::string path = (test_root() / (name + ".corrupt.g10t")).string();
+  std::string bytes;
+  {
+    std::ifstream in(binary_of(name, 16), std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = std::move(buffer).str();
+  }
+  const G10tStructureParse parsed = parse_g10t_structure(bytes);
+  EXPECT_TRUE(parsed.ok());
+  EXPECT_GT(parsed.structure.index.size(), 2u);
+  const IndexEntry& victim =
+      parsed.structure.index[parsed.structure.index.size() / 2];
+  bytes[victim.offset + victim.encoded_size / 2] ^= 0x33;
+  std::ofstream(path, std::ios::binary) << bytes;
+  return path;
+}
+
+TEST(TraceReaderTest, CorruptBlockStopsAStrictRead) {
+  const std::string path = corrupt_one_block(golden_logs()[0]);
+  TraceReadOptions strict;
+  strict.recover = false;
+  const ParseResult result = read_trace_file(path, strict);
+  ASSERT_FALSE(result.ok());
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_GT(result.error->line_number, 0u)  // 1-based block ordinal
+      << "block errors must not masquerade as file-level errors";
+  EXPECT_NE(result.error->message.find("block"), std::string::npos);
+}
+
+TEST(TraceReaderTest, CorruptBlockIsSkippedWhenRecovering) {
+  const std::string name = golden_logs()[0];
+  const std::string path = corrupt_one_block(name);
+  TraceReadOptions recover;
+  recover.recover = true;
+  const ParseResult damaged = read_trace_file(path, recover);
+  EXPECT_EQ(damaged.error_count, 1u);
+  const ParseResult intact = read_trace_file(binary_of(name, 16));
+  ASSERT_TRUE(intact.ok());
+  // Exactly one block's records are missing; everything else survives.
+  EXPECT_LT(damaged.log.phase_events.size() + damaged.log.samples.size(),
+            intact.log.phase_events.size() + intact.log.samples.size());
+  EXPECT_GT(damaged.log.phase_events.size(), 0u);
+}
+
+}  // namespace
+}  // namespace g10::trace

@@ -1,13 +1,27 @@
 // g10_analyze — offline Grade10 analysis of a dumped run:
 //
-//   g10_analyze --model <model.g10> --log <run.log>
+//   g10_analyze --model <model.g10> --log <run.log | run.g10t>
 //               [--timeslice-ms MS] [--min-impact PCT]
 //               [--threads N] [--lenient | --strict] [--no-preflight]
-//               [--det-check N]
+//               [--det-check N] [--trace-format auto|text|binary]
+//               [--machines M,M,...] [--phases TYPE,TYPE,...]
+//               [--time-range LO:HI] [--cache-budget-mb MB]
 //
-// Parses the declarative model file and the run's log (phase events,
-// blocking events, monitoring samples), executes the full characterization
-// pipeline, and prints the profile, bottleneck, and issue reports.
+// Parses the declarative model file and the run's trace — the text log or
+// its binary `.g10t` form (g10_convert), sniffed from the file's bytes —
+// executes the full characterization pipeline, and prints the profile,
+// bottleneck, and issue reports. Both formats produce byte-identical
+// reports; binary ingestion decodes through an LRU block cache
+// (--cache-budget-mb) with async prefetch, touching only the blocks the
+// filters below admit.
+//
+// --machines / --phases / --time-range restrict the analysis to a slice of
+// the trace: listed machines (global records always kept), phase subtrees
+// (requested types are expanded with their model ancestors so the slice
+// stays a tree), and an inclusive nanosecond window. On a `.g10t` input the
+// filters skip non-matching blocks via the index instead of scanning the
+// whole trace. A time-sliced extract usually cuts phases mid-flight —
+// analyze those with --lenient.
 //
 // Before characterizing, the inputs are linted (the same checks g10_lint
 // runs): in strict mode lint errors abort the analysis; with --lenient
@@ -55,6 +69,7 @@
 #include "grade10/report/report.hpp"
 #include "grade10/report/timeline_export.hpp"
 #include "trace/log_io.hpp"
+#include "trace/trace_reader.hpp"
 
 namespace g10 {
 namespace {
@@ -69,14 +84,25 @@ struct Args {
   bool lenient = false;
   bool preflight = true;
   int det_check = 0;  ///< 0 = off; otherwise max thread count to sweep
+  trace::TraceFormat trace_format = trace::TraceFormat::kAuto;
+  std::vector<trace::MachineId> machines;
+  std::vector<std::string> phases;
+  std::optional<std::pair<TimeNs, TimeNs>> time_range;
+  std::size_t cache_budget_mb = 256;
 };
 
 int usage() {
-  std::cerr << "usage: g10_analyze --model <model.g10> --log <run.log>\n"
+  std::cerr << "usage: g10_analyze --model <model.g10> "
+               "--log <run.log | run.g10t>\n"
                "                   [--timeslice-ms MS] [--min-impact FRAC]\n"
                "                   [--chrome-trace <out.json>] [--threads N]\n"
                "                   [--lenient | --strict] [--no-preflight]\n"
-               "                   [--det-check N]\n";
+               "                   [--det-check N] "
+               "[--trace-format auto|text|binary]\n"
+               "                   [--machines M,M,...] "
+               "[--phases TYPE,TYPE,...]\n"
+               "                   [--time-range LO:HI] "
+               "[--cache-budget-mb MB]\n";
   return kExitBadArgs;
 }
 
@@ -115,12 +141,83 @@ std::optional<Args> parse_args(int argc, char** argv) {
       const auto n = parse_int(value);
       if (!n || *n < 1) return std::nullopt;
       args.det_check = static_cast<int>(*n);
+    } else if (arg == "--trace-format") {
+      if (value == "auto") {
+        args.trace_format = trace::TraceFormat::kAuto;
+      } else if (value == "text") {
+        args.trace_format = trace::TraceFormat::kText;
+      } else if (value == "binary") {
+        args.trace_format = trace::TraceFormat::kBinary;
+      } else {
+        return std::nullopt;
+      }
+    } else if (arg == "--machines") {
+      for (const std::string_view field : split(value, ',')) {
+        const auto machine = parse_int(trim(field));
+        if (!machine) return std::nullopt;
+        args.machines.push_back(static_cast<trace::MachineId>(*machine));
+      }
+    } else if (arg == "--phases") {
+      for (const std::string_view field : split(value, ',')) {
+        const std::string_view type = trim(field);
+        if (type.empty()) return std::nullopt;
+        args.phases.emplace_back(type);
+      }
+    } else if (arg == "--time-range") {
+      const auto colon = value.find(':');
+      if (colon == std::string::npos) return std::nullopt;
+      const auto lo = parse_int(std::string_view(value).substr(0, colon));
+      const auto hi = parse_int(std::string_view(value).substr(colon + 1));
+      if (!lo || !hi || *lo < 0 || *hi < *lo) return std::nullopt;
+      args.time_range = {*lo, *hi};
+    } else if (arg == "--cache-budget-mb") {
+      const auto n = parse_int(value);
+      if (!n || *n < 0) return std::nullopt;
+      args.cache_budget_mb = static_cast<std::size_t>(*n);
     } else {
       return std::nullopt;
     }
   }
   if (args.model_path.empty() || args.log_path.empty()) return std::nullopt;
   return args;
+}
+
+/// The record filter for --machines/--phases/--time-range. Requested phase
+/// types are expanded with their model ancestors so the filtered slice
+/// keeps the enclosing instance tree analyzable.
+trace::TraceFilter build_filter(const Args& args,
+                                const core::ExecutionModel& model) {
+  trace::TraceFilter filter;
+  filter.machines = args.machines;
+  if (args.time_range) {
+    filter.time_min = args.time_range->first;
+    filter.time_max = args.time_range->second;
+  }
+  const auto add_type = [](std::vector<std::string>& types,
+                           const std::string& name) {
+    if (std::find(types.begin(), types.end(), name) == types.end()) {
+      types.push_back(name);
+    }
+  };
+  for (const std::string& name : args.phases) {
+    add_type(filter.phase_types, name);  // kept even if unknown to the model
+    const core::PhaseTypeId requested = model.find(name);
+    if (requested == core::kNoPhaseType) continue;
+    for (core::PhaseTypeId id = model.type(requested).parent;
+         id != core::kNoPhaseType; id = model.type(id).parent) {
+      add_type(filter.ancestor_types, model.type(id).name);
+    }
+  }
+  return filter;
+}
+
+trace::TraceReadOptions reader_options(const Args& args, int threads) {
+  trace::TraceReadOptions options;
+  options.format = args.trace_format;
+  options.recover = true;  // always collect the full error list
+  options.threads = threads;
+  options.cache_budget_bytes = args.cache_budget_mb << 20;
+  return options;
 }
 
 /// The determinism oracle: parse + characterize the same input at thread
@@ -131,13 +228,12 @@ int det_check(const Args& args, const core::ModelParseResult& model) {
   std::sort(counts.begin(), counts.end());
   counts.erase(std::unique(counts.begin(), counts.end()), counts.end());
 
+  const trace::TraceFilter filter =
+      build_filter(args, model.model.execution);
   std::vector<DetSummary> summaries;
   for (const int threads : counts) {
-    trace::ParseOptions parse_options;
-    parse_options.recover = true;
-    parse_options.threads = threads;
-    const trace::ParseResult log =
-        trace::read_log_file(args.log_path, parse_options);
+    const trace::ParseResult log = trace::read_trace_file(
+        args.log_path, reader_options(args, threads), filter);
     if (log.error && log.error->line_number == 0) {
       std::cerr << log.error->message << '\n';
       return kExitParseFailure;
@@ -211,22 +307,26 @@ int run(const Args& args) {
 
   if (args.det_check > 0) return det_check(args, model);
 
-  trace::ParseOptions parse_options;
-  parse_options.recover = true;  // always collect the full error list
-  parse_options.threads = args.threads;
-  const trace::ParseResult log =
-      trace::read_log_file(args.log_path, parse_options);
+  const trace::ParseResult log = trace::read_trace_file(
+      args.log_path, reader_options(args, args.threads),
+      build_filter(args, model.model.execution));
   if (log.error && log.error->line_number == 0) {
+    // File-level failure: unreadable file, or a truncated / corrupt .g10t
+    // header or section table.
     std::cerr << log.error->message << '\n';
     return kExitParseFailure;
   }
   if (!log.ok()) {
     if (!args.lenient) {
       std::cerr << args.log_path << ": " << log.error_count
-                << " malformed line(s):\n";
+                << " malformed line(s)/block(s):\n";
       for (const auto& error : log.errors) {
-        std::cerr << "  line " << error.line_number << ": " << error.message
-                  << "  [" << error.line << "]\n";
+        if (error.line.empty()) {
+          std::cerr << "  " << error.message << '\n';
+        } else {
+          std::cerr << "  line " << error.line_number << ": "
+                    << error.message << "  [" << error.line << "]\n";
+        }
       }
       if (log.error_count > log.errors.size()) {
         std::cerr << "  (+" << (log.error_count - log.errors.size())

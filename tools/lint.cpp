@@ -1,15 +1,18 @@
 // g10_lint — static validation of Grade10 inputs, without running the
 // characterization pipeline:
 //
-//   g10_lint --model <model.g10> [--log <run.log>]
+//   g10_lint --model <model.g10> [--log <run.log | run.g10t>]
 //            [--json] [--werror] [--threads N]
 //   g10_lint --rules
 //
 // Checks the declarative model file (phase tree shape, sibling order
 // cycles, attribution rules) and, when --log is given, the dumped run
 // against that model (unbalanced/overlapping phases, blocking events
-// outside their phase, monitoring series defects). Findings are printed
-// one per line, or as JSON with --json; --rules lists every rule id.
+// outside their phase, monitoring series defects). The trace may be the
+// text log or its binary `.g10t` form (sniffed from the bytes); corrupt
+// binary blocks surface as trace-binary-corrupt-block findings. Findings
+// are printed one per line, or as JSON with --json; --rules lists every
+// rule id.
 //
 // Exit codes: 0 = clean or warnings only, 1 = errors (or any finding with
 // --werror), 2 = usage or I/O failure.
@@ -23,7 +26,7 @@
 #include "grade10/lint/model_lint.hpp"
 #include "grade10/lint/preflight.hpp"
 #include "grade10/model/model_io.hpp"
-#include "trace/log_io.hpp"
+#include "trace/trace_reader.hpp"
 
 namespace g10 {
 namespace {
@@ -112,17 +115,23 @@ int run(const Args& args) {
       report = lint::preflight_model(*model_text, args.model_path);
       std::cerr << "model does not parse; skipping trace lint\n";
     } else {
-      trace::ParseOptions options;
+      trace::TraceReadOptions options;
       options.recover = true;
       options.threads = args.threads;
-      const trace::ParseResult log =
-          trace::read_log_file(args.log_path, options);
+      trace::TraceReader::OpenResult opened =
+          trace::TraceReader::open(args.log_path, options);
+      if (!opened.ok()) {
+        std::cerr << *opened.error << '\n';
+        return 2;
+      }
+      const trace::ParseResult log = opened.reader->read();
       if (log.error && log.error->line_number == 0) {
         std::cerr << log.error->message << '\n';
         return 2;
       }
       report = lint::preflight(*model_text, args.model_path, model.model, log,
-                               args.log_path);
+                               args.log_path, {},
+                               opened.reader->is_binary());
     }
   }
 

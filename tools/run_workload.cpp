@@ -74,6 +74,7 @@
 #include "monitor/sampler.hpp"
 #include "sim/fault_injector.hpp"
 #include "trace/det_fold.hpp"
+#include "trace/g10t_io.hpp"
 #include "trace/log_io.hpp"
 
 namespace g10 {
@@ -123,6 +124,7 @@ struct Args {
   std::optional<double> batch_flush_us;
   engine::CrashLogStyle crash_log = engine::CrashLogStyle::kReconciled;
   int det_check = 0;  ///< 0 = off; otherwise number of executions (>= 2)
+  std::string trace_format = "text";  ///< text | binary | both
 };
 
 int usage() {
@@ -139,7 +141,8 @@ int usage() {
                "[--heartbeat-timeout-ms MS]\n"
                "               [--crash-log reconciled|truncated]\n"
                "               [--batch-bytes B] [--batch-flush-us US]\n"
-               "               [--det-check N]\n";
+               "               [--det-check N] "
+               "[--trace-format text|binary|both]\n";
   return kExitBadArgs;
 }
 
@@ -213,6 +216,9 @@ std::optional<Args> parse_args(int argc, char** argv) {
       } else {
         return std::nullopt;
       }
+    } else if (arg == "--trace-format") {
+      if (*v != "text" && *v != "binary" && *v != "both") return std::nullopt;
+      args.trace_format = *v;
     } else {
       return std::nullopt;
     }
@@ -469,7 +475,13 @@ int run(const Args& args) {
       derive_samples(args, fault_spec, engine_run, /*verbose=*/true);
 
   std::filesystem::create_directories(args.out);
-  {
+  std::vector<trace::LogMeta> meta;
+  if (!fault_spec.empty()) {
+    meta.emplace_back("faults", fault_spec.to_string());
+  }
+  const bool want_text = args.trace_format != "binary";
+  const bool want_binary = args.trace_format != "text";
+  if (want_text) {
     // A large stream buffer turns the many small record writes into a few
     // big ones; fault-injected runs can dump millions of records.
     std::vector<char> buffer(1 << 20);
@@ -477,12 +489,20 @@ int run(const Args& args) {
     log.rdbuf()->pubsetbuf(buffer.data(),
                            static_cast<std::streamsize>(buffer.size()));
     log.open(args.out + "/run.log");
-    std::vector<trace::LogMeta> meta;
-    if (!fault_spec.empty()) {
-      meta.emplace_back("faults", fault_spec.to_string());
-    }
     trace::write_log(log, artifacts.phase_events, artifacts.blocking_events,
                      samples, meta);
+  }
+  if (want_binary) {
+    trace::ParsedLog log;
+    log.meta = meta;
+    log.phase_events = artifacts.phase_events;
+    log.blocking_events = artifacts.blocking_events;
+    log.samples = samples;
+    std::string error;
+    if (!trace::write_g10t_file(args.out + "/run.g10t", log, {}, &error)) {
+      std::cerr << error << '\n';
+      return kExitInternalError;
+    }
   }
   {
     std::ofstream model(args.out + "/model.g10");
@@ -494,13 +514,16 @@ int run(const Args& args) {
             << " remote bytes, " << artifacts.comm.channel_plans
             << " channel plans, " << artifacts.comm.batch_flushes
             << " batch flushes\n";
-  std::cout << "wrote " << args.out << "/run.log ("
+  const std::string trace_name =
+      want_text ? "/run.log" : "/run.g10t";
+  std::cout << "wrote " << args.out << trace_name
+            << (want_text && want_binary ? " + /run.g10t (" : " (")
             << artifacts.phase_events.size() << " phase events, "
             << artifacts.blocking_events.size() << " blocking events, "
             << samples.size() << " samples) and " << args.out
             << "/model.g10\n";
   std::cout << "analyze with: g10_analyze --model " << args.out
-            << "/model.g10 --log " << args.out << "/run.log";
+            << "/model.g10 --log " << args.out << trace_name;
   if (args.crash_log == engine::CrashLogStyle::kTruncated) {
     // A truncated crash log has BEGIN-without-END records by design; only
     // the lenient parser repairs those.
