@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <unordered_map>
 
@@ -23,12 +24,14 @@ class FileSymbols {
   std::uint64_t intern(std::string_view name) {
     const auto it = index_.find(name);
     if (it != index_.end()) return it->second;
+    // Deque elements never relocate, so views keyed on them stay valid as
+    // the table grows (a vector would move SSO strings on reallocation and
+    // dangle every stored key).
     names_.emplace_back(name);
-    // Key the map by the stored string so the view stays valid.
     return index_.emplace(names_.back(), names_.size() - 1).first->second;
   }
 
-  const std::vector<std::string>& names() const { return names_; }
+  const std::deque<std::string>& names() const { return names_; }
 
  private:
   struct Hash {
@@ -37,7 +40,7 @@ class FileSymbols {
       return std::hash<std::string_view>{}(s);
     }
   };
-  std::vector<std::string> names_;
+  std::deque<std::string> names_;
   std::unordered_map<std::string_view, std::uint64_t, Hash, std::equal_to<>>
       index_;
 };

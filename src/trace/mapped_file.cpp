@@ -27,7 +27,11 @@ MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
   if (this == &other) return *this;
   reset();
   buffer_ = std::move(other.buffer_);
-  data_ = other.data_;
+  // In buffered mode the view must track our own buffer: for tiny files
+  // std::string keeps the bytes in its inline (SSO) storage, so the
+  // moved-from data_ pointer would dangle once `other` is destroyed.
+  data_ = other.mapped_ ? other.data_
+                        : (buffer_.empty() ? nullptr : buffer_.data());
   size_ = other.size_;
   opened_ = other.opened_;
   mapped_ = other.mapped_;

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "trace/log_io.hpp"
@@ -210,6 +211,41 @@ TEST(G10tIoTest, EdgeCaseRecordsRoundTripExactly) {
               std::signbit(log.samples[i].value));
     EXPECT_EQ(back.samples[i].value, log.samples[i].value);
   }
+}
+
+TEST(G10tIoTest, ManyDistinctSymbolsRoundTripWithUniqueOrdinals) {
+  // Hundreds of distinct short (SSO-sized) names force the writer's
+  // interning table to grow many times; regression for a use-after-free
+  // where map keys were views into a reallocating vector.
+  ParsedLog log;
+  for (int i = 0; i < 400; ++i) {
+    log.phase_events.push_back({PhaseEventRecord::Kind::Begin,
+                                PhasePath{}.child("P" + std::to_string(i), i),
+                                i * 10, i % 5});
+    log.phase_events.push_back({PhaseEventRecord::Kind::End,
+                                PhasePath{}.child("P" + std::to_string(i), i),
+                                i * 10 + 5, i % 5});
+  }
+  // Re-intern every name after the table has fully grown: lookups that hit
+  // an existing entry are the ones that read the stored key.
+  for (int i = 0; i < 400; ++i) {
+    log.phase_events.push_back(
+        {PhaseEventRecord::Kind::Begin,
+         PhasePath{}.child("P" + std::to_string(i), i + 1000), 8000 + i * 10,
+         i % 5});
+    log.phase_events.push_back(
+        {PhaseEventRecord::Kind::End,
+         PhasePath{}.child("P" + std::to_string(i), i + 1000),
+         8000 + i * 10 + 5, i % 5});
+  }
+  const std::string bytes = encode(log);
+  EXPECT_EQ(render(decode_all(bytes)), render(log));
+  const G10tStructureParse parsed = parse_g10t_structure(bytes);
+  ASSERT_TRUE(parsed.ok());
+  std::set<std::string> distinct(parsed.structure.symbols.begin(),
+                                 parsed.structure.symbols.end());
+  EXPECT_EQ(distinct.size(), parsed.structure.symbols.size());
+  EXPECT_EQ(distinct.size(), 400u);
 }
 
 TEST(G10tIoTest, SmallBlocksRoundTripAndIndexCoversAllKinds) {

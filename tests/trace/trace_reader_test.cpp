@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "trace/g10t_io.hpp"
+#include "trace/mapped_file.hpp"
 
 namespace g10::trace {
 namespace {
@@ -185,6 +186,26 @@ TEST(TraceReaderTest, FilteredBinaryReadSkipsBlocks) {
   EXPECT_GT(stats.blocks_total, 1u);
   EXPECT_GT(stats.blocks_skipped, 0u)
       << "index-based seek never rejected a block";
+}
+
+TEST(TraceReaderTest, BufferedTinyFileSurvivesMove) {
+  // Files below std::string's SSO capacity live in the buffer's inline
+  // storage; regression for a move that left the view pointing at the
+  // moved-from object's inline bytes.
+  const std::string path = (test_root() / "tiny.txt").string();
+  const std::string payload = "ab\tc\n";  // well under SSO capacity
+  std::ofstream(path, std::ios::binary) << payload;
+  MappedFile source;
+  ASSERT_FALSE(
+      MappedFile::open(path, MappedFile::Options{/*use_mmap=*/false}, source)
+          .has_value());
+  MappedFile moved(std::move(source));
+  MappedFile assigned;
+  assigned = std::move(moved);
+  EXPECT_FALSE(moved.is_open());
+  EXPECT_TRUE(assigned.is_open());
+  EXPECT_FALSE(assigned.is_mapped());
+  EXPECT_EQ(assigned.bytes(), payload);
 }
 
 TEST(TraceReaderTest, MissingFileReportsErrnoText) {
